@@ -1,0 +1,40 @@
+# Convenience targets for the VSV reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test bench experiments examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One testing.B per paper artefact + ablations, run once each.
+bench:
+	$(GO) test -run XXX -bench=. -benchmem -benchtime=1x .
+
+# Regenerate every table and figure (a few minutes).
+experiments:
+	$(GO) run ./cmd/experiments -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/timeline
+	$(GO) run ./examples/threshold_tuning
+	$(GO) run ./examples/pointer_chase
+	$(GO) run ./examples/prefetch_stress
+	$(GO) run ./examples/vddl_sweep
+	$(GO) run ./examples/power_trace
+
+cover:
+	$(GO) test ./internal/... -coverprofile=cover.out
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out vsv_trace.csv

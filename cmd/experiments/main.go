@@ -1,0 +1,167 @@
+// Command experiments regenerates the paper's evaluation artefacts —
+// Table 1, Table 2, Figures 4–7 and the §6 headline averages — on the
+// simulated machine, printing the same rows and series the paper reports.
+//
+// Examples:
+//
+//	experiments -exp table2
+//	experiments -exp fig4
+//	experiments -exp all -instructions 300000
+//	experiments -exp fig5 -benchmarks mcf,ammp,swim
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table1, table2, fig4, fig5, fig6, fig7, summary, residency, robustness, sensitivity, all")
+		warmup   = flag.Uint64("warmup", 60_000, "warm-up instructions per run")
+		measure  = flag.Uint64("instructions", 300_000, "measured instructions per run")
+		parallel = flag.Int("parallel", 8, "concurrent simulations")
+		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: the experiment's own set)")
+		csvDir   = flag.String("csvdir", "", "also write each artefact as CSV into this directory")
+		seeds    = flag.Int("seeds", 5, "workload seeds for -exp robustness")
+	)
+	flag.Parse()
+
+	o := experiments.Options{
+		WarmupInstructions:  *warmup,
+		MeasureInstructions: *measure,
+		Parallelism:         *parallel,
+	}
+	subset := func(def []string) []string {
+		if *benches == "" {
+			return def
+		}
+		return strings.Split(*benches, ",")
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	writeCSV := func(exp string, t *report.Table) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fail(err)
+		}
+		path := filepath.Join(*csvDir, experiments.CSVName(exp))
+		if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+
+	run := map[string]bool{}
+	if *exp == "all" {
+		for _, e := range []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "summary"} {
+			run[e] = true
+		}
+	} else {
+		run[*exp] = true
+	}
+
+	if run["table1"] {
+		fmt.Print(experiments.RenderTable1(sim.DefaultConfig()))
+		fmt.Println()
+	}
+	if run["table2"] {
+		rows, err := experiments.Table2(o)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.RenderTable2(rows))
+		fmt.Println()
+		writeCSV("table2", experiments.Table2CSV(rows))
+	}
+	if run["fig4"] {
+		rows, err := experiments.Figure4(o, subset(workload.Names()))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.RenderFigure4(rows))
+		fmt.Println()
+		writeCSV("fig4", experiments.Figure4CSV(rows))
+	}
+	if run["fig5"] {
+		rows, err := experiments.Figure5(o, subset(workload.HighMRNames()), []int{0, 1, 3, 5})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.RenderFigure5(rows))
+		fmt.Println()
+		writeCSV("fig5", experiments.Figure5CSV(rows))
+	}
+	if run["fig6"] {
+		rows, err := experiments.Figure6(o, subset(workload.HighMRNames()), experiments.Figure6Variants())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.RenderFigure6(rows))
+		fmt.Println()
+		writeCSV("fig6", experiments.Figure6CSV(rows))
+	}
+	if run["residency"] {
+		rows, err := experiments.Residency(o, subset(workload.Names()))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.RenderResidency(rows))
+		fmt.Println()
+		writeCSV("residency", experiments.ResidencyCSV(rows))
+	}
+	if run["robustness"] {
+		rows, err := experiments.Robustness(o, subset(workload.HighMRNames()), *seeds)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.RenderRobustness(rows))
+		fmt.Println()
+		writeCSV("robustness", experiments.RobustnessCSV(rows))
+	}
+	if run["sensitivity"] {
+		rows, err := experiments.Sensitivity(o, subset(workload.HighMRNames()),
+			[]int{50, 100, 200, 400})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.RenderSensitivity(rows))
+		fmt.Println()
+		writeCSV("sensitivity", experiments.SensitivityCSV(rows))
+	}
+	if run["fig7"] || run["summary"] {
+		rows, err := experiments.Figure7(o, subset(workload.Names()))
+		if err != nil {
+			fail(err)
+		}
+		if run["fig7"] {
+			fmt.Print(experiments.RenderFigure7(rows))
+			fmt.Println()
+			writeCSV("fig7", experiments.Figure7CSV(rows))
+		}
+		if run["summary"] {
+			s := experiments.ComputeSummary(rows)
+			fmt.Print(experiments.RenderSummary(s))
+			writeCSV("summary", experiments.SummaryCSV(s))
+		}
+	}
+	if len(run) == 0 || (!run["table1"] && !run["table2"] && !run["fig4"] &&
+		!run["fig5"] && !run["fig6"] && !run["fig7"] && !run["summary"] &&
+		!run["residency"] && !run["robustness"] && !run["sensitivity"]) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

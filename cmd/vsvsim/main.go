@@ -1,0 +1,207 @@
+// Command vsvsim runs one benchmark on the simulated 8-way out-of-order
+// processor, optionally with the VSV controller and/or Time-Keeping
+// prefetching, and reports timing, miss-rate and power results.
+//
+// Examples:
+//
+//	vsvsim -bench mcf                         # baseline machine
+//	vsvsim -bench mcf -vsv fsm                # paper's VSV configuration
+//	vsvsim -bench applu -vsv nofsm -breakdown # no-FSM VSV + power breakdown
+//	vsvsim -bench swim -vsv fsm -tk           # with Time-Keeping prefetching
+//	vsvsim -bench ammp -vsv fsm -timeline     # print the first transitions
+//	vsvsim -list                              # list benchmarks
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "mcf", "SPEC2K benchmark name")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		vsv       = flag.String("vsv", "off", "VSV policy: off, fsm, adaptive, nofsm, firstr, lastr")
+		downTh    = flag.Int("down-threshold", 3, "down-FSM threshold (0 = immediate)")
+		upTh      = flag.Int("up-threshold", 3, "up-FSM threshold")
+		window    = flag.Int("window", 10, "FSM monitoring window (cycles)")
+		tk        = flag.Bool("tk", false, "enable Time-Keeping prefetching")
+		warmup    = flag.Uint64("warmup", 60_000, "warm-up instructions")
+		measure   = flag.Uint64("instructions", 300_000, "measured instructions")
+		breakdown = flag.Bool("breakdown", false, "print the power breakdown")
+		timeline  = flag.Bool("timeline", false, "print the first controller transitions")
+		compare   = flag.Bool("compare", true, "also run the baseline and print savings (VSV runs only)")
+		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+		seed      = flag.Uint64("seed", 0, "workload seed (0 = canonical stream)")
+		traceOut  = flag.String("trace", "", "write a power/mode time-series CSV to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range workload.Names() {
+			p, _ := workload.ByName(n)
+			fmt.Printf("%-9s  paper IPC %.2f, MR %.1f (TK %.1f)\n", n, p.IPCPaper, p.MRPaper, p.MRTKPaper)
+		}
+		return
+	}
+
+	prof, err := workload.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.WarmupInstructions = *warmup
+	cfg.MeasureInstructions = *measure
+	cfg.Prewarm = []sim.PrewarmRange{
+		{Base: workload.HotBase, Bytes: workload.HotBytes, IntoL1: true},
+		{Base: workload.WarmBase, Bytes: workload.WarmBytes},
+	}
+	if *tk {
+		cfg = cfg.WithTimeKeeping()
+	}
+	if *traceOut != "" {
+		cfg.TraceInterval = 200
+		cfg.TraceSamples = 8192
+	}
+
+	var policy core.Policy
+	withVSV := true
+	switch strings.ToLower(*vsv) {
+	case "off":
+		withVSV = false
+	case "fsm":
+		policy = core.PolicyFSM()
+		policy.DownThreshold = *downTh
+		if *downTh == 0 {
+			policy.UseDownFSM = false
+		}
+		policy.UpThreshold = *upTh
+		policy.DownWindow, policy.UpWindow = *window, *window
+	case "adaptive":
+		policy = core.PolicyFSM()
+		policy.Adaptive = core.DefaultAdaptiveConfig()
+	case "nofsm":
+		policy = core.PolicyNoFSM()
+	case "firstr":
+		policy = core.PolicyFirstR()
+	case "lastr":
+		policy = core.PolicyLastR()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -vsv %q\n", *vsv)
+		os.Exit(2)
+	}
+
+	runCfg := cfg
+	if withVSV {
+		runCfg = cfg.WithVSV(policy)
+	}
+	m := sim.NewMachine(runCfg, workload.NewGeneratorSeed(prof, *seed))
+	if withVSV && *timeline {
+		m.Controller().Trace().SetLimit(64)
+	}
+	res := m.Run(prof.Name)
+
+	if *jsonOut {
+		out := struct {
+			Result     sim.Results     `json:"result"`
+			Policy     string          `json:"policy,omitempty"`
+			Comparison *jsonComparison `json:"comparison,omitempty"`
+		}{Result: res}
+		if withVSV {
+			out.Policy = policy.String()
+			if *compare {
+				mb := sim.NewMachine(cfg, workload.NewGeneratorSeed(prof, *seed))
+				base := mb.Run(prof.Name)
+				c := sim.Comparison{Base: base, VSV: res}
+				out.Comparison = &jsonComparison{
+					PowerSavingsPct:    c.PowerSavingsPct(),
+					PerfDegradationPct: c.PerfDegradationPct(),
+					EnergySavingsPct:   c.EnergySavingsPct(),
+				}
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("benchmark     %s\n", prof.Name)
+	fmt.Printf("instructions  %d (after %d warm-up)\n", res.Instructions, *warmup)
+	fmt.Printf("time          %d ns\n", res.Ticks)
+	fmt.Printf("IPC           %.3f   (paper baseline %.2f)\n", res.IPC, prof.IPCPaper)
+	fmt.Printf("MR            %.2f   (paper baseline %.1f)\n", res.MR, prof.MRPaper)
+	fmt.Printf("avg power     %.2f W\n", res.AvgPowerW)
+	fmt.Printf("mispredicts   %.1f%% of branches\n", res.MispredictRate*100)
+	if withVSV {
+		cs := res.ControllerStats
+		fmt.Printf("policy        %s\n", policy)
+		fmt.Printf("low-power     %.1f%% of time; %d down / %d up transitions\n",
+			res.LowFrac*100, cs.DownTransitions, cs.UpTransitions)
+		fmt.Printf("down-FSM      armed %d, fired %d, lapsed %d\n",
+			cs.DownFSMArmed, cs.DownFSMFired, cs.DownFSMLapsed)
+		fmt.Printf("up-FSM        armed %d, fired %d, lapsed %d (all-returned ups: %d)\n",
+			cs.UpFSMArmed, cs.UpFSMFired, cs.UpFSMLapsed, cs.AllReturnedUps)
+	}
+
+	if withVSV && *compare {
+		mb := sim.NewMachine(cfg, workload.NewGeneratorSeed(prof, *seed))
+		base := mb.Run(prof.Name)
+		c := sim.Comparison{Base: base, VSV: res}
+		fmt.Printf("vs baseline   %.2f%% power savings, %.2f%% performance degradation\n",
+			c.PowerSavingsPct(), c.PerfDegradationPct())
+	}
+
+	if *breakdown {
+		fmt.Println("power breakdown:")
+		type kv struct {
+			k string
+			v float64
+		}
+		var items []kv
+		for k, v := range res.Breakdown {
+			if v > 0 {
+				items = append(items, kv{k, v})
+			}
+		}
+		sort.Slice(items, func(i, j int) bool { return items[i].v > items[j].v })
+		for _, it := range items {
+			fmt.Printf("  %-12s %5.1f%%\n", it.k, it.v*100)
+		}
+	}
+
+	if withVSV && *timeline {
+		fmt.Println("first controller events:")
+		fmt.Print(m.Controller().Trace().Render())
+	}
+
+	if *traceOut != "" {
+		rec := m.Recorder()
+		if err := os.WriteFile(*traceOut, []byte(rec.CSV()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace         %d samples -> %s\n", len(rec.Samples()), *traceOut)
+		fmt.Printf("power         %s\n", rec.Sparkline())
+	}
+}
+
+// jsonComparison is the -json shape of a baseline-vs-VSV comparison.
+type jsonComparison struct {
+	PowerSavingsPct    float64 `json:"power_savings_pct"`
+	PerfDegradationPct float64 `json:"perf_degradation_pct"`
+	EnergySavingsPct   float64 `json:"energy_savings_pct"`
+}

@@ -1,0 +1,189 @@
+// Command vsvtrace generates, inspects and replays binary instruction
+// traces (the classic trace-driven-simulator workflow).
+//
+//	vsvtrace gen  -bench mcf -n 500000 -o mcf.trace   # synthesize & dump
+//	vsvtrace info mcf.trace                           # summarize a trace
+//	vsvtrace run  mcf.trace -vsv                      # simulate from a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/sim"
+	"repro/internal/tracefile"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "run":
+		run(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: vsvtrace gen|info|run [flags]")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func gen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	bench := fs.String("bench", "mcf", "benchmark to synthesize")
+	n := fs.Uint64("n", 500_000, "instructions to generate")
+	out := fs.String("o", "", "output file (required)")
+	seed := fs.Uint64("seed", 0, "workload seed")
+	fs.Parse(args)
+	if *out == "" {
+		fail(fmt.Errorf("gen: -o is required"))
+	}
+	p, err := workload.ByName(*bench)
+	if err != nil {
+		fail(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	w, err := tracefile.NewWriter(f)
+	if err != nil {
+		fail(err)
+	}
+	g := workload.NewGeneratorSeed(p, *seed)
+	var in isa.Inst
+	for i := uint64(0); i < *n; i++ {
+		g.Next(&in)
+		if err := w.Write(&in); err != nil {
+			fail(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fail(err)
+	}
+	st, _ := f.Stat()
+	fmt.Printf("wrote %d instructions to %s (%.2f bytes/inst)\n",
+		w.Count(), *out, float64(st.Size())/float64(w.Count()))
+}
+
+func info(args []string) {
+	if len(args) < 1 {
+		fail(fmt.Errorf("info: trace file required"))
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	r, err := tracefile.NewReader(f)
+	if err != nil {
+		fail(err)
+	}
+	var (
+		byOp     [isa.NumOpClasses]uint64
+		total    uint64
+		taken    uint64
+		blocks   = map[uint64]bool{}
+		pcLo     = ^uint64(0)
+		pcHi     uint64
+		memBytes uint64
+	)
+	var in isa.Inst
+	for {
+		err := r.Next(&in)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fail(err)
+		}
+		total++
+		byOp[in.Op]++
+		if in.Op == isa.OpBranch && in.Taken {
+			taken++
+		}
+		if in.Op.IsMem() {
+			blocks[in.Addr>>5] = true
+			memBytes += 8
+		}
+		if in.PC < pcLo {
+			pcLo = in.PC
+		}
+		if in.PC > pcHi {
+			pcHi = in.PC
+		}
+	}
+	fmt.Printf("instructions  %d\n", total)
+	fmt.Printf("pc range      %#x - %#x\n", pcLo, pcHi)
+	fmt.Printf("touched data  %d blocks (%.1f MB)\n", len(blocks), float64(len(blocks))*32/1e6)
+	fmt.Println("mix:")
+	for op := 0; op < isa.NumOpClasses; op++ {
+		if byOp[op] == 0 {
+			continue
+		}
+		fmt.Printf("  %-9s %7.2f%%\n", isa.OpClass(op),
+			float64(byOp[op])/float64(total)*100)
+	}
+	if b := byOp[isa.OpBranch]; b > 0 {
+		fmt.Printf("branch taken  %.1f%%\n", float64(taken)/float64(b)*100)
+	}
+}
+
+func run(args []string) {
+	if len(args) < 1 {
+		fail(fmt.Errorf("run: trace file required"))
+	}
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	vsv := fs.Bool("vsv", false, "attach the VSV controller (FSM policy)")
+	warmup := fs.Uint64("warmup", 20_000, "warm-up instructions")
+	measure := fs.Uint64("instructions", 100_000, "measured instructions")
+	fs.Parse(args[1:])
+
+	f, err := os.Open(args[0])
+	if err != nil {
+		fail(err)
+	}
+	src, err := tracefile.LoadSource(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.WarmupInstructions = *warmup
+	cfg.MeasureInstructions = *measure
+	cfg.Prewarm = []sim.PrewarmRange{
+		{Base: workload.HotBase, Bytes: workload.HotBytes, IntoL1: true},
+		{Base: workload.WarmBase, Bytes: workload.WarmBytes},
+	}
+	if *vsv {
+		cfg = cfg.WithVSV(core.PolicyFSM())
+	}
+	m := sim.NewMachine(cfg, src)
+	res := m.Run(args[0])
+	fmt.Printf("trace         %s (%d instructions, %d laps)\n", args[0], src.Len(), src.Laps())
+	fmt.Printf("IPC           %.3f\n", res.IPC)
+	fmt.Printf("MR            %.2f\n", res.MR)
+	fmt.Printf("avg power     %.2f W\n", res.AvgPowerW)
+	if *vsv {
+		fmt.Printf("low-power     %.1f%% of time, %d transitions\n",
+			res.LowFrac*100, res.Transitions)
+	}
+}

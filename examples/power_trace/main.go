@@ -1,0 +1,59 @@
+// Power trace: record and display the time-domain behaviour of VSV — the
+// descents into low-power mode when misses stall the machine, the ramps,
+// and the climbs when data returns. Prints a terminal sparkline and writes
+// a CSV suitable for plotting.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	prof, err := workload.ByName("ammp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.WarmupInstructions = 20_000
+	cfg.MeasureInstructions = 60_000
+	cfg.Prewarm = []sim.PrewarmRange{
+		{Base: workload.HotBase, Bytes: workload.HotBytes, IntoL1: true},
+		{Base: workload.WarmBase, Bytes: workload.WarmBytes},
+	}
+	cfg.TraceInterval = 100 // one sample per 100 ns
+	cfg.TraceSamples = 4096
+
+	m := sim.NewMachine(cfg.WithVSV(core.PolicyFSM()), workload.NewGenerator(prof))
+	res := m.Run(prof.Name)
+	rec := m.Recorder()
+
+	fmt.Printf("benchmark %s: %.2f W average, %.0f%% of time in low-power mode\n\n",
+		prof.Name, res.AvgPowerW, res.LowFrac*100)
+	fmt.Println("power over time (one glyph per 100 ns):")
+	fmt.Println(rec.Sparkline())
+
+	// Summarize mode residency from the samples.
+	modeTicks := map[string]int{}
+	for _, s := range rec.Samples() {
+		modeTicks[s.Mode]++
+	}
+	fmt.Println("\nsampled mode distribution:")
+	for _, mode := range []string{"high", "down-dist", "down-ramp", "low", "up-dist", "up-ramp"} {
+		if n := modeTicks[mode]; n > 0 {
+			fmt.Printf("  %-10s %5.1f%%\n", mode, float64(n)/float64(len(rec.Samples()))*100)
+		}
+	}
+
+	const out = "vsv_trace.csv"
+	if err := os.WriteFile(out, []byte(rec.CSV()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %d samples to %s (plot tick vs vdd / avg_power_w)\n",
+		len(rec.Samples()), out)
+}

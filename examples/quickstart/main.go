@@ -1,0 +1,47 @@
+// Quickstart: simulate one SPEC2K-like benchmark on the paper's 8-way
+// out-of-order machine, with and without VSV, and print the headline
+// comparison — power savings vs performance degradation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	// Pick the paper's flagship workload: mcf, the highest-MR benchmark.
+	prof, err := workload.ByName("mcf")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The Table 1 machine, with the benchmark's resident working sets
+	// pre-warmed (standing in for the paper's 2-billion-instruction
+	// fast-forward).
+	cfg := sim.DefaultConfig()
+	cfg.WarmupInstructions = 30_000
+	cfg.MeasureInstructions = 150_000
+	cfg.Prewarm = []sim.PrewarmRange{
+		{Base: workload.HotBase, Bytes: workload.HotBytes, IntoL1: true},
+		{Base: workload.WarmBase, Bytes: workload.WarmBytes},
+	}
+
+	// Baseline run: full speed, fixed VDDH, clock gating + s/w prefetching.
+	base := sim.NewMachine(cfg, workload.NewGenerator(prof)).Run(prof.Name)
+
+	// VSV run: the same machine plus the paper's controller — down-FSM and
+	// up-FSM with threshold 3 in a 10-cycle window (§6.2–6.3).
+	vsv := sim.NewMachine(cfg.WithVSV(core.PolicyFSM()), workload.NewGenerator(prof)).Run(prof.Name)
+
+	c := sim.Comparison{Base: base, VSV: vsv}
+	fmt.Printf("benchmark:            %s\n", prof.Name)
+	fmt.Printf("baseline:             IPC %.2f, MR %.1f, %.2f W\n", base.IPC, base.MR, base.AvgPowerW)
+	fmt.Printf("VSV:                  IPC %.2f, %.2f W, %.0f%% of time in low-power mode\n",
+		vsv.IPC, vsv.AvgPowerW, vsv.LowFrac*100)
+	fmt.Printf("power savings:        %.1f%%\n", c.PowerSavingsPct())
+	fmt.Printf("perf degradation:     %.1f%%\n", c.PerfDegradationPct())
+}

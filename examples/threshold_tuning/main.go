@@ -1,0 +1,76 @@
+// Threshold tuning: sweep the down-FSM and up-FSM thresholds on one
+// benchmark, reproducing the §6.2/§6.3 trade-off — low thresholds favour
+// power, high thresholds favour performance, and the issue-rate monitors
+// approach Last-R's savings at First-R's performance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func run(cfg sim.Config, prof workload.Profile) sim.Results {
+	return sim.NewMachine(cfg, workload.NewGenerator(prof)).Run(prof.Name)
+}
+
+func main() {
+	const bench = "swim" // high-ILP streaming: the FSMs matter most here
+	prof, err := workload.ByName(bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.WarmupInstructions = 30_000
+	cfg.MeasureInstructions = 150_000
+	cfg.Prewarm = []sim.PrewarmRange{
+		{Base: workload.HotBase, Bytes: workload.HotBytes, IntoL1: true},
+		{Base: workload.WarmBase, Bytes: workload.WarmBytes},
+	}
+	base := run(cfg, prof)
+	fmt.Printf("benchmark %s: baseline IPC %.2f, MR %.1f, %.2f W\n\n",
+		bench, base.IPC, base.MR, base.AvgPowerW)
+
+	fmt.Println("down-FSM threshold sweep (up-FSM fixed at 3):")
+	fmt.Printf("%10s %12s %12s %10s\n", "threshold", "perf deg %", "power sav %", "low %")
+	for _, th := range []int{0, 1, 3, 5} {
+		p := core.PolicyFSM()
+		if th == 0 {
+			p.UseDownFSM = false
+		} else {
+			p.DownThreshold = th
+		}
+		r := run(cfg.WithVSV(p), prof)
+		c := sim.Comparison{Base: base, VSV: r}
+		fmt.Printf("%10d %12.1f %12.1f %10.0f\n",
+			th, c.PerfDegradationPct(), c.PowerSavingsPct(), r.LowFrac*100)
+	}
+
+	fmt.Println("\nup trigger sweep (down-FSM fixed at 3):")
+	fmt.Printf("%10s %12s %12s %10s\n", "trigger", "perf deg %", "power sav %", "low %")
+	variants := []struct {
+		label  string
+		policy core.Policy
+	}{
+		{"First-R", core.PolicyFirstR()},
+		{"th=1", upTh(1)},
+		{"th=3", upTh(3)},
+		{"th=5", upTh(5)},
+		{"Last-R", core.PolicyLastR()},
+	}
+	for _, v := range variants {
+		r := run(cfg.WithVSV(v.policy), prof)
+		c := sim.Comparison{Base: base, VSV: r}
+		fmt.Printf("%10s %12.1f %12.1f %10.0f\n",
+			v.label, c.PerfDegradationPct(), c.PowerSavingsPct(), r.LowFrac*100)
+	}
+}
+
+func upTh(t int) core.Policy {
+	p := core.PolicyFSM()
+	p.UpThreshold = t
+	return p
+}

@@ -1,0 +1,58 @@
+// Timeline: reproduce Figures 2 and 3 — the exact nanosecond-level event
+// sequences of a high→low and a low→high power-mode transition — by driving
+// the VSV controller directly with a scripted single L2 miss.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	tm := core.DefaultTiming()
+	fmt.Printf("Circuit constants (TSMC 0.18um, 1 GHz):\n")
+	fmt.Printf("  VDDH %.1f V, VDDL %.1f V, ramp %d ns (dV/dt = 0.05 V/ns)\n",
+		tm.VDDH, tm.VDDL, tm.RampTicks)
+	fmt.Printf("  high->low transition: %d ns;  low->high: %d ns (clock tree overlapped)\n\n",
+		tm.DownTransitionTicks(), tm.UpTransitionTicks())
+
+	// Immediate policy so the single miss triggers without monitoring.
+	ctl := core.New(core.PolicyNoFSM(), tm)
+
+	tick := func(now int64, obs core.Observation) {
+		edge := ctl.BeginTick(now)
+		mark := " "
+		if edge {
+			mark = "*"
+		}
+		fmt.Printf("t=%3d ns  %s mode=%-9s VDD=%.3f V\n", now, mark, ctl.Mode(), ctl.VDD())
+		ctl.EndTick(now, obs)
+	}
+
+	fmt.Println("Figure 2 — high-to-low power mode transition (* = pipeline clock edge):")
+	now := int64(0)
+	// Two quiet cycles, then the L2 miss is detected.
+	tick(now, core.Observation{Issued: 2})
+	now++
+	tick(now, core.Observation{Issued: 1, MissDetected: true, OutstandingDemand: 1})
+	now++
+	for ctl.Mode() != core.ModeLow {
+		tick(now, core.Observation{OutstandingDemand: 1})
+		now++
+	}
+	tick(now, core.Observation{OutstandingDemand: 1})
+	now++
+
+	fmt.Println("\nFigure 3 — low-to-high power mode transition (miss data returns):")
+	tick(now, core.Observation{MissReturned: true, OutstandingDemand: 0})
+	now++
+	for ctl.Mode() != core.ModeHigh {
+		tick(now, core.Observation{Issued: 3})
+		now++
+	}
+	tick(now, core.Observation{Issued: 3})
+
+	fmt.Println("\nController event log:")
+	fmt.Print(ctl.Trace().Render())
+}

@@ -1,0 +1,320 @@
+// Package branch implements the Table 1 branch prediction hardware: an
+// 8K/8K/8K hybrid predictor (bimodal + two-level global-history component +
+// chooser), an 8192-entry 4-way BTB, and a 32-entry return-address stack.
+// The 8-cycle misprediction penalty is charged by the pipeline.
+package branch
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// InstBytes is the fixed instruction size (re-exported from internal/isa
+// for call-site brevity: the RAS pushes pc + InstBytes).
+const InstBytes = isa.InstBytes
+
+// Config sets the predictor geometry.
+type Config struct {
+	// BimodalEntries, GlobalEntries and ChooserEntries size the three hybrid
+	// tables (each entry a 2-bit counter). Must be powers of two.
+	BimodalEntries int
+	GlobalEntries  int
+	ChooserEntries int
+	// HistoryBits is the global-history length of the two-level component.
+	HistoryBits int
+	// BTBEntries and BTBAssoc size the branch target buffer.
+	BTBEntries int
+	BTBAssoc   int
+	// RASEntries sizes the return-address stack.
+	RASEntries int
+}
+
+// DefaultConfig returns the paper's configuration: 8K/8K/8K hybrid,
+// 8192-entry 4-way BTB, 32-entry RAS.
+func DefaultConfig() Config {
+	return Config{
+		BimodalEntries: 8192,
+		GlobalEntries:  8192,
+		ChooserEntries: 8192,
+		HistoryBits:    13,
+		BTBEntries:     8192,
+		BTBAssoc:       4,
+		RASEntries:     32,
+	}
+}
+
+// Validate reports a configuration error, if any.
+func (c Config) Validate() error {
+	pow2 := func(v int) bool { return v > 0 && v&(v-1) == 0 }
+	switch {
+	case !pow2(c.BimodalEntries) || !pow2(c.GlobalEntries) || !pow2(c.ChooserEntries):
+		return fmt.Errorf("branch: table sizes must be powers of two")
+	case c.HistoryBits < 1 || c.HistoryBits > 30:
+		return fmt.Errorf("branch: history bits %d out of range", c.HistoryBits)
+	case !pow2(c.BTBEntries) || c.BTBAssoc < 1 || c.BTBEntries%c.BTBAssoc != 0:
+		return fmt.Errorf("branch: bad BTB geometry %d/%d", c.BTBEntries, c.BTBAssoc)
+	case c.RASEntries < 1:
+		return fmt.Errorf("branch: RAS entries %d < 1", c.RASEntries)
+	}
+	return nil
+}
+
+// Stats counts predictor events.
+type Stats struct {
+	Lookups        uint64
+	DirMispredicts uint64
+	TgtMispredicts uint64
+	BTBHits        uint64
+	RASPops        uint64
+	RASPushes      uint64
+}
+
+type btbEntry struct {
+	valid   bool
+	tag     uint64
+	target  uint64
+	lastUse uint64
+}
+
+// Predictor is the complete front-end prediction unit. Not safe for
+// concurrent use.
+type Predictor struct {
+	cfg     Config
+	bimodal []uint8
+	global  []uint8
+	chooser []uint8 // counter >= 2 selects the global component
+	history uint64
+	histMax uint64
+
+	btb      []btbEntry
+	btbSets  int
+	btbClock uint64
+
+	ras    []uint64
+	rasTop int // number of valid entries (capped circular stack)
+
+	stats Stats
+}
+
+// New builds a predictor, panicking on invalid configuration.
+func New(cfg Config) *Predictor {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	p := &Predictor{
+		cfg:     cfg,
+		bimodal: make([]uint8, cfg.BimodalEntries),
+		global:  make([]uint8, cfg.GlobalEntries),
+		chooser: make([]uint8, cfg.ChooserEntries),
+		histMax: (1 << uint(cfg.HistoryBits)) - 1,
+		btb:     make([]btbEntry, cfg.BTBEntries),
+		btbSets: cfg.BTBEntries / cfg.BTBAssoc,
+		ras:     make([]uint64, cfg.RASEntries),
+	}
+	// Initialize counters weakly taken/not-taken split: weakly not-taken.
+	for i := range p.bimodal {
+		p.bimodal[i] = 1
+	}
+	for i := range p.global {
+		p.global[i] = 1
+	}
+	for i := range p.chooser {
+		p.chooser[i] = 1
+	}
+	return p
+}
+
+// Config returns the predictor configuration.
+func (p *Predictor) Config() Config { return p.cfg }
+
+func pcIndex(pc uint64, size int) int {
+	return int((pc >> 2) & uint64(size-1))
+}
+
+func (p *Predictor) globalIndex(pc uint64) int {
+	return int(((pc >> 2) ^ p.history) & uint64(p.cfg.GlobalEntries-1))
+}
+
+// Prediction is the front end's guess for one branch.
+type Prediction struct {
+	// Taken is the predicted direction.
+	Taken bool
+	// Target is the predicted target (valid only if TargetKnown).
+	Target uint64
+	// TargetKnown reports a BTB (or RAS, for returns) target was found.
+	TargetKnown bool
+	// usedGlobal records which hybrid component was consulted (for update).
+	usedGlobal bool
+}
+
+// Predict produces a prediction for the branch at pc. isCall and isRet mark
+// call/return control transfers, which use the RAS: calls push pc+4 (the
+// push happens in Update, once the call is actually fetched down the right
+// path), returns pop their target.
+func (p *Predictor) Predict(pc uint64, isCall, isRet bool) Prediction {
+	p.stats.Lookups++
+	var pr Prediction
+	cIdx := pcIndex(pc, p.cfg.ChooserEntries)
+	pr.usedGlobal = p.chooser[cIdx] >= 2
+	if pr.usedGlobal {
+		pr.Taken = p.global[p.globalIndex(pc)] >= 2
+	} else {
+		pr.Taken = p.bimodal[pcIndex(pc, p.cfg.BimodalEntries)] >= 2
+	}
+	if isRet {
+		// Returns predict taken with the RAS top as target.
+		pr.Taken = true
+		if p.rasTop > 0 {
+			pr.Target = p.ras[p.rasTop-1]
+			pr.TargetKnown = true
+		}
+		return pr
+	}
+	if tgt, ok := p.btbLookup(pc); ok {
+		pr.Target = tgt
+		pr.TargetKnown = true
+		p.stats.BTBHits++
+	}
+	_ = isCall
+	return pr
+}
+
+// Update trains the predictor with the actual outcome and reports whether
+// the earlier prediction pr was a misprediction (direction or target).
+func (p *Predictor) Update(pc uint64, pr Prediction, taken bool, target uint64, isCall, isRet bool) bool {
+	// Direction counters (returns skip direction training: always taken).
+	if !isRet {
+		bIdx := pcIndex(pc, p.cfg.BimodalEntries)
+		gIdx := p.globalIndex(pc)
+		cIdx := pcIndex(pc, p.cfg.ChooserEntries)
+		bPred := p.bimodal[bIdx] >= 2
+		gPred := p.global[gIdx] >= 2
+		if bPred != gPred {
+			if gPred == taken {
+				inc(&p.chooser[cIdx])
+			} else {
+				dec(&p.chooser[cIdx])
+			}
+		}
+		train(&p.bimodal[bIdx], taken)
+		train(&p.global[gIdx], taken)
+		p.history = ((p.history << 1) | b2u(taken)) & p.histMax
+	}
+	// RAS maintenance.
+	if isCall {
+		p.push(pc + InstBytes)
+	}
+	if isRet {
+		p.pop()
+	}
+	// BTB training on taken branches.
+	if taken && !isRet {
+		p.btbInsert(pc, target)
+	}
+	// Misprediction determination.
+	mis := false
+	if pr.Taken != taken {
+		p.stats.DirMispredicts++
+		mis = true
+	} else if taken && (!pr.TargetKnown || pr.Target != target) {
+		p.stats.TgtMispredicts++
+		mis = true
+	}
+	return mis
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func train(c *uint8, taken bool) {
+	if taken {
+		inc(c)
+	} else {
+		dec(c)
+	}
+}
+
+func inc(c *uint8) {
+	if *c < 3 {
+		*c++
+	}
+}
+
+func dec(c *uint8) {
+	if *c > 0 {
+		*c--
+	}
+}
+
+func (p *Predictor) btbLookup(pc uint64) (uint64, bool) {
+	setIdx := pcIndex(pc, p.btbSets)
+	tag := pc >> 2
+	base := setIdx * p.cfg.BTBAssoc
+	for i := 0; i < p.cfg.BTBAssoc; i++ {
+		e := &p.btb[base+i]
+		if e.valid && e.tag == tag {
+			p.btbClock++
+			e.lastUse = p.btbClock
+			return e.target, true
+		}
+	}
+	return 0, false
+}
+
+func (p *Predictor) btbInsert(pc, target uint64) {
+	setIdx := pcIndex(pc, p.btbSets)
+	tag := pc >> 2
+	base := setIdx * p.cfg.BTBAssoc
+	victim := base
+	for i := 0; i < p.cfg.BTBAssoc; i++ {
+		e := &p.btb[base+i]
+		if e.valid && e.tag == tag {
+			p.btbClock++
+			e.target = target
+			e.lastUse = p.btbClock
+			return
+		}
+		if !e.valid {
+			victim = base + i
+			break
+		}
+		if e.lastUse < p.btb[victim].lastUse {
+			victim = base + i
+		}
+	}
+	p.btbClock++
+	p.btb[victim] = btbEntry{valid: true, tag: tag, target: target, lastUse: p.btbClock}
+}
+
+func (p *Predictor) push(addr uint64) {
+	p.stats.RASPushes++
+	if p.rasTop == len(p.ras) {
+		// Full: shift (oldest entry lost) — standard capped-stack behaviour.
+		copy(p.ras, p.ras[1:])
+		p.ras[len(p.ras)-1] = addr
+		return
+	}
+	p.ras[p.rasTop] = addr
+	p.rasTop++
+}
+
+func (p *Predictor) pop() {
+	if p.rasTop > 0 {
+		p.rasTop--
+		p.stats.RASPops++
+	}
+}
+
+// RASDepth returns the current stack depth (for tests).
+func (p *Predictor) RASDepth() int { return p.rasTop }
+
+// Stats returns a snapshot of the counters.
+func (p *Predictor) Stats() Stats { return p.stats }
+
+// ResetStats clears the counters (end of warm-up); learned state persists.
+func (p *Predictor) ResetStats() { p.stats = Stats{} }

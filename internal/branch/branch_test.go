@@ -1,0 +1,249 @@
+package branch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() *Predictor {
+	return New(Config{
+		BimodalEntries: 64, GlobalEntries: 64, ChooserEntries: 64,
+		HistoryBits: 6, BTBEntries: 16, BTBAssoc: 2, RASEntries: 4,
+	})
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{BimodalEntries: 100, GlobalEntries: 64, ChooserEntries: 64, HistoryBits: 4, BTBEntries: 16, BTBAssoc: 2, RASEntries: 4},
+		{BimodalEntries: 64, GlobalEntries: 64, ChooserEntries: 64, HistoryBits: 0, BTBEntries: 16, BTBAssoc: 2, RASEntries: 4},
+		{BimodalEntries: 64, GlobalEntries: 64, ChooserEntries: 64, HistoryBits: 4, BTBEntries: 16, BTBAssoc: 3, RASEntries: 4},
+		{BimodalEntries: 64, GlobalEntries: 64, ChooserEntries: 64, HistoryBits: 4, BTBEntries: 16, BTBAssoc: 2, RASEntries: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestLearnsAlwaysTaken(t *testing.T) {
+	p := small()
+	pc, tgt := uint64(0x1000), uint64(0x2000)
+	miss := 0
+	for i := 0; i < 100; i++ {
+		pr := p.Predict(pc, false, false)
+		if p.Update(pc, pr, true, tgt, false, false) {
+			miss++
+		}
+	}
+	if miss > 4 {
+		t.Fatalf("always-taken branch mispredicted %d/100 times", miss)
+	}
+}
+
+func TestLearnsAlwaysNotTaken(t *testing.T) {
+	p := small()
+	pc := uint64(0x1004)
+	miss := 0
+	for i := 0; i < 100; i++ {
+		pr := p.Predict(pc, false, false)
+		if p.Update(pc, pr, false, 0, false, false) {
+			miss++
+		}
+	}
+	if miss > 2 {
+		t.Fatalf("never-taken branch mispredicted %d/100 times", miss)
+	}
+}
+
+func TestGlobalComponentLearnsPattern(t *testing.T) {
+	// Alternating T/N/T/N is hopeless for bimodal but trivial for a
+	// history-indexed component; the hybrid should converge.
+	p := New(DefaultConfig())
+	pc, tgt := uint64(0x4000), uint64(0x5000)
+	missLate := 0
+	for i := 0; i < 2000; i++ {
+		taken := i%2 == 0
+		pr := p.Predict(pc, false, false)
+		mis := p.Update(pc, pr, taken, tgt, false, false)
+		if i >= 1000 && mis {
+			missLate++
+		}
+	}
+	if missLate > 50 {
+		t.Fatalf("alternating pattern mispredicted %d/1000 after warmup", missLate)
+	}
+}
+
+func TestBTBTargetMisprediction(t *testing.T) {
+	p := small()
+	pc := uint64(0x100)
+	// Train direction taken with target A.
+	for i := 0; i < 10; i++ {
+		pr := p.Predict(pc, false, false)
+		p.Update(pc, pr, true, 0xA00, false, false)
+	}
+	// Now branch goes to a different target: direction right, target wrong.
+	pr := p.Predict(pc, false, false)
+	if !pr.Taken || !pr.TargetKnown || pr.Target != 0xA00 {
+		t.Fatalf("prediction = %+v", pr)
+	}
+	before := p.Stats().TgtMispredicts
+	if !p.Update(pc, pr, true, 0xB00, false, false) {
+		t.Fatal("target change not flagged as mispredict")
+	}
+	if p.Stats().TgtMispredicts != before+1 {
+		t.Fatal("target mispredict not counted")
+	}
+	// The BTB entry must now hold the new target.
+	pr = p.Predict(pc, false, false)
+	if pr.Target != 0xB00 {
+		t.Fatalf("BTB not retrained: %+v", pr)
+	}
+}
+
+func TestColdTakenBranchIsTargetMiss(t *testing.T) {
+	p := small()
+	pc := uint64(0x200)
+	// Force direction counters to predict taken first.
+	for i := 0; i < 4; i++ {
+		pr := p.Predict(pc, false, false)
+		p.Update(pc, pr, true, 0xC00, false, false)
+	}
+	// New PC mapping to a different BTB set: direction may predict taken
+	// (shared counters), but with no BTB entry TargetKnown must be false.
+	pr := p.Predict(0x208, false, false)
+	if pr.TargetKnown {
+		t.Fatal("cold branch claims a known target")
+	}
+}
+
+func TestRASReturnPrediction(t *testing.T) {
+	p := small()
+	callPC := uint64(0x300)
+	retPC := uint64(0x400)
+	// Execute a call: pushes callPC+4.
+	pr := p.Predict(callPC, true, false)
+	p.Update(callPC, pr, true, retPC, true, false)
+	if p.RASDepth() != 1 {
+		t.Fatalf("RAS depth = %d after call", p.RASDepth())
+	}
+	// Return should predict target callPC+4 from the RAS.
+	pr = p.Predict(retPC+0x40, false, true)
+	if !pr.Taken || !pr.TargetKnown || pr.Target != callPC+InstBytes {
+		t.Fatalf("return prediction = %+v", pr)
+	}
+	p.Update(retPC+0x40, pr, true, callPC+InstBytes, false, true)
+	if p.RASDepth() != 0 {
+		t.Fatalf("RAS depth = %d after return", p.RASDepth())
+	}
+}
+
+func TestRASOverflowKeepsNewest(t *testing.T) {
+	p := small() // RAS depth 4
+	for i := 0; i < 6; i++ {
+		pc := uint64(0x1000 + i*8)
+		pr := p.Predict(pc, true, false)
+		p.Update(pc, pr, true, 0x9000, true, false)
+	}
+	if p.RASDepth() != 4 {
+		t.Fatalf("RAS depth = %d, want 4", p.RASDepth())
+	}
+	// Top of stack must be the most recent call's return address.
+	pr := p.Predict(0x9000, false, true)
+	want := uint64(0x1000+5*8) + InstBytes
+	if pr.Target != want {
+		t.Fatalf("RAS top = %#x, want %#x", pr.Target, want)
+	}
+}
+
+func TestRASUnderflowSafe(t *testing.T) {
+	p := small()
+	pr := p.Predict(0x500, false, true)
+	if pr.TargetKnown {
+		t.Fatal("empty RAS claims a target")
+	}
+	// Must not panic or go negative.
+	p.Update(0x500, pr, true, 0x600, false, true)
+	if p.RASDepth() != 0 {
+		t.Fatalf("RAS depth = %d", p.RASDepth())
+	}
+}
+
+func TestBTBLRUWithinSet(t *testing.T) {
+	p := small() // BTB: 16 entries, 2-way, 8 sets; same set every 8*4=32 bytes of PC
+	setStride := uint64(8 * 4)
+	a, b, c := uint64(0x0), setStride, 2*setStride
+	ins := func(pc, tgt uint64) {
+		pr := p.Predict(pc, false, false)
+		p.Update(pc, pr, true, tgt, false, false)
+	}
+	ins(a, 0xA0)
+	ins(b, 0xB0)
+	// Touch a so b becomes LRU.
+	p.Predict(a, false, false)
+	ins(c, 0xC0)
+	if pr := p.Predict(b, false, false); pr.TargetKnown {
+		t.Fatal("LRU victim still present in BTB")
+	}
+	if pr := p.Predict(a, false, false); !pr.TargetKnown {
+		t.Fatal("recently used entry was evicted")
+	}
+}
+
+func TestCounterSaturation(t *testing.T) {
+	f := func(updates []bool) bool {
+		var c uint8 = 1
+		for _, taken := range updates {
+			train(&c, taken)
+			if c > 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	p := small()
+	pr := p.Predict(0x100, false, false)
+	p.Update(0x100, pr, true, 0x200, false, false)
+	if p.Stats().Lookups != 1 {
+		t.Fatalf("lookups = %d", p.Stats().Lookups)
+	}
+	p.ResetStats()
+	if p.Stats().Lookups != 0 {
+		t.Fatal("reset did not clear stats")
+	}
+	// Learned state must persist across ResetStats.
+	for i := 0; i < 6; i++ {
+		pr = p.Predict(0x100, false, false)
+		p.Update(0x100, pr, true, 0x200, false, false)
+	}
+	pr = p.Predict(0x100, false, false)
+	if !pr.Taken || !pr.TargetKnown {
+		t.Fatal("training lost after stats reset")
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with invalid config did not panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestConfigAccessor(t *testing.T) {
+	p := New(DefaultConfig())
+	if p.Config().RASEntries != 32 || p.Config().BTBEntries != 8192 {
+		t.Fatal("config accessor wrong")
+	}
+}

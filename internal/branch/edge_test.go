@@ -1,0 +1,105 @@
+package branch
+
+import "testing"
+
+// TestChooserPrefersBetterComponent trains a branch that the bimodal
+// component handles (strongly biased) and one only the global component
+// can handle (history-correlated), checking the hybrid beats a lone
+// bimodal on the latter.
+func TestChooserPrefersBetterComponent(t *testing.T) {
+	p := New(DefaultConfig())
+	// A 4-iteration loop pattern: taken,taken,taken,not — pure bimodal
+	// saturates toward taken and misses the exit every lap; global history
+	// learns the period.
+	pc, tgt := uint64(0x800), uint64(0x900)
+	mis := 0
+	total := 4000
+	for i := 0; i < total; i++ {
+		taken := i%4 != 3
+		pr := p.Predict(pc, false, false)
+		if p.Update(pc, pr, taken, tgt, false, false) && i > total/2 {
+			mis++
+		}
+	}
+	rate := float64(mis) / float64(total/2)
+	// Bimodal alone would miss ~25% (every loop exit); the hybrid must
+	// learn the period.
+	if rate > 0.10 {
+		t.Fatalf("hybrid mispredict rate on periodic branch = %.3f", rate)
+	}
+}
+
+func TestManyBranchesNoAliasCatastrophe(t *testing.T) {
+	// Hundreds of distinct biased branches must co-exist in the 8K tables.
+	p := New(DefaultConfig())
+	mis := 0
+	rounds, branches := 50, 400
+	for r := 0; r < rounds; r++ {
+		for b := 0; b < branches; b++ {
+			pc := uint64(0x1000 + b*4)
+			taken := b%2 == 0 // per-branch stable bias
+			pr := p.Predict(pc, false, false)
+			if p.Update(pr0(pc, pr), pr, taken, 0x9000, false, false) && r > rounds/2 {
+				mis++
+			}
+		}
+	}
+	rate := float64(mis) / float64(rounds/2*branches)
+	if rate > 0.15 {
+		t.Fatalf("aliasing destroyed biased branches: %.3f", rate)
+	}
+}
+
+// pr0 is identity on pc (keeps the Update call signature obvious).
+func pr0(pc uint64, _ Prediction) uint64 { return pc }
+
+func TestBTBCapacityEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BTBEntries = 8
+	cfg.BTBAssoc = 2
+	p := New(cfg)
+	// Fill far more taken branches than BTB entries: old targets must be
+	// gone, recent ones present.
+	n := 64
+	for i := 0; i < n; i++ {
+		pc := uint64(0x4000 + i*4)
+		pr := p.Predict(pc, false, false)
+		p.Update(pc, pr, true, uint64(0xA000+i*16), false, false)
+	}
+	present := 0
+	for i := 0; i < n; i++ {
+		pc := uint64(0x4000 + i*4)
+		if pr := p.Predict(pc, false, false); pr.TargetKnown {
+			present++
+		}
+	}
+	if present == 0 || present > 8 {
+		t.Fatalf("BTB holds %d targets with 8 entries", present)
+	}
+}
+
+func TestHistoryIsolationAcrossReturns(t *testing.T) {
+	// Returns do not pollute direction history (they skip training); a
+	// pattern-dependent branch must still predict well when interleaved
+	// with returns.
+	p := New(DefaultConfig())
+	pc, tgt := uint64(0xC00), uint64(0xD00)
+	callPC := uint64(0xE00)
+	mis, total := 0, 3000
+	for i := 0; i < total; i++ {
+		// call+return pair between pattern branches
+		cp := p.Predict(callPC, true, false)
+		p.Update(callPC, cp, true, 0xF00, true, false)
+		rp := p.Predict(0xF04, false, true)
+		p.Update(0xF04, rp, true, callPC+InstBytes, false, true)
+
+		taken := i%2 == 0
+		pr := p.Predict(pc, false, false)
+		if p.Update(pc, pr, taken, tgt, false, false) && i > total/2 {
+			mis++
+		}
+	}
+	if rate := float64(mis) / float64(total/2); rate > 0.10 {
+		t.Fatalf("alternating branch polluted by returns: %.3f", rate)
+	}
+}

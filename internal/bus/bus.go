@@ -1,0 +1,141 @@
+// Package bus models the processor-memory bus of the Table 1 configuration:
+// 32 bytes wide, pipelined, split-transaction, with a 4-cycle occupancy per
+// transfer. Requests to memory, data responses and L2 writebacks all
+// arbitrate for the same bus, one transaction at a time.
+//
+// The bus lives on the VDDH side of the chip interface, so all of its
+// timing is in ticks (full-speed cycles / nanoseconds), independent of the
+// pipeline's power mode.
+package bus
+
+import "fmt"
+
+// Kind labels a bus transaction.
+type Kind uint8
+
+const (
+	// Request carries a miss address toward memory.
+	Request Kind = iota
+	// Response carries a data block back from memory.
+	Response
+	// Writeback carries a dirty victim block to memory.
+	Writeback
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Request:
+		return "request"
+	case Response:
+		return "response"
+	case Writeback:
+		return "writeback"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Transaction is one bus transfer. OnDone, if non-nil, is invoked exactly
+// once when the transfer completes, with the completion tick.
+type Transaction struct {
+	Block    uint64
+	Kind     Kind
+	OnDone   func(finish int64)
+	enqueued int64
+}
+
+// Config sets the bus parameters.
+type Config struct {
+	// WidthBytes is the data-path width (informational; a block that fits in
+	// the width occupies the bus for Occupancy ticks).
+	WidthBytes int
+	// Occupancy is the number of ticks one transaction holds the bus.
+	Occupancy int
+}
+
+// DefaultConfig returns the paper's bus: 32-byte wide, 4-cycle occupancy.
+func DefaultConfig() Config { return Config{WidthBytes: 32, Occupancy: 4} }
+
+// Stats counts bus activity.
+type Stats struct {
+	Transactions    uint64
+	ByKind          [3]uint64
+	BusyTicks       uint64
+	TotalQueueDelay int64
+	MaxQueueLen     int
+}
+
+// Bus is the split-transaction bus. Tick must be called once per tick with a
+// strictly increasing time.
+type Bus struct {
+	cfg      Config
+	queue    []*Transaction
+	current  *Transaction
+	finishAt int64
+	stats    Stats
+}
+
+// New builds a bus, panicking on non-positive occupancy.
+func New(cfg Config) *Bus {
+	if cfg.Occupancy < 1 {
+		panic(fmt.Sprintf("bus: occupancy %d < 1", cfg.Occupancy))
+	}
+	return &Bus{cfg: cfg}
+}
+
+// Config returns the bus configuration.
+func (b *Bus) Config() Config { return b.cfg }
+
+// Submit enqueues a transaction at time now. The transaction starts when the
+// bus is free and all earlier submissions have completed (FIFO arbitration).
+func (b *Bus) Submit(t *Transaction, now int64) {
+	t.enqueued = now
+	b.queue = append(b.queue, t)
+	if len(b.queue) > b.stats.MaxQueueLen {
+		b.stats.MaxQueueLen = len(b.queue)
+	}
+}
+
+// Busy reports whether a transaction is in flight.
+func (b *Bus) Busy() bool { return b.current != nil }
+
+// QueueLen returns the number of waiting (not yet started) transactions.
+func (b *Bus) QueueLen() int { return len(b.queue) }
+
+// Tick advances the bus to time now: it completes a finished transaction and
+// grants the bus to the next waiting one. A new transaction may start on the
+// same tick a previous one finishes (back-to-back pipelining).
+func (b *Bus) Tick(now int64) {
+	if b.current != nil && now >= b.finishAt {
+		done := b.current.OnDone
+		b.current = nil
+		if done != nil {
+			done(now)
+		}
+	}
+	if b.current == nil && len(b.queue) > 0 {
+		t := b.queue[0]
+		copy(b.queue, b.queue[1:])
+		b.queue = b.queue[:len(b.queue)-1]
+		b.current = t
+		b.finishAt = now + int64(b.cfg.Occupancy)
+		b.stats.Transactions++
+		b.stats.ByKind[t.Kind]++
+		b.stats.TotalQueueDelay += now - t.enqueued
+	}
+	if b.current != nil {
+		b.stats.BusyTicks++
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// Utilization returns the fraction of the observed ticks the bus was busy.
+func (b *Bus) Utilization(totalTicks int64) float64 {
+	if totalTicks <= 0 {
+		return 0
+	}
+	return float64(b.stats.BusyTicks) / float64(totalTicks)
+}

@@ -1,0 +1,156 @@
+package bus
+
+import (
+	"strings"
+	"testing"
+)
+
+func run(b *Bus, from, to int64) {
+	for t := from; t <= to; t++ {
+		b.Tick(t)
+	}
+}
+
+func TestSingleTransactionTiming(t *testing.T) {
+	b := New(DefaultConfig())
+	var finished int64 = -1
+	b.Submit(&Transaction{Block: 0x100, Kind: Request, OnDone: func(f int64) { finished = f }}, 0)
+	run(b, 0, 10)
+	if finished != 4 {
+		t.Fatalf("finish tick = %d, want 4 (submitted at 0, occupancy 4)", finished)
+	}
+}
+
+func TestFIFOOrderAndBackToBack(t *testing.T) {
+	b := New(DefaultConfig())
+	var order []uint64
+	var times []int64
+	done := func(block uint64) func(int64) {
+		return func(f int64) { order = append(order, block); times = append(times, f) }
+	}
+	b.Submit(&Transaction{Block: 1, Kind: Request, OnDone: done(1)}, 0)
+	b.Submit(&Transaction{Block: 2, Kind: Response, OnDone: done(2)}, 0)
+	b.Submit(&Transaction{Block: 3, Kind: Writeback, OnDone: done(3)}, 1)
+	run(b, 0, 20)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("completion order = %v", order)
+	}
+	// Txn 1: starts 0, done 4. Txn 2: starts 4, done 8. Txn 3: starts 8, done 12.
+	want := []int64{4, 8, 12}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("completion times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestQueueDelayAccounting(t *testing.T) {
+	b := New(DefaultConfig())
+	b.Submit(&Transaction{Block: 1, Kind: Request}, 0)
+	b.Submit(&Transaction{Block: 2, Kind: Request}, 0)
+	run(b, 0, 20)
+	s := b.Stats()
+	if s.Transactions != 2 {
+		t.Fatalf("transactions = %d", s.Transactions)
+	}
+	// Second txn waited from 0 to 4.
+	if s.TotalQueueDelay != 4 {
+		t.Fatalf("queue delay = %d, want 4", s.TotalQueueDelay)
+	}
+	if s.MaxQueueLen != 2 {
+		t.Fatalf("max queue = %d, want 2", s.MaxQueueLen)
+	}
+}
+
+func TestKindCounters(t *testing.T) {
+	b := New(DefaultConfig())
+	b.Submit(&Transaction{Kind: Request}, 0)
+	b.Submit(&Transaction{Kind: Response}, 0)
+	b.Submit(&Transaction{Kind: Response}, 0)
+	b.Submit(&Transaction{Kind: Writeback}, 0)
+	run(b, 0, 30)
+	s := b.Stats()
+	if s.ByKind[Request] != 1 || s.ByKind[Response] != 2 || s.ByKind[Writeback] != 1 {
+		t.Fatalf("by-kind = %v", s.ByKind)
+	}
+}
+
+func TestBusyAndUtilization(t *testing.T) {
+	b := New(DefaultConfig())
+	b.Submit(&Transaction{Kind: Request}, 0)
+	b.Tick(0)
+	if !b.Busy() {
+		t.Fatal("bus not busy after grant")
+	}
+	run(b, 1, 9)
+	if b.Busy() {
+		t.Fatal("bus busy after completion")
+	}
+	if u := b.Utilization(10); u <= 0 || u > 1 {
+		t.Fatalf("utilization = %v", u)
+	}
+	if b.Utilization(0) != 0 {
+		t.Fatal("utilization with zero ticks should be 0")
+	}
+}
+
+func TestNilOnDone(t *testing.T) {
+	b := New(DefaultConfig())
+	b.Submit(&Transaction{Kind: Writeback}, 0)
+	run(b, 0, 10) // must not panic
+	if b.Stats().Transactions != 1 {
+		t.Fatal("transaction not processed")
+	}
+}
+
+func TestSubmitDuringBusy(t *testing.T) {
+	b := New(DefaultConfig())
+	var f1, f2 int64 = -1, -1
+	b.Submit(&Transaction{OnDone: func(f int64) { f1 = f }}, 0)
+	b.Tick(0)
+	b.Tick(1)
+	b.Submit(&Transaction{OnDone: func(f int64) { f2 = f }}, 2)
+	run(b, 2, 20)
+	if f1 != 4 || f2 != 8 {
+		t.Fatalf("finishes = %d, %d; want 4, 8", f1, f2)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Request.String() != "request" || Response.String() != "response" || Writeback.String() != "writeback" {
+		t.Fatal("kind names wrong")
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestNewPanicsOnBadOccupancy(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with occupancy 0 did not panic")
+		}
+	}()
+	New(Config{Occupancy: 0})
+}
+
+func TestIdleBusNoStats(t *testing.T) {
+	b := New(DefaultConfig())
+	run(b, 0, 100)
+	if s := b.Stats(); s.BusyTicks != 0 || s.Transactions != 0 {
+		t.Fatalf("idle bus accumulated stats: %+v", s)
+	}
+}
+
+func TestConfigAndQueueLenAccessors(t *testing.T) {
+	b := New(DefaultConfig())
+	if b.Config().Occupancy != 4 || b.Config().WidthBytes != 32 {
+		t.Fatal("config accessor wrong")
+	}
+	b.Submit(&Transaction{Kind: Request}, 0)
+	b.Submit(&Transaction{Kind: Request}, 0)
+	b.Tick(0) // first granted, second queued
+	if b.QueueLen() != 1 {
+		t.Fatalf("queue len = %d, want 1", b.QueueLen())
+	}
+}

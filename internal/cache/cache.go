@@ -1,0 +1,301 @@
+// Package cache models set-associative caches with true LRU replacement and
+// miss-status-handling registers (MSHRs), matching the Table 1 configuration
+// of the VSV paper: 64 KB 2-way L1s, a 2 MB 8-way L2, write-back
+// write-allocate, with 32/32/64 MSHR entries for IL1/DL1/L2.
+//
+// The caches are tag-only timing models: they track presence, recency and
+// dirtiness of blocks, not data. Latencies are owned by the pipeline and
+// memory system (the clock domain of a cache depends on the VSV power mode),
+// so this package answers only "hit or miss, and what got evicted".
+package cache
+
+import "fmt"
+
+// Config describes one cache.
+type Config struct {
+	// Name labels the cache in statistics ("IL1", "DL1", "L2").
+	Name string
+	// SizeBytes is the total capacity. Must be a power of two.
+	SizeBytes int
+	// Assoc is the set associativity. Must divide SizeBytes/BlockBytes.
+	Assoc int
+	// BlockBytes is the line size. Must be a power of two.
+	BlockBytes int
+	// HitLatency is the access time in cycles of the cache's own clock
+	// domain (pipeline cycles for L1s, nanoseconds for the L2, whose supply
+	// is fixed at VDDH — see DESIGN.md §5).
+	HitLatency int
+	// MSHREntries bounds the number of outstanding misses.
+	MSHREntries int
+}
+
+// Validate reports a configuration error, if any.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.SizeBytes&(c.SizeBytes-1) != 0:
+		return fmt.Errorf("cache %s: size %d is not a positive power of two", c.Name, c.SizeBytes)
+	case c.BlockBytes <= 0 || c.BlockBytes&(c.BlockBytes-1) != 0:
+		return fmt.Errorf("cache %s: block size %d is not a positive power of two", c.Name, c.BlockBytes)
+	case c.Assoc <= 0:
+		return fmt.Errorf("cache %s: associativity %d <= 0", c.Name, c.Assoc)
+	case c.SizeBytes/c.BlockBytes < c.Assoc:
+		return fmt.Errorf("cache %s: fewer blocks than ways", c.Name)
+	case (c.SizeBytes/c.BlockBytes)%c.Assoc != 0:
+		return fmt.Errorf("cache %s: block count not divisible by associativity", c.Name)
+	case c.HitLatency < 1:
+		return fmt.Errorf("cache %s: hit latency %d < 1", c.Name, c.HitLatency)
+	case c.MSHREntries < 1:
+		return fmt.Errorf("cache %s: MSHR entries %d < 1", c.Name, c.MSHREntries)
+	}
+	return nil
+}
+
+// AccessKind distinguishes the three ways a block can be touched.
+type AccessKind uint8
+
+const (
+	// Read is a demand load or instruction fetch.
+	Read AccessKind = iota
+	// Write is a store (write-allocate: a miss fetches the block, and the
+	// filled block is installed dirty).
+	Write
+	// Prefetch is a non-binding software or hardware prefetch probe.
+	Prefetch
+)
+
+// Stats counts cache events. Demand misses exclude prefetch probes, matching
+// the paper's MR metric ("L2 demand misses per 1,000 instructions").
+type Stats struct {
+	Accesses       uint64
+	Hits           uint64
+	Misses         uint64
+	DemandAccesses uint64
+	DemandMisses   uint64
+	PrefetchMisses uint64
+	Fills          uint64
+	Evictions      uint64
+	Writebacks     uint64
+}
+
+type line struct {
+	valid    bool
+	dirty    bool
+	tag      uint64
+	lastUse  uint64 // global use counter for true LRU
+	prefetch bool   // filled by a prefetch and not yet demand-referenced
+}
+
+// Cache is one level of the hierarchy. Not safe for concurrent use; the
+// simulator is single-threaded per machine.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	numSets  int
+	idxMask  uint64
+	blkShift uint
+	useClock uint64
+	stats    Stats
+}
+
+// New builds a cache from cfg, panicking on invalid configuration (a
+// programming error: configurations are static).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	numSets := cfg.SizeBytes / cfg.BlockBytes / cfg.Assoc
+	c := &Cache{
+		cfg:      cfg,
+		numSets:  numSets,
+		idxMask:  uint64(numSets - 1),
+		blkShift: log2(uint64(cfg.BlockBytes)),
+	}
+	c.sets = make([][]line, numSets)
+	backing := make([]line, numSets*cfg.Assoc)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return c
+}
+
+func log2(v uint64) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// BlockAddr maps a byte address to its block-aligned address.
+func (c *Cache) BlockAddr(addr uint64) uint64 {
+	return addr >> c.blkShift << c.blkShift
+}
+
+// SetIndex returns the set an address maps to (exported for the
+// Time-Keeping prefetcher's per-set history).
+func (c *Cache) SetIndex(addr uint64) uint64 {
+	return (addr >> c.blkShift) & c.idxMask
+}
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return c.numSets }
+
+func (c *Cache) tag(addr uint64) uint64 {
+	return addr >> c.blkShift >> log2(uint64(c.numSets))
+}
+
+// Access looks up addr, updating recency, dirtiness and statistics.
+// It returns true on a hit. On a miss the caller is responsible for
+// arranging the fill (via the MSHR and lower hierarchy) and then calling
+// Fill.
+func (c *Cache) Access(addr uint64, kind AccessKind) bool {
+	c.stats.Accesses++
+	if kind != Prefetch {
+		c.stats.DemandAccesses++
+	}
+	set := c.sets[c.SetIndex(addr)]
+	t := c.tag(addr)
+	for i := range set {
+		ln := &set[i]
+		if ln.valid && ln.tag == t {
+			c.stats.Hits++
+			c.useClock++
+			ln.lastUse = c.useClock
+			if kind == Write {
+				ln.dirty = true
+			}
+			if kind != Prefetch {
+				ln.prefetch = false
+			}
+			return true
+		}
+	}
+	c.stats.Misses++
+	switch kind {
+	case Prefetch:
+		c.stats.PrefetchMisses++
+	default:
+		c.stats.DemandMisses++
+	}
+	return false
+}
+
+// Probe reports whether addr is present without updating recency or
+// statistics. Used by prefetchers to filter redundant requests.
+func (c *Cache) Probe(addr uint64) bool {
+	set := c.sets[c.SetIndex(addr)]
+	t := c.tag(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Eviction describes a block displaced by a Fill.
+type Eviction struct {
+	// Valid is false when the fill used an empty way.
+	Valid bool
+	// Addr is the block address of the victim.
+	Addr uint64
+	// Dirty indicates the victim must be written back.
+	Dirty bool
+	// WasPrefetch indicates the victim was prefetched and never used.
+	WasPrefetch bool
+}
+
+// Fill installs the block containing addr, evicting the LRU way if the set
+// is full. asWrite installs the block dirty (write-allocate store miss);
+// asPrefetch marks it as a not-yet-used prefetch block. Dirty victims count
+// as writebacks.
+func (c *Cache) Fill(addr uint64, asWrite, asPrefetch bool) Eviction {
+	c.stats.Fills++
+	idx := c.SetIndex(addr)
+	set := c.sets[idx]
+	t := c.tag(addr)
+	for i := range set {
+		ln := &set[i]
+		if ln.valid && ln.tag == t {
+			// Already present (e.g., a racing prefetch filled it first).
+			c.useClock++
+			ln.lastUse = c.useClock
+			if asWrite {
+				ln.dirty = true
+			}
+			return Eviction{}
+		}
+	}
+	// Victim selection: first empty way, otherwise true LRU.
+	victim := 0
+	for i := range set {
+		ln := &set[i]
+		if !ln.valid {
+			victim = i
+			break
+		}
+		if ln.lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	ev := Eviction{}
+	v := &set[victim]
+	if v.valid {
+		ev = Eviction{
+			Valid:       true,
+			Addr:        c.reconstruct(v.tag, idx),
+			Dirty:       v.dirty,
+			WasPrefetch: v.prefetch,
+		}
+		c.stats.Evictions++
+		if v.dirty {
+			c.stats.Writebacks++
+		}
+	}
+	c.useClock++
+	*v = line{valid: true, dirty: asWrite, tag: t, lastUse: c.useClock, prefetch: asPrefetch}
+	return ev
+}
+
+// Invalidate removes the block containing addr if present, returning whether
+// it was present and dirty.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	set := c.sets[c.SetIndex(addr)]
+	t := c.tag(addr)
+	for i := range set {
+		ln := &set[i]
+		if ln.valid && ln.tag == t {
+			present, dirty = true, ln.dirty
+			*ln = line{}
+			return
+		}
+	}
+	return false, false
+}
+
+func (c *Cache) reconstruct(tag, setIdx uint64) uint64 {
+	return (tag<<log2(uint64(c.numSets)) | setIdx) << c.blkShift
+}
+
+// ResetStats clears the counters (used at the end of warm-up).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Occupancy returns the number of valid lines (for tests and debugging).
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

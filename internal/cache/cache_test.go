@@ -1,0 +1,261 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() *Cache {
+	return New(Config{
+		Name: "T", SizeBytes: 512, Assoc: 2, BlockBytes: 32,
+		HitLatency: 2, MSHREntries: 4,
+	})
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Name: "x", SizeBytes: 1024, Assoc: 2, BlockBytes: 32, HitLatency: 1, MSHREntries: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Name: "a", SizeBytes: 1000, Assoc: 2, BlockBytes: 32, HitLatency: 1, MSHREntries: 1},
+		{Name: "b", SizeBytes: 1024, Assoc: 0, BlockBytes: 32, HitLatency: 1, MSHREntries: 1},
+		{Name: "c", SizeBytes: 1024, Assoc: 2, BlockBytes: 33, HitLatency: 1, MSHREntries: 1},
+		{Name: "d", SizeBytes: 64, Assoc: 4, BlockBytes: 32, HitLatency: 1, MSHREntries: 1},
+		{Name: "e", SizeBytes: 1024, Assoc: 2, BlockBytes: 32, HitLatency: 0, MSHREntries: 1},
+		{Name: "f", SizeBytes: 1024, Assoc: 2, BlockBytes: 32, HitLatency: 1, MSHREntries: 0},
+		{Name: "g", SizeBytes: 1024, Assoc: 3, BlockBytes: 32, HitLatency: 1, MSHREntries: 1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %s accepted, want error", c.Name)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with invalid config did not panic")
+		}
+	}()
+	New(Config{Name: "bad"})
+}
+
+func TestMissThenFillThenHit(t *testing.T) {
+	c := small()
+	addr := uint64(0x1000)
+	if c.Access(addr, Read) {
+		t.Fatal("cold access hit")
+	}
+	c.Fill(addr, false, false)
+	if !c.Access(addr, Read) {
+		t.Fatal("access after fill missed")
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 1 || s.DemandMisses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestBlockGranularity(t *testing.T) {
+	c := small()
+	c.Fill(0x1000, false, false)
+	if !c.Access(0x101f, Read) {
+		t.Fatal("same-block offset missed")
+	}
+	if c.Access(0x1020, Read) {
+		t.Fatal("next block hit spuriously")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small() // 2-way, 8 sets, 32B blocks; same set every 8*32 = 256 bytes
+	const stride = 256
+	a, b, d := uint64(0x0), uint64(stride), uint64(2*stride)
+	c.Fill(a, false, false)
+	c.Fill(b, false, false)
+	c.Access(a, Read) // a most recent; b is LRU
+	ev := c.Fill(d, false, false)
+	if !ev.Valid || ev.Addr != b {
+		t.Fatalf("eviction = %+v, want victim %#x", ev, b)
+	}
+	if !c.Probe(a) || !c.Probe(d) || c.Probe(b) {
+		t.Fatal("LRU state wrong after eviction")
+	}
+}
+
+func TestWriteMakesDirtyAndWritebackCounted(t *testing.T) {
+	c := small()
+	const stride = 256
+	c.Fill(0, true, false) // install dirty
+	c.Fill(stride, false, false)
+	ev := c.Fill(2*stride, false, false) // evicts block 0 (LRU), dirty
+	if !ev.Valid || !ev.Dirty {
+		t.Fatalf("dirty eviction = %+v", ev)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d", c.Stats().Writebacks)
+	}
+}
+
+func TestWriteHitSetsDirty(t *testing.T) {
+	c := small()
+	const stride = 256
+	c.Fill(0, false, false)
+	c.Access(0, Write)
+	c.Fill(stride, false, false)
+	c.Access(stride, Read)
+	ev := c.Fill(2*stride, false, false)
+	if !ev.Dirty {
+		t.Fatal("write hit did not dirty the line")
+	}
+}
+
+func TestPrefetchStatsSeparated(t *testing.T) {
+	c := small()
+	c.Access(0x40, Prefetch)
+	c.Access(0x80, Read)
+	s := c.Stats()
+	if s.PrefetchMisses != 1 || s.DemandMisses != 1 || s.Misses != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.DemandAccesses != 1 {
+		t.Fatalf("demand accesses = %d", s.DemandAccesses)
+	}
+}
+
+func TestPrefetchFlagClearedOnDemandUse(t *testing.T) {
+	c := small()
+	const stride = 256
+	c.Fill(0, false, true) // prefetched
+	c.Access(0, Read)      // demand-referenced
+	c.Fill(stride, false, false)
+	c.Access(stride, Read)
+	c.Access(0, Read)
+	ev := c.Fill(2*stride, false, false) // evicts LRU = stride block
+	if ev.WasPrefetch {
+		t.Fatal("eviction reported used line")
+	}
+	// Now evict block 0 which was prefetched but since demand-used: flag cleared.
+	ev = c.Fill(3*stride, false, false)
+	if ev.WasPrefetch {
+		t.Fatal("demand-used prefetch line still flagged as prefetch")
+	}
+}
+
+func TestFillIdempotentWhenPresent(t *testing.T) {
+	c := small()
+	c.Fill(0x100, false, false)
+	ev := c.Fill(0x100, true, false)
+	if ev.Valid {
+		t.Fatalf("refill evicted: %+v", ev)
+	}
+	if c.Occupancy() != 1 {
+		t.Fatalf("occupancy = %d", c.Occupancy())
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := small()
+	c.Fill(0x200, true, false)
+	present, dirty := c.Invalidate(0x200)
+	if !present || !dirty {
+		t.Fatalf("invalidate = %v,%v", present, dirty)
+	}
+	if c.Probe(0x200) {
+		t.Fatal("block still present after invalidate")
+	}
+	present, _ = c.Invalidate(0x200)
+	if present {
+		t.Fatal("double invalidate reported present")
+	}
+}
+
+func TestProbeDoesNotPerturb(t *testing.T) {
+	c := small()
+	const stride = 256
+	c.Fill(0, false, false)
+	c.Fill(stride, false, false)
+	// Probing block 0 must NOT refresh its recency.
+	c.Probe(0)
+	ev := c.Fill(2*stride, false, false)
+	if ev.Addr != 0 {
+		t.Fatalf("probe perturbed LRU; victim = %#x, want 0", ev.Addr)
+	}
+	if c.Stats().Accesses != 0 {
+		t.Fatal("probe counted as access")
+	}
+}
+
+func TestEvictionAddressReconstruction(t *testing.T) {
+	c := New(Config{Name: "T", SizeBytes: 4096, Assoc: 4, BlockBytes: 64, HitLatency: 1, MSHREntries: 1})
+	f := func(raw uint64) bool {
+		addr := raw % (1 << 40)
+		blk := c.BlockAddr(addr)
+		c.Fill(addr, false, false)
+		present, _ := c.Invalidate(blk)
+		return present
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with A = associativity, filling A distinct same-set blocks never
+// evicts; the A+1-th fill evicts exactly the least recently used one.
+func TestPropertyLRUOrder(t *testing.T) {
+	c := New(Config{Name: "T", SizeBytes: 2048, Assoc: 4, BlockBytes: 64, HitLatency: 1, MSHREntries: 1})
+	setStride := uint64(c.NumSets() * 64)
+	f := func(perm uint8) bool {
+		cc := New(c.Config())
+		blocks := []uint64{0, setStride, 2 * setStride, 3 * setStride}
+		for _, b := range blocks {
+			if ev := cc.Fill(b, false, false); ev.Valid {
+				return false
+			}
+		}
+		// Touch all but one in an order derived from perm; untouched is LRU.
+		skip := int(perm) % 4
+		for i, b := range blocks {
+			if i != skip {
+				cc.Access(b, Read)
+			}
+		}
+		ev := cc.Fill(4*setStride, false, false)
+		return ev.Valid && ev.Addr == blocks[skip]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOccupancyBounded(t *testing.T) {
+	c := small()
+	max := c.Config().SizeBytes / c.Config().BlockBytes
+	for i := 0; i < 10*max; i++ {
+		c.Fill(uint64(i*32), false, false)
+		if occ := c.Occupancy(); occ > max {
+			t.Fatalf("occupancy %d exceeds capacity %d", occ, max)
+		}
+	}
+	if c.Occupancy() != max {
+		t.Fatalf("steady-state occupancy = %d, want %d", c.Occupancy(), max)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := small()
+	c.Access(0, Read)
+	c.ResetStats()
+	if s := c.Stats(); s.Accesses != 0 || s.Misses != 0 {
+		t.Fatalf("stats after reset = %+v", s)
+	}
+}
+
+func TestSetIndexStableUnderOffsets(t *testing.T) {
+	c := small()
+	if c.SetIndex(0x1000) != c.SetIndex(0x101f) {
+		t.Fatal("offsets within a block changed the set index")
+	}
+}

@@ -1,0 +1,136 @@
+package cache
+
+import "fmt"
+
+// MSHRFile tracks outstanding misses for one cache. Secondary misses to a
+// block that already has an entry merge into it (no new entry, no new
+// request to the lower hierarchy). The file has a hard entry bound; when it
+// is full, new primary misses must stall, which is how the paper's MSHR
+// model creates back-pressure on the pipeline.
+type MSHRFile struct {
+	name      string
+	max       int
+	entries   map[uint64]*MSHREntry
+	demandOut int // live entries with DemandRefs > 0
+	stats     MSHRStats
+}
+
+// MSHREntry is one outstanding miss.
+type MSHREntry struct {
+	// BlockAddr is the block-aligned miss address.
+	BlockAddr uint64
+	// Waiters are opaque tokens (e.g., RUU indices) to wake on fill.
+	Waiters []int
+	// DemandRefs counts merged non-prefetch requests. An entry whose
+	// DemandRefs is zero was caused purely by prefetches; the VSV controller
+	// must not react to it (§4.2).
+	DemandRefs int
+	// Write records that at least one merged request was a store, so the
+	// block is installed dirty on fill.
+	Write bool
+	// IssuedAt is the tick the miss was sent downstream (diagnostics).
+	IssuedAt int64
+}
+
+// IsPrefetchOnly reports whether no demand request is waiting on the entry.
+func (e *MSHREntry) IsPrefetchOnly() bool { return e.DemandRefs == 0 }
+
+// MSHRStats counts MSHR events.
+type MSHRStats struct {
+	Allocations uint64
+	Merges      uint64
+	FullStalls  uint64
+	PeakUsed    int
+}
+
+// NewMSHRFile builds an MSHR file with max entries.
+func NewMSHRFile(name string, max int) *MSHRFile {
+	if max < 1 {
+		panic(fmt.Sprintf("mshr %s: max %d < 1", name, max))
+	}
+	return &MSHRFile{name: name, max: max, entries: make(map[uint64]*MSHREntry, max)}
+}
+
+// Lookup returns the entry for blockAddr, or nil.
+func (m *MSHRFile) Lookup(blockAddr uint64) *MSHREntry {
+	return m.entries[blockAddr]
+}
+
+// Full reports whether a new primary miss cannot allocate.
+func (m *MSHRFile) Full() bool { return len(m.entries) >= m.max }
+
+// Used returns the number of live entries.
+func (m *MSHRFile) Used() int { return len(m.entries) }
+
+// Allocate records a miss on blockAddr at time now. If an entry already
+// exists the request merges into it and merged=true is returned. If the file
+// is full and no entry exists, ok=false is returned and the caller must
+// retry later. waiter < 0 means "no waiter to wake" (prefetches).
+func (m *MSHRFile) Allocate(blockAddr uint64, waiter int, kind AccessKind, now int64) (entry *MSHREntry, merged, ok bool) {
+	if e := m.entries[blockAddr]; e != nil {
+		m.stats.Merges++
+		wasDemand := e.DemandRefs > 0
+		m.attach(e, waiter, kind)
+		if !wasDemand && e.DemandRefs > 0 {
+			m.demandOut++
+		}
+		return e, true, true
+	}
+	if m.Full() {
+		m.stats.FullStalls++
+		return nil, false, false
+	}
+	e := &MSHREntry{BlockAddr: blockAddr, IssuedAt: now}
+	m.attach(e, waiter, kind)
+	if e.DemandRefs > 0 {
+		m.demandOut++
+	}
+	m.entries[blockAddr] = e
+	m.stats.Allocations++
+	if len(m.entries) > m.stats.PeakUsed {
+		m.stats.PeakUsed = len(m.entries)
+	}
+	return e, false, true
+}
+
+func (m *MSHRFile) attach(e *MSHREntry, waiter int, kind AccessKind) {
+	if waiter >= 0 {
+		e.Waiters = append(e.Waiters, waiter)
+	}
+	switch kind {
+	case Write:
+		e.Write = true
+		e.DemandRefs++
+	case Read:
+		e.DemandRefs++
+	}
+}
+
+// Free releases the entry for blockAddr and returns it for waiter wakeup.
+// It returns nil if no entry exists (a fill for a block the cache never
+// missed on is a simulator bug the caller should surface).
+func (m *MSHRFile) Free(blockAddr uint64) *MSHREntry {
+	e := m.entries[blockAddr]
+	if e != nil {
+		delete(m.entries, blockAddr)
+		if e.DemandRefs > 0 {
+			m.demandOut--
+		}
+	}
+	return e
+}
+
+// Stats returns a snapshot of the counters.
+func (m *MSHRFile) Stats() MSHRStats { return m.stats }
+
+// Outstanding calls fn for each live entry (iteration order unspecified).
+func (m *MSHRFile) Outstanding(fn func(*MSHREntry)) {
+	for _, e := range m.entries {
+		fn(e)
+	}
+}
+
+// DemandOutstanding returns the number of live entries with at least one
+// demand reference — the "outstanding L2 misses" count the up-FSM reasons
+// about. O(1): the machine consults it every tick.
+func (m *MSHRFile) DemandOutstanding() int { return m.demandOut }

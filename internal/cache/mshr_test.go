@@ -1,0 +1,132 @@
+package cache
+
+import "testing"
+
+func TestMSHRAllocateAndFree(t *testing.T) {
+	m := NewMSHRFile("L2", 2)
+	e, merged, ok := m.Allocate(0x100, 7, Read, 10)
+	if !ok || merged || e == nil {
+		t.Fatalf("allocate = %v,%v,%v", e, merged, ok)
+	}
+	if e.BlockAddr != 0x100 || e.IssuedAt != 10 || len(e.Waiters) != 1 || e.Waiters[0] != 7 {
+		t.Fatalf("entry = %+v", e)
+	}
+	got := m.Free(0x100)
+	if got != e {
+		t.Fatal("free returned wrong entry")
+	}
+	if m.Used() != 0 {
+		t.Fatalf("used = %d", m.Used())
+	}
+}
+
+func TestMSHRMerge(t *testing.T) {
+	m := NewMSHRFile("L2", 2)
+	m.Allocate(0x100, 1, Read, 0)
+	e, merged, ok := m.Allocate(0x100, 2, Write, 5)
+	if !ok || !merged {
+		t.Fatalf("merge = %v,%v", merged, ok)
+	}
+	if len(e.Waiters) != 2 || !e.Write || e.DemandRefs != 2 {
+		t.Fatalf("merged entry = %+v", e)
+	}
+	if m.Used() != 1 {
+		t.Fatalf("used = %d after merge", m.Used())
+	}
+	if m.Stats().Merges != 1 {
+		t.Fatalf("merges = %d", m.Stats().Merges)
+	}
+}
+
+func TestMSHRFull(t *testing.T) {
+	m := NewMSHRFile("L2", 2)
+	m.Allocate(0x100, 1, Read, 0)
+	m.Allocate(0x200, 2, Read, 0)
+	if !m.Full() {
+		t.Fatal("file not full after max allocations")
+	}
+	_, _, ok := m.Allocate(0x300, 3, Read, 0)
+	if ok {
+		t.Fatal("allocation succeeded on full file")
+	}
+	if m.Stats().FullStalls != 1 {
+		t.Fatalf("full stalls = %d", m.Stats().FullStalls)
+	}
+	// Merging into an existing entry must still work when full.
+	_, merged, ok := m.Allocate(0x100, 4, Read, 0)
+	if !ok || !merged {
+		t.Fatal("merge rejected on full file")
+	}
+}
+
+func TestMSHRPrefetchOnly(t *testing.T) {
+	m := NewMSHRFile("L2", 4)
+	e, _, _ := m.Allocate(0x100, -1, Prefetch, 0)
+	if !e.IsPrefetchOnly() {
+		t.Fatal("prefetch-only entry misclassified")
+	}
+	if len(e.Waiters) != 0 {
+		t.Fatal("negative waiter was recorded")
+	}
+	if m.DemandOutstanding() != 0 {
+		t.Fatal("prefetch entry counted as demand-outstanding")
+	}
+	// A demand merge upgrades the entry.
+	m.Allocate(0x100, 3, Read, 1)
+	if e.IsPrefetchOnly() {
+		t.Fatal("entry still prefetch-only after demand merge")
+	}
+	if m.DemandOutstanding() != 1 {
+		t.Fatal("demand merge not counted")
+	}
+}
+
+func TestMSHRFreeUnknown(t *testing.T) {
+	m := NewMSHRFile("L2", 2)
+	if m.Free(0xdead) != nil {
+		t.Fatal("freeing unknown block returned an entry")
+	}
+}
+
+func TestMSHRPeakUsed(t *testing.T) {
+	m := NewMSHRFile("L2", 8)
+	for i := 0; i < 5; i++ {
+		m.Allocate(uint64(i*64), i, Read, 0)
+	}
+	m.Free(0)
+	m.Free(64)
+	if m.Stats().PeakUsed != 5 {
+		t.Fatalf("peak = %d, want 5", m.Stats().PeakUsed)
+	}
+}
+
+func TestMSHROutstandingIteration(t *testing.T) {
+	m := NewMSHRFile("L2", 8)
+	m.Allocate(0x000, 0, Read, 0)
+	m.Allocate(0x100, -1, Prefetch, 0)
+	seen := map[uint64]bool{}
+	m.Outstanding(func(e *MSHREntry) { seen[e.BlockAddr] = true })
+	if !seen[0x000] || !seen[0x100] || len(seen) != 2 {
+		t.Fatalf("outstanding iteration saw %v", seen)
+	}
+}
+
+func TestMSHRPanicsOnBadMax(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMSHRFile(0) did not panic")
+		}
+	}()
+	NewMSHRFile("bad", 0)
+}
+
+func TestMSHRLookup(t *testing.T) {
+	m := NewMSHRFile("L2", 2)
+	if m.Lookup(0x100) != nil {
+		t.Fatal("lookup on empty file returned entry")
+	}
+	e, _, _ := m.Allocate(0x100, 1, Read, 0)
+	if m.Lookup(0x100) != e {
+		t.Fatal("lookup returned wrong entry")
+	}
+}

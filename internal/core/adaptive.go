@@ -1,0 +1,139 @@
+package core
+
+// Adaptive down-threshold extension. The paper fixes the down-FSM threshold
+// at 3 after a design-space sweep (§6.2); its results also show the best
+// threshold is workload-dependent (mcf prefers 1, swim prefers 5). This
+// extension closes the loop at run time: the controller scores every
+// completed low-power residency against the ramp overhead and nudges the
+// threshold — descents too short to amortize their two ramps raise it
+// (be pickier), long stalls lower it (be more eager). It is disabled by
+// default; the paper's static configuration is the reference behaviour.
+
+// AdaptiveConfig parameterizes the run-time threshold controller.
+type AdaptiveConfig struct {
+	// Enabled turns adaptation on.
+	Enabled bool
+	// MinThreshold and MaxThreshold bound the adapted value (the paper
+	// sweeps 1..5).
+	MinThreshold, MaxThreshold int
+	// TargetResidencyTicks is the break-even residency: descents shorter
+	// than this vote to raise the threshold, longer ones to lower it. With
+	// a 16 ns down transition, 14 ns up transition and 2×66 nJ of ramp
+	// energy, residencies below roughly one memory latency are not worth
+	// taking.
+	TargetResidencyTicks int64
+	// Hysteresis is how many consecutive same-direction votes are needed
+	// before the threshold moves (prevents oscillation).
+	Hysteresis int
+}
+
+// DefaultAdaptiveConfig returns the extension's defaults.
+func DefaultAdaptiveConfig() AdaptiveConfig {
+	return AdaptiveConfig{
+		Enabled:              true,
+		MinThreshold:         1,
+		MaxThreshold:         5,
+		TargetResidencyTicks: 100,
+		Hysteresis:           4,
+	}
+}
+
+// Validate reports a configuration error, if any.
+func (a AdaptiveConfig) Validate() error {
+	if !a.Enabled {
+		return nil
+	}
+	switch {
+	case a.MinThreshold < 1 || a.MaxThreshold < a.MinThreshold:
+		return errAdaptive("threshold bounds")
+	case a.TargetResidencyTicks < 1:
+		return errAdaptive("target residency")
+	case a.Hysteresis < 1:
+		return errAdaptive("hysteresis")
+	}
+	return nil
+}
+
+type adaptiveError string
+
+func (e adaptiveError) Error() string { return "vsv adaptive: invalid " + string(e) }
+
+func errAdaptive(what string) error { return adaptiveError(what) }
+
+// adaptiveState tracks residency scoring inside the controller.
+type adaptiveState struct {
+	cfg        AdaptiveConfig
+	enteredLow int64 // tick the current descent reached low power (-1 none)
+	streak     int   // signed consecutive votes (+ lengthen, - shorten)
+	adjusts    uint64
+}
+
+func newAdaptiveState(cfg AdaptiveConfig) *adaptiveState {
+	return &adaptiveState{cfg: cfg, enteredLow: -1}
+}
+
+// onEnterLow records the start of a residency.
+func (a *adaptiveState) onEnterLow(now int64) { a.enteredLow = now }
+
+// onLeaveLow scores the finished residency and returns the threshold delta
+// to apply (-1, 0 or +1).
+func (a *adaptiveState) onLeaveLow(now int64) int {
+	if a.enteredLow < 0 {
+		return 0
+	}
+	residency := now - a.enteredLow
+	a.enteredLow = -1
+	vote := 0
+	if residency < a.cfg.TargetResidencyTicks {
+		vote = 1 // too short: demand more evidence before descending
+	} else if residency > 4*a.cfg.TargetResidencyTicks {
+		vote = -1 // long stalls: descend more eagerly
+	}
+	if vote == 0 {
+		a.streak = 0
+		return 0
+	}
+	if (vote > 0) == (a.streak > 0) || a.streak == 0 {
+		a.streak += vote
+	} else {
+		a.streak = vote
+	}
+	if a.streak >= a.cfg.Hysteresis {
+		a.streak = 0
+		a.adjusts++
+		return 1
+	}
+	if a.streak <= -a.cfg.Hysteresis {
+		a.streak = 0
+		a.adjusts++
+		return -1
+	}
+	return 0
+}
+
+// applyAdaptive adjusts the down-FSM threshold within bounds.
+func (c *Controller) applyAdaptive(delta int) {
+	if delta == 0 || c.down == nil {
+		return
+	}
+	th := c.down.threshold + delta
+	if th < c.adaptive.cfg.MinThreshold {
+		th = c.adaptive.cfg.MinThreshold
+	}
+	if th > c.adaptive.cfg.MaxThreshold {
+		th = c.adaptive.cfg.MaxThreshold
+	}
+	if th != c.down.threshold {
+		c.down.threshold = th
+		c.stats.AdaptiveAdjusts++
+	}
+}
+
+// DownThreshold returns the down-FSM's current threshold (it can move under
+// the adaptive extension).
+func (c *Controller) DownThreshold() int {
+	if c.down == nil {
+		return 0
+	}
+	return c.down.threshold
+}

@@ -1,0 +1,183 @@
+package core
+
+import "testing"
+
+func adaptivePolicy() Policy {
+	p := PolicyFSM()
+	p.Adaptive = DefaultAdaptiveConfig()
+	return p
+}
+
+func TestAdaptiveConfigValidate(t *testing.T) {
+	if err := DefaultAdaptiveConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (AdaptiveConfig{}).Validate() != nil {
+		t.Fatal("disabled config must validate")
+	}
+	bad := DefaultAdaptiveConfig()
+	bad.MinThreshold = 0
+	if bad.Validate() == nil {
+		t.Error("zero min threshold accepted")
+	}
+	bad = DefaultAdaptiveConfig()
+	bad.MaxThreshold = 0
+	if bad.Validate() == nil {
+		t.Error("max < min accepted")
+	}
+	bad = DefaultAdaptiveConfig()
+	bad.TargetResidencyTicks = 0
+	if bad.Validate() == nil {
+		t.Error("zero residency accepted")
+	}
+	bad = DefaultAdaptiveConfig()
+	bad.Hysteresis = 0
+	if bad.Validate() == nil {
+		t.Error("zero hysteresis accepted")
+	}
+}
+
+// cycleController drives one full descent + residency + climb and returns
+// the controller to high mode.
+func cycleController(c *Controller, now int64, residencyTicks int) int64 {
+	c.BeginTick(now)
+	c.EndTick(now, Observation{MissDetected: true, OutstandingDemand: 1})
+	now++
+	// Confirm low ILP for the down-FSM.
+	for c.Mode() == ModeHigh {
+		c.BeginTick(now)
+		c.EndTick(now, Observation{Issued: 0, OutstandingDemand: 1})
+		now++
+	}
+	// Complete the descent.
+	for c.Mode() != ModeLow {
+		c.BeginTick(now)
+		c.EndTick(now, Observation{OutstandingDemand: 1})
+		now++
+	}
+	// Reside.
+	for i := 0; i < residencyTicks; i++ {
+		c.BeginTick(now)
+		c.EndTick(now, Observation{Issued: 0, OutstandingDemand: 1})
+		now++
+	}
+	// Miss returns; climb to high.
+	c.BeginTick(now)
+	c.EndTick(now, Observation{MissReturned: true, OutstandingDemand: 0})
+	now++
+	for c.Mode() != ModeHigh {
+		c.BeginTick(now)
+		c.EndTick(now, Observation{})
+		now++
+	}
+	// One settle tick (recheck).
+	c.BeginTick(now)
+	c.EndTick(now, Observation{Issued: 1})
+	return now + 1
+}
+
+func TestAdaptiveRaisesThresholdOnShortResidencies(t *testing.T) {
+	c := New(adaptivePolicy(), DefaultTiming())
+	start := c.DownThreshold()
+	now := int64(0)
+	// Many residencies far below the 100-tick target: the controller must
+	// become pickier.
+	for i := 0; i < 12; i++ {
+		now = cycleController(c, now, 10)
+	}
+	if c.DownThreshold() <= start {
+		t.Fatalf("threshold did not rise after short residencies: %d -> %d",
+			start, c.DownThreshold())
+	}
+	if c.Stats().AdaptiveAdjusts == 0 {
+		t.Fatal("adjustments not counted")
+	}
+}
+
+func TestAdaptiveLowersThresholdOnLongStalls(t *testing.T) {
+	p := adaptivePolicy()
+	p.DownThreshold = 5
+	c := New(p, DefaultTiming())
+	now := int64(0)
+	for i := 0; i < 12; i++ {
+		now = cycleController(c, now, 600) // 6× the target: clearly worth it
+	}
+	if c.DownThreshold() >= 5 {
+		t.Fatalf("threshold did not fall after long residencies: %d", c.DownThreshold())
+	}
+}
+
+func TestAdaptiveBounded(t *testing.T) {
+	cfg := DefaultAdaptiveConfig()
+	p := adaptivePolicy()
+	p.Adaptive = cfg
+	c := New(p, DefaultTiming())
+	now := int64(0)
+	for i := 0; i < 60; i++ {
+		now = cycleController(c, now, 5)
+	}
+	if th := c.DownThreshold(); th > cfg.MaxThreshold {
+		t.Fatalf("threshold %d exceeded max %d", th, cfg.MaxThreshold)
+	}
+	c2 := New(p, DefaultTiming())
+	now = 0
+	for i := 0; i < 60; i++ {
+		now = cycleController(c2, now, 800)
+	}
+	if th := c2.DownThreshold(); th < cfg.MinThreshold {
+		t.Fatalf("threshold %d below min %d", th, cfg.MinThreshold)
+	}
+}
+
+func TestAdaptiveMediumResidencyStable(t *testing.T) {
+	c := New(adaptivePolicy(), DefaultTiming())
+	start := c.DownThreshold()
+	now := int64(0)
+	// Residencies in the dead band (between target and 4× target): no
+	// adjustment pressure.
+	for i := 0; i < 12; i++ {
+		now = cycleController(c, now, 200)
+	}
+	if c.DownThreshold() != start {
+		t.Fatalf("threshold moved in the dead band: %d -> %d", start, c.DownThreshold())
+	}
+}
+
+func TestAdaptiveDisabledByDefault(t *testing.T) {
+	c := New(PolicyFSM(), DefaultTiming())
+	now := int64(0)
+	for i := 0; i < 12; i++ {
+		now = cycleController(c, now, 10)
+	}
+	if c.DownThreshold() != PolicyFSM().DownThreshold {
+		t.Fatal("threshold moved without the extension")
+	}
+	if c.Stats().AdaptiveAdjusts != 0 {
+		t.Fatal("adjustments counted without the extension")
+	}
+}
+
+func TestDownThresholdAccessorNoFSM(t *testing.T) {
+	c := New(PolicyNoFSM(), DefaultTiming())
+	if c.DownThreshold() != 0 {
+		t.Fatal("no-FSM controller should report threshold 0")
+	}
+}
+
+func TestAdaptiveHysteresisPreventsOscillation(t *testing.T) {
+	// Alternating short/long residencies must not move the threshold: the
+	// streak resets on every direction change.
+	c := New(adaptivePolicy(), DefaultTiming())
+	start := c.DownThreshold()
+	now := int64(0)
+	for i := 0; i < 16; i++ {
+		res := 10
+		if i%2 == 1 {
+			res = 800
+		}
+		now = cycleController(c, now, res)
+	}
+	if c.DownThreshold() != start {
+		t.Fatalf("threshold oscillated: %d -> %d", start, c.DownThreshold())
+	}
+}

@@ -1,0 +1,461 @@
+package core
+
+import "fmt"
+
+// Mode is the electrical state of the scaled (pipeline) voltage domain.
+type Mode uint8
+
+const (
+	// ModeHigh: VDDH, full clock speed (the default, §4.1).
+	ModeHigh Mode = iota
+	// ModeDownDist: slow clock being distributed; still VDDH, already half
+	// speed (first 4 ns of Figure 2).
+	ModeDownDist
+	// ModeDownRamp: VDD ramping VDDH→VDDL at half speed (12 ns, Figure 2).
+	ModeDownRamp
+	// ModeLow: VDDL, half clock speed (§4.3).
+	ModeLow
+	// ModeUpDist: control signal distribution at VDDL, half speed (first
+	// 2 ns of Figure 3).
+	ModeUpDist
+	// ModeUpRamp: VDD ramping VDDL→VDDH at half speed (12 ns, Figure 3; the
+	// full-speed clock-tree propagation overlaps the last 2 ns by default).
+	ModeUpRamp
+	// ModeUpTree: clock-tree propagation after the ramp, only used when
+	// Timing.OverlapClockTree is false.
+	ModeUpTree
+	// ModeDeepDist: control distribution before descending from low to
+	// deep-low power (extension; see Timing.Deep and Policy
+	// EscalateOutstanding).
+	ModeDeepDist
+	// ModeDeepRamp: VDD ramping VDDL→VDDDeep at the deep clock divider.
+	ModeDeepRamp
+	// ModeDeep: VDDDeep at the deep clock divider (quarter speed by
+	// default) — the escalation extension's third steady state.
+	ModeDeep
+	numModes
+)
+
+// NumModes is the number of controller modes.
+const NumModes = int(numModes)
+
+var modeNames = [NumModes]string{
+	"high", "down-dist", "down-ramp", "low", "up-dist", "up-ramp", "up-tree",
+	"deep-dist", "deep-ramp", "deep",
+}
+
+// String names the mode.
+func (m Mode) String() string {
+	if int(m) < len(modeNames) {
+		return modeNames[m]
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Observation is what the machine reports to the controller at the end of
+// each tick.
+type Observation struct {
+	// Issued is the number of instructions issued on this tick's pipeline
+	// edge (meaningful only when BeginTick returned true).
+	Issued int
+	// MissDetected reports that an L2 *demand* miss was detected this tick
+	// (the detection takes one L2-hit latency after the L2 access starts;
+	// prefetch-only misses are never reported, per §4.2).
+	MissDetected bool
+	// MissReturned reports that data for an L2 demand miss arrived this tick.
+	MissReturned bool
+	// OutstandingDemand is the number of L2 demand misses still outstanding
+	// after this tick's events.
+	OutstandingDemand int
+}
+
+// Stats aggregates controller activity.
+type Stats struct {
+	TicksInMode     [NumModes]int64
+	PipelineEdges   int64
+	DownTransitions uint64
+	UpTransitions   uint64
+	// Ramps counts voltage ramps in either direction (each dissipates the
+	// dual-rail network's ramp energy, §5.2).
+	Ramps uint64
+	// DownFSMArmed/Fired/Lapsed count down-FSM monitor windows.
+	DownFSMArmed, DownFSMFired, DownFSMLapsed uint64
+	// UpFSMArmed/Fired/Lapsed count up-FSM monitor windows.
+	UpFSMArmed, UpFSMFired, UpFSMLapsed uint64
+	// ImmediateDowns counts high→low transitions begun without monitoring
+	// (threshold 0 / no-FSM policies).
+	ImmediateDowns uint64
+	// AllReturnedUps counts low→high transitions begun because no demand
+	// miss remained outstanding.
+	AllReturnedUps uint64
+	// DeepTransitions counts low→deep escalations (extension).
+	DeepTransitions uint64
+	// AdaptiveAdjusts counts run-time threshold changes (extension).
+	AdaptiveAdjusts uint64
+}
+
+// LowTicks returns ticks spent at reduced voltage or speed (everything but
+// ModeHigh).
+func (s *Stats) LowTicks() int64 {
+	var n int64
+	for m := 1; m < NumModes; m++ {
+		n += s.TicksInMode[m]
+	}
+	return n
+}
+
+// Controller is the VSV mode controller. Drive it with exactly one
+// BeginTick/EndTick pair per tick:
+//
+//	edge := ctl.BeginTick(now)   // pipeline steps iff edge
+//	... advance memory system (every tick) and pipeline (if edge) ...
+//	ctl.EndTick(obs)
+type Controller struct {
+	policy Policy
+	timing Timing
+
+	mode         Mode
+	phase        int // clock-divider phase; 0 → edge on the next slow tick
+	transLeft    int
+	rampFrom     float64
+	rampTo       float64
+	rampTicks    int
+	vdd          float64
+	upFromVDD    float64
+	edgeThisTick bool
+	recheckHigh  bool
+
+	down     *downFSM
+	up       *upFSM
+	adaptive *adaptiveState
+
+	stats Stats
+	trace *TraceLog
+}
+
+// New builds a controller, panicking on invalid policy or timing
+// (configurations are static; errors are programming mistakes).
+func New(policy Policy, timing Timing) *Controller {
+	if err := policy.Validate(); err != nil {
+		panic(err)
+	}
+	if err := timing.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Controller{
+		policy: policy,
+		timing: timing,
+		mode:   ModeHigh,
+		vdd:    timing.VDDH,
+		trace:  NewTraceLog(256),
+	}
+	if policy.UseDownFSM && policy.DownThreshold > 0 {
+		c.down = newDownFSM(policy.DownThreshold, policy.DownWindow)
+	}
+	if policy.Up == UpFSM {
+		c.up = newUpFSM(policy.UpThreshold, policy.UpWindow)
+	}
+	if policy.Adaptive.Enabled {
+		c.adaptive = newAdaptiveState(policy.Adaptive)
+	}
+	return c
+}
+
+// Policy returns the controller's policy.
+func (c *Controller) Policy() Policy { return c.policy }
+
+// Timing returns the controller's timing constants.
+func (c *Controller) Timing() Timing { return c.timing }
+
+// Mode returns the current electrical mode.
+func (c *Controller) Mode() Mode { return c.mode }
+
+// VDD returns the effective supply voltage of the scaled domain for the
+// tick most recently begun (ramp ticks report the average of the tick's
+// start and end voltages, §5.2).
+func (c *Controller) VDD() float64 { return c.vdd }
+
+// HalfSpeed reports whether the pipeline domain is clocked slower than
+// full speed this tick (all modes except ModeHigh).
+func (c *Controller) HalfSpeed() bool { return c.mode != ModeHigh }
+
+// Divider returns the current clock divider: 1 at full speed, 2 at half
+// speed, Timing.Deep.Divider in the deep-low extension modes.
+func (c *Controller) Divider() int {
+	switch c.mode {
+	case ModeHigh:
+		return 1
+	case ModeDeepRamp, ModeDeep:
+		return c.timing.Deep.Divider
+	default:
+		return 2
+	}
+}
+
+// Trace returns the transition event log.
+func (c *Controller) Trace() *TraceLog { return c.trace }
+
+// Stats returns a snapshot of the counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// ResetStats clears the counters at the end of warm-up. The electrical
+// state (mode, ramp progress, FSM arming) persists.
+func (c *Controller) ResetStats() { c.stats = Stats{} }
+
+// BeginTick starts tick `now` and reports whether the pipeline (and the
+// structures clocked with it) gets a clock edge this tick.
+func (c *Controller) BeginTick(now int64) bool {
+	if d := c.Divider(); d == 1 {
+		c.edgeThisTick = true
+	} else {
+		c.edgeThisTick = c.phase%d == 0
+		c.phase++
+	}
+	c.vdd = c.effectiveVDD()
+	c.stats.TicksInMode[c.mode]++
+	if c.edgeThisTick {
+		c.stats.PipelineEdges++
+	}
+	return c.edgeThisTick
+}
+
+func (c *Controller) effectiveVDD() float64 {
+	t := c.timing
+	switch c.mode {
+	case ModeHigh, ModeDownDist, ModeUpTree:
+		return t.VDDH
+	case ModeLow, ModeUpDist:
+		return t.VDDL
+	case ModeDownRamp, ModeUpRamp, ModeDeepRamp:
+		done := float64(c.rampTicks - c.transLeft)
+		return c.rampFrom + (c.rampTo-c.rampFrom)*(done+0.5)/float64(c.rampTicks)
+	case ModeDeepDist:
+		return t.VDDL
+	case ModeDeep:
+		return t.Deep.VDD
+	default:
+		return t.VDDH
+	}
+}
+
+// EndTick finishes the current tick with the machine's observation and
+// advances the mode machine and FSMs.
+func (c *Controller) EndTick(now int64, obs Observation) {
+	switch c.mode {
+	case ModeHigh:
+		c.endTickHigh(now, obs)
+	case ModeLow:
+		c.endTickLow(now, obs)
+	case ModeDeep:
+		c.endTickDeep(now, obs)
+	default:
+		c.transLeft--
+		if c.transLeft <= 0 {
+			c.advanceTransition(now)
+		}
+	}
+}
+
+func (c *Controller) endTickHigh(now int64, obs Observation) {
+	detected := obs.MissDetected
+	if c.recheckHigh {
+		// We re-entered high-power mode while demand misses were still
+		// outstanding (they were detected during a transition, when the
+		// down path was inhibited); treat that as a fresh detection.
+		c.recheckHigh = false
+		if obs.OutstandingDemand > 0 {
+			detected = true
+		}
+	}
+	if c.down != nil && c.down.armed && c.edgeThisTick {
+		if obs.OutstandingDemand == 0 {
+			// Every miss returned during monitoring; nothing to hide under.
+			c.down.disarm()
+			c.trace.Add(now, EvMonitorDownAborted, c.mode)
+		} else if c.down.observe(obs.Issued) {
+			c.stats.DownFSMFired++
+			c.startDown(now, EvDownFSMFired)
+			return
+		} else if !c.down.armed {
+			c.stats.DownFSMLapsed++
+			c.trace.Add(now, EvMonitorDownLapsed, c.mode)
+		}
+	}
+	if detected && obs.OutstandingDemand > 0 {
+		if c.down == nil {
+			c.stats.ImmediateDowns++
+			c.startDown(now, EvImmediateDown)
+			return
+		}
+		c.down.arm()
+		c.stats.DownFSMArmed++
+		c.trace.Add(now, EvMonitorDownArmed, c.mode)
+	}
+}
+
+func (c *Controller) endTickDeep(now int64, obs Observation) {
+	// The deep state uses the same exit logic as the low state: the
+	// unconditional all-returned guard, the up-FSM, or the heuristics.
+	c.endTickLow(now, obs)
+}
+
+func (c *Controller) endTickLow(now int64, obs Observation) {
+	if obs.OutstandingDemand == 0 {
+		// §4.4: the sole outstanding miss returning triggers the
+		// transition unconditionally; this also covers misses that
+		// returned while we were still ramping down.
+		c.stats.AllReturnedUps++
+		c.startUp(now, EvAllReturnedUp)
+		return
+	}
+	if c.up != nil && c.up.armed && c.edgeThisTick {
+		if c.up.observe(obs.Issued) {
+			c.stats.UpFSMFired++
+			c.startUp(now, EvUpFSMFired)
+			return
+		}
+		if !c.up.armed {
+			c.stats.UpFSMLapsed++
+			c.trace.Add(now, EvMonitorUpLapsed, c.mode)
+		}
+	}
+	if obs.MissReturned {
+		switch c.policy.Up {
+		case UpFirstR:
+			c.startUp(now, EvFirstRUp)
+			return
+		case UpLastR:
+			// Handled by the OutstandingDemand == 0 guard above.
+		case UpFSM:
+			c.up.arm()
+			c.stats.UpFSMArmed++
+			c.trace.Add(now, EvMonitorUpArmed, c.mode)
+		}
+	}
+	// Escalation extension: with enough misses piled up and no sign of
+	// progress, descend to the deep-low level.
+	if c.mode == ModeLow && c.policy.EscalateOutstanding > 0 &&
+		obs.OutstandingDemand >= c.policy.EscalateOutstanding {
+		c.startDeep(now)
+	}
+}
+
+func (c *Controller) startDeep(now int64) {
+	c.trace.Add(now, EvEscalateDeep, c.mode)
+	c.stats.DeepTransitions++
+	if c.up != nil {
+		c.up.disarm()
+	}
+	// The half-speed clock keeps running through the distribution phase;
+	// phase continuity (2 divides the deep divider) keeps edge spacing
+	// well-formed across the divider switch.
+	if c.timing.Deep.DistTicks > 0 {
+		c.mode = ModeDeepDist
+		c.transLeft = c.timing.Deep.DistTicks
+	} else {
+		c.enterDeepRamp(now)
+	}
+	c.trace.Add(now, EvModeChange, c.mode)
+}
+
+func (c *Controller) enterDeepRamp(now int64) {
+	c.mode = ModeDeepRamp
+	c.beginRamp(c.timing.VDDL, c.timing.Deep.VDD)
+	c.stats.Ramps++
+	c.trace.Add(now, EvRampStart, c.mode)
+}
+
+// beginRamp configures a voltage ramp; its length follows the fixed slew
+// rate implied by Timing.RampTicks over the VDDH→VDDL swing (§3.2).
+func (c *Controller) beginRamp(from, to float64) {
+	c.rampFrom, c.rampTo = from, to
+	c.rampTicks = c.timing.rampTicksFor(from, to)
+	c.transLeft = c.rampTicks
+}
+
+func (c *Controller) startDown(now int64, why EventKind) {
+	c.trace.Add(now, why, c.mode)
+	c.stats.DownTransitions++
+	c.phase = 0 // half-speed clock starts with an edge on the next tick
+	if c.timing.DownDistTicks > 0 {
+		c.mode = ModeDownDist
+		c.transLeft = c.timing.DownDistTicks
+	} else {
+		c.enterDownRamp(now)
+	}
+	c.trace.Add(now, EvModeChange, c.mode)
+}
+
+func (c *Controller) enterDownRamp(now int64) {
+	c.mode = ModeDownRamp
+	c.beginRamp(c.timing.VDDH, c.timing.VDDL)
+	c.stats.Ramps++
+	c.trace.Add(now, EvRampStart, c.mode)
+}
+
+func (c *Controller) startUp(now int64, why EventKind) {
+	c.trace.Add(now, why, c.mode)
+	c.stats.UpTransitions++
+	if c.adaptive != nil {
+		c.applyAdaptive(c.adaptive.onLeaveLow(now))
+	}
+	if c.up != nil {
+		c.up.disarm()
+	}
+	c.upFromVDD = c.timing.VDDL
+	if c.mode == ModeDeep {
+		// Climb directly from the deep voltage; the clock returns to the
+		// half-speed divider with phase continuity.
+		c.upFromVDD = c.timing.Deep.VDD
+	}
+	if c.timing.UpDistTicks > 0 {
+		c.mode = ModeUpDist
+		c.transLeft = c.timing.UpDistTicks
+	} else {
+		c.enterUpRamp(now)
+	}
+	c.trace.Add(now, EvModeChange, c.mode)
+}
+
+func (c *Controller) enterUpRamp(now int64) {
+	c.mode = ModeUpRamp
+	c.beginRamp(c.upFromVDD, c.timing.VDDH)
+	c.stats.Ramps++
+	c.trace.Add(now, EvRampStart, c.mode)
+}
+
+func (c *Controller) advanceTransition(now int64) {
+	switch c.mode {
+	case ModeDownDist:
+		c.enterDownRamp(now)
+	case ModeDownRamp:
+		c.mode = ModeLow
+		if c.adaptive != nil {
+			c.adaptive.onEnterLow(now)
+		}
+		c.trace.Add(now, EvModeChange, c.mode)
+	case ModeDeepDist:
+		c.enterDeepRamp(now)
+	case ModeDeepRamp:
+		c.mode = ModeDeep
+		c.trace.Add(now, EvModeChange, c.mode)
+	case ModeUpDist:
+		c.enterUpRamp(now)
+	case ModeUpRamp:
+		if c.timing.OverlapClockTree {
+			c.enterHigh(now)
+		} else {
+			c.mode = ModeUpTree
+			c.transLeft = c.timing.ClockTreeTicks
+			c.trace.Add(now, EvModeChange, c.mode)
+		}
+	case ModeUpTree:
+		c.enterHigh(now)
+	}
+}
+
+func (c *Controller) enterHigh(now int64) {
+	c.mode = ModeHigh
+	c.recheckHigh = true
+	c.trace.Add(now, EvModeChange, c.mode)
+}

@@ -1,0 +1,532 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// drive advances the controller n ticks starting at tick start, using obs
+// for every tick. It returns the next tick number.
+func drive(c *Controller, start int64, n int, obs Observation) int64 {
+	for i := 0; i < n; i++ {
+		c.BeginTick(start + int64(i))
+		c.EndTick(start+int64(i), obs)
+	}
+	return start + int64(n)
+}
+
+func TestInitialState(t *testing.T) {
+	c := New(PolicyFSM(), DefaultTiming())
+	edge := c.BeginTick(0)
+	if !edge || c.Mode() != ModeHigh || c.VDD() != 1.8 || c.HalfSpeed() {
+		t.Fatalf("initial state: edge=%v mode=%v vdd=%v", edge, c.Mode(), c.VDD())
+	}
+	c.EndTick(0, Observation{Issued: 3})
+}
+
+func TestPolicyConstructorsValid(t *testing.T) {
+	for _, p := range []Policy{PolicyFSM(), PolicyNoFSM(), PolicyFirstR(), PolicyLastR()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("policy %v invalid: %v", p, err)
+		}
+	}
+}
+
+func TestPolicyValidateRejects(t *testing.T) {
+	bad := []Policy{
+		{UseDownFSM: true, DownThreshold: -1, DownWindow: 10, Up: UpFirstR},
+		{UseDownFSM: true, DownThreshold: 3, DownWindow: 0, Up: UpFirstR},
+		{UseDownFSM: true, DownThreshold: 11, DownWindow: 10, Up: UpFirstR},
+		{Up: UpFSM, UpThreshold: 0, UpWindow: 10},
+		{Up: UpFSM, UpThreshold: 11, UpWindow: 10},
+		{Up: UpMode(9)},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad policy %d accepted", i)
+		}
+	}
+}
+
+func TestTimingValidate(t *testing.T) {
+	if err := DefaultTiming().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultTiming()
+	bad.VDDL = 2.0
+	if bad.Validate() == nil {
+		t.Error("VDDL >= VDDH accepted")
+	}
+	bad = DefaultTiming()
+	bad.RampTicks = 0
+	if bad.Validate() == nil {
+		t.Error("zero ramp accepted")
+	}
+	bad = DefaultTiming()
+	bad.UpDistTicks = -1
+	if bad.Validate() == nil {
+		t.Error("negative dist accepted")
+	}
+}
+
+func TestTransitionLengths(t *testing.T) {
+	tm := DefaultTiming()
+	if tm.DownTransitionTicks() != 16 {
+		t.Errorf("down transition = %d, want 16 (4 dist + 12 ramp)", tm.DownTransitionTicks())
+	}
+	if tm.UpTransitionTicks() != 14 {
+		t.Errorf("up transition = %d, want 14 (2 dist + 12 ramp, tree overlapped)", tm.UpTransitionTicks())
+	}
+	tm.OverlapClockTree = false
+	if tm.UpTransitionTicks() != 16 {
+		t.Errorf("non-overlapped up transition = %d, want 16", tm.UpTransitionTicks())
+	}
+}
+
+// TestFigure2Timeline reproduces the paper's Figure 2: an L2 miss detected
+// in high-power mode with low ILP leads to 4 ns of slow-clock distribution
+// at VDDH followed by a 12 ns ramp to VDDL, all at half clock speed.
+func TestFigure2Timeline(t *testing.T) {
+	c := New(PolicyNoFSM(), DefaultTiming())
+	now := drive(c, 0, 5, Observation{Issued: 2})
+	// Miss detected at tick 5; immediate policy starts the transition.
+	c.BeginTick(now)
+	c.EndTick(now, Observation{MissDetected: true, OutstandingDemand: 1})
+	now++
+	// Next 4 ticks: distribution at VDDH, half speed.
+	edges := 0
+	for i := 0; i < 4; i++ {
+		if c.Mode() != ModeDownDist {
+			t.Fatalf("tick %d: mode %v, want down-dist", now, c.Mode())
+		}
+		if c.BeginTick(now) {
+			edges++
+		}
+		if c.VDD() != 1.8 {
+			t.Fatalf("distribution tick at VDD %v, want 1.8", c.VDD())
+		}
+		c.EndTick(now, Observation{OutstandingDemand: 1})
+		now++
+	}
+	if edges != 2 {
+		t.Fatalf("distribution edges = %d, want 2 (half speed over 4 ticks)", edges)
+	}
+	// Next 12 ticks: ramp down, VDD strictly decreasing, half speed.
+	prev := 1.9
+	var sum float64
+	for i := 0; i < 12; i++ {
+		if c.Mode() != ModeDownRamp {
+			t.Fatalf("tick %d: mode %v, want down-ramp", now, c.Mode())
+		}
+		c.BeginTick(now)
+		v := c.VDD()
+		if v >= prev || v > 1.8 || v < 1.2 {
+			t.Fatalf("ramp tick %d: VDD %v (prev %v)", i, v, prev)
+		}
+		prev = v
+		sum += v
+		c.EndTick(now, Observation{OutstandingDemand: 1})
+		now++
+	}
+	// Energy accounting uses per-tick average VDD; the mean over the whole
+	// ramp must be the midpoint.
+	if mid := sum / 12; math.Abs(mid-1.5) > 1e-9 {
+		t.Fatalf("mean ramp VDD = %v, want 1.5", mid)
+	}
+	if c.Mode() != ModeLow {
+		t.Fatalf("mode after ramp = %v, want low", c.Mode())
+	}
+	c.BeginTick(now)
+	if c.VDD() != 1.2 || !c.HalfSpeed() {
+		t.Fatalf("low mode: vdd=%v half=%v", c.VDD(), c.HalfSpeed())
+	}
+	c.EndTick(now, Observation{OutstandingDemand: 1})
+	if c.Stats().DownTransitions != 1 || c.Stats().Ramps != 1 {
+		t.Fatalf("stats = %+v", c.Stats())
+	}
+}
+
+// TestFigure3Timeline reproduces Figure 3: the last outstanding miss
+// returning in low-power mode leads to 2 ns control distribution at VDDL
+// and a 12 ns ramp to VDDH (clock-tree propagation overlapped), then
+// full-speed operation.
+func TestFigure3Timeline(t *testing.T) {
+	c := New(PolicyNoFSM(), DefaultTiming())
+	now := drive(c, 0, 3, Observation{Issued: 1})
+	c.BeginTick(now)
+	c.EndTick(now, Observation{MissDetected: true, OutstandingDemand: 1})
+	now++
+	now = drive(c, now, 16, Observation{OutstandingDemand: 1}) // complete down transition
+	if c.Mode() != ModeLow {
+		t.Fatalf("mode = %v, want low", c.Mode())
+	}
+	// Miss returns; no misses remain outstanding.
+	c.BeginTick(now)
+	c.EndTick(now, Observation{MissReturned: true, OutstandingDemand: 0})
+	now++
+	for i := 0; i < 2; i++ {
+		if c.Mode() != ModeUpDist {
+			t.Fatalf("mode = %v, want up-dist", c.Mode())
+		}
+		c.BeginTick(now)
+		if c.VDD() != 1.2 {
+			t.Fatalf("up-dist VDD = %v, want 1.2", c.VDD())
+		}
+		c.EndTick(now, Observation{})
+		now++
+	}
+	prev := 1.1
+	for i := 0; i < 12; i++ {
+		if c.Mode() != ModeUpRamp {
+			t.Fatalf("mode = %v, want up-ramp", c.Mode())
+		}
+		c.BeginTick(now)
+		v := c.VDD()
+		if v <= prev || v < 1.2 || v > 1.8 {
+			t.Fatalf("up-ramp tick %d: VDD %v", i, v)
+		}
+		prev = v
+		if c.HalfSpeed() != true {
+			t.Fatal("ramp not at half speed")
+		}
+		c.EndTick(now, Observation{})
+		now++
+	}
+	if c.Mode() != ModeHigh {
+		t.Fatalf("mode after up transition = %v, want high", c.Mode())
+	}
+	if !c.BeginTick(now) || c.VDD() != 1.8 {
+		t.Fatal("high mode not full speed at VDDH")
+	}
+	c.EndTick(now, Observation{Issued: 4})
+	if c.Stats().UpTransitions != 1 || c.Stats().Ramps != 2 {
+		t.Fatalf("stats = %+v", c.Stats())
+	}
+}
+
+func TestUpTreePhaseWhenNotOverlapped(t *testing.T) {
+	tm := DefaultTiming()
+	tm.OverlapClockTree = false
+	c := New(PolicyNoFSM(), tm)
+	c.BeginTick(0)
+	c.EndTick(0, Observation{MissDetected: true, OutstandingDemand: 1})
+	now := drive(c, 1, 16, Observation{OutstandingDemand: 1})
+	c.BeginTick(now)
+	c.EndTick(now, Observation{MissReturned: true, OutstandingDemand: 0})
+	now++
+	now = drive(c, now, 14, Observation{})
+	// After dist+ramp we must be in the tree phase at VDDH, still half speed.
+	if c.Mode() != ModeUpTree {
+		t.Fatalf("mode = %v, want up-tree", c.Mode())
+	}
+	c.BeginTick(now)
+	if c.VDD() != 1.8 || !c.HalfSpeed() {
+		t.Fatalf("up-tree: vdd=%v half=%v", c.VDD(), c.HalfSpeed())
+	}
+	c.EndTick(now, Observation{})
+	now++
+	now = drive(c, now, 1, Observation{})
+	if c.Mode() != ModeHigh {
+		t.Fatalf("mode = %v, want high after tree", c.Mode())
+	}
+}
+
+func TestDownFSMGatesTransition(t *testing.T) {
+	c := New(PolicyFSM(), DefaultTiming()) // threshold 3, window 10
+	c.BeginTick(0)
+	c.EndTick(0, Observation{MissDetected: true, OutstandingDemand: 1, Issued: 4})
+	// High ILP during monitoring: no transition.
+	now := drive(c, 1, 12, Observation{Issued: 4, OutstandingDemand: 1})
+	if c.Mode() != ModeHigh {
+		t.Fatalf("high-ILP monitoring still transitioned: %v", c.Mode())
+	}
+	s := c.Stats()
+	if s.DownFSMArmed != 1 || s.DownFSMLapsed != 1 || s.DownTransitions != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// A second detection with no issue activity must transition after 3
+	// zero-issue cycles.
+	c.BeginTick(now)
+	c.EndTick(now, Observation{MissDetected: true, OutstandingDemand: 1, Issued: 1})
+	now++
+	drive(c, now, 3, Observation{Issued: 0, OutstandingDemand: 1})
+	if c.Mode() == ModeHigh {
+		t.Fatal("down-FSM did not fire after 3 zero-issue cycles")
+	}
+	if c.Stats().DownFSMFired != 1 {
+		t.Fatalf("stats = %+v", c.Stats())
+	}
+}
+
+func TestDownMonitorAbortedWhenMissesReturn(t *testing.T) {
+	c := New(PolicyFSM(), DefaultTiming())
+	c.BeginTick(0)
+	c.EndTick(0, Observation{MissDetected: true, OutstandingDemand: 1, Issued: 1})
+	// Miss returns before the monitor fires (fast L2->memory race).
+	c.BeginTick(1)
+	c.EndTick(1, Observation{Issued: 0, OutstandingDemand: 0, MissReturned: true})
+	drive(c, 2, 5, Observation{Issued: 0})
+	if c.Mode() != ModeHigh {
+		t.Fatal("transitioned down with no outstanding misses")
+	}
+}
+
+func TestUpFSMWithMultipleOutstanding(t *testing.T) {
+	c := New(PolicyFSM(), DefaultTiming())
+	// Go low (immediate-ish: zero-issue cycles after detection).
+	c.BeginTick(0)
+	c.EndTick(0, Observation{MissDetected: true, OutstandingDemand: 2})
+	now := drive(c, 1, 3, Observation{Issued: 0, OutstandingDemand: 2})
+	now = drive(c, now, 16, Observation{OutstandingDemand: 2})
+	if c.Mode() != ModeLow {
+		t.Fatalf("mode = %v, want low", c.Mode())
+	}
+	// One of two misses returns, but issue stays at zero: stay low.
+	c.BeginTick(now)
+	c.EndTick(now, Observation{MissReturned: true, OutstandingDemand: 1, Issued: 0})
+	now++
+	now = drive(c, now, 24, Observation{Issued: 0, OutstandingDemand: 1})
+	if c.Mode() != ModeLow {
+		t.Fatalf("up-FSM fired with zero issue rate: %v", c.Mode())
+	}
+	if c.Stats().UpFSMArmed != 1 || c.Stats().UpFSMLapsed != 1 {
+		t.Fatalf("stats = %+v", c.Stats())
+	}
+	// Another return with high issue rate: up-FSM fires after 3 busy
+	// half-speed cycles.
+	c.BeginTick(now)
+	c.EndTick(now, Observation{MissReturned: true, OutstandingDemand: 1, Issued: 2})
+	now++
+	for c.Mode() == ModeLow {
+		c.BeginTick(now)
+		c.EndTick(now, Observation{Issued: 2, OutstandingDemand: 1})
+		now++
+		if now > 100 {
+			t.Fatal("up-FSM never fired despite busy cycles")
+		}
+	}
+	if c.Stats().UpFSMFired != 1 {
+		t.Fatalf("stats = %+v", c.Stats())
+	}
+}
+
+func TestLastRWaitsForAllReturns(t *testing.T) {
+	c := New(PolicyLastR(), DefaultTiming())
+	c.BeginTick(0)
+	c.EndTick(0, Observation{MissDetected: true, OutstandingDemand: 3})
+	now := drive(c, 1, 3, Observation{Issued: 0, OutstandingDemand: 3})
+	now = drive(c, now, 16, Observation{OutstandingDemand: 3})
+	if c.Mode() != ModeLow {
+		t.Fatalf("mode = %v", c.Mode())
+	}
+	// Two returns with busy pipeline: Last-R must stay low.
+	c.BeginTick(now)
+	c.EndTick(now, Observation{MissReturned: true, OutstandingDemand: 2, Issued: 5})
+	now++
+	c.BeginTick(now)
+	c.EndTick(now, Observation{MissReturned: true, OutstandingDemand: 1, Issued: 5})
+	now++
+	now = drive(c, now, 10, Observation{Issued: 5, OutstandingDemand: 1})
+	if c.Mode() != ModeLow {
+		t.Fatal("Last-R left low mode before the last return")
+	}
+	c.BeginTick(now)
+	c.EndTick(now, Observation{MissReturned: true, OutstandingDemand: 0, Issued: 5})
+	if c.Mode() == ModeLow {
+		t.Fatal("Last-R did not leave low mode on the last return")
+	}
+}
+
+func TestFirstRLeavesOnFirstReturn(t *testing.T) {
+	c := New(PolicyFirstR(), DefaultTiming())
+	c.BeginTick(0)
+	c.EndTick(0, Observation{MissDetected: true, OutstandingDemand: 3})
+	now := drive(c, 1, 3, Observation{Issued: 0, OutstandingDemand: 3})
+	now = drive(c, now, 16, Observation{OutstandingDemand: 3})
+	if c.Mode() != ModeLow {
+		t.Fatalf("mode = %v", c.Mode())
+	}
+	c.BeginTick(now)
+	c.EndTick(now, Observation{MissReturned: true, OutstandingDemand: 2, Issued: 0})
+	if c.Mode() != ModeUpDist {
+		t.Fatalf("First-R mode = %v, want up-dist", c.Mode())
+	}
+}
+
+func TestRecheckHighRetriggers(t *testing.T) {
+	// If misses are still outstanding when we return to high power, the
+	// controller must treat that as a fresh detection.
+	c := New(PolicyNoFSM(), DefaultTiming())
+	c.BeginTick(0)
+	c.EndTick(0, Observation{MissDetected: true, OutstandingDemand: 2})
+	now := drive(c, 1, 16, Observation{OutstandingDemand: 2})
+	// First-R: first return sends us up even though one miss remains.
+	c.BeginTick(now)
+	c.EndTick(now, Observation{MissReturned: true, OutstandingDemand: 1})
+	now++
+	now = drive(c, now, 14, Observation{OutstandingDemand: 1})
+	if c.Mode() != ModeHigh {
+		t.Fatalf("mode = %v, want high", c.Mode())
+	}
+	// On the first high tick the controller rechecks and heads down again.
+	c.BeginTick(now)
+	c.EndTick(now, Observation{Issued: 0, OutstandingDemand: 1})
+	if c.Mode() == ModeHigh {
+		t.Fatal("controller ignored outstanding miss after returning high")
+	}
+	if c.Stats().DownTransitions != 2 {
+		t.Fatalf("down transitions = %d, want 2", c.Stats().DownTransitions)
+	}
+}
+
+func TestHalfSpeedEdgePattern(t *testing.T) {
+	c := New(PolicyNoFSM(), DefaultTiming())
+	c.BeginTick(0)
+	c.EndTick(0, Observation{MissDetected: true, OutstandingDemand: 1})
+	edges := 0
+	ticks := 200
+	for i := 1; i <= ticks; i++ {
+		if c.BeginTick(int64(i)) {
+			edges++
+		}
+		c.EndTick(int64(i), Observation{OutstandingDemand: 1})
+	}
+	// In persistent low mode, exactly every second tick is an edge.
+	if edges != ticks/2 {
+		t.Fatalf("edges = %d over %d half-speed ticks, want %d", edges, ticks, ticks/2)
+	}
+}
+
+func TestLowTicksAccounting(t *testing.T) {
+	c := New(PolicyNoFSM(), DefaultTiming())
+	drive(c, 0, 10, Observation{Issued: 1})
+	c.BeginTick(10)
+	c.EndTick(10, Observation{MissDetected: true, OutstandingDemand: 1})
+	drive(c, 11, 30, Observation{OutstandingDemand: 1})
+	s := c.Stats()
+	if s.TicksInMode[ModeHigh] != 11 {
+		t.Fatalf("high ticks = %d, want 11", s.TicksInMode[ModeHigh])
+	}
+	if s.LowTicks() != 30 {
+		t.Fatalf("low ticks = %d, want 30", s.LowTicks())
+	}
+}
+
+func TestPrefetchMissesIgnored(t *testing.T) {
+	// The machine reports prefetch-only misses by simply not setting
+	// MissDetected; with no detections the controller must stay high even
+	// with outstanding (prefetch) MSHR entries.
+	c := New(PolicyNoFSM(), DefaultTiming())
+	drive(c, 0, 100, Observation{Issued: 0, OutstandingDemand: 0})
+	if c.Mode() != ModeHigh {
+		t.Fatal("controller left high mode without a demand miss")
+	}
+}
+
+func TestTraceLogRecordsTimeline(t *testing.T) {
+	c := New(PolicyNoFSM(), DefaultTiming())
+	c.BeginTick(0)
+	c.EndTick(0, Observation{MissDetected: true, OutstandingDemand: 1})
+	drive(c, 1, 16, Observation{OutstandingDemand: 1})
+	r := c.Trace().Render()
+	for _, want := range []string{"immediate-down", "ramp-start", "enter low"} {
+		if !strings.Contains(r, want) {
+			t.Fatalf("trace missing %q:\n%s", want, r)
+		}
+	}
+}
+
+func TestTraceLogLimit(t *testing.T) {
+	l := NewTraceLog(2)
+	l.Add(0, EvModeChange, ModeHigh)
+	l.Add(1, EvModeChange, ModeLow)
+	l.Add(2, EvModeChange, ModeHigh)
+	if len(l.Events()) != 2 || l.Dropped() != 1 {
+		t.Fatalf("events=%d dropped=%d", len(l.Events()), l.Dropped())
+	}
+	if !strings.Contains(l.Render(), "more events") {
+		t.Fatal("render does not mention dropped events")
+	}
+	l.Reset()
+	if len(l.Events()) != 0 || l.Dropped() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	l.SetLimit(1)
+	l.Add(5, EvRampStart, ModeDownRamp)
+	l.Add(6, EvRampStart, ModeDownRamp)
+	if len(l.Events()) != 1 {
+		t.Fatal("new limit not enforced")
+	}
+}
+
+func TestModeAndEventStrings(t *testing.T) {
+	if ModeHigh.String() != "high" || ModeLow.String() != "low" {
+		t.Fatal("mode names wrong")
+	}
+	if !strings.Contains(Mode(99).String(), "99") {
+		t.Fatal("unknown mode string")
+	}
+	if EvRampStart.String() != "ramp-start" {
+		t.Fatal("event name wrong")
+	}
+	if !strings.Contains(EventKind(99).String(), "99") {
+		t.Fatal("unknown event string")
+	}
+	if !strings.Contains(PolicyFSM().String(), "down-FSM") {
+		t.Fatalf("policy string = %q", PolicyFSM().String())
+	}
+	if !strings.Contains(UpMode(9).String(), "9") {
+		t.Fatal("unknown upmode string")
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with bad policy did not panic")
+		}
+	}()
+	New(Policy{Up: UpMode(9)}, DefaultTiming())
+}
+
+func TestRampsEqualTransitions(t *testing.T) {
+	c := New(PolicyNoFSM(), DefaultTiming())
+	now := int64(0)
+	for round := 0; round < 5; round++ {
+		c.BeginTick(now)
+		c.EndTick(now, Observation{MissDetected: true, OutstandingDemand: 1})
+		now++
+		now = drive(c, now, 16, Observation{OutstandingDemand: 1})
+		c.BeginTick(now)
+		c.EndTick(now, Observation{MissReturned: true, OutstandingDemand: 0})
+		now++
+		now = drive(c, now, 14, Observation{})
+	}
+	s := c.Stats()
+	if s.DownTransitions != 5 || s.UpTransitions != 5 {
+		t.Fatalf("transitions = %d/%d", s.DownTransitions, s.UpTransitions)
+	}
+	if s.Ramps != 10 {
+		t.Fatalf("ramps = %d, want 10", s.Ramps)
+	}
+}
+
+func TestControllerAccessorsAndReset(t *testing.T) {
+	c := New(PolicyFSM(), DefaultTiming())
+	if c.Policy().DownThreshold != 3 || c.Timing().VDDH != 1.8 {
+		t.Fatal("accessors wrong")
+	}
+	c.BeginTick(0)
+	c.EndTick(0, Observation{Issued: 1})
+	c.ResetStats()
+	if c.Stats().TicksInMode[ModeHigh] != 0 {
+		t.Fatal("reset did not clear mode residency")
+	}
+	if UpFSM.String() != "up-FSM" || UpFirstR.String() != "First-R" || UpLastR.String() != "Last-R" {
+		t.Fatal("upmode names wrong")
+	}
+	if adaptiveError("x").Error() == "" {
+		t.Fatal("adaptive error empty")
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func deepPolicy() Policy {
+	p := PolicyFSM()
+	p.EscalateOutstanding = 2
+	return p
+}
+
+func TestDeepEscalationDisabledByDefault(t *testing.T) {
+	c := New(PolicyFSM(), DefaultTiming())
+	c.BeginTick(0)
+	c.EndTick(0, Observation{MissDetected: true, OutstandingDemand: 5})
+	now := drive(c, 1, 3, Observation{Issued: 0, OutstandingDemand: 5})
+	now = drive(c, now, 16, Observation{OutstandingDemand: 5})
+	drive(c, now, 200, Observation{OutstandingDemand: 5})
+	if c.Mode() != ModeLow {
+		t.Fatalf("mode = %v; paper's policy must never escalate", c.Mode())
+	}
+	if c.Stats().DeepTransitions != 0 {
+		t.Fatal("deep transitions counted without escalation")
+	}
+}
+
+func TestDeepEscalationPath(t *testing.T) {
+	tm := DefaultTiming()
+	c := New(deepPolicy(), tm)
+	// Reach low-power mode with 3 outstanding misses.
+	c.BeginTick(0)
+	c.EndTick(0, Observation{MissDetected: true, OutstandingDemand: 3})
+	now := drive(c, 1, 3, Observation{Issued: 0, OutstandingDemand: 3})
+	now = drive(c, now, 16, Observation{OutstandingDemand: 3})
+	if c.Mode() != ModeLow {
+		t.Fatalf("mode = %v, want low", c.Mode())
+	}
+	// The first low tick sees outstanding >= 2: escalation begins.
+	c.BeginTick(now)
+	c.EndTick(now, Observation{OutstandingDemand: 3})
+	now++
+	if c.Mode() != ModeDeepDist {
+		t.Fatalf("mode = %v, want deep-dist", c.Mode())
+	}
+	// Distribution at VDDL.
+	for i := 0; i < tm.Deep.DistTicks; i++ {
+		c.BeginTick(now)
+		if c.VDD() != tm.VDDL {
+			t.Fatalf("deep-dist VDD = %v", c.VDD())
+		}
+		c.EndTick(now, Observation{OutstandingDemand: 3})
+		now++
+	}
+	// Ramp 1.2 → 1.0 V at 0.05 V/ns = 4 ticks, strictly decreasing.
+	wantRamp := tm.rampTicksFor(tm.VDDL, tm.Deep.VDD)
+	if wantRamp != 4 {
+		t.Fatalf("deep ramp ticks = %d, want 4", wantRamp)
+	}
+	prev := tm.VDDL + 1
+	for i := 0; i < wantRamp; i++ {
+		if c.Mode() != ModeDeepRamp {
+			t.Fatalf("mode = %v, want deep-ramp", c.Mode())
+		}
+		c.BeginTick(now)
+		if v := c.VDD(); v >= prev || v < tm.Deep.VDD || v > tm.VDDL {
+			t.Fatalf("deep ramp VDD = %v (prev %v)", v, prev)
+		}
+		prev = c.VDD()
+		c.EndTick(now, Observation{OutstandingDemand: 3})
+		now++
+	}
+	if c.Mode() != ModeDeep {
+		t.Fatalf("mode = %v, want deep", c.Mode())
+	}
+	// Deep steady state: VDD 1.0 and quarter-speed edges.
+	edges := 0
+	for i := 0; i < 40; i++ {
+		if c.BeginTick(now) {
+			edges++
+		}
+		if c.VDD() != tm.Deep.VDD {
+			t.Fatalf("deep VDD = %v", c.VDD())
+		}
+		c.EndTick(now, Observation{OutstandingDemand: 3, Issued: 0})
+		now++
+	}
+	if edges != 10 {
+		t.Fatalf("deep edges = %d over 40 ticks, want 10 (quarter speed)", edges)
+	}
+	if c.Stats().DeepTransitions != 1 {
+		t.Fatalf("deep transitions = %d", c.Stats().DeepTransitions)
+	}
+	// All misses return: the controller must climb all the way to high,
+	// ramping from 1.0 V (16 ticks at the fixed slew).
+	c.BeginTick(now)
+	c.EndTick(now, Observation{MissReturned: true, OutstandingDemand: 0})
+	now++
+	if c.Mode() != ModeUpDist {
+		t.Fatalf("mode = %v, want up-dist", c.Mode())
+	}
+	sawRampTicks := 0
+	var minV, maxV = 99.0, 0.0
+	for c.Mode() != ModeHigh {
+		c.BeginTick(now)
+		if c.Mode() == ModeUpRamp {
+			sawRampTicks++
+			minV = math.Min(minV, c.VDD())
+			maxV = math.Max(maxV, c.VDD())
+		}
+		c.EndTick(now, Observation{})
+		now++
+		if now > 10_000 {
+			t.Fatal("never reached high mode")
+		}
+	}
+	if want := tm.rampTicksFor(tm.Deep.VDD, tm.VDDH); sawRampTicks != want {
+		t.Fatalf("up ramp from deep = %d ticks, want %d", sawRampTicks, want)
+	}
+	if minV < tm.Deep.VDD || maxV > tm.VDDH {
+		t.Fatalf("up ramp VDD range [%v, %v]", minV, maxV)
+	}
+}
+
+func TestDeepNotEnteredBelowThreshold(t *testing.T) {
+	c := New(deepPolicy(), DefaultTiming())
+	c.BeginTick(0)
+	c.EndTick(0, Observation{MissDetected: true, OutstandingDemand: 1})
+	now := drive(c, 1, 3, Observation{Issued: 0, OutstandingDemand: 1})
+	now = drive(c, now, 16, Observation{OutstandingDemand: 1})
+	drive(c, now, 100, Observation{OutstandingDemand: 1})
+	if c.Mode() != ModeLow {
+		t.Fatalf("escalated with one outstanding miss: %v", c.Mode())
+	}
+}
+
+func TestDeepUpFSMStillWorks(t *testing.T) {
+	// In deep mode with misses outstanding, a return plus sustained issue
+	// activity must trigger the climb via the up-FSM.
+	c := New(deepPolicy(), DefaultTiming())
+	c.BeginTick(0)
+	c.EndTick(0, Observation{MissDetected: true, OutstandingDemand: 4})
+	now := drive(c, 1, 3, Observation{Issued: 0, OutstandingDemand: 4})
+	now = drive(c, now, 16+1+2+4, Observation{OutstandingDemand: 4})
+	if c.Mode() != ModeDeep {
+		t.Fatalf("mode = %v, want deep", c.Mode())
+	}
+	c.BeginTick(now)
+	c.EndTick(now, Observation{MissReturned: true, OutstandingDemand: 3, Issued: 2})
+	now++
+	for c.Mode() == ModeDeep {
+		c.BeginTick(now)
+		c.EndTick(now, Observation{Issued: 2, OutstandingDemand: 3})
+		now++
+		if now > 1000 {
+			t.Fatal("up-FSM never fired from deep mode")
+		}
+	}
+	if c.Stats().UpFSMFired != 1 {
+		t.Fatalf("up-FSM fired = %d", c.Stats().UpFSMFired)
+	}
+}
+
+func TestDeepTimingValidation(t *testing.T) {
+	tm := DefaultTiming()
+	tm.Deep.VDD = 1.5 // >= VDDL: invalid
+	if tm.Validate() == nil {
+		t.Error("deep VDD above VDDL accepted")
+	}
+	tm = DefaultTiming()
+	tm.Deep.Divider = 1
+	if tm.Validate() == nil {
+		t.Error("deep divider 1 accepted")
+	}
+	tm = DefaultTiming()
+	tm.Deep = DeepLevel{} // zero value disables validation of the level
+	if err := tm.Validate(); err != nil {
+		t.Errorf("zero deep level rejected: %v", err)
+	}
+	if PolicyFSM().Validate() != nil {
+		t.Error("default policy invalid")
+	}
+	p := PolicyFSM()
+	p.EscalateOutstanding = -1
+	if p.Validate() == nil {
+		t.Error("negative escalation accepted")
+	}
+}
+
+func TestRampTicksFor(t *testing.T) {
+	tm := DefaultTiming()
+	if got := tm.rampTicksFor(1.8, 1.2); got != 12 {
+		t.Errorf("1.8->1.2 = %d, want 12", got)
+	}
+	if got := tm.rampTicksFor(1.2, 1.0); got != 4 {
+		t.Errorf("1.2->1.0 = %d, want 4", got)
+	}
+	if got := tm.rampTicksFor(1.0, 1.8); got != 16 {
+		t.Errorf("1.0->1.8 = %d, want 16", got)
+	}
+	if got := tm.rampTicksFor(1.2, 1.2); got != 1 {
+		t.Errorf("zero swing = %d, want 1 (floor)", got)
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+// downFSM implements §4.2: after an L2 demand miss is detected, watch the
+// issue rate for a window of full-speed cycles; if `threshold` consecutive
+// cycles issue zero instructions, signal the high→low transition. The
+// transition may begin the moment the threshold is met — the FSM does not
+// wait out the window.
+type downFSM struct {
+	threshold int
+	window    int
+
+	armed       bool
+	cyclesSeen  int
+	zeroStreak  int
+	timesArmed  uint64
+	timesFired  uint64
+	timesLapsed uint64
+}
+
+func newDownFSM(threshold, window int) *downFSM {
+	return &downFSM{threshold: threshold, window: window}
+}
+
+// arm starts (or restarts) a monitoring window. The paper arms on each L2
+// demand miss detection; re-arming while already monitoring restarts the
+// window, which matches a hardware monitor whose counter is reset by the
+// (edge-triggered) miss-detect signal.
+func (f *downFSM) arm() {
+	f.armed = true
+	f.cyclesSeen = 0
+	f.zeroStreak = 0
+	f.timesArmed++
+}
+
+func (f *downFSM) disarm() { f.armed = false }
+
+// observe consumes one pipeline cycle's issue count and reports whether the
+// FSM fires (low ILP confirmed).
+func (f *downFSM) observe(issued int) bool {
+	if !f.armed {
+		return false
+	}
+	f.cyclesSeen++
+	if issued == 0 {
+		f.zeroStreak++
+	} else {
+		f.zeroStreak = 0
+	}
+	if f.zeroStreak >= f.threshold {
+		f.armed = false
+		f.timesFired++
+		return true
+	}
+	if f.cyclesSeen >= f.window {
+		f.armed = false
+		f.timesLapsed++
+	}
+	return false
+}
+
+// upFSM implements §4.4: after an L2 miss returns in low-power mode, watch
+// the issue rate for a window of half-speed cycles; if `threshold`
+// consecutive cycles each issue at least one instruction, signal the
+// low→high transition.
+type upFSM struct {
+	threshold int
+	window    int
+
+	armed       bool
+	cyclesSeen  int
+	busyStreak  int
+	timesArmed  uint64
+	timesFired  uint64
+	timesLapsed uint64
+}
+
+func newUpFSM(threshold, window int) *upFSM {
+	return &upFSM{threshold: threshold, window: window}
+}
+
+func (f *upFSM) arm() {
+	f.armed = true
+	f.cyclesSeen = 0
+	f.busyStreak = 0
+	f.timesArmed++
+}
+
+func (f *upFSM) disarm() { f.armed = false }
+
+func (f *upFSM) observe(issued int) bool {
+	if !f.armed {
+		return false
+	}
+	f.cyclesSeen++
+	if issued > 0 {
+		f.busyStreak++
+	} else {
+		f.busyStreak = 0
+	}
+	if f.busyStreak >= f.threshold {
+		f.armed = false
+		f.timesFired++
+		return true
+	}
+	if f.cyclesSeen >= f.window {
+		f.armed = false
+		f.timesLapsed++
+	}
+	return false
+}

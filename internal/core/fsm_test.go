@@ -1,0 +1,134 @@
+package core
+
+import "testing"
+
+func TestDownFSMFiresOnConsecutiveZeroIssue(t *testing.T) {
+	f := newDownFSM(3, 10)
+	f.arm()
+	if f.observe(0) || f.observe(0) {
+		t.Fatal("fired before threshold")
+	}
+	if !f.observe(0) {
+		t.Fatal("did not fire at threshold")
+	}
+	if f.armed {
+		t.Fatal("still armed after firing")
+	}
+}
+
+func TestDownFSMStreakResetByIssue(t *testing.T) {
+	f := newDownFSM(3, 10)
+	f.arm()
+	f.observe(0)
+	f.observe(0)
+	f.observe(2) // breaks the streak
+	if f.observe(0) || f.observe(0) {
+		t.Fatal("fired without 3 consecutive zero-issue cycles")
+	}
+	if !f.observe(0) {
+		t.Fatal("did not fire after new streak")
+	}
+}
+
+func TestDownFSMWindowLapse(t *testing.T) {
+	f := newDownFSM(3, 5)
+	f.arm()
+	// Alternate so the streak never reaches 3 within the 5-cycle window.
+	seq := []int{0, 1, 0, 1, 0}
+	for _, n := range seq {
+		if f.observe(n) {
+			t.Fatal("fired spuriously")
+		}
+	}
+	if f.armed {
+		t.Fatal("still armed after window lapsed")
+	}
+	if f.timesLapsed != 1 {
+		t.Fatalf("lapses = %d", f.timesLapsed)
+	}
+	// After lapsing, observations are ignored until re-armed.
+	if f.observe(0) {
+		t.Fatal("fired while disarmed")
+	}
+}
+
+func TestDownFSMRearmRestartsWindow(t *testing.T) {
+	f := newDownFSM(2, 3)
+	f.arm()
+	f.observe(1)
+	f.observe(1)
+	f.arm() // new miss detection restarts the window
+	if f.observe(0) {
+		t.Fatal("fired after one zero cycle")
+	}
+	if !f.observe(0) {
+		t.Fatal("restarted window did not fire")
+	}
+}
+
+func TestDownFSMObserveWhileDisarmed(t *testing.T) {
+	f := newDownFSM(1, 10)
+	if f.observe(0) {
+		t.Fatal("disarmed FSM fired")
+	}
+}
+
+func TestUpFSMFiresOnConsecutiveBusy(t *testing.T) {
+	f := newUpFSM(3, 10)
+	f.arm()
+	if f.observe(1) || f.observe(4) {
+		t.Fatal("fired before threshold")
+	}
+	if !f.observe(2) {
+		t.Fatal("did not fire at threshold")
+	}
+}
+
+func TestUpFSMStreakResetByIdle(t *testing.T) {
+	f := newUpFSM(2, 10)
+	f.arm()
+	f.observe(1)
+	f.observe(0)
+	if f.observe(1) {
+		t.Fatal("fired without consecutive busy cycles")
+	}
+	if !f.observe(1) {
+		t.Fatal("did not fire after new streak")
+	}
+}
+
+func TestUpFSMWindowLapse(t *testing.T) {
+	f := newUpFSM(3, 4)
+	f.arm()
+	for _, n := range []int{1, 0, 1, 0} {
+		if f.observe(n) {
+			t.Fatal("fired spuriously")
+		}
+	}
+	if f.armed {
+		t.Fatal("still armed after lapse")
+	}
+}
+
+func TestUpFSMThresholdOne(t *testing.T) {
+	f := newUpFSM(1, 10)
+	f.arm()
+	if f.observe(0) {
+		t.Fatal("fired on idle cycle")
+	}
+	if !f.observe(1) {
+		t.Fatal("threshold-1 FSM did not fire on first busy cycle")
+	}
+}
+
+func TestFSMCounters(t *testing.T) {
+	f := newDownFSM(1, 2)
+	f.arm()
+	f.observe(0)
+	f.arm()
+	f.observe(1)
+	f.observe(1)
+	if f.timesArmed != 2 || f.timesFired != 1 || f.timesLapsed != 1 {
+		t.Fatalf("counters = %d/%d/%d", f.timesArmed, f.timesFired, f.timesLapsed)
+	}
+}

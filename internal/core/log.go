@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EventKind labels a controller trace event.
+type EventKind uint8
+
+const (
+	// EvModeChange records entry into a new mode.
+	EvModeChange EventKind = iota
+	// EvRampStart records the start of a voltage ramp.
+	EvRampStart
+	// EvMonitorDownArmed records the down-FSM starting a window.
+	EvMonitorDownArmed
+	// EvMonitorDownLapsed records a down-FSM window expiring (high ILP).
+	EvMonitorDownLapsed
+	// EvMonitorDownAborted records monitoring cancelled because every miss
+	// returned.
+	EvMonitorDownAborted
+	// EvDownFSMFired records the down-FSM confirming low ILP.
+	EvDownFSMFired
+	// EvImmediateDown records a no-monitoring high→low trigger.
+	EvImmediateDown
+	// EvMonitorUpArmed records the up-FSM starting a window.
+	EvMonitorUpArmed
+	// EvMonitorUpLapsed records an up-FSM window expiring (low ILP).
+	EvMonitorUpLapsed
+	// EvUpFSMFired records the up-FSM confirming high ILP.
+	EvUpFSMFired
+	// EvFirstRUp records a First-R low→high trigger.
+	EvFirstRUp
+	// EvAllReturnedUp records a low→high trigger because no demand miss
+	// remained outstanding.
+	EvAllReturnedUp
+	// EvEscalateDeep records a low→deep escalation (extension).
+	EvEscalateDeep
+)
+
+var eventNames = map[EventKind]string{
+	EvModeChange:         "mode",
+	EvRampStart:          "ramp-start",
+	EvMonitorDownArmed:   "down-monitor-armed",
+	EvMonitorDownLapsed:  "down-monitor-lapsed",
+	EvMonitorDownAborted: "down-monitor-aborted",
+	EvDownFSMFired:       "down-fsm-fired",
+	EvImmediateDown:      "immediate-down",
+	EvMonitorUpArmed:     "up-monitor-armed",
+	EvMonitorUpLapsed:    "up-monitor-lapsed",
+	EvUpFSMFired:         "up-fsm-fired",
+	EvFirstRUp:           "first-r-up",
+	EvAllReturnedUp:      "all-returned-up",
+	EvEscalateDeep:       "escalate-deep",
+}
+
+// String names the event kind.
+func (k EventKind) String() string {
+	if s, ok := eventNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Event is one entry of the controller trace.
+type Event struct {
+	Tick int64
+	Kind EventKind
+	Mode Mode
+}
+
+// String formats the event.
+func (e Event) String() string {
+	if e.Kind == EvModeChange {
+		return fmt.Sprintf("t=%-6d enter %s", e.Tick, e.Mode)
+	}
+	return fmt.Sprintf("t=%-6d %s (in %s)", e.Tick, e.Kind, e.Mode)
+}
+
+// TraceLog records the first N controller events of a run; it is used by
+// the timeline example and the Figure 2/3 reproduction tests. Recording
+// stops (cheaply) once the limit is reached so long runs pay nothing.
+type TraceLog struct {
+	limit   int
+	events  []Event
+	dropped uint64
+}
+
+// NewTraceLog builds a log that keeps the first limit events (limit <= 0
+// disables recording entirely).
+func NewTraceLog(limit int) *TraceLog {
+	return &TraceLog{limit: limit}
+}
+
+// Add appends an event if capacity remains.
+func (l *TraceLog) Add(tick int64, kind EventKind, mode Mode) {
+	if len(l.events) >= l.limit {
+		l.dropped++
+		return
+	}
+	l.events = append(l.events, Event{Tick: tick, Kind: kind, Mode: mode})
+}
+
+// Events returns the recorded events.
+func (l *TraceLog) Events() []Event { return l.events }
+
+// Dropped returns how many events exceeded the limit.
+func (l *TraceLog) Dropped() uint64 { return l.dropped }
+
+// Reset clears the log, keeping the limit.
+func (l *TraceLog) Reset() {
+	l.events = l.events[:0]
+	l.dropped = 0
+}
+
+// SetLimit changes the capacity (existing events are kept up to the new
+// limit).
+func (l *TraceLog) SetLimit(n int) {
+	l.limit = n
+	if len(l.events) > n && n >= 0 {
+		l.events = l.events[:n]
+	}
+}
+
+// Render formats the log as the paper's Figure 2/3-style timeline.
+func (l *TraceLog) Render() string {
+	var b strings.Builder
+	for _, e := range l.events {
+		fmt.Fprintf(&b, "%s\n", e)
+	}
+	if l.dropped > 0 {
+		fmt.Fprintf(&b, "... (%d more events not recorded)\n", l.dropped)
+	}
+	return b.String()
+}

@@ -1,0 +1,263 @@
+// Package core implements the paper's contribution: the VSV (variable
+// supply-voltage scaling) controller. It owns the two issue-rate-monitoring
+// state machines (down-FSM and up-FSM, §4.2/§4.4), the mode state machine
+// with the circuit-level transition timing of Figures 2 and 3, and the
+// per-tick voltage/clock-speed outputs the power model and pipeline consume.
+//
+// Timing convention: one tick = 1 ns = one full-speed cycle at the 1 GHz
+// nominal clock. In low-power mode and during both voltage ramps the
+// pipeline is clocked at half speed, i.e. it gets a "pipeline edge" every
+// second tick; the controller decides and reports those edges.
+package core
+
+import "fmt"
+
+// UpMode selects how the controller decides to leave low-power mode.
+type UpMode uint8
+
+const (
+	// UpFSM uses the up-FSM issue-rate monitor (the paper's mechanism).
+	// Independently of the monitor, the controller always returns to high
+	// power when no demand miss remains outstanding (§4.4: a sole
+	// outstanding miss returning triggers the transition unconditionally).
+	UpFSM UpMode = iota
+	// UpFirstR transitions up as soon as any outstanding miss returns
+	// (the First-R heuristic of §6.3).
+	UpFirstR
+	// UpLastR transitions up only when the last outstanding miss returns
+	// (the Last-R heuristic of §6.3).
+	UpLastR
+)
+
+// String names the mode.
+func (m UpMode) String() string {
+	switch m {
+	case UpFSM:
+		return "up-FSM"
+	case UpFirstR:
+		return "First-R"
+	case UpLastR:
+		return "Last-R"
+	default:
+		return fmt.Sprintf("upmode(%d)", uint8(m))
+	}
+}
+
+// Policy configures when VSV transitions between power modes.
+type Policy struct {
+	// UseDownFSM enables the down-FSM. When false (or when DownThreshold is
+	// zero) the controller begins the high→low transition as soon as an L2
+	// demand miss is detected, matching the paper's "Threshold 0" and
+	// "without FSMs" configurations.
+	UseDownFSM bool
+	// DownThreshold is the number of consecutive zero-issue pipeline cycles
+	// the down-FSM must observe to trigger (paper explores 1, 3, 5).
+	DownThreshold int
+	// DownWindow is the down-FSM monitoring period in full-speed cycles
+	// (paper: 10).
+	DownWindow int
+
+	// Up selects the low→high trigger.
+	Up UpMode
+	// UpThreshold is the number of consecutive at-least-one-issue
+	// half-speed cycles the up-FSM must observe to trigger (paper: 1, 3, 5).
+	UpThreshold int
+	// UpWindow is the up-FSM monitoring period in half-speed cycles
+	// (paper: 10).
+	UpWindow int
+
+	// Adaptive, when enabled, lets the controller tune the down-FSM
+	// threshold at run time from observed low-power residencies (an
+	// extension; see adaptive.go).
+	Adaptive AdaptiveConfig
+
+	// EscalateOutstanding, when positive, enables the deep-low extension:
+	// while in low-power mode with at least this many demand misses
+	// outstanding, the controller descends to Timing.Deep's voltage and
+	// clock divider. Zero (the default, and the paper's behaviour)
+	// disables escalation.
+	EscalateOutstanding int
+}
+
+// PolicyFSM returns the paper's best configuration: down-FSM with a
+// 3-cycle threshold in a 10-cycle window, up-FSM with a 3-half-cycle
+// threshold in a 10-half-cycle window (§6.2–6.3).
+func PolicyFSM() Policy {
+	return Policy{
+		UseDownFSM:    true,
+		DownThreshold: 3,
+		DownWindow:    10,
+		Up:            UpFSM,
+		UpThreshold:   3,
+		UpWindow:      10,
+	}
+}
+
+// PolicyNoFSM returns the "without FSMs" configuration of Figure 4: go low
+// whenever an L2 demand miss is detected, go high whenever a miss returns.
+func PolicyNoFSM() Policy {
+	return Policy{UseDownFSM: false, Up: UpFirstR}
+}
+
+// PolicyFirstR keeps the down-FSM but uses the First-R up heuristic (§6.3).
+func PolicyFirstR() Policy {
+	p := PolicyFSM()
+	p.Up = UpFirstR
+	return p
+}
+
+// PolicyLastR keeps the down-FSM but uses the Last-R up heuristic (§6.3).
+func PolicyLastR() Policy {
+	p := PolicyFSM()
+	p.Up = UpLastR
+	return p
+}
+
+// Validate reports a policy error, if any.
+func (p Policy) Validate() error {
+	if p.UseDownFSM {
+		if p.DownThreshold < 0 {
+			return fmt.Errorf("vsv policy: negative down threshold")
+		}
+		if p.DownWindow < 1 {
+			return fmt.Errorf("vsv policy: down window %d < 1", p.DownWindow)
+		}
+		if p.DownThreshold > p.DownWindow {
+			return fmt.Errorf("vsv policy: down threshold %d exceeds window %d", p.DownThreshold, p.DownWindow)
+		}
+	}
+	if p.Up == UpFSM {
+		if p.UpThreshold < 1 {
+			return fmt.Errorf("vsv policy: up threshold %d < 1", p.UpThreshold)
+		}
+		if p.UpWindow < 1 || p.UpThreshold > p.UpWindow {
+			return fmt.Errorf("vsv policy: up threshold %d / window %d invalid", p.UpThreshold, p.UpWindow)
+		}
+	}
+	if p.Up > UpLastR {
+		return fmt.Errorf("vsv policy: unknown up mode %d", p.Up)
+	}
+	if p.EscalateOutstanding < 0 {
+		return fmt.Errorf("vsv policy: negative escalation threshold")
+	}
+	if err := p.Adaptive.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// String summarizes the policy.
+func (p Policy) String() string {
+	down := "immediate"
+	if p.UseDownFSM && p.DownThreshold > 0 {
+		down = fmt.Sprintf("down-FSM(th=%d,win=%d)", p.DownThreshold, p.DownWindow)
+	}
+	up := p.Up.String()
+	if p.Up == UpFSM {
+		up = fmt.Sprintf("up-FSM(th=%d,win=%d)", p.UpThreshold, p.UpWindow)
+	}
+	return down + "/" + up
+}
+
+// Timing holds the circuit-level transition constants (§3.2, §3.4).
+type Timing struct {
+	// VDDH and VDDL are the two supply voltages in volts.
+	VDDH, VDDL float64
+	// RampTicks is the VDD transition time in ticks (12 ns for 0.6 V at the
+	// conservative 0.05 V/ns slew of §3.2).
+	RampTicks int
+	// DownDistTicks is the control-signal + slow-clock distribution time
+	// before a downward ramp (4 ns, Figure 2).
+	DownDistTicks int
+	// UpDistTicks is the control-signal distribution time before an upward
+	// ramp (2 ns, Figure 3).
+	UpDistTicks int
+	// OverlapClockTree overlaps the 2 ns full-speed clock-tree propagation
+	// with the tail of the upward ramp (§3.4's "slight optimization"). When
+	// false the transition takes 2 extra ticks at half speed.
+	OverlapClockTree bool
+	// ClockTreeTicks is the clock-tree propagation time (2 ns).
+	ClockTreeTicks int
+	// Deep configures the third, deep-low level used by the escalation
+	// extension (ignored unless a policy sets EscalateOutstanding).
+	Deep DeepLevel
+}
+
+// DeepLevel describes the extension's deep-low operating point. At 1.0 V a
+// 0.18 µm pipeline no longer meets half-speed timing, but comfortably
+// meets quarter speed ((VDD−VT)^α scaling), and the integer divider keeps
+// the paper's PLL-free clocking scheme.
+type DeepLevel struct {
+	// VDD is the deep supply voltage.
+	VDD float64
+	// Divider is the deep clock divider (4 = quarter speed).
+	Divider int
+	// DistTicks is the control-distribution time before the deep ramp.
+	DistTicks int
+}
+
+// DefaultDeepLevel returns the extension's default deep point: 1.0 V at
+// quarter speed with a 2 ns control distribution.
+func DefaultDeepLevel() DeepLevel {
+	return DeepLevel{VDD: 1.0, Divider: 4, DistTicks: 2}
+}
+
+// DefaultTiming returns the paper's constants for TSMC 0.18 µm at 1 GHz.
+func DefaultTiming() Timing {
+	return Timing{
+		VDDH:             1.8,
+		VDDL:             1.2,
+		RampTicks:        12,
+		DownDistTicks:    4,
+		UpDistTicks:      2,
+		OverlapClockTree: true,
+		ClockTreeTicks:   2,
+		Deep:             DefaultDeepLevel(),
+	}
+}
+
+// rampTicksFor converts a voltage swing into ramp ticks at the fixed slew
+// rate implied by RampTicks over the VDDH→VDDL swing (0.05 V/ns with the
+// defaults, §3.2).
+func (t Timing) rampTicksFor(from, to float64) int {
+	swing := from - to
+	if swing < 0 {
+		swing = -swing
+	}
+	perVolt := float64(t.RampTicks) / (t.VDDH - t.VDDL)
+	n := int(swing*perVolt + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Validate reports a timing error, if any.
+func (t Timing) Validate() error {
+	switch {
+	case t.VDDH <= 0 || t.VDDL <= 0 || t.VDDL >= t.VDDH:
+		return fmt.Errorf("vsv timing: need 0 < VDDL < VDDH, got %g/%g", t.VDDL, t.VDDH)
+	case t.RampTicks < 1:
+		return fmt.Errorf("vsv timing: ramp ticks %d < 1", t.RampTicks)
+	case t.DownDistTicks < 0 || t.UpDistTicks < 0 || t.ClockTreeTicks < 0:
+		return fmt.Errorf("vsv timing: negative distribution time")
+	case t.Deep.Divider != 0 && (t.Deep.Divider < 2 || t.Deep.VDD <= 0 ||
+		t.Deep.VDD >= t.VDDL || t.Deep.DistTicks < 0):
+		return fmt.Errorf("vsv timing: invalid deep level %+v", t.Deep)
+	}
+	return nil
+}
+
+// UpTransitionTicks returns the total low→high transition length in ticks.
+func (t Timing) UpTransitionTicks() int {
+	n := t.UpDistTicks + t.RampTicks
+	if !t.OverlapClockTree {
+		n += t.ClockTreeTicks
+	}
+	return n
+}
+
+// DownTransitionTicks returns the total high→low transition length in ticks.
+func (t Timing) DownTransitionTicks() int {
+	return t.DownDistTicks + t.RampTicks
+}

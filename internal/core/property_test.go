@@ -1,0 +1,234 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// legalNext enumerates the mode machine's legal successor modes.
+var legalNext = map[Mode][]Mode{
+	ModeHigh:     {ModeHigh, ModeDownDist, ModeDownRamp},
+	ModeDownDist: {ModeDownDist, ModeDownRamp},
+	ModeDownRamp: {ModeDownRamp, ModeLow},
+	ModeLow:      {ModeLow, ModeUpDist, ModeUpRamp, ModeDeepDist, ModeDeepRamp},
+	ModeUpDist:   {ModeUpDist, ModeUpRamp},
+	ModeUpRamp:   {ModeUpRamp, ModeUpTree, ModeHigh},
+	ModeUpTree:   {ModeUpTree, ModeHigh},
+	ModeDeepDist: {ModeDeepDist, ModeDeepRamp},
+	ModeDeepRamp: {ModeDeepRamp, ModeDeep},
+	ModeDeep:     {ModeDeep, ModeUpDist, ModeUpRamp},
+}
+
+func isLegal(from, to Mode) bool {
+	for _, m := range legalNext[from] {
+		if m == to {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPropertyControllerInvariants drives the controller with random but
+// internally-consistent observation streams and checks, at every tick:
+//   - mode transitions follow the legal state graph,
+//   - VDD stays within [VDDL, VDDH],
+//   - VDD only changes during ramp modes,
+//   - at half speed exactly every second tick is an edge,
+//   - the controller eventually leaves low-power mode once all misses
+//     return and never enters it without a demand miss outstanding.
+func TestPropertyControllerInvariants(t *testing.T) {
+	f := func(seed uint64, policyPick uint8) bool {
+		r := rng.New(seed)
+		var policy Policy
+		switch policyPick % 5 {
+		case 0:
+			policy = PolicyFSM()
+		case 1:
+			policy = PolicyNoFSM()
+		case 2:
+			policy = PolicyFirstR()
+		case 3:
+			policy = PolicyLastR()
+		default:
+			policy = PolicyFSM()
+			policy.EscalateOutstanding = 2 // deep-low extension
+		}
+		tm := DefaultTiming()
+		c := New(policy, tm)
+
+		outstanding := 0
+		prevMode := c.Mode()
+		prevVDD := c.VDD()
+		lastEdge := true
+		for now := int64(0); now < 3000; now++ {
+			edge := c.BeginTick(now)
+			mode := c.Mode()
+			vdd := c.VDD()
+
+			if !isLegal(prevMode, mode) {
+				t.Logf("illegal transition %v -> %v at %d", prevMode, mode, now)
+				return false
+			}
+			floor := tm.VDDL
+			if policy.EscalateOutstanding > 0 {
+				floor = tm.Deep.VDD
+			}
+			if vdd < floor-1e-9 || vdd > tm.VDDH+1e-9 {
+				t.Logf("VDD %v out of range at %d", vdd, now)
+				return false
+			}
+			if mode == prevMode && mode != ModeDownRamp && mode != ModeUpRamp &&
+				mode != ModeDeepRamp && vdd != prevVDD {
+				t.Logf("VDD changed outside a ramp (%v) at %d", mode, now)
+				return false
+			}
+			if mode == ModeHigh && !edge {
+				t.Logf("missing edge in high mode at %d", now)
+				return false
+			}
+			if mode != ModeHigh && prevMode != ModeHigh && edge && lastEdge {
+				t.Logf("two consecutive edges at half speed at %d", now)
+				return false
+			}
+
+			// Synthesize a consistent observation.
+			obs := Observation{}
+			if edge {
+				obs.Issued = r.Intn(4)
+			}
+			// Returns are decided before detections so a miss cannot be
+			// detected and returned within the same tick.
+			if outstanding > 0 && r.Bool(0.06) {
+				outstanding--
+				obs.MissReturned = true
+			}
+			if outstanding < 4 && r.Bool(0.08) {
+				outstanding++
+				obs.MissDetected = true
+			}
+			obs.OutstandingDemand = outstanding
+
+			// The controller must never head down with nothing outstanding.
+			if mode == ModeHigh && outstanding == 0 && obs.MissDetected {
+				t.Logf("constructed detection with zero outstanding at %d", now)
+				return false
+			}
+			c.EndTick(now, obs)
+			prevMode, prevVDD, lastEdge = mode, vdd, edge
+		}
+		// Drain: with no outstanding misses the controller must return to
+		// high power within one transition worth of ticks.
+		for now := int64(3000); now < 3100; now++ {
+			c.BeginTick(now)
+			c.EndTick(now, Observation{Issued: 1, OutstandingDemand: 0})
+		}
+		if c.Mode() != ModeHigh {
+			t.Logf("controller stuck in %v after all misses returned", c.Mode())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRampTickCount checks that every completed down(up) ramp
+// spends exactly RampTicks ticks in the ramp mode.
+func TestPropertyRampTickCount(t *testing.T) {
+	c := New(PolicyNoFSM(), DefaultTiming())
+	now := int64(0)
+	for cycle := 0; cycle < 10; cycle++ {
+		c.BeginTick(now)
+		c.EndTick(now, Observation{MissDetected: true, OutstandingDemand: 1})
+		now++
+		downRamp := 0
+		for c.Mode() != ModeLow {
+			c.BeginTick(now)
+			if c.Mode() == ModeDownRamp {
+				downRamp++
+			}
+			c.EndTick(now, Observation{OutstandingDemand: 1})
+			now++
+		}
+		if downRamp != DefaultTiming().RampTicks {
+			t.Fatalf("cycle %d: down ramp lasted %d ticks", cycle, downRamp)
+		}
+		c.BeginTick(now)
+		c.EndTick(now, Observation{MissReturned: true, OutstandingDemand: 0})
+		now++
+		upRamp := 0
+		for c.Mode() != ModeHigh {
+			c.BeginTick(now)
+			if c.Mode() == ModeUpRamp {
+				upRamp++
+			}
+			c.EndTick(now, Observation{})
+			now++
+		}
+		if upRamp != DefaultTiming().RampTicks {
+			t.Fatalf("cycle %d: up ramp lasted %d ticks", cycle, upRamp)
+		}
+		// Settle one high tick (the recheck tick).
+		c.BeginTick(now)
+		c.EndTick(now, Observation{Issued: 1})
+		now++
+	}
+}
+
+// TestPropertyStatsConsistent checks counter identities after random runs.
+func TestPropertyStatsConsistent(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		c := New(PolicyFSM(), DefaultTiming())
+		outstanding := 0
+		for now := int64(0); now < 2000; now++ {
+			edge := c.BeginTick(now)
+			obs := Observation{}
+			if edge {
+				obs.Issued = r.Intn(3)
+			}
+			if outstanding < 3 && r.Bool(0.1) {
+				outstanding++
+				obs.MissDetected = true
+			}
+			if outstanding > 0 && r.Bool(0.08) {
+				outstanding--
+				obs.MissReturned = true
+			}
+			obs.OutstandingDemand = outstanding
+			c.EndTick(now, obs)
+		}
+		s := c.Stats()
+		// Every completed transition rampss exactly once; at most one
+		// transition can still be in its distribution phase (ramp not yet
+		// begun) when the run stops.
+		total := s.DownTransitions + s.UpTransitions
+		if s.Ramps != total && s.Ramps != total-1 {
+			t.Logf("ramps %d vs transitions %d", s.Ramps, total)
+			return false
+		}
+		if s.UpTransitions > s.DownTransitions {
+			t.Logf("up %d > down %d", s.UpTransitions, s.DownTransitions)
+			return false
+		}
+		var ticks int64
+		for m := 0; m < NumModes; m++ {
+			ticks += s.TicksInMode[m]
+		}
+		if ticks != 2000 {
+			t.Logf("ticks accounted %d != 2000", ticks)
+			return false
+		}
+		if s.PipelineEdges > ticks {
+			t.Logf("edges %d > ticks %d", s.PipelineEdges, ticks)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

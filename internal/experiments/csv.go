@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+)
+
+// Table2CSV renders Table 2 as a report table (CSV-able) with measured and
+// paper columns.
+func Table2CSV(rows []Table2Row) *report.Table {
+	t := report.NewTable("Table 2",
+		"benchmark", "ipc", "ipc_paper", "mr_base", "mr_base_paper", "mr_tk", "mr_tk_paper")
+	for _, r := range rows {
+		t.AddRow(r.Name,
+			report.F(r.IPC, 3), report.F(r.IPCPaper, 2),
+			report.F(r.MR, 2), report.F(r.MRPaper, 1),
+			report.F(r.MRTK, 2), report.F(r.MRPaper2, 1))
+	}
+	return t
+}
+
+// Figure4CSV renders Figure 4's two bar series.
+func Figure4CSV(rows []Fig4Row) *report.Table {
+	t := report.NewTable("Figure 4",
+		"benchmark", "mr", "deg_nofsm_pct", "deg_fsm_pct",
+		"sav_nofsm_pct", "sav_fsm_pct", "lowfrac_fsm")
+	for _, r := range rows {
+		t.AddRow(r.Name, report.F(r.MR, 2),
+			report.Pct(r.NoFSM.PerfDegPct), report.Pct(r.FSM.PerfDegPct),
+			report.Pct(r.NoFSM.PowerSavePct), report.Pct(r.FSM.PowerSavePct),
+			report.F(r.FSM.LowModeFrac, 3))
+	}
+	return t
+}
+
+// Figure5CSV renders the down-threshold sweep in long form (one row per
+// benchmark × threshold).
+func Figure5CSV(rows []Fig5Row) *report.Table {
+	t := report.NewTable("Figure 5",
+		"benchmark", "down_threshold", "deg_pct", "sav_pct", "lowfrac")
+	for _, r := range rows {
+		for i, th := range r.Thresholds {
+			p := r.Points[i]
+			t.AddRow(r.Name, report.I(int64(th)),
+				report.Pct(p.PerfDegPct), report.Pct(p.PowerSavePct),
+				report.F(p.LowModeFrac, 3))
+		}
+	}
+	return t
+}
+
+// Figure6CSV renders the up-trigger sweep in long form.
+func Figure6CSV(rows []Fig6Row) *report.Table {
+	t := report.NewTable("Figure 6",
+		"benchmark", "up_trigger", "deg_pct", "sav_pct", "lowfrac")
+	for _, r := range rows {
+		for i, v := range r.Variants {
+			p := r.Points[i]
+			t.AddRow(r.Name, v,
+				report.Pct(p.PerfDegPct), report.Pct(p.PowerSavePct),
+				report.F(p.LowModeFrac, 3))
+		}
+	}
+	return t
+}
+
+// Figure7CSV renders the Time-Keeping stress test.
+func Figure7CSV(rows []Fig7Row) *report.Table {
+	t := report.NewTable("Figure 7",
+		"benchmark", "mr_base", "mr_tk",
+		"deg_notk_pct", "deg_tk_pct", "sav_notk_pct", "sav_tk_pct")
+	for _, r := range rows {
+		t.AddRow(r.Name, report.F(r.MRBase, 2), report.F(r.MRTK, 2),
+			report.Pct(r.NoTK.PerfDegPct), report.Pct(r.TK.PerfDegPct),
+			report.Pct(r.NoTK.PowerSavePct), report.Pct(r.TK.PowerSavePct))
+	}
+	return t
+}
+
+// SummaryCSV renders the headline averages next to the paper's.
+func SummaryCSV(got Summary) *report.Table {
+	want := PaperSummary()
+	t := report.NewTable("Headline summary", "metric", "measured", "paper")
+	add := func(name string, m, p float64) {
+		t.AddRow(name, report.Pct(m), report.Pct(p))
+	}
+	add("highmr_save_pct", got.HighMRSavePct, want.HighMRSavePct)
+	add("highmr_deg_pct", got.HighMRDegPct, want.HighMRDegPct)
+	add("all_save_pct", got.AllSavePct, want.AllSavePct)
+	add("all_deg_pct", got.AllDegPct, want.AllDegPct)
+	add("tk_highmr_save_pct", got.TKHighMRSavePct, want.TKHighMRSavePct)
+	add("tk_highmr_deg_pct", got.TKHighMRDegPct, want.TKHighMRDegPct)
+	add("tk_all_save_pct", got.TKAllSavePct, want.TKAllSavePct)
+	return t
+}
+
+// CSVName maps an experiment id to its export file name.
+func CSVName(exp string) string { return fmt.Sprintf("vsv_%s.csv", exp) }

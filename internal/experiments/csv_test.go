@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable2CSV(t *testing.T) {
+	rows := []Table2Row{{Name: "mcf", IPC: 0.36, IPCPaper: 0.29, MR: 67.5, MRPaper: 67.4, MRTK: 67.4, MRPaper2: 48.2}}
+	csv := Table2CSV(rows).CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "benchmark,ipc,ipc_paper,mr_base,mr_base_paper,mr_tk,mr_tk_paper" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "mcf,0.360,0.29,67.50,") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestFigure4CSV(t *testing.T) {
+	rows := []Fig4Row{{
+		Name: "mcf", MR: 67.5,
+		NoFSM: FigurePoint{PerfDegPct: 1.5, PowerSavePct: 47.0},
+		FSM:   FigurePoint{PerfDegPct: 1.0, PowerSavePct: 58.3, LowModeFrac: 0.98},
+	}}
+	csv := Figure4CSV(rows).CSV()
+	if !strings.Contains(csv, "mcf,67.50,1.5,1.0,47.0,58.3,0.980") {
+		t.Errorf("csv = %q", csv)
+	}
+}
+
+func TestFigure5CSVLongForm(t *testing.T) {
+	rows := []Fig5Row{{
+		Name:       "swim",
+		Thresholds: []int{0, 3},
+		Points: []FigurePoint{
+			{PerfDegPct: 9.4, PowerSavePct: 27.5, LowModeFrac: 0.75},
+			{PerfDegPct: 1.1, PowerSavePct: 6.2, LowModeFrac: 0.22},
+		},
+	}}
+	csv := Figure5CSV(rows).CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows, got %d lines", len(lines))
+	}
+	if lines[1] != "swim,0,9.4,27.5,0.750" || lines[2] != "swim,3,1.1,6.2,0.220" {
+		t.Errorf("rows = %q / %q", lines[1], lines[2])
+	}
+}
+
+func TestFigure6CSVLongForm(t *testing.T) {
+	rows := []Fig6Row{{
+		Name:     "mcf",
+		Variants: []string{"First-R", "Last-R"},
+		Points: []FigurePoint{
+			{PerfDegPct: 1.3, PowerSavePct: 44.5},
+			{PerfDegPct: 1.0, PowerSavePct: 60.7},
+		},
+	}}
+	csv := Figure6CSV(rows).CSV()
+	if !strings.Contains(csv, "mcf,First-R,1.3,44.5") || !strings.Contains(csv, "mcf,Last-R,1.0,60.7") {
+		t.Errorf("csv = %q", csv)
+	}
+}
+
+func TestFigure7CSV(t *testing.T) {
+	rows := []Fig7Row{{
+		Name: "lucas", MRBase: 9.9, MRTK: 4.1,
+		NoTK: FigurePoint{PerfDegPct: 1.5, PowerSavePct: 10.8},
+		TK:   FigurePoint{PerfDegPct: 0.8, PowerSavePct: 4.1},
+	}}
+	csv := Figure7CSV(rows).CSV()
+	if !strings.Contains(csv, "lucas,9.90,4.10,1.5,0.8,10.8,4.1") {
+		t.Errorf("csv = %q", csv)
+	}
+}
+
+func TestSummaryCSV(t *testing.T) {
+	csv := SummaryCSV(Summary{HighMRSavePct: 22.0, HighMRDegPct: 2.0}).CSV()
+	if !strings.Contains(csv, "highmr_save_pct,22.0,20.7") {
+		t.Errorf("csv = %q", csv)
+	}
+	if !strings.Contains(csv, "metric,measured,paper") {
+		t.Errorf("header missing: %q", csv)
+	}
+}
+
+func TestCSVName(t *testing.T) {
+	if CSVName("fig4") != "vsv_fig4.csv" {
+		t.Errorf("name = %q", CSVName("fig4"))
+	}
+}

@@ -1,0 +1,377 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// FigurePoint is one (benchmark, configuration) point of a figure: the
+// paper's two Y axes.
+type FigurePoint struct {
+	PerfDegPct    float64
+	PowerSavePct  float64
+	LowModeFrac   float64
+	TransitionsDn uint64
+}
+
+func point(c sim.Comparison) FigurePoint {
+	return FigurePoint{
+		PerfDegPct:    c.PerfDegradationPct(),
+		PowerSavePct:  c.PowerSavingsPct(),
+		LowModeFrac:   c.VSV.LowFrac,
+		TransitionsDn: c.VSV.Transitions,
+	}
+}
+
+// ---------------------------------------------------------------- Fig 4 --
+
+// Fig4Row holds one benchmark's Figure 4 bars: VSV without and with the
+// FSMs, relative to the same baseline.
+type Fig4Row struct {
+	Name    string
+	MRPaper float64
+	MR      float64
+	NoFSM   FigurePoint
+	FSM     FigurePoint
+}
+
+// Figure4 reproduces Figure 4: performance degradation and total CPU power
+// savings for VSV with and without the FSMs, across all benchmarks sorted
+// by decreasing MR. All runs include DCG and software prefetching.
+func Figure4(o Options, names []string) ([]Fig4Row, error) {
+	base := BenchConfig(o)
+	noFSM := BenchConfig(o).WithVSV(core.PolicyNoFSM())
+	fsm := BenchConfig(o).WithVSV(core.PolicyFSM())
+	var jobs []job
+	for _, n := range names {
+		jobs = append(jobs,
+			job{key: "base/" + n, name: n, cfg: base},
+			job{key: "nofsm/" + n, name: n, cfg: noFSM},
+			job{key: "fsm/" + n, name: n, cfg: fsm},
+		)
+	}
+	res, err := runAll(jobs, o.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig4Row
+	for _, n := range sortByMRDesc(names) {
+		b := res["base/"+n]
+		rows = append(rows, Fig4Row{
+			Name:    n,
+			MRPaper: paperMR(n),
+			MR:      b.MR,
+			NoFSM:   point(sim.Comparison{Base: b, VSV: res["nofsm/"+n]}),
+			FSM:     point(sim.Comparison{Base: b, VSV: res["fsm/"+n]}),
+		})
+	}
+	return rows, nil
+}
+
+// RenderFigure4 formats the two bar charts of Figure 4 as a table.
+func RenderFigure4(rows []Fig4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: VSV with and without the FSMs (benchmarks sorted by decreasing MR)\n")
+	fmt.Fprintf(&b, "%-9s %6s | %21s | %21s\n", "", "", "perf degradation (%)", "power savings (%)")
+	fmt.Fprintf(&b, "%-9s %6s | %10s %10s | %10s %10s %6s\n",
+		"bench", "MR", "no-FSM", "FSM", "no-FSM", "FSM", "low%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %6.1f | %10.1f %10.1f | %10.1f %10.1f %6.0f\n",
+			r.Name, r.MR, r.NoFSM.PerfDegPct, r.FSM.PerfDegPct,
+			r.NoFSM.PowerSavePct, r.FSM.PowerSavePct, r.FSM.LowModeFrac*100)
+	}
+	high := filterFig4(rows, true)
+	fmt.Fprintf(&b, "MR>4 average:   no-FSM %.1f%% deg / %.1f%% save;  FSM %.1f%% deg / %.1f%% save\n",
+		mean(high.noFSMDeg), mean(high.noFSMSave), mean(high.fsmDeg), mean(high.fsmSave))
+	all := filterFig4(rows, false)
+	fmt.Fprintf(&b, "All average:    no-FSM %.1f%% deg / %.1f%% save;  FSM %.1f%% deg / %.1f%% save\n",
+		mean(all.noFSMDeg), mean(all.noFSMSave), mean(all.fsmDeg), mean(all.fsmSave))
+	return b.String()
+}
+
+type fig4Agg struct {
+	noFSMDeg, noFSMSave, fsmDeg, fsmSave []float64
+}
+
+func filterFig4(rows []Fig4Row, highOnly bool) fig4Agg {
+	var a fig4Agg
+	for _, r := range rows {
+		if highOnly && r.MRPaper <= 4.0 {
+			continue
+		}
+		a.noFSMDeg = append(a.noFSMDeg, r.NoFSM.PerfDegPct)
+		a.noFSMSave = append(a.noFSMSave, r.NoFSM.PowerSavePct)
+		a.fsmDeg = append(a.fsmDeg, r.FSM.PerfDegPct)
+		a.fsmSave = append(a.fsmSave, r.FSM.PowerSavePct)
+	}
+	return a
+}
+
+// ---------------------------------------------------------------- Fig 5 --
+
+// Fig5Row holds one benchmark's Figure 5 bars: the down-FSM threshold
+// sweep (0, 1, 3, 5 consecutive zero-issue cycles).
+type Fig5Row struct {
+	Name       string
+	Thresholds []int
+	Points     []FigurePoint
+}
+
+// DownPolicy returns the paper's FSM policy with the given down-FSM
+// threshold; threshold 0 disables monitoring (immediate transition on a
+// miss), exactly Figure 5's "Threshold 0" bar.
+func DownPolicy(threshold int) core.Policy {
+	p := core.PolicyFSM()
+	if threshold == 0 {
+		p.UseDownFSM = false
+	} else {
+		p.DownThreshold = threshold
+	}
+	return p
+}
+
+// Figure5 reproduces Figure 5 on the MR>4 subset.
+func Figure5(o Options, names []string, thresholds []int) ([]Fig5Row, error) {
+	base := BenchConfig(o)
+	var jobs []job
+	for _, n := range names {
+		jobs = append(jobs, job{key: "base/" + n, name: n, cfg: base})
+		for _, th := range thresholds {
+			jobs = append(jobs, job{
+				key:  fmt.Sprintf("th%d/%s", th, n),
+				name: n,
+				cfg:  BenchConfig(o).WithVSV(DownPolicy(th)),
+			})
+		}
+	}
+	res, err := runAll(jobs, o.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig5Row
+	for _, n := range sortByMRDesc(names) {
+		row := Fig5Row{Name: n, Thresholds: thresholds}
+		b := res["base/"+n]
+		for _, th := range thresholds {
+			row.Points = append(row.Points,
+				point(sim.Comparison{Base: b, VSV: res[fmt.Sprintf("th%d/%s", th, n)]}))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFigure5 formats the threshold sweep.
+func RenderFigure5(rows []Fig5Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: Effect of the down-FSM threshold (MR>4 benchmarks)\n")
+	if len(rows) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-9s |", "bench")
+	for _, th := range rows[0].Thresholds {
+		fmt.Fprintf(&b, " deg@%-2d", th)
+	}
+	fmt.Fprintf(&b, " |")
+	for _, th := range rows[0].Thresholds {
+		fmt.Fprintf(&b, " sav@%-2d", th)
+	}
+	fmt.Fprintf(&b, "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s |", r.Name)
+		for _, p := range r.Points {
+			fmt.Fprintf(&b, " %6.1f", p.PerfDegPct)
+		}
+		fmt.Fprintf(&b, " |")
+		for _, p := range r.Points {
+			fmt.Fprintf(&b, " %6.1f", p.PowerSavePct)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Fig 6 --
+
+// UpVariant names one low-to-high trigger of Figure 6.
+type UpVariant struct {
+	Label  string
+	Policy core.Policy
+}
+
+// Figure6Variants returns the paper's Figure 6 X axis: First-R, up-FSM
+// thresholds 1/3/5, Last-R (down-FSM fixed at threshold 3).
+func Figure6Variants() []UpVariant {
+	th := func(t int) core.Policy {
+		p := core.PolicyFSM()
+		p.UpThreshold = t
+		return p
+	}
+	return []UpVariant{
+		{Label: "First-R", Policy: core.PolicyFirstR()},
+		{Label: "1", Policy: th(1)},
+		{Label: "3", Policy: th(3)},
+		{Label: "5", Policy: th(5)},
+		{Label: "Last-R", Policy: core.PolicyLastR()},
+	}
+}
+
+// Fig6Row holds one benchmark's Figure 6 bars.
+type Fig6Row struct {
+	Name     string
+	Variants []string
+	Points   []FigurePoint
+}
+
+// Figure6 reproduces Figure 6 on the MR>4 subset.
+func Figure6(o Options, names []string, variants []UpVariant) ([]Fig6Row, error) {
+	base := BenchConfig(o)
+	var jobs []job
+	for _, n := range names {
+		jobs = append(jobs, job{key: "base/" + n, name: n, cfg: base})
+		for _, v := range variants {
+			jobs = append(jobs, job{
+				key:  v.Label + "/" + n,
+				name: n,
+				cfg:  BenchConfig(o).WithVSV(v.Policy),
+			})
+		}
+	}
+	res, err := runAll(jobs, o.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig6Row
+	for _, n := range sortByMRDesc(names) {
+		row := Fig6Row{Name: n}
+		b := res["base/"+n]
+		for _, v := range variants {
+			row.Variants = append(row.Variants, v.Label)
+			row.Points = append(row.Points,
+				point(sim.Comparison{Base: b, VSV: res[v.Label+"/"+n]}))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFigure6 formats the up-trigger sweep.
+func RenderFigure6(rows []Fig6Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: Effect of the up-FSM threshold vs First-R/Last-R (MR>4 benchmarks)\n")
+	if len(rows) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-9s |", "bench")
+	for _, v := range rows[0].Variants {
+		fmt.Fprintf(&b, " deg@%-7s", v)
+	}
+	fmt.Fprintf(&b, "|")
+	for _, v := range rows[0].Variants {
+		fmt.Fprintf(&b, " sav@%-7s", v)
+	}
+	fmt.Fprintf(&b, "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s |", r.Name)
+		for _, p := range r.Points {
+			fmt.Fprintf(&b, " %11.1f", p.PerfDegPct)
+		}
+		fmt.Fprintf(&b, "|")
+		for _, p := range r.Points {
+			fmt.Fprintf(&b, " %11.1f", p.PowerSavePct)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Fig 7 --
+
+// Fig7Row holds one benchmark's Figure 7 bars: VSV's effect without and
+// with Time-Keeping prefetching (both compared against the matching
+// baseline, as the paper does).
+type Fig7Row struct {
+	Name    string
+	MRPaper float64
+	MRBase  float64
+	MRTK    float64
+	NoTK    FigurePoint
+	TK      FigurePoint
+}
+
+// Figure7 reproduces Figure 7 across all benchmarks.
+func Figure7(o Options, names []string) ([]Fig7Row, error) {
+	base := BenchConfig(o)
+	baseTK := BenchConfig(o).WithTimeKeeping()
+	vsv := BenchConfig(o).WithVSV(core.PolicyFSM())
+	vsvTK := BenchConfig(o).WithTimeKeeping().WithVSV(core.PolicyFSM())
+	var jobs []job
+	for _, n := range names {
+		jobs = append(jobs,
+			job{key: "base/" + n, name: n, cfg: base},
+			job{key: "basetk/" + n, name: n, cfg: baseTK},
+			job{key: "vsv/" + n, name: n, cfg: vsv},
+			job{key: "vsvtk/" + n, name: n, cfg: vsvTK},
+		)
+	}
+	res, err := runAll(jobs, o.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig7Row
+	for _, n := range sortByMRDesc(names) {
+		b, bt := res["base/"+n], res["basetk/"+n]
+		rows = append(rows, Fig7Row{
+			Name:    n,
+			MRPaper: paperMR(n),
+			MRBase:  b.MR,
+			MRTK:    bt.MR,
+			NoTK:    point(sim.Comparison{Base: b, VSV: res["vsv/"+n]}),
+			TK:      point(sim.Comparison{Base: bt, VSV: res["vsvtk/"+n]}),
+		})
+	}
+	return rows, nil
+}
+
+// RenderFigure7 formats the prefetching stress test.
+func RenderFigure7(rows []Fig7Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: Impact of Time-Keeping prefetching on VSV\n")
+	fmt.Fprintf(&b, "%-9s %6s %6s | %19s | %19s\n",
+		"", "MR", "MRtk", "perf degradation(%)", "power savings (%)")
+	fmt.Fprintf(&b, "%-9s %6s %6s | %9s %9s | %9s %9s\n",
+		"bench", "", "", "no-TK", "TK", "no-TK", "TK")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %6.1f %6.1f | %9.1f %9.1f | %9.1f %9.1f\n",
+			r.Name, r.MRBase, r.MRTK,
+			r.NoTK.PerfDegPct, r.TK.PerfDegPct,
+			r.NoTK.PowerSavePct, r.TK.PowerSavePct)
+	}
+	var hiNo, hiTK, allNo, allTK []float64
+	var hiNoD, hiTKD []float64
+	for _, r := range rows {
+		allNo = append(allNo, r.NoTK.PowerSavePct)
+		allTK = append(allTK, r.TK.PowerSavePct)
+		if r.MRPaper > 4.0 {
+			hiNo = append(hiNo, r.NoTK.PowerSavePct)
+			hiTK = append(hiTK, r.TK.PowerSavePct)
+			hiNoD = append(hiNoD, r.NoTK.PerfDegPct)
+			hiTKD = append(hiTKD, r.TK.PerfDegPct)
+		}
+	}
+	fmt.Fprintf(&b, "MR>4 average savings: no-TK %.1f%%, TK %.1f%%  (deg %.1f%% / %.1f%%)\n",
+		mean(hiNo), mean(hiTK), mean(hiNoD), mean(hiTKD))
+	fmt.Fprintf(&b, "All average savings:  no-TK %.1f%%, TK %.1f%%\n", mean(allNo), mean(allTK))
+	return b.String()
+}
+
+func paperMR(name string) float64 {
+	p, err := profileFor(name)
+	if err != nil {
+		return 0
+	}
+	return p.MRPaper
+}

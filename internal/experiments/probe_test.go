@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+var probe = flag.Bool("probe", false, "run figure probes")
+
+func TestProbeFig4(t *testing.T) {
+	if !*probe {
+		t.Skip("probe aid")
+	}
+	o := DefaultOptions()
+	o.WarmupInstructions = 30_000
+	o.MeasureInstructions = 150_000
+	o.Parallelism = 8
+	rows, err := Figure4(o, workload.HighMRNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Print(RenderFigure4(rows))
+}

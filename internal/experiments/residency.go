@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// ResidencyRow summarizes the VSV controller's behaviour on one benchmark —
+// the diagnostic companion to Figure 4, exposing why each benchmark saves
+// what it saves.
+type ResidencyRow struct {
+	Name string
+	MR   float64
+	// LowFrac is the fraction of ticks outside full speed.
+	LowFrac float64
+	// Transitions counts completed high→low descents.
+	Transitions uint64
+	// MeanLowNs is the mean residency per descent in nanoseconds.
+	MeanLowNs float64
+	// DownFired/DownLapsed: down-FSM outcomes (fired = confirmed low ILP).
+	DownFired, DownLapsed uint64
+	// UpFired/UpLapsed/AllReturned: how low-power mode was exited.
+	UpFired, UpLapsed, AllReturned uint64
+	// RampsPer1k is voltage ramps per 1000 instructions (each costs 66 nJ).
+	RampsPer1k float64
+}
+
+// Residency runs VSV (FSM policy) on each benchmark and extracts the
+// controller diagnostics.
+func Residency(o Options, names []string) ([]ResidencyRow, error) {
+	cfg := BenchConfig(o).WithVSV(core.PolicyFSM())
+	var jobs []job
+	for _, n := range names {
+		jobs = append(jobs, job{key: n, name: n, cfg: cfg})
+	}
+	res, err := runAll(jobs, o.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ResidencyRow
+	for _, n := range sortByMRDesc(names) {
+		r := res[n]
+		cs := r.ControllerStats
+		row := ResidencyRow{
+			Name:        n,
+			MR:          r.MR,
+			LowFrac:     r.LowFrac,
+			Transitions: cs.DownTransitions,
+			DownFired:   cs.DownFSMFired,
+			DownLapsed:  cs.DownFSMLapsed,
+			UpFired:     cs.UpFSMFired,
+			UpLapsed:    cs.UpFSMLapsed,
+			AllReturned: cs.AllReturnedUps,
+		}
+		if cs.DownTransitions > 0 {
+			row.MeanLowNs = float64(cs.LowTicks()) / float64(cs.DownTransitions)
+		}
+		if r.Instructions > 0 {
+			row.RampsPer1k = float64(cs.Ramps) / float64(r.Instructions) * 1000
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderResidency formats the diagnostics table.
+func RenderResidency(rows []ResidencyRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "VSV controller diagnostics (FSM policy, benchmarks sorted by MR)\n")
+	fmt.Fprintf(&b, "%-9s %6s %6s %7s %9s | %7s %7s | %7s %7s %7s %8s\n",
+		"bench", "MR", "low%", "downs", "mean(ns)",
+		"dnFire", "dnLapse", "upFire", "upLapse", "allRet", "ramp/1k")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %6.1f %6.1f %7d %9.0f | %7d %7d | %7d %7d %7d %8.2f\n",
+			r.Name, r.MR, r.LowFrac*100, r.Transitions, r.MeanLowNs,
+			r.DownFired, r.DownLapsed, r.UpFired, r.UpLapsed, r.AllReturned,
+			r.RampsPer1k)
+	}
+	return b.String()
+}
+
+// ResidencyCSV renders the diagnostics as a report table.
+func ResidencyCSV(rows []ResidencyRow) *report.Table {
+	t := report.NewTable("Residency",
+		"benchmark", "mr", "low_frac", "down_transitions", "mean_low_ns",
+		"down_fired", "down_lapsed", "up_fired", "up_lapsed", "all_returned",
+		"ramps_per_1k")
+	for _, r := range rows {
+		t.AddRow(r.Name, report.F(r.MR, 2), report.F(r.LowFrac, 3),
+			report.U(r.Transitions), report.F(r.MeanLowNs, 0),
+			report.U(r.DownFired), report.U(r.DownLapsed),
+			report.U(r.UpFired), report.U(r.UpLapsed), report.U(r.AllReturned),
+			report.F(r.RampsPer1k, 2))
+	}
+	return t
+}

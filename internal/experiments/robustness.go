@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// RobustnessRow reports, for one benchmark, the spread of VSV's savings and
+// degradation across independently seeded instruction streams — the
+// synthetic-workload analogue of simulating different program phases.
+type RobustnessRow struct {
+	Name  string
+	Seeds int
+	// SaveMean/SaveMin/SaveMax/SaveStd summarize power savings (%).
+	SaveMean, SaveMin, SaveMax, SaveStd float64
+	// DegMean/DegMin/DegMax summarize performance degradation (%).
+	DegMean, DegMin, DegMax float64
+	// MRMean is the mean baseline miss rate across seeds.
+	MRMean float64
+}
+
+// Robustness runs baseline + VSV (FSM policy) for each benchmark under
+// `seeds` different workload seeds and aggregates the comparisons.
+func Robustness(o Options, names []string, seeds int) ([]RobustnessRow, error) {
+	if seeds < 1 {
+		seeds = 1
+	}
+	base := BenchConfig(o)
+	vsv := BenchConfig(o).WithVSV(core.PolicyFSM())
+	type seededJob struct {
+		name string
+		seed uint64
+		cfg  sim.Config
+		key  string
+	}
+	var jobs []seededJob
+	for _, n := range names {
+		for s := 0; s < seeds; s++ {
+			jobs = append(jobs,
+				seededJob{n, uint64(s), base, fmt.Sprintf("base/%s/%d", n, s)},
+				seededJob{n, uint64(s), vsv, fmt.Sprintf("vsv/%s/%d", n, s)},
+			)
+		}
+	}
+	results := make(map[string]sim.Results, len(jobs))
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, max(1, o.Parallelism))
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j seededJob) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			p, err := workload.ByName(j.name)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			m := sim.NewMachine(j.cfg, workload.NewGeneratorSeed(p, j.seed))
+			r := m.Run(j.name)
+			mu.Lock()
+			results[j.key] = r
+			mu.Unlock()
+		}(j)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	var rows []RobustnessRow
+	for _, n := range sortByMRDesc(names) {
+		row := RobustnessRow{Name: n, Seeds: seeds,
+			SaveMin: math.Inf(1), SaveMax: math.Inf(-1),
+			DegMin: math.Inf(1), DegMax: math.Inf(-1)}
+		var saves, degs []float64
+		for s := 0; s < seeds; s++ {
+			b, okB := results[fmt.Sprintf("base/%s/%d", n, s)]
+			v, okV := results[fmt.Sprintf("vsv/%s/%d", n, s)]
+			if !okB || !okV {
+				return nil, fmt.Errorf("robustness: missing results for %s seed %d", n, s)
+			}
+			c := sim.Comparison{Base: b, VSV: v}
+			saves = append(saves, c.PowerSavingsPct())
+			degs = append(degs, c.PerfDegradationPct())
+			row.MRMean += b.MR
+		}
+		row.MRMean /= float64(seeds)
+		row.SaveMean, row.SaveStd = meanStd(saves)
+		row.DegMean, _ = meanStd(degs)
+		for _, v := range saves {
+			row.SaveMin = math.Min(row.SaveMin, v)
+			row.SaveMax = math.Max(row.SaveMax, v)
+		}
+		for _, v := range degs {
+			row.DegMin = math.Min(row.DegMin, v)
+			row.DegMax = math.Max(row.DegMax, v)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func meanStd(vs []float64) (mean, std float64) {
+	if len(vs) == 0 {
+		return 0, 0
+	}
+	for _, v := range vs {
+		mean += v
+	}
+	mean /= float64(len(vs))
+	if len(vs) < 2 {
+		return mean, 0
+	}
+	for _, v := range vs {
+		std += (v - mean) * (v - mean)
+	}
+	std = math.Sqrt(std / float64(len(vs)-1))
+	return mean, std
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RenderRobustness formats the seed-spread table.
+func RenderRobustness(rows []RobustnessRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Seed robustness of VSV (FSM policy)\n")
+	fmt.Fprintf(&b, "%-9s %6s | %8s %6s %17s | %8s %15s\n",
+		"bench", "MR", "save%", "±std", "[min, max]", "deg%", "[min, max]")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %6.1f | %8.1f %6.2f [%6.1f, %6.1f] | %8.2f [%5.2f, %5.2f]\n",
+			r.Name, r.MRMean, r.SaveMean, r.SaveStd, r.SaveMin, r.SaveMax,
+			r.DegMean, r.DegMin, r.DegMax)
+	}
+	return b.String()
+}
+
+// RobustnessCSV renders the spread table as a report table.
+func RobustnessCSV(rows []RobustnessRow) *report.Table {
+	t := report.NewTable("Robustness",
+		"benchmark", "seeds", "mr_mean", "save_mean_pct", "save_std",
+		"save_min", "save_max", "deg_mean_pct", "deg_min", "deg_max")
+	for _, r := range rows {
+		t.AddRow(r.Name, report.I(int64(r.Seeds)), report.F(r.MRMean, 2),
+			report.Pct(r.SaveMean), report.F(r.SaveStd, 2),
+			report.Pct(r.SaveMin), report.Pct(r.SaveMax),
+			report.Pct(r.DegMean), report.Pct(r.DegMin), report.Pct(r.DegMax))
+	}
+	return t
+}

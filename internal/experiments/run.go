@@ -1,0 +1,123 @@
+// Package experiments regenerates the paper's tables and figures: Table 2
+// (baseline IPC/MR), Figure 4 (VSV with/without FSMs across SPEC2K),
+// Figure 5 (down-FSM threshold sweep), Figure 6 (up-FSM threshold sweep vs
+// First-R/Last-R), Figure 7 (impact of Time-Keeping prefetching), and the
+// §6 summary averages. Each experiment renders the same rows/series the
+// paper reports.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Options scales the experiments.
+type Options struct {
+	// WarmupInstructions and MeasureInstructions size each run's windows.
+	WarmupInstructions  uint64
+	MeasureInstructions uint64
+	// Parallelism bounds concurrent simulations (machines are independent;
+	// 0 means 1).
+	Parallelism int
+}
+
+// DefaultOptions returns windows large enough for stable percentages at
+// interactive runtimes.
+func DefaultOptions() Options {
+	return Options{
+		WarmupInstructions:  60_000,
+		MeasureInstructions: 300_000,
+		Parallelism:         4,
+	}
+}
+
+// BenchConfig returns the Table 1 machine configured for synthetic
+// SPEC2K workloads: caches pre-warmed with the benchmarks' resident
+// working sets (standing in for the paper's 2-billion-instruction
+// fast-forward).
+func BenchConfig(o Options) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.WarmupInstructions = o.WarmupInstructions
+	cfg.MeasureInstructions = o.MeasureInstructions
+	cfg.Prewarm = []sim.PrewarmRange{
+		{Base: workload.HotBase, Bytes: workload.HotBytes, IntoL1: true},
+		{Base: workload.WarmBase, Bytes: workload.WarmBytes},
+	}
+	return cfg
+}
+
+// RunOne simulates one benchmark on one configuration.
+func RunOne(name string, cfg sim.Config) (sim.Results, error) {
+	p, err := workload.ByName(name)
+	if err != nil {
+		return sim.Results{}, err
+	}
+	m := sim.NewMachine(cfg, workload.NewGenerator(p))
+	return m.Run(name), nil
+}
+
+// job is one (benchmark, config) simulation in a batch.
+type job struct {
+	key  string
+	name string
+	cfg  sim.Config
+}
+
+// runAll executes jobs with bounded parallelism and returns results by key.
+func runAll(jobs []job, parallelism int) (map[string]sim.Results, error) {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	results := make(map[string]sim.Results, len(jobs))
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := RunOne(j.name, j.cfg)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s: %w", j.key, err)
+				}
+				return
+			}
+			results[j.key] = r
+		}(j)
+	}
+	wg.Wait()
+	return results, firstErr
+}
+
+// sortByMRDesc orders benchmark names by paper MR descending, the X-axis
+// order of Figures 4 and 7.
+func sortByMRDesc(names []string) []string {
+	out := append([]string(nil), names...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, _ := workload.ByName(out[i])
+		b, _ := workload.ByName(out[j])
+		return a.MRPaper > b.MRPaper
+	})
+	return out
+}
+
+func mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}

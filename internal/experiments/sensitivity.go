@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// SensitivityRow reports VSV's savings and degradation on one benchmark as
+// the main-memory latency scales — the "memory wall" study. The paper's
+// opportunity argument (§1) predicts savings grow with miss latency, since
+// each miss hides a longer low-power residency behind it, and the fixed
+// 30 ns of transition overhead amortizes better.
+type SensitivityRow struct {
+	Name      string
+	Latencies []int
+	SavePct   []float64
+	DegPct    []float64
+	MR        []float64
+}
+
+// Sensitivity sweeps the memory latency for each benchmark, comparing
+// baseline vs VSV (FSM policy) at every point.
+func Sensitivity(o Options, names []string, latencies []int) ([]SensitivityRow, error) {
+	var jobs []job
+	for _, n := range names {
+		for _, lat := range latencies {
+			base := BenchConfig(o)
+			base.Mem.LatencyTicks = lat
+			vsv := BenchConfig(o).WithVSV(core.PolicyFSM())
+			vsv.Mem.LatencyTicks = lat
+			jobs = append(jobs,
+				job{key: fmt.Sprintf("base/%s/%d", n, lat), name: n, cfg: base},
+				job{key: fmt.Sprintf("vsv/%s/%d", n, lat), name: n, cfg: vsv},
+			)
+		}
+	}
+	res, err := runAll(jobs, o.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	var rows []SensitivityRow
+	for _, n := range sortByMRDesc(names) {
+		row := SensitivityRow{Name: n, Latencies: latencies}
+		for _, lat := range latencies {
+			b := res[fmt.Sprintf("base/%s/%d", n, lat)]
+			v := res[fmt.Sprintf("vsv/%s/%d", n, lat)]
+			c := sim.Comparison{Base: b, VSV: v}
+			row.SavePct = append(row.SavePct, c.PowerSavingsPct())
+			row.DegPct = append(row.DegPct, c.PerfDegradationPct())
+			row.MR = append(row.MR, b.MR)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderSensitivity formats the latency sweep.
+func RenderSensitivity(rows []SensitivityRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Memory-latency sensitivity of VSV (FSM policy)\n")
+	if len(rows) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-9s |", "bench")
+	for _, lat := range rows[0].Latencies {
+		fmt.Fprintf(&b, " sav@%-4d", lat)
+	}
+	fmt.Fprintf(&b, "|")
+	for _, lat := range rows[0].Latencies {
+		fmt.Fprintf(&b, " deg@%-4d", lat)
+	}
+	fmt.Fprintf(&b, "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s |", r.Name)
+		for _, v := range r.SavePct {
+			fmt.Fprintf(&b, " %8.1f", v)
+		}
+		fmt.Fprintf(&b, "|")
+		for _, v := range r.DegPct {
+			fmt.Fprintf(&b, " %8.2f", v)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+// SensitivityCSV renders the sweep in long form.
+func SensitivityCSV(rows []SensitivityRow) *report.Table {
+	t := report.NewTable("Sensitivity",
+		"benchmark", "mem_latency_ns", "mr", "save_pct", "deg_pct")
+	for _, r := range rows {
+		for i, lat := range r.Latencies {
+			t.AddRow(r.Name, report.I(int64(lat)), report.F(r.MR[i], 2),
+				report.Pct(r.SavePct[i]), report.Pct(r.DegPct[i]))
+		}
+	}
+	return t
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+func profileFor(name string) (workload.Profile, error) {
+	return workload.ByName(name)
+}
+
+// Summary holds the paper's §6 headline numbers, measured.
+type Summary struct {
+	// HighMRSavePct / HighMRDegPct: MR>4 benchmarks, no Time-Keeping
+	// (paper: 20.7 % / 2.0 %).
+	HighMRSavePct, HighMRDegPct float64
+	// AllSavePct / AllDegPct: all benchmarks (paper: 7.0 % / 0.9 %).
+	AllSavePct, AllDegPct float64
+	// TKHighMRSavePct / TKHighMRDegPct: MR>4 with Time-Keeping on both
+	// baseline and VSV (paper: 12.1 % / 2.1 %).
+	TKHighMRSavePct, TKHighMRDegPct float64
+	// TKAllSavePct: all benchmarks with Time-Keeping (paper: 4.1 %).
+	TKAllSavePct float64
+}
+
+// PaperSummary returns the paper's reported headline numbers for
+// comparison.
+func PaperSummary() Summary {
+	return Summary{
+		HighMRSavePct: 20.7, HighMRDegPct: 2.0,
+		AllSavePct: 7.0, AllDegPct: 0.9,
+		TKHighMRSavePct: 12.1, TKHighMRDegPct: 2.1,
+		TKAllSavePct: 4.1,
+	}
+}
+
+// ComputeSummary derives the headline averages from Figure 7's rows (which
+// contain both the no-TK and TK comparisons for every benchmark).
+func ComputeSummary(rows []Fig7Row) Summary {
+	var s Summary
+	var hiS, hiD, allS, allD, tkHiS, tkHiD, tkAllS []float64
+	for _, r := range rows {
+		allS = append(allS, r.NoTK.PowerSavePct)
+		allD = append(allD, r.NoTK.PerfDegPct)
+		tkAllS = append(tkAllS, r.TK.PowerSavePct)
+		if r.MRPaper > 4.0 {
+			hiS = append(hiS, r.NoTK.PowerSavePct)
+			hiD = append(hiD, r.NoTK.PerfDegPct)
+			tkHiS = append(tkHiS, r.TK.PowerSavePct)
+			tkHiD = append(tkHiD, r.TK.PerfDegPct)
+		}
+	}
+	s.HighMRSavePct, s.HighMRDegPct = mean(hiS), mean(hiD)
+	s.AllSavePct, s.AllDegPct = mean(allS), mean(allD)
+	s.TKHighMRSavePct, s.TKHighMRDegPct = mean(tkHiS), mean(tkHiD)
+	s.TKAllSavePct = mean(tkAllS)
+	return s
+}
+
+// RenderSummary formats measured vs paper headline numbers.
+func RenderSummary(got Summary) string {
+	want := PaperSummary()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Headline results (measured | paper)\n")
+	fmt.Fprintf(&b, "  MR>4 power savings:        %5.1f%% | %5.1f%%\n", got.HighMRSavePct, want.HighMRSavePct)
+	fmt.Fprintf(&b, "  MR>4 perf degradation:     %5.1f%% | %5.1f%%\n", got.HighMRDegPct, want.HighMRDegPct)
+	fmt.Fprintf(&b, "  All power savings:         %5.1f%% | %5.1f%%\n", got.AllSavePct, want.AllSavePct)
+	fmt.Fprintf(&b, "  All perf degradation:      %5.1f%% | %5.1f%%\n", got.AllDegPct, want.AllDegPct)
+	fmt.Fprintf(&b, "  MR>4 savings w/ TK:        %5.1f%% | %5.1f%%\n", got.TKHighMRSavePct, want.TKHighMRSavePct)
+	fmt.Fprintf(&b, "  MR>4 degradation w/ TK:    %5.1f%% | %5.1f%%\n", got.TKHighMRDegPct, want.TKHighMRDegPct)
+	fmt.Fprintf(&b, "  All savings w/ TK:         %5.1f%% | %5.1f%%\n", got.TKAllSavePct, want.TKAllSavePct)
+	return b.String()
+}

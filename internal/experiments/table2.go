@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Table2Row is one benchmark's row of Table 2: baseline IPC and MR, and MR
+// under Time-Keeping prefetching, measured and paper-reported.
+type Table2Row struct {
+	Name     string
+	IPC      float64
+	IPCPaper float64
+	MR       float64
+	MRPaper  float64
+	MRTK     float64
+	MRPaper2 float64 // paper's MR with Time-Keeping
+}
+
+// Table2 reproduces Table 2: it runs every benchmark on the baseline
+// machine and on the baseline plus Time-Keeping prefetching.
+func Table2(o Options) ([]Table2Row, error) {
+	base := BenchConfig(o)
+	tk := BenchConfig(o).WithTimeKeeping()
+	var jobs []job
+	for _, n := range workload.Names() {
+		jobs = append(jobs,
+			job{key: "base/" + n, name: n, cfg: base},
+			job{key: "tk/" + n, name: n, cfg: tk},
+		)
+	}
+	res, err := runAll(jobs, o.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table2Row
+	for _, n := range workload.Names() {
+		p, _ := workload.ByName(n)
+		b := res["base/"+n]
+		t := res["tk/"+n]
+		rows = append(rows, Table2Row{
+			Name: n,
+			IPC:  b.IPC, IPCPaper: p.IPCPaper,
+			MR: b.MR, MRPaper: p.MRPaper,
+			MRTK: t.MR, MRPaper2: p.MRTKPaper,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable2 formats the rows like the paper's Table 2, with measured and
+// paper values side by side.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Baseline SPEC2K benchmark statistics (measured | paper)\n")
+	fmt.Fprintf(&b, "%-9s %7s %7s | %7s %7s | %7s %7s\n",
+		"bench", "IPC", "IPC*", "MRbase", "MRbase*", "MRtk", "MRtk*")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %7.2f %7.2f | %7.1f %7.1f | %7.1f %7.1f\n",
+			r.Name, r.IPC, r.IPCPaper, r.MR, r.MRPaper, r.MRTK, r.MRPaper2)
+	}
+	return b.String()
+}
+
+// RenderTable1 prints the baseline processor configuration (Table 1).
+func RenderTable1(cfg sim.Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Baseline processor configuration\n")
+	fmt.Fprintf(&b, "Processor    %d-way issue, %d RUU, %d LSQ, %d integer ALUs, %d integer mul/div,\n",
+		cfg.Pipeline.IssueWidth, cfg.Pipeline.RUUSize, cfg.Pipeline.LSQSize,
+		cfg.Pipeline.IntALU, cfg.Pipeline.IntMulDiv)
+	fmt.Fprintf(&b, "             %d FP ALUs, %d FP mul/div; deterministic clock gating; s/w prefetching\n",
+		cfg.Pipeline.FPAdd, cfg.Pipeline.FPMulDiv)
+	fmt.Fprintf(&b, "Branch pred  %d/%d/%d hybrid; %d-entry RAS; %d-entry %d-way BTB; %d-cycle penalty\n",
+		cfg.Branch.BimodalEntries, cfg.Branch.GlobalEntries, cfg.Branch.ChooserEntries,
+		cfg.Branch.RASEntries, cfg.Branch.BTBEntries, cfg.Branch.BTBAssoc,
+		cfg.Pipeline.MispredictPenalty)
+	fmt.Fprintf(&b, "Caches       %dKB %d-way %d-cycle I/D L1, %dMB %d-way %d-cycle L2, both LRU\n",
+		cfg.IL1.SizeBytes>>10, cfg.IL1.Assoc, cfg.IL1.HitLatency,
+		cfg.L2.SizeBytes>>20, cfg.L2.Assoc, cfg.L2.HitLatency)
+	fmt.Fprintf(&b, "MSHR         IL1 - %d, DL1 - %d, L2 - %d\n",
+		cfg.IL1.MSHREntries, cfg.DL1.MSHREntries, cfg.L2.MSHREntries)
+	fmt.Fprintf(&b, "Memory       infinite capacity, %d cycle latency\n", cfg.Mem.LatencyTicks)
+	fmt.Fprintf(&b, "Memory bus   %d-byte wide, pipelined, split transaction, %d-cycle occupancy\n",
+		cfg.Bus.WidthBytes, cfg.Bus.Occupancy)
+	return b.String()
+}

@@ -1,0 +1,207 @@
+// Package isa defines the abstract instruction set consumed by the
+// out-of-order pipeline model.
+//
+// The simulator is trace-driven: workload generators (internal/workload)
+// synthesize a dynamic instruction stream, and the pipeline executes it for
+// timing and power. Instructions therefore carry architectural registers,
+// an operation class (which selects a functional-unit pool and latency) and,
+// for memory operations, an effective address. There is no binary encoding;
+// the "ISA" is the in-memory Inst struct.
+package isa
+
+import "fmt"
+
+// InstBytes is the fixed instruction size in bytes (Alpha-style RISC).
+const InstBytes = 4
+
+// OpClass identifies the kind of operation an instruction performs. It
+// selects the functional-unit pool, the execution latency and — for memory
+// and control operations — the special handling in the pipeline.
+type OpClass uint8
+
+const (
+	// OpNop performs no computation and uses no functional unit.
+	OpNop OpClass = iota
+	// OpIntALU is a single-cycle integer operation (add, logical, shift,
+	// compare, address arithmetic).
+	OpIntALU
+	// OpIntMul is an integer multiply.
+	OpIntMul
+	// OpIntDiv is an integer divide (non-pipelined).
+	OpIntDiv
+	// OpFPAdd is a floating-point add/subtract/compare/convert.
+	OpFPAdd
+	// OpFPMul is a floating-point multiply.
+	OpFPMul
+	// OpFPDiv is a floating-point divide/sqrt (non-pipelined).
+	OpFPDiv
+	// OpLoad reads memory. The effective address becomes available when the
+	// source registers are ready; the result register is written when the
+	// access completes in the memory hierarchy.
+	OpLoad
+	// OpStore writes memory. Stores occupy the LSQ and perform their cache
+	// access at commit; they never stall the issue of younger independent
+	// instructions.
+	OpStore
+	// OpBranch is a conditional branch resolved in the integer ALU pool.
+	OpBranch
+	// OpPrefetch is a non-binding software prefetch: it probes the memory
+	// hierarchy like a load but has no destination register, never blocks
+	// commit, and its misses are tagged so that VSV ignores them (§4.2).
+	OpPrefetch
+	numOpClasses
+)
+
+// NumOpClasses is the number of distinct operation classes.
+const NumOpClasses = int(numOpClasses)
+
+var opNames = [NumOpClasses]string{
+	"nop", "ialu", "imul", "idiv", "fadd", "fmul", "fdiv",
+	"load", "store", "branch", "prefetch",
+}
+
+// String returns a short mnemonic for the class.
+func (c OpClass) String() string {
+	if int(c) < len(opNames) {
+		return opNames[c]
+	}
+	return fmt.Sprintf("op(%d)", uint8(c))
+}
+
+// IsMem reports whether the class accesses the data memory hierarchy.
+func (c OpClass) IsMem() bool {
+	return c == OpLoad || c == OpStore || c == OpPrefetch
+}
+
+// IsFP reports whether the class executes in the floating-point pools.
+func (c OpClass) IsFP() bool {
+	return c == OpFPAdd || c == OpFPMul || c == OpFPDiv
+}
+
+// FUPool identifies a pool of identical functional units.
+type FUPool uint8
+
+const (
+	// FUNone marks classes that need no functional unit (nop).
+	FUNone FUPool = iota
+	// FUIntALU is the integer ALU pool (also executes branches and the
+	// address generation of loads/stores/prefetches).
+	FUIntALU
+	// FUIntMulDiv is the integer multiply/divide pool.
+	FUIntMulDiv
+	// FUFPAdd is the floating-point adder pool.
+	FUFPAdd
+	// FUFPMulDiv is the floating-point multiply/divide pool.
+	FUFPMulDiv
+	numFUPools
+)
+
+// NumFUPools is the number of functional-unit pools.
+const NumFUPools = int(numFUPools)
+
+var fuNames = [NumFUPools]string{"none", "intALU", "intMulDiv", "fpAdd", "fpMulDiv"}
+
+// String returns the pool's name.
+func (p FUPool) String() string {
+	if int(p) < len(fuNames) {
+		return fuNames[p]
+	}
+	return fmt.Sprintf("fu(%d)", uint8(p))
+}
+
+// opInfo captures the static execution properties of an OpClass.
+type opInfo struct {
+	pool      FUPool
+	latency   int  // execution latency in pipeline cycles (memory ops: address generation only)
+	pipelined bool // whether the unit accepts a new op every cycle
+}
+
+// Latencies follow SimpleScalar's sim-outorder defaults, which Wattch (and
+// hence the paper's simulator) inherits.
+var opTable = [NumOpClasses]opInfo{
+	OpNop:      {FUNone, 1, true},
+	OpIntALU:   {FUIntALU, 1, true},
+	OpIntMul:   {FUIntMulDiv, 3, true},
+	OpIntDiv:   {FUIntMulDiv, 20, false},
+	OpFPAdd:    {FUFPAdd, 2, true},
+	OpFPMul:    {FUFPMulDiv, 4, true},
+	OpFPDiv:    {FUFPMulDiv, 12, false},
+	OpLoad:     {FUIntALU, 1, true},
+	OpStore:    {FUIntALU, 1, true},
+	OpBranch:   {FUIntALU, 1, true},
+	OpPrefetch: {FUIntALU, 1, true},
+}
+
+// Pool returns the functional-unit pool that executes the class.
+func (c OpClass) Pool() FUPool { return opTable[c].pool }
+
+// Latency returns the execution latency of the class in pipeline cycles.
+// For memory operations this is the address-generation latency; the cache
+// access time is added by the memory hierarchy.
+func (c OpClass) Latency() int { return opTable[c].latency }
+
+// Pipelined reports whether the executing unit accepts a new operation every
+// cycle. Non-pipelined units (dividers) are busy for the full latency.
+func (c OpClass) Pipelined() bool { return opTable[c].pipelined }
+
+// Reg is an architectural register number. The machine has NumIntRegs
+// integer registers followed by NumFPRegs floating-point registers in a
+// single flat namespace; RegNone means "no register".
+type Reg int16
+
+const (
+	// RegNone marks an absent operand.
+	RegNone Reg = -1
+	// NumIntRegs is the number of architectural integer registers.
+	NumIntRegs = 32
+	// NumFPRegs is the number of architectural floating-point registers.
+	NumFPRegs = 32
+	// NumRegs is the total architectural register count.
+	NumRegs = NumIntRegs + NumFPRegs
+)
+
+// IntReg returns the i-th integer register.
+func IntReg(i int) Reg { return Reg(i % NumIntRegs) }
+
+// FPReg returns the i-th floating-point register.
+func FPReg(i int) Reg { return Reg(NumIntRegs + i%NumFPRegs) }
+
+// Valid reports whether r names an actual architectural register.
+func (r Reg) Valid() bool { return r >= 0 && r < NumRegs }
+
+// Inst is one dynamic instruction of the synthesized trace.
+type Inst struct {
+	// PC is the instruction's address, used for I-cache accesses and branch
+	// prediction indexing.
+	PC uint64
+	// Op is the operation class.
+	Op OpClass
+	// Src1, Src2 are architectural source registers (RegNone if unused).
+	Src1, Src2 Reg
+	// Dst is the architectural destination register (RegNone if none).
+	Dst Reg
+	// Addr is the effective address for memory operations.
+	Addr uint64
+	// Taken is the actual outcome for branches.
+	Taken bool
+	// Target is the branch target (for BTB training) when Taken.
+	Target uint64
+	// CallRet distinguishes call/return branches for the RAS: 0 = plain,
+	// 1 = call, 2 = return.
+	CallRet uint8
+}
+
+// HasDst reports whether the instruction writes a register.
+func (in *Inst) HasDst() bool { return in.Dst.Valid() }
+
+// String formats the instruction for debugging.
+func (in *Inst) String() string {
+	switch {
+	case in.Op.IsMem():
+		return fmt.Sprintf("%#x: %s r%d,r%d -> r%d @%#x", in.PC, in.Op, in.Src1, in.Src2, in.Dst, in.Addr)
+	case in.Op == OpBranch:
+		return fmt.Sprintf("%#x: branch taken=%v -> %#x", in.PC, in.Taken, in.Target)
+	default:
+		return fmt.Sprintf("%#x: %s r%d,r%d -> r%d", in.PC, in.Op, in.Src1, in.Src2, in.Dst)
+	}
+}

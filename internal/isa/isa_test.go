@@ -1,0 +1,131 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpClassString(t *testing.T) {
+	cases := map[OpClass]string{
+		OpNop: "nop", OpIntALU: "ialu", OpIntMul: "imul", OpIntDiv: "idiv",
+		OpFPAdd: "fadd", OpFPMul: "fmul", OpFPDiv: "fdiv",
+		OpLoad: "load", OpStore: "store", OpBranch: "branch", OpPrefetch: "prefetch",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", c, got, want)
+		}
+	}
+	if got := OpClass(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown class string = %q", got)
+	}
+}
+
+func TestIsMem(t *testing.T) {
+	for c := OpClass(0); int(c) < NumOpClasses; c++ {
+		want := c == OpLoad || c == OpStore || c == OpPrefetch
+		if got := c.IsMem(); got != want {
+			t.Errorf("%v.IsMem() = %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestIsFP(t *testing.T) {
+	for c := OpClass(0); int(c) < NumOpClasses; c++ {
+		want := c == OpFPAdd || c == OpFPMul || c == OpFPDiv
+		if got := c.IsFP(); got != want {
+			t.Errorf("%v.IsFP() = %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestLatenciesPositive(t *testing.T) {
+	for c := OpClass(0); int(c) < NumOpClasses; c++ {
+		if c.Latency() < 1 {
+			t.Errorf("%v latency %d < 1", c, c.Latency())
+		}
+	}
+}
+
+func TestDividersNotPipelined(t *testing.T) {
+	if OpIntDiv.Pipelined() || OpFPDiv.Pipelined() {
+		t.Error("dividers must be non-pipelined")
+	}
+	if !OpIntALU.Pipelined() || !OpFPMul.Pipelined() {
+		t.Error("ALU/FP-mul must be pipelined")
+	}
+}
+
+func TestPoolAssignments(t *testing.T) {
+	if OpLoad.Pool() != FUIntALU || OpStore.Pool() != FUIntALU || OpBranch.Pool() != FUIntALU {
+		t.Error("memory/branch ops must use the intALU pool for address generation")
+	}
+	if OpFPMul.Pool() != FUFPMulDiv || OpFPDiv.Pool() != FUFPMulDiv {
+		t.Error("FP mul/div pool assignment wrong")
+	}
+	if OpNop.Pool() != FUNone {
+		t.Error("nop must need no FU")
+	}
+}
+
+func TestFUPoolString(t *testing.T) {
+	if FUIntALU.String() != "intALU" {
+		t.Errorf("FUIntALU.String() = %q", FUIntALU.String())
+	}
+	if got := FUPool(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown pool string = %q", got)
+	}
+}
+
+func TestRegHelpers(t *testing.T) {
+	if !IntReg(0).Valid() || !FPReg(0).Valid() {
+		t.Fatal("register helpers produced invalid registers")
+	}
+	if RegNone.Valid() {
+		t.Fatal("RegNone must be invalid")
+	}
+	if IntReg(5) != Reg(5) {
+		t.Errorf("IntReg(5) = %d", IntReg(5))
+	}
+	if FPReg(5) != Reg(NumIntRegs+5) {
+		t.Errorf("FPReg(5) = %d", FPReg(5))
+	}
+}
+
+func TestRegWrapping(t *testing.T) {
+	f := func(i uint16) bool {
+		n := int(i)
+		return IntReg(n).Valid() && IntReg(n) < NumIntRegs &&
+			FPReg(n).Valid() && FPReg(n) >= NumIntRegs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstHasDst(t *testing.T) {
+	in := &Inst{Dst: RegNone}
+	if in.HasDst() {
+		t.Error("instruction without dst reports HasDst")
+	}
+	in.Dst = IntReg(3)
+	if !in.HasDst() {
+		t.Error("instruction with dst reports !HasDst")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	ld := &Inst{PC: 0x100, Op: OpLoad, Src1: 1, Src2: RegNone, Dst: 2, Addr: 0xdead}
+	if s := ld.String(); !strings.Contains(s, "load") || !strings.Contains(s, "0xdead") {
+		t.Errorf("load string = %q", s)
+	}
+	br := &Inst{PC: 0x104, Op: OpBranch, Taken: true, Target: 0x200}
+	if s := br.String(); !strings.Contains(s, "branch") || !strings.Contains(s, "taken=true") {
+		t.Errorf("branch string = %q", s)
+	}
+	alu := &Inst{PC: 0x108, Op: OpIntALU, Src1: 1, Src2: 2, Dst: 3}
+	if s := alu.String(); !strings.Contains(s, "ialu") {
+		t.Errorf("alu string = %q", s)
+	}
+}

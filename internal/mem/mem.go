@@ -1,0 +1,99 @@
+// Package mem models main memory as the paper configures it: infinite
+// capacity with a flat 100-cycle access latency. Requests arrive over the
+// bus, wait the access latency, and hand a completion callback back to the
+// caller (which then schedules the response bus transfer).
+package mem
+
+import "fmt"
+
+// Config sets the memory parameters.
+type Config struct {
+	// LatencyTicks is the access time in ticks (full-speed cycles).
+	LatencyTicks int
+}
+
+// DefaultConfig returns the paper's memory: 100-cycle latency.
+func DefaultConfig() Config { return Config{LatencyTicks: 100} }
+
+// Stats counts memory activity.
+type Stats struct {
+	Reads      uint64
+	Writes     uint64
+	PeakQueued int
+}
+
+type access struct {
+	block   uint64
+	readyAt int64
+	onReady func(finish int64)
+}
+
+// Memory is the main-memory controller. Because capacity is infinite and
+// latency flat, requests complete in FIFO order.
+type Memory struct {
+	cfg      Config
+	inflight []access
+	stats    Stats
+}
+
+// New builds a memory controller, panicking on non-positive latency.
+func New(cfg Config) *Memory {
+	if cfg.LatencyTicks < 1 {
+		panic(fmt.Sprintf("mem: latency %d < 1", cfg.LatencyTicks))
+	}
+	return &Memory{cfg: cfg}
+}
+
+// Config returns the memory configuration.
+func (m *Memory) Config() Config { return m.cfg }
+
+// Read starts a block read at time now; onReady fires when the data is
+// ready to cross the bus back.
+func (m *Memory) Read(block uint64, now int64, onReady func(finish int64)) {
+	m.stats.Reads++
+	m.enqueue(block, now, onReady)
+}
+
+// Write absorbs a writeback at time now. Writebacks complete silently (no
+// response), but still consume an access slot for statistics.
+func (m *Memory) Write(block uint64, now int64) {
+	m.stats.Writes++
+}
+
+func (m *Memory) enqueue(block uint64, now int64, onReady func(int64)) {
+	m.inflight = append(m.inflight, access{
+		block:   block,
+		readyAt: now + int64(m.cfg.LatencyTicks),
+		onReady: onReady,
+	})
+	if len(m.inflight) > m.stats.PeakQueued {
+		m.stats.PeakQueued = len(m.inflight)
+	}
+}
+
+// Tick completes all accesses that are ready at time now. Because the
+// latency is constant and requests arrive in time order, the in-flight list
+// is ordered by readyAt and only the prefix needs checking.
+func (m *Memory) Tick(now int64) {
+	n := 0
+	for n < len(m.inflight) && m.inflight[n].readyAt <= now {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	done := make([]access, n)
+	copy(done, m.inflight[:n])
+	m.inflight = m.inflight[:copy(m.inflight, m.inflight[n:])]
+	for _, a := range done {
+		if a.onReady != nil {
+			a.onReady(now)
+		}
+	}
+}
+
+// Outstanding returns the number of in-flight reads.
+func (m *Memory) Outstanding() int { return len(m.inflight) }
+
+// Stats returns a snapshot of the counters.
+func (m *Memory) Stats() Stats { return m.stats }

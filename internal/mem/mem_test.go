@@ -1,0 +1,114 @@
+package mem
+
+import "testing"
+
+func TestReadLatency(t *testing.T) {
+	m := New(DefaultConfig())
+	var done int64 = -1
+	m.Read(0x40, 10, func(f int64) { done = f })
+	for tick := int64(10); tick <= 200; tick++ {
+		m.Tick(tick)
+		if done >= 0 {
+			break
+		}
+	}
+	if done != 110 {
+		t.Fatalf("read completed at %d, want 110", done)
+	}
+}
+
+func TestFIFOCompletion(t *testing.T) {
+	m := New(Config{LatencyTicks: 5})
+	var order []uint64
+	m.Read(1, 0, func(int64) { order = append(order, 1) })
+	m.Read(2, 1, func(int64) { order = append(order, 2) })
+	m.Read(3, 2, func(int64) { order = append(order, 3) })
+	for tick := int64(0); tick <= 20; tick++ {
+		m.Tick(tick)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSameTickBatchCompletion(t *testing.T) {
+	m := New(Config{LatencyTicks: 5})
+	count := 0
+	m.Read(1, 0, func(int64) { count++ })
+	m.Read(2, 0, func(int64) { count++ })
+	m.Tick(5)
+	if count != 2 {
+		t.Fatalf("completions at tick 5 = %d, want 2", count)
+	}
+	if m.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d", m.Outstanding())
+	}
+}
+
+func TestWriteCounted(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Write(0x80, 0)
+	if m.Stats().Writes != 1 {
+		t.Fatalf("writes = %d", m.Stats().Writes)
+	}
+	if m.Outstanding() != 0 {
+		t.Fatal("write left an in-flight entry")
+	}
+}
+
+func TestPeakQueued(t *testing.T) {
+	m := New(Config{LatencyTicks: 100})
+	for i := 0; i < 7; i++ {
+		m.Read(uint64(i*64), int64(i), nil)
+	}
+	if m.Stats().PeakQueued != 7 {
+		t.Fatalf("peak = %d", m.Stats().PeakQueued)
+	}
+}
+
+func TestTickBeforeReadyDoesNothing(t *testing.T) {
+	m := New(Config{LatencyTicks: 10})
+	fired := false
+	m.Read(1, 0, func(int64) { fired = true })
+	m.Tick(9)
+	if fired {
+		t.Fatal("completed before latency elapsed")
+	}
+	m.Tick(10)
+	if !fired {
+		t.Fatal("did not complete at latency")
+	}
+}
+
+func TestReentrantCallback(t *testing.T) {
+	// A completion callback that issues a new read must not corrupt the
+	// in-flight list (the simulator's L2 fill path does exactly this for
+	// dependent misses).
+	m := New(Config{LatencyTicks: 3})
+	var second int64 = -1
+	m.Read(1, 0, func(f int64) {
+		m.Read(2, f, func(f2 int64) { second = f2 })
+	})
+	for tick := int64(0); tick <= 10; tick++ {
+		m.Tick(tick)
+	}
+	if second != 6 {
+		t.Fatalf("chained read completed at %d, want 6", second)
+	}
+}
+
+func TestNewPanicsOnBadLatency(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with latency 0 did not panic")
+		}
+	}()
+	New(Config{LatencyTicks: 0})
+}
+
+func TestConfigAccessor(t *testing.T) {
+	m := New(DefaultConfig())
+	if m.Config().LatencyTicks != 100 {
+		t.Fatal("config accessor wrong")
+	}
+}

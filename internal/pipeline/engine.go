@@ -1,0 +1,364 @@
+package pipeline
+
+import "repro/internal/isa"
+
+// Step advances the pipeline by one cycle at machine time `now` (ticks).
+// Phases run in reverse pipeline order — commit, writeback, issue,
+// dispatch, fetch — so results flow between stages with the right
+// one-cycle boundaries.
+func (p *Pipeline) Step(now int64) StepResult {
+	var r StepResult
+	p.commit(now, &r)
+	p.writeback(&r)
+	p.issue(now, &r)
+	p.dispatch(&r)
+	p.fetch(now, &r)
+	p.step++
+	p.stats.Steps++
+	if r.Issued == 0 {
+		p.stats.ZeroIssueCycles++
+	}
+	return r
+}
+
+// commit retires completed instructions in order from the RUU head.
+func (p *Pipeline) commit(now int64, r *StepResult) {
+	for n := 0; n < p.cfg.CommitWidth && p.count > 0; n++ {
+		idx := p.head
+		e := &p.ruu[idx]
+		if !e.completed {
+			return
+		}
+		if e.inst.Op == isa.OpStore {
+			if !p.port.StoreCommit(e.inst.Addr, now) {
+				p.stats.StoreCommitStalls++
+				return
+			}
+			p.stats.Stores++
+			r.Activity.DL1Access++
+		}
+		// Clear the rename-table entry if this instruction is still the
+		// architecturally latest writer of its destination.
+		if e.inst.HasDst() && p.lastWriter[e.inst.Dst] == idx {
+			p.lastWriter[e.inst.Dst] = -1
+		}
+		if e.inst.Op.IsMem() {
+			p.lsqCount--
+		}
+		e.valid = false
+		e.dependents = e.dependents[:0]
+		p.head = (p.head + 1) % p.cfg.RUUSize
+		p.count--
+		p.stats.Committed++
+		r.Committed++
+		r.Activity.Commits++
+	}
+}
+
+// writeback advances executing instructions and completes those that
+// finish, waking their dependents.
+func (p *Pipeline) writeback(r *StepResult) {
+	for n, idx := 0, p.head; n < p.count; n, idx = n+1, (idx+1)%p.cfg.RUUSize {
+		e := &p.ruu[idx]
+		if !e.issued || e.completed {
+			continue
+		}
+		if e.waitingMem {
+			if !e.memDone {
+				continue
+			}
+			e.waitingMem = false
+		} else {
+			e.execLeft--
+			if e.execLeft > 0 {
+				continue
+			}
+		}
+		p.complete(idx, r)
+	}
+}
+
+func (p *Pipeline) complete(idx int, r *StepResult) {
+	e := &p.ruu[idx]
+	e.completed = true
+	p.stats.Completed++
+	r.Activity.Writebacks++
+	if e.inst.HasDst() {
+		r.Activity.RegWrites++
+	}
+	if e.inst.Op == isa.OpStore {
+		e.addrKnown = true
+	}
+	for _, dep := range e.dependents {
+		d := &p.ruu[dep]
+		if d.valid && d.pendingSrcs > 0 {
+			d.pendingSrcs--
+			r.Activity.Wakeups++
+		}
+	}
+	e.dependents = e.dependents[:0]
+	// A resolving mispredicted branch schedules the fetch restart.
+	if e.mispredicted && p.haveMispredict && e.seq == p.mispredictSeq {
+		p.haveMispredict = false
+		p.fetchResumeStep = p.step + int64(p.cfg.MispredictPenalty)
+	}
+}
+
+// issue selects ready instructions oldest-first, honoring issue width and
+// functional-unit availability.
+func (p *Pipeline) issue(now int64, r *StepResult) {
+	issued := 0
+	for n, idx := 0, p.head; n < p.count && issued < p.cfg.IssueWidth; n, idx = n+1, (idx+1)%p.cfg.RUUSize {
+		e := &p.ruu[idx]
+		if !e.valid || e.issued || e.pendingSrcs > 0 {
+			continue
+		}
+		switch e.inst.Op {
+		case isa.OpLoad:
+			if !p.tryIssueLoad(idx, now, r) {
+				continue
+			}
+		case isa.OpPrefetch:
+			p.issuePrefetch(idx, now, r)
+		default:
+			if !p.tryIssueALU(idx, r) {
+				continue
+			}
+		}
+		issued++
+		r.Issued++
+		p.stats.Issued++
+		r.Activity.Issued++
+		if e.inst.Src1.Valid() {
+			r.Activity.RegReads++
+		}
+		if e.inst.Src2.Valid() {
+			r.Activity.RegReads++
+		}
+		if e.inst.Op.IsMem() {
+			r.Activity.LSQOps++
+		}
+	}
+}
+
+// takeFU reserves a functional unit for op; it returns false if none is
+// free this cycle.
+func (p *Pipeline) takeFU(op isa.OpClass) bool {
+	pool := op.Pool()
+	if pool == isa.FUNone {
+		return true
+	}
+	units := p.fuFreeAt[pool]
+	for i := range units {
+		if units[i] <= p.step {
+			if op.Pipelined() {
+				units[i] = p.step + 1
+			} else {
+				units[i] = p.step + int64(op.Latency())
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pipeline) tryIssueALU(idx int, r *StepResult) bool {
+	e := &p.ruu[idx]
+	if !p.takeFU(e.inst.Op) {
+		return false
+	}
+	e.issued = true
+	e.execLeft = e.inst.Op.Latency()
+	r.Activity.FUOps[e.inst.Op.Pool()]++
+	return true
+}
+
+// tryIssueLoad handles store-to-load forwarding, memory-ordering waits and
+// the cache access.
+func (p *Pipeline) tryIssueLoad(idx int, now int64, r *StepResult) bool {
+	e := &p.ruu[idx]
+	// Memory ordering (oracle disambiguation, as in sim-outorder): scan
+	// older stores to the same block. A completed (address-known) match
+	// forwards; an address-unknown match blocks issue.
+	blk := e.inst.Addr >> 5 // block granularity for aliasing (32 B)
+	forward := false
+	for n, j := 0, p.head; n < p.count; n, j = n+1, (j+1)%p.cfg.RUUSize {
+		if j == idx {
+			break
+		}
+		s := &p.ruu[j]
+		if !s.valid || s.inst.Op != isa.OpStore {
+			continue
+		}
+		if s.inst.Addr>>5 != blk {
+			continue
+		}
+		if !s.addrKnown {
+			return false // must wait for the older store's address
+		}
+		forward = true // latest older match wins; keep scanning
+	}
+	if !p.takeFU(isa.OpLoad) {
+		return false
+	}
+	if forward {
+		e.issued = true
+		e.execLeft = 2 // address generation + LSQ forward
+		p.stats.LoadFwds++
+		r.Activity.FUOps[isa.FUIntALU]++
+		r.Activity.DL1Access++
+		return true
+	}
+	res := p.port.Load(e.inst.Addr, e.seq, false, now)
+	if res.Stall {
+		// MSHR full: release nothing (FU reservations are per-cycle and
+		// this one is wasted — an acceptable structural artifact), retry
+		// next cycle.
+		return false
+	}
+	e.issued = true
+	p.stats.Loads++
+	r.Activity.FUOps[isa.FUIntALU]++
+	r.Activity.DL1Access++
+	if res.BufferHit {
+		r.Activity.BufAccess++
+	}
+	if res.Async {
+		e.waitingMem = true
+		p.loadTokens[e.seq] = idx
+	} else {
+		e.execLeft = 1 + res.HitCycles // address generation + access
+	}
+	return true
+}
+
+func (p *Pipeline) issuePrefetch(idx int, now int64, r *StepResult) {
+	e := &p.ruu[idx]
+	// Non-binding: fire the probe and complete regardless of hit/miss; a
+	// full MSHR simply drops the prefetch.
+	p.port.Load(e.inst.Addr, e.seq, true, now)
+	p.stats.Prefetches++
+	e.issued = true
+	e.execLeft = 1
+	r.Activity.FUOps[isa.FUIntALU]++
+	r.Activity.DL1Access++
+}
+
+// dispatch moves decoded instructions from the fetch queue into the RUU,
+// performing renaming.
+func (p *Pipeline) dispatch(r *StepResult) {
+	for n := 0; n < p.cfg.DecodeWidth && len(p.fq) > 0; n++ {
+		fe := &p.fq[0]
+		if fe.fetchedAt >= p.step {
+			return // fetched this very cycle; visible to decode next cycle
+		}
+		if p.count >= p.cfg.RUUSize {
+			p.stats.RUUFullStalls++
+			return
+		}
+		if fe.inst.Op.IsMem() && p.lsqCount >= p.cfg.LSQSize {
+			p.stats.LSQFullStalls++
+			return
+		}
+		idx := p.tail
+		e := &p.ruu[idx]
+		*e = ruuEntry{
+			valid:        true,
+			seq:          fe.seq,
+			inst:         fe.inst,
+			mispredicted: fe.mispred,
+			dependents:   e.dependents[:0],
+		}
+		// Rename: link to in-flight producers.
+		for _, src := range [2]isa.Reg{fe.inst.Src1, fe.inst.Src2} {
+			if !src.Valid() {
+				continue
+			}
+			if w := p.lastWriter[src]; w >= 0 && p.ruu[w].valid && !p.ruu[w].completed {
+				e.pendingSrcs++
+				p.ruu[w].dependents = append(p.ruu[w].dependents, idx)
+			}
+		}
+		if fe.inst.HasDst() {
+			p.lastWriter[fe.inst.Dst] = idx
+		}
+		if fe.inst.Op.IsMem() {
+			p.lsqCount++
+		}
+		p.tail = (p.tail + 1) % p.cfg.RUUSize
+		p.count++
+		p.stats.Dispatched++
+		r.Activity.Decoded++
+		r.Activity.Renamed++
+		p.fq = p.fq[:copy(p.fq, p.fq[1:])]
+	}
+}
+
+// fetch pulls instructions from the source through the IL1 and branch
+// predictor into the fetch queue.
+func (p *Pipeline) fetch(now int64, r *StepResult) {
+	if p.waitingIFetch {
+		p.stats.FetchStallIL1++
+		return
+	}
+	if p.haveMispredict {
+		p.stats.FetchStallBranch++
+		return
+	}
+	if p.step < p.fetchResumeStep {
+		p.stats.FetchStallBranch++
+		return
+	}
+	blockMask := ^uint64(p.cfg.FetchBlockBytes - 1)
+	var curBlock uint64
+	first := true
+	for n := 0; n < p.cfg.FetchWidth && len(p.fq) < p.cfg.FetchQueueSize; n++ {
+		if p.pending == nil {
+			p.pending = new(isa.Inst)
+			p.src.Next(p.pending)
+		}
+		blk := p.pending.PC & blockMask
+		if first {
+			res := p.port.IFetch(blk, now)
+			r.Activity.IL1Access++
+			if res.Stall {
+				return
+			}
+			if res.Async {
+				p.waitingIFetch = true
+				return
+			}
+			curBlock = blk
+			first = false
+		} else if blk != curBlock {
+			return // next block starts next cycle
+		}
+		inst := *p.pending
+		p.pending = nil
+		p.nextSeq++
+		fe := fqEntry{inst: inst, seq: p.nextSeq, fetchedAt: p.step}
+		stop := false
+		if inst.Op == isa.OpBranch {
+			p.stats.Branches++
+			isCall := inst.CallRet == 1
+			isRet := inst.CallRet == 2
+			pr := p.pred.Predict(inst.PC, isCall, isRet)
+			mis := p.pred.Update(inst.PC, pr, inst.Taken, inst.Target, isCall, isRet)
+			if mis {
+				p.stats.Mispredicts++
+				fe.mispred = true
+				p.haveMispredict = true
+				p.mispredictSeq = fe.seq
+				stop = true
+			} else if inst.Taken {
+				stop = true // correctly-predicted taken: redirect next cycle
+			}
+		}
+		p.fq = append(p.fq, fe)
+		p.stats.Fetched++
+		r.Activity.Fetched++
+		if stop {
+			return
+		}
+	}
+}

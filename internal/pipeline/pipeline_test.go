@@ -1,0 +1,472 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/branch"
+	"repro/internal/isa"
+)
+
+// progSource replays a fixed program, then pads with independent nop-like
+// ALU instructions at sequential PCs so fetch never starves.
+type progSource struct {
+	prog []isa.Inst
+	i    int
+	pc   uint64
+}
+
+func (s *progSource) Next(in *isa.Inst) {
+	if s.i < len(s.prog) {
+		*in = s.prog[s.i]
+		s.i++
+		s.pc = in.PC + isa.InstBytes
+		return
+	}
+	*in = isa.Inst{PC: s.pc, Op: isa.OpIntALU, Src1: isa.RegNone, Src2: isa.RegNone, Dst: isa.RegNone}
+	s.pc += isa.InstBytes
+}
+
+// fakePort is a controllable MemPort.
+type fakePort struct {
+	hitLat      int
+	missAddrs   map[uint64]bool // block addresses that miss (async)
+	ifMiss      map[uint64]bool
+	stallLoads  bool
+	rejectStore bool
+
+	loads, prefetches, stores, ifetches int
+	lastLoadToken                       uint64
+}
+
+func newFakePort() *fakePort {
+	return &fakePort{hitLat: 2, missAddrs: map[uint64]bool{}, ifMiss: map[uint64]bool{}}
+}
+
+func (f *fakePort) IFetch(block uint64, now int64) IFetchResult {
+	f.ifetches++
+	if f.ifMiss[block] {
+		return IFetchResult{Async: true}
+	}
+	return IFetchResult{HitCycles: 2}
+}
+
+func (f *fakePort) Load(addr uint64, token uint64, isPrefetch bool, now int64) LoadResult {
+	if isPrefetch {
+		f.prefetches++
+		return LoadResult{HitCycles: 2}
+	}
+	if f.stallLoads {
+		return LoadResult{Stall: true}
+	}
+	f.loads++
+	f.lastLoadToken = token
+	if f.missAddrs[addr>>5<<5] {
+		return LoadResult{Async: true}
+	}
+	return LoadResult{HitCycles: f.hitLat}
+}
+
+func (f *fakePort) StoreCommit(addr uint64, now int64) bool {
+	if f.rejectStore {
+		return false
+	}
+	f.stores++
+	return true
+}
+
+func build(prog []isa.Inst, port MemPort) *Pipeline {
+	src := &progSource{prog: prog}
+	pred := branch.New(branch.DefaultConfig())
+	return New(DefaultConfig(), src, pred, port)
+}
+
+func run(p *Pipeline, steps int) {
+	for i := 0; i < steps; i++ {
+		p.Step(int64(i))
+	}
+}
+
+func alu(pc uint64, src1, src2, dst isa.Reg) isa.Inst {
+	return isa.Inst{PC: pc, Op: isa.OpIntALU, Src1: src1, Src2: src2, Dst: dst}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.IssueWidth = 0
+	if bad.Validate() == nil {
+		t.Error("zero issue width accepted")
+	}
+	bad = DefaultConfig()
+	bad.FetchBlockBytes = 33
+	if bad.Validate() == nil {
+		t.Error("non-pow2 fetch block accepted")
+	}
+}
+
+func TestIndependentALUIPCNearWidth(t *testing.T) {
+	p := build(nil, newFakePort()) // all padding: independent ALU ops
+	run(p, 500)
+	if ipc := p.Stats().IPC(); ipc < 6.0 {
+		t.Fatalf("independent-ALU IPC = %v, want near 8", ipc)
+	}
+}
+
+func TestDependencyChainIPCOne(t *testing.T) {
+	// r1 = r1 + r1, forever: strict chain, IPC must be ~1.
+	var prog []isa.Inst
+	for i := 0; i < 400; i++ {
+		prog = append(prog, alu(uint64(i*4), 1, 1, 1))
+	}
+	p := build(prog, newFakePort())
+	steps := 0
+	for p.Stats().Committed < 400 && steps < 2000 {
+		p.Step(int64(steps))
+		steps++
+	}
+	// A 400-deep chain needs ~400 cycles (plus pipeline fill).
+	if steps < 380 || steps > 480 {
+		t.Fatalf("chain of 400 committed in %d cycles, want ~400", steps)
+	}
+}
+
+func TestFPMulThroughputBoundByUnits(t *testing.T) {
+	// Independent FP multiplies: 4 units, pipelined → IPC ~4 (fetch
+	// provides 8/cycle).
+	var prog []isa.Inst
+	for i := 0; i < 2000; i++ {
+		prog = append(prog, isa.Inst{PC: uint64(i * 4), Op: isa.OpFPMul,
+			Src1: isa.FPReg(i % 8), Src2: isa.FPReg((i + 8) % 16), Dst: isa.RegNone})
+	}
+	p := build(prog, newFakePort())
+	run(p, 400)
+	ipc := float64(p.Stats().Committed) / 400
+	if ipc < 3.2 || ipc > 4.6 {
+		t.Fatalf("FP-mul IPC = %v, want ~4", ipc)
+	}
+}
+
+func TestNonPipelinedDividerThroughput(t *testing.T) {
+	// Independent integer divides: 2 units, 20-cycle occupancy → ~0.1 IPC.
+	var prog []isa.Inst
+	for i := 0; i < 200; i++ {
+		prog = append(prog, isa.Inst{PC: uint64(i * 4), Op: isa.OpIntDiv,
+			Src1: 1, Src2: 2, Dst: isa.RegNone})
+	}
+	p := build(prog, newFakePort())
+	run(p, 1000)
+	got := float64(p.Stats().Committed) / 1000
+	if got < 0.07 || got > 0.15 {
+		t.Fatalf("divide throughput = %v, want ~0.1", got)
+	}
+}
+
+func TestLoadHitLatency(t *testing.T) {
+	// load r2 <- [A]; dependent chain op r2 = r2+r2. With hit latency 2 the
+	// chain completes a few cycles after the load; just check the load was
+	// issued to the port and everything commits.
+	prog := []isa.Inst{
+		{PC: 0, Op: isa.OpLoad, Src1: 1, Src2: isa.RegNone, Dst: 2, Addr: 0x1000},
+		alu(4, 2, 2, 3),
+	}
+	fp := newFakePort()
+	p := build(prog, fp)
+	run(p, 50)
+	if fp.loads != 1 {
+		t.Fatalf("port loads = %d, want 1", fp.loads)
+	}
+	if p.Stats().Committed < 2 {
+		t.Fatal("load + dependent did not commit")
+	}
+}
+
+func TestAsyncLoadBlocksDependentsUntilDone(t *testing.T) {
+	fp := newFakePort()
+	fp.missAddrs[0x2000] = true
+	prog := []isa.Inst{
+		{PC: 0, Op: isa.OpLoad, Src1: isa.RegNone, Src2: isa.RegNone, Dst: 2, Addr: 0x2000},
+		alu(4, 2, 2, 3),
+	}
+	p := build(prog, fp)
+	run(p, 100)
+	// The load (and everything after it, in-order commit) must be stuck.
+	if p.Stats().Committed != 0 {
+		t.Fatalf("committed %d with load outstanding", p.Stats().Committed)
+	}
+	p.LoadDone(fp.lastLoadToken)
+	run(p, 50)
+	if p.Stats().Committed < 2 {
+		t.Fatal("load never completed after LoadDone")
+	}
+}
+
+func TestStoreLoadForwarding(t *testing.T) {
+	prog := []isa.Inst{
+		{PC: 0, Op: isa.OpStore, Src1: 1, Src2: 2, Addr: 0x3000},
+		{PC: 4, Op: isa.OpLoad, Src1: isa.RegNone, Src2: isa.RegNone, Dst: 3, Addr: 0x3008},
+	}
+	fp := newFakePort()
+	p := build(prog, fp)
+	run(p, 50)
+	if fp.loads != 0 {
+		t.Fatalf("forwarded load still accessed memory (%d loads)", fp.loads)
+	}
+	if p.Stats().LoadFwds != 1 {
+		t.Fatalf("forwards = %d, want 1", p.Stats().LoadFwds)
+	}
+	if p.Stats().Committed < 2 {
+		t.Fatal("store+load did not commit")
+	}
+}
+
+func TestLoadWaitsForOlderStoreAddress(t *testing.T) {
+	// The store's address generation is delayed behind a divide; the
+	// same-block load must not issue before the store resolves.
+	prog := []isa.Inst{
+		{PC: 0, Op: isa.OpIntDiv, Src1: 1, Src2: 2, Dst: 4},
+		{PC: 4, Op: isa.OpStore, Src1: 4, Src2: 5, Addr: 0x4000},
+		{PC: 8, Op: isa.OpLoad, Src1: isa.RegNone, Src2: isa.RegNone, Dst: 6, Addr: 0x4010},
+	}
+	fp := newFakePort()
+	p := build(prog, fp)
+	// Before the divide finishes (~20 cycles), the load must not have
+	// issued anywhere: forwarding hasn't happened and no port load either.
+	run(p, 10)
+	if fp.loads != 0 || p.Stats().LoadFwds != 0 {
+		t.Fatalf("load issued before older store address known (loads=%d fwds=%d)",
+			fp.loads, p.Stats().LoadFwds)
+	}
+	run(p, 60)
+	if p.Stats().LoadFwds != 1 {
+		t.Fatalf("load did not forward after store resolved (fwds=%d)", p.Stats().LoadFwds)
+	}
+}
+
+func TestBranchMispredictStallsFetch(t *testing.T) {
+	// A cold taken branch is a (target) mispredict; fetch must stall until
+	// resolve + penalty.
+	prog := []isa.Inst{
+		{PC: 0, Op: isa.OpBranch, Src1: isa.RegNone, Src2: isa.RegNone,
+			Dst: isa.RegNone, Taken: true, Target: 0x100},
+		alu(0x100, 1, 1, isa.RegNone),
+	}
+	fp := newFakePort()
+	p := build(prog, fp)
+	run(p, 100)
+	s := p.Stats()
+	if s.Mispredicts != 1 {
+		t.Fatalf("mispredicts = %d, want 1", s.Mispredicts)
+	}
+	if s.FetchStallBranch < uint64(DefaultConfig().MispredictPenalty) {
+		t.Fatalf("fetch stalled %d cycles, want >= penalty %d",
+			s.FetchStallBranch, DefaultConfig().MispredictPenalty)
+	}
+	if s.Committed < 2 {
+		t.Fatal("execution did not resume after mispredict")
+	}
+}
+
+func TestIFetchMissStallsUntilDone(t *testing.T) {
+	fp := newFakePort()
+	fp.ifMiss[0] = true // the very first fetch block misses
+	p := build(nil, fp)
+	run(p, 50)
+	if p.Stats().Fetched != 0 {
+		t.Fatalf("fetched %d despite IL1 miss", p.Stats().Fetched)
+	}
+	if p.Stats().FetchStallIL1 == 0 {
+		t.Fatal("IL1 stall cycles not counted")
+	}
+	delete(fp.ifMiss, 0)
+	p.IFetchDone()
+	run(p, 50)
+	if p.Stats().Fetched == 0 {
+		t.Fatal("fetch did not resume after fill")
+	}
+}
+
+func TestRUUBounded(t *testing.T) {
+	fp := newFakePort()
+	fp.missAddrs[0x5000] = true
+	prog := []isa.Inst{{PC: 0, Op: isa.OpLoad, Src1: isa.RegNone,
+		Src2: isa.RegNone, Dst: 2, Addr: 0x5000}}
+	p := build(prog, fp)
+	for i := 0; i < 300; i++ {
+		p.Step(int64(i))
+		if p.RUUOccupancy() > DefaultConfig().RUUSize {
+			t.Fatal("RUU exceeded capacity")
+		}
+	}
+	// Head blocked on the miss: the window must be full and stalling.
+	if p.RUUOccupancy() != DefaultConfig().RUUSize {
+		t.Fatalf("RUU occupancy = %d, want full %d", p.RUUOccupancy(), DefaultConfig().RUUSize)
+	}
+	if p.Stats().RUUFullStalls == 0 {
+		t.Fatal("RUU-full stalls not counted")
+	}
+}
+
+func TestLSQBounded(t *testing.T) {
+	fp := newFakePort()
+	var prog []isa.Inst
+	fp.missAddrs[0x6000] = true
+	prog = append(prog, isa.Inst{PC: 0, Op: isa.OpLoad, Src1: isa.RegNone,
+		Src2: isa.RegNone, Dst: 2, Addr: 0x6000})
+	for i := 1; i < 200; i++ {
+		prog = append(prog, isa.Inst{PC: uint64(i * 4), Op: isa.OpStore,
+			Src1: 1, Src2: 2, Addr: uint64(0x7000 + i*64)})
+	}
+	p := build(prog, fp)
+	for i := 0; i < 300; i++ {
+		p.Step(int64(i))
+		if p.LSQOccupancy() > DefaultConfig().LSQSize {
+			t.Fatal("LSQ exceeded capacity")
+		}
+	}
+	if p.Stats().LSQFullStalls == 0 {
+		t.Fatal("LSQ-full stalls not counted")
+	}
+}
+
+func TestStoreCommitRetry(t *testing.T) {
+	prog := []isa.Inst{{PC: 0, Op: isa.OpStore, Src1: 1, Src2: 2, Addr: 0x8000}}
+	fp := newFakePort()
+	fp.rejectStore = true
+	p := build(prog, fp)
+	run(p, 50)
+	if p.Stats().Committed != 0 {
+		t.Fatal("store committed despite rejection")
+	}
+	if p.Stats().StoreCommitStalls == 0 {
+		t.Fatal("store-commit stalls not counted")
+	}
+	fp.rejectStore = false
+	run(p, 20)
+	if fp.stores != 1 || p.Stats().Committed == 0 {
+		t.Fatal("store not retried after MSHR freed")
+	}
+}
+
+func TestPrefetchNeverBlocksCommit(t *testing.T) {
+	fp := newFakePort()
+	fp.missAddrs[0x9000] = true // prefetch target misses; must not matter
+	prog := []isa.Inst{
+		{PC: 0, Op: isa.OpPrefetch, Src1: isa.RegNone, Src2: isa.RegNone,
+			Dst: isa.RegNone, Addr: 0x9000},
+		alu(4, 1, 1, isa.RegNone),
+	}
+	p := build(prog, fp)
+	run(p, 30)
+	if fp.prefetches != 1 {
+		t.Fatalf("prefetch probes = %d", fp.prefetches)
+	}
+	if p.Stats().Committed < 2 {
+		t.Fatal("prefetch blocked commit")
+	}
+}
+
+func TestMSHRStallLoadRetries(t *testing.T) {
+	fp := newFakePort()
+	fp.stallLoads = true
+	prog := []isa.Inst{{PC: 0, Op: isa.OpLoad, Src1: isa.RegNone,
+		Src2: isa.RegNone, Dst: 2, Addr: 0xa000}}
+	p := build(prog, fp)
+	run(p, 30)
+	if fp.loads != 0 || p.Stats().Committed != 0 {
+		t.Fatal("stalled load went through")
+	}
+	fp.stallLoads = false
+	run(p, 30)
+	if fp.loads != 1 || p.Stats().Committed == 0 {
+		t.Fatal("load did not retry after stall cleared")
+	}
+}
+
+func TestZeroIssueCyclesCounted(t *testing.T) {
+	fp := newFakePort()
+	fp.missAddrs[0xb000] = true
+	prog := []isa.Inst{
+		{PC: 0, Op: isa.OpLoad, Src1: isa.RegNone, Src2: isa.RegNone, Dst: 2, Addr: 0xb000},
+		alu(4, 2, 2, 3), // dependent: nothing to issue while load waits
+		alu(8, 3, 3, 4),
+	}
+	p := build(prog, fp)
+	// Use a tiny fetch-quiet program: stop the padding from providing work
+	// by filling the window with dependents of r2.
+	for i := 0; i < 40; i++ {
+		p.Step(int64(i))
+	}
+	if p.Stats().ZeroIssueCycles == 0 {
+		t.Fatal("no zero-issue cycles counted while stalled on a miss")
+	}
+}
+
+func TestInOrderCommitMonotonic(t *testing.T) {
+	p := build(nil, newFakePort())
+	var last uint64
+	for i := 0; i < 200; i++ {
+		r := p.Step(int64(i))
+		if r.Committed < 0 || r.Committed > DefaultConfig().CommitWidth {
+			t.Fatalf("committed %d in one cycle", r.Committed)
+		}
+		cur := p.Stats().Committed
+		if cur < last {
+			t.Fatal("commit count went backwards")
+		}
+		last = cur
+	}
+}
+
+func TestActivityCountsPlausible(t *testing.T) {
+	p := build(nil, newFakePort())
+	var act struct{ fetched, issued, commits int }
+	for i := 0; i < 300; i++ {
+		r := p.Step(int64(i))
+		act.fetched += r.Activity.Fetched
+		act.issued += r.Activity.Issued
+		act.commits += r.Activity.Commits
+	}
+	if act.fetched == 0 || act.issued == 0 || act.commits == 0 {
+		t.Fatalf("activity = %+v", act)
+	}
+	if uint64(act.issued) != p.Stats().Issued {
+		t.Fatal("activity issue count disagrees with stats")
+	}
+	if act.issued < act.commits {
+		t.Fatal("committed more than issued")
+	}
+}
+
+func TestResetStatsKeepsState(t *testing.T) {
+	p := build(nil, newFakePort())
+	run(p, 100)
+	occ := p.RUUOccupancy()
+	p.ResetStats()
+	if p.Stats().Committed != 0 {
+		t.Fatal("stats not cleared")
+	}
+	if p.RUUOccupancy() != occ {
+		t.Fatal("reset disturbed microarchitectural state")
+	}
+	run(p, 100)
+	if p.Stats().Committed == 0 {
+		t.Fatal("pipeline dead after reset")
+	}
+}
+
+func TestLoadDoneUnknownTokenIgnored(t *testing.T) {
+	p := build(nil, newFakePort())
+	p.LoadDone(12345) // must not panic
+	run(p, 10)
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with bad config did not panic")
+		}
+	}()
+	New(Config{}, &progSource{}, branch.New(branch.DefaultConfig()), newFakePort())
+}

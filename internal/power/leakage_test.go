@@ -1,0 +1,115 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func leakCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Leakage = DefaultLeakageParams()
+	return cfg
+}
+
+func TestLeakageDisabledByDefault(t *testing.T) {
+	m := NewModel(DefaultConfig(), 8)
+	for i := 0; i < 100; i++ {
+		m.Tick(true, 1.8, busyActivity())
+	}
+	if m.Energy(SLeakScaled) != 0 || m.Energy(SLeakFixed) != 0 {
+		t.Fatal("leakage accrued while disabled (paper models dynamic power only)")
+	}
+}
+
+func TestLeakageAccruesEveryTick(t *testing.T) {
+	m := NewModel(leakCfg(), 8)
+	// Leakage must accrue even on non-edge (half-speed gap) ticks — that
+	// is the property clock gating lacks and voltage scaling has.
+	m.Tick(false, 1.8, nil)
+	if m.Energy(SLeakScaled) <= 0 || m.Energy(SLeakFixed) <= 0 {
+		t.Fatal("leakage missing on a non-edge tick")
+	}
+}
+
+func TestLeakageCubicScaling(t *testing.T) {
+	high := NewModel(leakCfg(), 8)
+	low := NewModel(leakCfg(), 8)
+	high.Tick(false, 1.8, nil)
+	low.Tick(false, 1.2, nil)
+	want := math.Pow(1.2/1.8, 3)
+	got := low.Energy(SLeakScaled) / high.Energy(SLeakScaled)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("scaled leakage ratio = %v, want %v", got, want)
+	}
+	// Fixed-domain leakage does not scale.
+	if low.Energy(SLeakFixed) != high.Energy(SLeakFixed) {
+		t.Fatal("fixed leakage changed with scaled VDD")
+	}
+}
+
+func TestLeakageQuarticScaling(t *testing.T) {
+	cfg := leakCfg()
+	cfg.Leakage.Exponent = 4
+	high := NewModel(cfg, 8)
+	low := NewModel(cfg, 8)
+	high.Tick(false, 1.8, nil)
+	low.Tick(false, 1.2, nil)
+	want := math.Pow(1.2/1.8, 4)
+	got := low.Energy(SLeakScaled) / high.Energy(SLeakScaled)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("quartic ratio = %v, want %v", got, want)
+	}
+}
+
+func TestLeakageNonIntegerExponent(t *testing.T) {
+	cfg := leakCfg()
+	cfg.Leakage.Exponent = 3.5
+	m := NewModel(cfg, 8)
+	m.Tick(false, 1.2, nil)
+	f := 1.2 / 1.8
+	// The interpolated value must lie between the cubic and quartic ones.
+	lo := cfg.Leakage.ScaledPerTick * math.Pow(f, 4)
+	hi := cfg.Leakage.ScaledPerTick * math.Pow(f, 3)
+	got := m.Energy(SLeakScaled)
+	if got < lo || got > hi {
+		t.Fatalf("exponent 3.5 leakage %v outside [%v, %v]", got, lo, hi)
+	}
+}
+
+func TestLeakageCountedAsScaledShare(t *testing.T) {
+	m := NewModel(leakCfg(), 8)
+	m.Tick(true, 1.8, busyActivity())
+	// With leakage on, the scaled share must include SLeakScaled but not
+	// SLeakFixed: force the distinction with leakage-only energy.
+	m2 := NewModel(leakCfg(), 8)
+	m2.Tick(false, 1.8, nil) // only PLL + leakage
+	share := m2.ScaledShare()
+	wantShare := m2.Energy(SLeakScaled) / m2.TotalEnergy()
+	if math.Abs(share-wantShare) > 1e-9 {
+		t.Fatalf("scaled share = %v, want %v", share, wantShare)
+	}
+	_ = m
+}
+
+func TestPowHelper(t *testing.T) {
+	if pow(0, 3) != 0 || pow(-1, 2) != 0 {
+		t.Error("non-positive base should give 0")
+	}
+	if got := pow(2, 3); got != 8 {
+		t.Errorf("pow(2,3) = %v", got)
+	}
+	if got := pow(1.5, 2); math.Abs(got-2.25) > 1e-12 {
+		t.Errorf("pow(1.5,2) = %v", got)
+	}
+}
+
+func TestLeakageBreakdownVisible(t *testing.T) {
+	m := NewModel(leakCfg(), 8)
+	for i := 0; i < 10; i++ {
+		m.Tick(true, 1.8, busyActivity())
+	}
+	bd := m.Breakdown()
+	if bd["leak-scaled"] <= 0 || bd["leak-fixed"] <= 0 {
+		t.Fatalf("leakage missing from breakdown: %v", bd)
+	}
+}

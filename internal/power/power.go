@@ -1,0 +1,435 @@
+// Package power implements a Wattch-style architectural power model with
+// the extensions the paper adds (§5.2): per-section variable supply
+// voltage, deterministic clock gating (DCG), dual-supply-network ramp
+// energy, and regular-vs-level-converting latch accounting.
+//
+// As in Wattch, dynamic energy per operation is E = C·VDD² with per-
+// structure effective capacitances; we express them directly as nJ-per-
+// operation at VDDH. Absolute watts are not the point — the paper reports
+// percentages — but the relative breakdown across structures follows
+// Wattch's Alpha-21264-like distribution so that the savings percentages
+// are meaningful.
+//
+// Clocking rules (DESIGN.md §5): structures in the pipeline clock domain
+// (everything except the L2, bus and PLL) accrue energy only on pipeline
+// edges; in low-power mode those come every second tick, which is where
+// VSV's savings on *unscaled* L1/regfile clock power also come from. The
+// scaled domain is additionally multiplied by (VDD/VDDH)².
+package power
+
+import "fmt"
+
+// Structure identifies one energy-accounted block.
+type Structure uint8
+
+const (
+	// SClockTree is the global clock distribution (scaled domain, §3.4).
+	SClockTree Structure = iota
+	// SPLL is the phase-locked loop (fixed VDDH, always on, §3.4).
+	SPLL
+	// SFetch is fetch logic including branch predictor and BTB (scaled).
+	SFetch
+	// SDecode is decode logic (scaled).
+	SDecode
+	// SRename is register rename (scaled).
+	SRename
+	// SWindow is the RUU issue window: wakeup + select (scaled; a small
+	// RAM structure for which §3.5's amortization holds).
+	SWindow
+	// SLSQ is the load/store queue (scaled).
+	SLSQ
+	// SRegfile is the architectural register file (fixed VDDH, §3.5,
+	// clocked with the pipeline).
+	SRegfile
+	// SIntALU is the integer ALU pool (scaled, DCG-gated).
+	SIntALU
+	// SIntMulDiv is the integer multiplier/divider pool (scaled, DCG-gated).
+	SIntMulDiv
+	// SFPAdd is the FP adder pool (scaled, DCG-gated).
+	SFPAdd
+	// SFPMulDiv is the FP multiplier/divider pool (scaled, DCG-gated).
+	SFPMulDiv
+	// SResultBus is the result/bypass bus drivers (scaled, DCG-gated).
+	SResultBus
+	// SIL1 is the L1 instruction cache (fixed VDDH, clocked w/ pipeline).
+	SIL1
+	// SDL1 is the L1 data cache (fixed VDDH, clocked w/ pipeline; its
+	// wordline decoders are DCG-gated).
+	SDL1
+	// SL2 is the unified L2 (fixed VDDH, own full-speed clock).
+	SL2
+	// SPrefetchBuf is the Time-Keeping prefetch buffer (§5.2 includes its
+	// power when the technique is enabled).
+	SPrefetchBuf
+	// SLatches is the pipeline/RAM boundary latches: regular latches in
+	// high-power mode, level-converting latches in low-power mode (§3.6).
+	SLatches
+	// SBus is the on-chip memory-bus drivers.
+	SBus
+	// SRamp is the dual-supply network's transition energy (§5.2: 66 nJ
+	// per ramp).
+	SRamp
+	// SLeakScaled is the scaled domain's static (leakage) energy — only
+	// accrued under the leakage extension (see leakage.go).
+	SLeakScaled
+	// SLeakFixed is the fixed-VDD domain's static energy.
+	SLeakFixed
+	numStructures
+)
+
+// NumStructures is the number of accounted structures.
+const NumStructures = int(numStructures)
+
+var structNames = [NumStructures]string{
+	"clock-tree", "pll", "fetch", "decode", "rename", "window", "lsq",
+	"regfile", "int-alu", "int-muldiv", "fp-add", "fp-muldiv", "result-bus",
+	"il1", "dl1", "l2", "prefetch-buf", "latches", "bus", "ramp",
+	"leak-scaled", "leak-fixed",
+}
+
+// String names the structure.
+func (s Structure) String() string {
+	if int(s) < len(structNames) {
+		return structNames[s]
+	}
+	return fmt.Sprintf("struct(%d)", uint8(s))
+}
+
+// scaled reports whether the structure sits in the variable-VDD domain.
+func (s Structure) scaled() bool {
+	switch s {
+	case SClockTree, SFetch, SDecode, SRename, SWindow, SLSQ,
+		SIntALU, SIntMulDiv, SFPAdd, SFPMulDiv, SResultBus, SLatches,
+		SLeakScaled:
+		return true
+	}
+	return false
+}
+
+// Params holds the per-structure energy coefficients (nJ at VDDH).
+type Params struct {
+	// ClockTrunkPerEdge is the ungateable clock trunk energy per pipeline
+	// edge. The trunk cannot be clock-gated — this is VSV's headline
+	// opportunity during stalls.
+	ClockTrunkPerEdge float64
+	// ClockLatchPerEdge is the gateable clock load (pipeline latches) at
+	// full activity; DCG scales it with pipeline utilization.
+	ClockLatchPerEdge float64
+	// PLLPerTick is the PLL energy per tick (always on, fixed VDDH).
+	PLLPerTick float64
+
+	// Per-operation energies.
+	FetchPerInst    float64
+	DecodePerInst   float64
+	RenamePerInst   float64
+	WindowPerIssue  float64
+	WindowPerWakeup float64
+	LSQPerOp        float64
+	RegfilePerRead  float64
+	RegfilePerWrite float64
+	IntALUPerOp     float64
+	IntMulDivPerOp  float64
+	FPAddPerOp      float64
+	FPMulDivPerOp   float64
+	ResultBusPerWB  float64
+	IL1PerAccess    float64
+	DL1PerAccess    float64
+	L2PerAccess     float64
+	BufPerAccess    float64
+	BusPerTxn       float64
+	// RegularLatchPerAccess and ConverterLatchPerAccess are charged per
+	// RAM-boundary crossing (L1/regfile access) in high and low power mode
+	// respectively (§3.6: only one set of latches is clocked at a time).
+	RegularLatchPerAccess   float64
+	ConverterLatchPerAccess float64
+
+	// IdleFraction is the Wattch "cc3"-style floor: non-DCG-gated
+	// structures consume this fraction of a nominal full-activity energy
+	// even when idle (clock gating cannot reach everything, §1).
+	IdleFraction float64
+
+	// RampEnergy is dissipated in the dual-supply network per voltage ramp
+	// (§5.2: 66 nJ from the HSPICE RLC simulation).
+	RampEnergy float64
+	// RAMRampEnergy is the extra per-ramp energy if the RAM structures'
+	// supplies were scaled too — used only by the §3.5 ablation
+	// (ScaleRAMs); per eq. 3–5 it is ~200 L1 accesses' worth of savings.
+	RAMRampEnergy float64
+}
+
+// DefaultParams returns coefficients giving a Wattch-like baseline
+// breakdown for the 8-wide Table 1 machine.
+func DefaultParams() Params {
+	return Params{
+		ClockTrunkPerEdge: 5.0,
+		ClockLatchPerEdge: 3.2,
+		PLLPerTick:        0.3,
+
+		FetchPerInst:    0.35,
+		DecodePerInst:   0.25,
+		RenamePerInst:   0.30,
+		WindowPerIssue:  0.70,
+		WindowPerWakeup: 0.15,
+		LSQPerOp:        0.35,
+		RegfilePerRead:  0.35,
+		RegfilePerWrite: 0.35,
+		IntALUPerOp:     0.50,
+		IntMulDivPerOp:  1.10,
+		FPAddPerOp:      0.90,
+		FPMulDivPerOp:   1.40,
+		ResultBusPerWB:  0.40,
+		IL1PerAccess:    0.90,
+		DL1PerAccess:    0.90,
+		L2PerAccess:     2.50,
+		BufPerAccess:    0.25,
+		BusPerTxn:       0.80,
+
+		RegularLatchPerAccess:   0.030,
+		ConverterLatchPerAccess: 0.045,
+
+		IdleFraction: 0.10,
+
+		RampEnergy:    66.0,
+		RAMRampEnergy: 220.0,
+	}
+}
+
+// Config couples the coefficients with the voltage domain setup.
+type Config struct {
+	Params Params
+	// VDDH is the nominal supply; scaled-domain energy is multiplied by
+	// (vdd/VDDH)².
+	VDDH float64
+	// ScaleRAMs also scales the L1s and register file — the §3.5 ablation
+	// the paper argues against. Each ramp then costs RAMRampEnergy extra.
+	ScaleRAMs bool
+	// PrefetchBufEnabled includes the prefetch buffer's idle power.
+	PrefetchBufEnabled bool
+	// Leakage configures the optional static-power extension (off by
+	// default, matching the paper's dynamic-only methodology).
+	Leakage LeakageParams
+}
+
+// DefaultConfig returns the paper's setup at VDDH = 1.8 V.
+func DefaultConfig() Config {
+	return Config{Params: DefaultParams(), VDDH: 1.8}
+}
+
+// Activity reports what the pipeline did on one pipeline edge.
+type Activity struct {
+	Fetched   int
+	Decoded   int
+	Renamed   int
+	Issued    int
+	Wakeups   int
+	LSQOps    int
+	RegReads  int
+	RegWrites int
+	// FUOps indexes by isa.FUPool: [none, intALU, intMulDiv, fpAdd, fpMulDiv].
+	FUOps      [5]int
+	Writebacks int
+	Commits    int
+	IL1Access  int
+	DL1Access  int
+	BufAccess  int
+}
+
+// utilization estimates the fraction of pipeline latches clocked (for the
+// DCG-gated share of the clock load).
+func (a *Activity) utilization(width int) float64 {
+	if width <= 0 {
+		return 0
+	}
+	u := float64(a.Fetched+a.Issued+a.Commits) / float64(3*width)
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// Model accumulates energy. Drive it with Tick once per tick.
+type Model struct {
+	cfg    Config
+	width  int
+	energy [NumStructures]float64
+	ticks  int64
+	edges  int64
+}
+
+// NewModel builds a power model for a machine of the given issue width.
+func NewModel(cfg Config, width int) *Model {
+	if cfg.VDDH <= 0 {
+		panic("power: VDDH must be positive")
+	}
+	if width < 1 {
+		panic("power: width must be >= 1")
+	}
+	return &Model{cfg: cfg, width: width}
+}
+
+// Config returns the model configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// vddFactor returns the dynamic-energy scale factor for the scaled domain.
+func (m *Model) vddFactor(vdd float64) float64 {
+	f := vdd / m.cfg.VDDH
+	return f * f
+}
+
+// Tick accrues one tick of energy. edge reports whether the pipeline domain
+// got a clock edge; act must be non-nil iff edge is true. vdd is the scaled
+// domain's effective supply this tick.
+func (m *Model) Tick(edge bool, vdd float64, act *Activity) {
+	m.ticks++
+	p := &m.cfg.Params
+	// Fixed-domain, always-on blocks; leakage flows every tick.
+	m.energy[SPLL] += p.PLLPerTick
+	m.leakTick(vdd)
+	if !edge {
+		return
+	}
+	if act == nil {
+		act = &Activity{}
+	}
+	m.edges++
+	sf := m.vddFactor(vdd) // scaled-domain factor
+	rf := 1.0              // RAM-domain factor (VDDH unless ScaleRAMs ablation)
+	if m.cfg.ScaleRAMs {
+		rf = sf
+	}
+	idle := p.IdleFraction
+	w := float64(m.width)
+
+	// Clock tree: ungateable trunk + DCG-gated latch load.
+	m.energy[SClockTree] += sf * (p.ClockTrunkPerEdge + p.ClockLatchPerEdge*act.utilization(m.width))
+
+	// Conditionally-clocked front end (idle floor = IdleFraction of full
+	// width activity).
+	m.energy[SFetch] += sf * (p.FetchPerInst*float64(act.Fetched) + idle*p.FetchPerInst*w)
+	m.energy[SDecode] += sf * (p.DecodePerInst*float64(act.Decoded) + idle*p.DecodePerInst*w)
+	m.energy[SRename] += sf * (p.RenamePerInst*float64(act.Renamed) + idle*p.RenamePerInst*w)
+	m.energy[SWindow] += sf * (p.WindowPerIssue*float64(act.Issued) +
+		p.WindowPerWakeup*float64(act.Wakeups) + idle*p.WindowPerIssue*w)
+	m.energy[SLSQ] += sf * (p.LSQPerOp*float64(act.LSQOps) + idle*p.LSQPerOp*w/2)
+
+	// Register file: fixed VDD, clocked with the pipeline.
+	m.energy[SRegfile] += rf * (p.RegfilePerRead*float64(act.RegReads) +
+		p.RegfilePerWrite*float64(act.RegWrites) + idle*p.RegfilePerRead*w)
+
+	// DCG-gated execution resources: zero when unused.
+	m.energy[SIntALU] += sf * p.IntALUPerOp * float64(act.FUOps[1])
+	m.energy[SIntMulDiv] += sf * p.IntMulDivPerOp * float64(act.FUOps[2])
+	m.energy[SFPAdd] += sf * p.FPAddPerOp * float64(act.FUOps[3])
+	m.energy[SFPMulDiv] += sf * p.FPMulDivPerOp * float64(act.FUOps[4])
+	m.energy[SResultBus] += sf * p.ResultBusPerWB * float64(act.Writebacks)
+
+	// L1 caches: fixed VDD, clocked with the pipeline; D-cache wordline
+	// decoders are DCG-gated, so the idle floor is small.
+	m.energy[SIL1] += rf * (p.IL1PerAccess*float64(act.IL1Access) + idle/2*p.IL1PerAccess)
+	m.energy[SDL1] += rf * (p.DL1PerAccess*float64(act.DL1Access) + idle/2*p.DL1PerAccess)
+
+	if m.cfg.PrefetchBufEnabled {
+		m.energy[SPrefetchBuf] += rf * p.BufPerAccess * float64(act.BufAccess)
+	}
+
+	// Boundary latches (§3.6): regular latches in high mode, level
+	// converters in low mode; only the selected set is clocked.
+	crossings := float64(act.IL1Access + act.DL1Access + act.RegReads + act.RegWrites)
+	if vdd < m.cfg.VDDH {
+		m.energy[SLatches] += sf * p.ConverterLatchPerAccess * crossings
+	} else {
+		m.energy[SLatches] += sf * p.RegularLatchPerAccess * crossings
+	}
+}
+
+// L2Access accrues one L2 access (the L2 stays at VDDH on its own clock).
+func (m *Model) L2Access() { m.energy[SL2] += m.cfg.Params.L2PerAccess }
+
+// BusTransaction accrues one bus transfer's driver energy.
+func (m *Model) BusTransaction() { m.energy[SBus] += m.cfg.Params.BusPerTxn }
+
+// Ramp accrues one voltage ramp's dual-supply-network energy (plus the RAM
+// transition energy under the ScaleRAMs ablation, per eq. 3).
+func (m *Model) Ramp() {
+	m.energy[SRamp] += m.cfg.Params.RampEnergy
+	if m.cfg.ScaleRAMs {
+		m.energy[SRamp] += m.cfg.Params.RAMRampEnergy
+	}
+}
+
+// Reset zeroes the accumulated energy and tick counters (end of warm-up).
+func (m *Model) Reset() {
+	m.energy = [NumStructures]float64{}
+	m.ticks = 0
+	m.edges = 0
+}
+
+// Energy returns the accumulated energy of one structure in nJ.
+func (m *Model) Energy(s Structure) float64 { return m.energy[s] }
+
+// TotalEnergy returns the total accumulated energy in nJ.
+func (m *Model) TotalEnergy() float64 {
+	var t float64
+	for _, e := range m.energy {
+		t += e
+	}
+	return t
+}
+
+// AveragePower returns the mean power in watts (nJ per ns).
+func (m *Model) AveragePower() float64 {
+	if m.ticks == 0 {
+		return 0
+	}
+	return m.TotalEnergy() / float64(m.ticks)
+}
+
+// Ticks returns the number of accounted ticks.
+func (m *Model) Ticks() int64 { return m.ticks }
+
+// Breakdown returns each structure's share of total energy.
+func (m *Model) Breakdown() map[string]float64 {
+	total := m.TotalEnergy()
+	out := make(map[string]float64, NumStructures)
+	if total <= 0 {
+		return out
+	}
+	for s := 0; s < NumStructures; s++ {
+		out[Structure(s).String()] = m.energy[s] / total
+	}
+	return out
+}
+
+// ScaledShare returns the fraction of total energy dissipated in the
+// variable-VDD domain (including ramps) — an upper bound on what VSV can
+// touch.
+func (m *Model) ScaledShare() float64 {
+	total := m.TotalEnergy()
+	if total <= 0 {
+		return 0
+	}
+	var sc float64
+	for s := 0; s < NumStructures; s++ {
+		if Structure(s).scaled() || Structure(s) == SRamp {
+			sc += m.energy[s]
+		}
+	}
+	return sc / total
+}
+
+// RAMOverheadRatio evaluates eq. 5 of the paper: the number of low-VDD
+// accesses needed to amortize one VDD transition of a RAM structure of
+// totalBytes capacity when each access reads accessedBytes. For the 64 KB
+// 2-way L1 with 2×32 B reads per access it yields ≈ 200.
+func RAMOverheadRatio(totalBytes, accessedBytes int, vddh, vddl float64) float64 {
+	if accessedBytes <= 0 {
+		return 0
+	}
+	return float64(totalBytes) / float64(accessedBytes) * (vddh - vddl) / (vddh + vddl)
+}
+
+// LogicOverheadRatio evaluates eq. 6: for combinational logic the whole
+// circuit both ramps and computes, so the ratio is (VH−VL)/(VH+VL) ≈ 0.2.
+func LogicOverheadRatio(vddh, vddl float64) float64 {
+	return (vddh - vddl) / (vddh + vddl)
+}

@@ -1,0 +1,289 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func busyActivity() *Activity {
+	return &Activity{
+		Fetched: 6, Decoded: 6, Renamed: 6, Issued: 5, Wakeups: 8,
+		LSQOps: 2, RegReads: 10, RegWrites: 5,
+		FUOps: [5]int{0, 4, 0, 1, 0}, Writebacks: 5, Commits: 5,
+		IL1Access: 1, DL1Access: 2,
+	}
+}
+
+func TestEquation5RAMRatio(t *testing.T) {
+	// 64 KB two-way L1, 2 blocks of 32 B read per access: eq. 5 says ~200
+	// low-VDD accesses are needed to amortize one transition.
+	got := RAMOverheadRatio(64*1024, 2*32, 1.8, 1.2)
+	if math.Abs(got-200) > 5 { // 204.8 exactly; the paper rounds to 200
+
+		t.Fatalf("eq.5 ratio = %v, want ~200", got)
+	}
+}
+
+func TestEquation6LogicRatio(t *testing.T) {
+	got := LogicOverheadRatio(1.8, 1.2)
+	if math.Abs(got-0.2) > 1e-9 {
+		t.Fatalf("eq.6 ratio = %v, want 0.2", got)
+	}
+}
+
+func TestRAMOverheadRatioZeroAccess(t *testing.T) {
+	if RAMOverheadRatio(1024, 0, 1.8, 1.2) != 0 {
+		t.Fatal("zero accessed bytes should yield 0")
+	}
+}
+
+func TestVDDSquaredScaling(t *testing.T) {
+	// Same activity at VDDL must cost (1.2/1.8)² of the scaled-domain
+	// energy at VDDH.
+	high := NewModel(DefaultConfig(), 8)
+	low := NewModel(DefaultConfig(), 8)
+	act := busyActivity()
+	high.Tick(true, 1.8, act)
+	low.Tick(true, 1.2, act)
+	factor := (1.2 / 1.8) * (1.2 / 1.8)
+	for _, s := range []Structure{SClockTree, SFetch, SWindow, SIntALU, SResultBus} {
+		ratio := low.Energy(s) / high.Energy(s)
+		if math.Abs(ratio-factor) > 1e-9 {
+			t.Errorf("%v scaled by %v, want %v", s, ratio, factor)
+		}
+	}
+	// Fixed-VDD structures must not scale.
+	for _, s := range []Structure{SRegfile, SIL1, SDL1, SPLL} {
+		if math.Abs(low.Energy(s)-high.Energy(s)) > 1e-12 {
+			t.Errorf("%v changed with VDD: %v vs %v", s, low.Energy(s), high.Energy(s))
+		}
+	}
+}
+
+func TestDCGGatedZeroWhenIdle(t *testing.T) {
+	m := NewModel(DefaultConfig(), 8)
+	m.Tick(true, 1.8, &Activity{}) // completely idle edge
+	for _, s := range []Structure{SIntALU, SIntMulDiv, SFPAdd, SFPMulDiv, SResultBus} {
+		if m.Energy(s) != 0 {
+			t.Errorf("DCG-gated %v consumed %v while idle", s, m.Energy(s))
+		}
+	}
+	// Non-gateable structures keep an idle floor.
+	for _, s := range []Structure{SClockTree, SFetch, SWindow, SRegfile} {
+		if m.Energy(s) <= 0 {
+			t.Errorf("ungated %v consumed nothing while idle", s)
+		}
+	}
+}
+
+func TestHalfSpeedHalvesIdlePower(t *testing.T) {
+	// Low-power mode: edges every second tick. Idle power per tick must be
+	// below half the high-mode idle power for the pipeline domain (half
+	// the edges, and each edge is cheaper by VDD²).
+	high := NewModel(DefaultConfig(), 8)
+	low := NewModel(DefaultConfig(), 8)
+	for i := 0; i < 1000; i++ {
+		high.Tick(true, 1.8, &Activity{})
+		low.Tick(i%2 == 0, 1.2, &Activity{})
+	}
+	ph, pl := high.AveragePower(), low.AveragePower()
+	if pl >= ph/2 {
+		t.Fatalf("idle power low=%v high=%v; want low < high/2", pl, ph)
+	}
+}
+
+func TestLatchSelection(t *testing.T) {
+	p := DefaultParams()
+	high := NewModel(DefaultConfig(), 8)
+	low := NewModel(DefaultConfig(), 8)
+	act := &Activity{DL1Access: 1}
+	high.Tick(true, 1.8, act)
+	low.Tick(true, 1.2, act)
+	// High mode charges the regular latch at full VDD; low mode charges
+	// the (more expensive per access) converter latch at scaled VDD.
+	wantHigh := p.RegularLatchPerAccess
+	if math.Abs(high.Energy(SLatches)-wantHigh) > 1e-12 {
+		t.Fatalf("high latch energy = %v, want %v", high.Energy(SLatches), wantHigh)
+	}
+	f := (1.2 / 1.8) * (1.2 / 1.8)
+	wantLow := p.ConverterLatchPerAccess * f
+	if math.Abs(low.Energy(SLatches)-wantLow) > 1e-12 {
+		t.Fatalf("low latch energy = %v, want %v", low.Energy(SLatches), wantLow)
+	}
+}
+
+func TestRampEnergy(t *testing.T) {
+	m := NewModel(DefaultConfig(), 8)
+	m.Ramp()
+	m.Ramp()
+	if got := m.Energy(SRamp); math.Abs(got-132) > 1e-9 {
+		t.Fatalf("ramp energy = %v, want 132 (2 × 66 nJ)", got)
+	}
+}
+
+func TestScaleRAMsAblation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ScaleRAMs = true
+	m := NewModel(cfg, 8)
+	m.Ramp()
+	want := DefaultParams().RampEnergy + DefaultParams().RAMRampEnergy
+	if math.Abs(m.Energy(SRamp)-want) > 1e-9 {
+		t.Fatalf("ablation ramp energy = %v, want %v", m.Energy(SRamp), want)
+	}
+	// Under the ablation, RAM structures do scale with VDD.
+	m2 := NewModel(cfg, 8)
+	m3 := NewModel(cfg, 8)
+	act := &Activity{RegReads: 4, DL1Access: 2, IL1Access: 1}
+	m2.Tick(true, 1.8, act)
+	m3.Tick(true, 1.2, act)
+	if m3.Energy(SRegfile) >= m2.Energy(SRegfile) {
+		t.Fatal("ScaleRAMs did not scale the register file")
+	}
+}
+
+func TestPrefetchBufferGatedByConfig(t *testing.T) {
+	off := NewModel(DefaultConfig(), 8)
+	cfg := DefaultConfig()
+	cfg.PrefetchBufEnabled = true
+	on := NewModel(cfg, 8)
+	act := &Activity{BufAccess: 3}
+	off.Tick(true, 1.8, act)
+	on.Tick(true, 1.8, act)
+	if off.Energy(SPrefetchBuf) != 0 {
+		t.Fatal("disabled prefetch buffer consumed energy")
+	}
+	if on.Energy(SPrefetchBuf) <= 0 {
+		t.Fatal("enabled prefetch buffer consumed nothing")
+	}
+}
+
+func TestL2AndBusAccrual(t *testing.T) {
+	m := NewModel(DefaultConfig(), 8)
+	m.L2Access()
+	m.BusTransaction()
+	if m.Energy(SL2) != DefaultParams().L2PerAccess {
+		t.Fatalf("L2 energy = %v", m.Energy(SL2))
+	}
+	if m.Energy(SBus) != DefaultParams().BusPerTxn {
+		t.Fatalf("bus energy = %v", m.Energy(SBus))
+	}
+}
+
+func TestAveragePowerAndBreakdown(t *testing.T) {
+	m := NewModel(DefaultConfig(), 8)
+	if m.AveragePower() != 0 {
+		t.Fatal("empty model has nonzero power")
+	}
+	for i := 0; i < 100; i++ {
+		m.Tick(true, 1.8, busyActivity())
+	}
+	if m.AveragePower() <= 0 {
+		t.Fatal("busy model has zero power")
+	}
+	bd := m.Breakdown()
+	var sum float64
+	for _, f := range bd {
+		if f < 0 || f > 1 {
+			t.Fatalf("breakdown fraction out of range: %v", bd)
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("breakdown sums to %v", sum)
+	}
+}
+
+func TestBaselineBreakdownShape(t *testing.T) {
+	// At a typical IPC the baseline distribution should be Wattch-like:
+	// clock is the single biggest consumer (~20-40%), caches+regfile
+	// together 15-35%, execution units 5-25%.
+	m := NewModel(DefaultConfig(), 8)
+	for i := 0; i < 1000; i++ {
+		m.Tick(true, 1.8, busyActivity())
+	}
+	bd := m.Breakdown()
+	clock := bd["clock-tree"] + bd["pll"]
+	rams := bd["il1"] + bd["dl1"] + bd["l2"] + bd["regfile"]
+	fus := bd["int-alu"] + bd["int-muldiv"] + bd["fp-add"] + bd["fp-muldiv"]
+	if clock < 0.20 || clock > 0.45 {
+		t.Errorf("clock share = %v", clock)
+	}
+	if rams < 0.10 || rams > 0.40 {
+		t.Errorf("RAM share = %v", rams)
+	}
+	if fus < 0.03 || fus > 0.30 {
+		t.Errorf("FU share = %v", fus)
+	}
+}
+
+func TestScaledShare(t *testing.T) {
+	m := NewModel(DefaultConfig(), 8)
+	for i := 0; i < 100; i++ {
+		m.Tick(true, 1.8, busyActivity())
+	}
+	s := m.ScaledShare()
+	if s <= 0.3 || s >= 0.95 {
+		t.Fatalf("scaled share = %v; VSV must be able to touch a majority of pipeline power", s)
+	}
+}
+
+func TestEnergyMonotonicity(t *testing.T) {
+	// Property: energy is non-negative and non-decreasing under any
+	// activity.
+	m := NewModel(DefaultConfig(), 8)
+	prev := 0.0
+	f := func(fetched, issued, dl1 uint8, lowVDD bool) bool {
+		vdd := 1.8
+		if lowVDD {
+			vdd = 1.2
+		}
+		m.Tick(true, vdd, &Activity{
+			Fetched: int(fetched % 9), Issued: int(issued % 9), DL1Access: int(dl1 % 3),
+		})
+		cur := m.TotalEnergy()
+		ok := cur >= prev && cur >= 0
+		prev = cur
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilizationClamped(t *testing.T) {
+	a := &Activity{Fetched: 100, Issued: 100, Commits: 100}
+	if u := a.utilization(8); u != 1 {
+		t.Fatalf("utilization = %v, want clamp to 1", u)
+	}
+	if u := a.utilization(0); u != 0 {
+		t.Fatalf("utilization with zero width = %v", u)
+	}
+}
+
+func TestNilActivityOnEdge(t *testing.T) {
+	m := NewModel(DefaultConfig(), 8)
+	m.Tick(true, 1.8, nil) // treated as idle; must not panic
+	if m.TotalEnergy() <= 0 {
+		t.Fatal("idle edge consumed nothing")
+	}
+}
+
+func TestStructureString(t *testing.T) {
+	if SClockTree.String() != "clock-tree" || SRamp.String() != "ramp" {
+		t.Fatal("structure names wrong")
+	}
+	if !strings.Contains(Structure(99).String(), "99") {
+		t.Fatal("unknown structure string")
+	}
+}
+
+func TestNewModelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewModel with bad config did not panic")
+		}
+	}()
+	NewModel(Config{}, 8)
+}

@@ -1,0 +1,80 @@
+package prefetch
+
+// Buffer is the 128-entry fully-associative prefetch buffer of §5.1. It
+// holds prefetched blocks close to the L1 and is probed on L1 misses with a
+// 2-cycle access. Replacement is FIFO.
+type Buffer struct {
+	capacity int
+	latency  int
+	fifo     []uint64
+	index    map[uint64]bool
+	stats    BufferStats
+}
+
+// BufferStats counts buffer events.
+type BufferStats struct {
+	Insertions uint64
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+}
+
+// NewBuffer builds a buffer with the given capacity and access latency
+// (in pipeline cycles).
+func NewBuffer(capacity, latency int) *Buffer {
+	if capacity < 1 || latency < 1 {
+		panic("prefetch: buffer capacity and latency must be positive")
+	}
+	return &Buffer{
+		capacity: capacity,
+		latency:  latency,
+		index:    make(map[uint64]bool, capacity),
+	}
+}
+
+// Latency returns the buffer access time in pipeline cycles.
+func (b *Buffer) Latency() int { return b.latency }
+
+// Len returns the number of resident blocks.
+func (b *Buffer) Len() int { return len(b.fifo) }
+
+// Contains probes for block without updating statistics.
+func (b *Buffer) Contains(block uint64) bool { return b.index[block] }
+
+// Insert adds block, evicting the oldest entry if full. Re-inserting a
+// resident block is a no-op (FIFO order preserved).
+func (b *Buffer) Insert(block uint64) {
+	if b.index[block] {
+		return
+	}
+	if len(b.fifo) >= b.capacity {
+		old := b.fifo[0]
+		b.fifo = b.fifo[:copy(b.fifo, b.fifo[1:])]
+		delete(b.index, old)
+		b.stats.Evictions++
+	}
+	b.fifo = append(b.fifo, block)
+	b.index[block] = true
+	b.stats.Insertions++
+}
+
+// Lookup probes for block on an L1 miss; on a hit the block is consumed
+// (moved into the L1 by the caller).
+func (b *Buffer) Lookup(block uint64) bool {
+	if !b.index[block] {
+		b.stats.Misses++
+		return false
+	}
+	b.stats.Hits++
+	delete(b.index, block)
+	for i, v := range b.fifo {
+		if v == block {
+			b.fifo = append(b.fifo[:i], b.fifo[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Stats returns a snapshot of the counters.
+func (b *Buffer) Stats() BufferStats { return b.stats }

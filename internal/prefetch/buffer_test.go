@@ -1,0 +1,86 @@
+package prefetch
+
+import "testing"
+
+func TestBufferInsertLookup(t *testing.T) {
+	b := NewBuffer(4, 2)
+	b.Insert(0x100)
+	if !b.Contains(0x100) {
+		t.Fatal("inserted block not present")
+	}
+	if !b.Lookup(0x100) {
+		t.Fatal("lookup missed resident block")
+	}
+	// Lookup consumes the entry.
+	if b.Contains(0x100) || b.Len() != 0 {
+		t.Fatal("hit did not consume the entry")
+	}
+}
+
+func TestBufferFIFOEviction(t *testing.T) {
+	b := NewBuffer(3, 2)
+	b.Insert(1)
+	b.Insert(2)
+	b.Insert(3)
+	b.Insert(4) // evicts 1 (oldest)
+	if b.Contains(1) {
+		t.Fatal("oldest entry not evicted")
+	}
+	if !b.Contains(2) || !b.Contains(3) || !b.Contains(4) {
+		t.Fatal("younger entries lost")
+	}
+	if b.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", b.Stats().Evictions)
+	}
+}
+
+func TestBufferDuplicateInsert(t *testing.T) {
+	b := NewBuffer(2, 2)
+	b.Insert(1)
+	b.Insert(1)
+	if b.Len() != 1 {
+		t.Fatalf("len = %d after duplicate insert", b.Len())
+	}
+	// FIFO order must be preserved: 1 is still oldest.
+	b.Insert(2)
+	b.Insert(3)
+	if b.Contains(1) {
+		t.Fatal("duplicate insert refreshed FIFO position")
+	}
+}
+
+func TestBufferMissCounted(t *testing.T) {
+	b := NewBuffer(2, 2)
+	if b.Lookup(0xdead) {
+		t.Fatal("empty buffer hit")
+	}
+	if b.Stats().Misses != 1 {
+		t.Fatalf("misses = %d", b.Stats().Misses)
+	}
+}
+
+func TestBufferCapacityNeverExceeded(t *testing.T) {
+	b := NewBuffer(5, 2)
+	for i := 0; i < 100; i++ {
+		b.Insert(uint64(i))
+		if b.Len() > 5 {
+			t.Fatalf("len = %d exceeds capacity", b.Len())
+		}
+	}
+}
+
+func TestBufferLatency(t *testing.T) {
+	b := NewBuffer(128, 2)
+	if b.Latency() != 2 {
+		t.Fatalf("latency = %d", b.Latency())
+	}
+}
+
+func TestBufferPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBuffer(0, 0) did not panic")
+		}
+	}()
+	NewBuffer(0, 0)
+}

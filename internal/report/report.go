@@ -1,0 +1,114 @@
+// Package report renders experiment results as aligned text tables and as
+// CSV, so figures can be regenerated both on a terminal and in a plotting
+// tool.
+package report
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of cells with a header row.
+type Table struct {
+	Title   string
+	columns []string
+	rows    [][]string
+}
+
+// NewTable builds a table with the given column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, columns: append([]string(nil), columns...)}
+}
+
+// Columns returns the header row.
+func (t *Table) Columns() []string { return t.columns }
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// AddRow appends a row; missing cells are blank, extra cells are dropped.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.columns))
+	for i, c := range t.columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.columns)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC 4180-style CSV (header first; the title is
+// not included).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(escapeCSV(cell))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.columns)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func escapeCSV(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// F formats a float with the given precision.
+func F(v float64, prec int) string {
+	return strconv.FormatFloat(v, 'f', prec, 64)
+}
+
+// I formats an integer.
+func I(v int64) string { return strconv.FormatInt(v, 10) }
+
+// U formats an unsigned integer.
+func U(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// Pct formats a percentage with one decimal.
+func Pct(v float64) string { return F(v, 1) }

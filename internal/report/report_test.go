@@ -1,0 +1,102 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer-name", "22")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// All data lines must have the value column starting at the same
+	// offset.
+	idx1 := strings.Index(lines[2], "1")
+	idx2 := strings.Index(lines[3], "22")
+	if idx1 != idx2 {
+		t.Errorf("columns misaligned: %d vs %d\n%s", idx1, idx2, out)
+	}
+}
+
+func TestRenderNoTitle(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.AddRow("1")
+	if strings.HasPrefix(tb.Render(), "\n") {
+		t.Error("no-title render begins with a blank line")
+	}
+}
+
+func TestAddRowPadsAndTruncates(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("only")
+	tb.AddRow("x", "y", "dropped")
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if lines[1] != "only," {
+		t.Errorf("padded row = %q", lines[1])
+	}
+	if lines[2] != "x,y" {
+		t.Errorf("truncated row = %q", lines[2])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := NewTable("t", "a")
+	tb.AddRow(`has,comma`)
+	tb.AddRow(`has"quote`)
+	tb.AddRow("has\nnewline")
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"has,comma"`) {
+		t.Errorf("comma not escaped: %q", csv)
+	}
+	if !strings.Contains(csv, `"has""quote"`) {
+		t.Errorf("quote not escaped: %q", csv)
+	}
+	if !strings.Contains(csv, "\"has\nnewline\"") {
+		t.Errorf("newline not escaped: %q", csv)
+	}
+}
+
+func TestCSVRoundTripCellCount(t *testing.T) {
+	f := func(a, b, c string) bool {
+		tb := NewTable("t", "x", "y", "z")
+		tb.AddRow(a, b, c)
+		lines := strings.SplitN(tb.CSV(), "\n", 2)
+		return lines[0] == "x,y,z"
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Errorf("F = %q", F(1.23456, 2))
+	}
+	if I(-5) != "-5" || U(7) != "7" {
+		t.Error("int formatters wrong")
+	}
+	if Pct(12.345) != "12.3" {
+		t.Errorf("Pct = %q", Pct(12.345))
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	if len(tb.Columns()) != 2 || tb.NumRows() != 0 {
+		t.Fatal("accessors wrong")
+	}
+	tb.AddRow("1", "2")
+	if tb.NumRows() != 1 {
+		t.Fatal("row count wrong")
+	}
+}

@@ -1,0 +1,143 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators for workload synthesis.
+//
+// The simulator must be reproducible run-to-run and independent of the Go
+// runtime's seeding, so workloads never use math/rand's global state. Each
+// workload owns an rng.Source seeded from the benchmark name; derived
+// sub-streams (per kernel) are split off with Split so that adding a kernel
+// to a profile does not perturb the streams of the others.
+package rng
+
+// Source is a xorshift64* generator with splitmix64 seeding. The zero value
+// is not usable; construct with New.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded from seed. Any seed, including zero, yields a
+// well-mixed non-zero internal state.
+func New(seed uint64) *Source {
+	s := &Source{}
+	s.Seed(seed)
+	return s
+}
+
+// NewString returns a Source seeded from a string (FNV-1a hash).
+func NewString(name string) *Source {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return New(h)
+}
+
+// Seed resets the generator to a state derived from seed via splitmix64.
+func (s *Source) Seed(seed uint64) {
+	s.state = splitmix64(seed + 0x9e3779b97f4a7c15)
+	if s.state == 0 {
+		s.state = 0x2545f4914f6cdd1d
+	}
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *Source) Uint64() uint64 {
+	x := s.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	s.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Split derives an independent child stream from the current state. The
+// parent stream advances by one step, so repeated Splits yield distinct
+// children.
+func (s *Source) Split() *Source {
+	return New(s.Uint64())
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Uint64n returns a pseudo-random uint64 in [0, n). It panics if n == 0.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	return s.Uint64() % n
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / float64(1<<53)
+}
+
+// Bool returns true with probability p (clamped to [0, 1]).
+func (s *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Geometric returns a pseudo-random non-negative int with a geometric
+// distribution of mean approximately mean (mean <= 0 returns 0). Used for
+// run lengths in workload kernels.
+func (s *Source) Geometric(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	p := 1 / (1 + mean)
+	n := 0
+	for !s.Bool(p) && n < 1<<20 {
+		n++
+	}
+	return n
+}
+
+// Pick returns an index in [0, len(weights)) chosen with probability
+// proportional to weights[i]. Zero or negative weights are treated as zero;
+// if all weights are zero it returns 0.
+func (s *Source) Pick(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	x := s.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return len(weights) - 1
+}

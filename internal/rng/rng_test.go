@@ -1,0 +1,200 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedZeroUsable(t *testing.T) {
+	s := New(0)
+	if s.Uint64() == 0 && s.Uint64() == 0 {
+		t.Fatal("zero seed produced a stuck stream")
+	}
+}
+
+func TestNewStringDistinct(t *testing.T) {
+	a := NewString("mcf")
+	b := NewString("art")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams for distinct names coincide too often: %d/64", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	same := 0
+	for i := 0; i < 64; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split children coincide too often: %d/64", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(1)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := s.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nRange(t *testing.T) {
+	s := New(2)
+	for i := 0; i < 1000; i++ {
+		n := s.Uint64()%1_000_000 + 1
+		if v := s.Uint64n(n); v >= n {
+			t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(4)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if mean < 0.49 || mean > 0.51 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBoolExtremes(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 100; i++ {
+		if s.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !s.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(6)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.28 || frac > 0.32 {
+		t.Fatalf("Bool(0.3) frequency = %v", frac)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(7)
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += float64(s.Geometric(4))
+	}
+	mean := sum / n
+	if mean < 3.5 || mean > 4.5 {
+		t.Fatalf("Geometric(4) mean = %v, want ~4", mean)
+	}
+}
+
+func TestGeometricNonPositive(t *testing.T) {
+	s := New(8)
+	if s.Geometric(0) != 0 || s.Geometric(-1) != 0 {
+		t.Fatal("Geometric of non-positive mean should be 0")
+	}
+}
+
+func TestPickWeights(t *testing.T) {
+	s := New(9)
+	w := []float64{0, 1, 3}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.Pick(w)]++
+	}
+	if counts[0] != 0 {
+		t.Fatalf("zero-weight index picked %d times", counts[0])
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("Pick ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestPickAllZero(t *testing.T) {
+	s := New(10)
+	if got := s.Pick([]float64{0, 0}); got != 0 {
+		t.Fatalf("Pick all-zero = %d, want 0", got)
+	}
+}
+
+func TestPickNegativeTreatedZero(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 1000; i++ {
+		if got := s.Pick([]float64{-5, 2}); got != 1 {
+			t.Fatalf("Pick returned negative-weight index")
+		}
+	}
+}
+
+func TestPickSingle(t *testing.T) {
+	s := New(12)
+	if got := s.Pick([]float64{42}); got != 0 {
+		t.Fatalf("Pick single = %d", got)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}

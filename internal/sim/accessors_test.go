@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestComponentAccessors sweeps the trivial read-only accessors across the
+// composed machine so configuration plumbing mistakes (wrong config wired
+// to the wrong component) are caught.
+func TestComponentAccessors(t *testing.T) {
+	cfg := testConfig().WithVSV(core.PolicyFSM())
+	cfg.TraceInterval = 1000
+	p, _ := workload.ByName("mcf")
+	m := NewMachine(cfg, workload.NewGenerator(p))
+
+	il1, dl1, l2 := m.Caches()
+	if il1.Config().Name != "IL1" || dl1.Config().Name != "DL1" || l2.Config().Name != "L2" {
+		t.Fatal("cache configs wired to wrong components")
+	}
+	if got := m.Pipeline().Config(); got.RUUSize != cfg.Pipeline.RUUSize {
+		t.Fatal("pipeline config mismatch")
+	}
+	if got := m.Power().Config(); got.VDDH != cfg.Power.VDDH {
+		t.Fatal("power config mismatch")
+	}
+	ctl := m.Controller()
+	if ctl.Policy().DownThreshold != core.PolicyFSM().DownThreshold {
+		t.Fatal("controller policy mismatch")
+	}
+	if ctl.Timing().VDDL != core.DefaultTiming().VDDL {
+		t.Fatal("controller timing mismatch")
+	}
+	if m.Recorder().Interval() != 1000 {
+		t.Fatal("recorder interval mismatch")
+	}
+	m.Run("mcf")
+	if m.Pipeline().Committed() == 0 {
+		t.Fatal("committed accessor broken")
+	}
+	if m.Power().Ticks() == 0 {
+		t.Fatal("power ticks accessor broken")
+	}
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestCalibrationGuard protects the Table 2 calibration against accidental
+// drift: for every benchmark the measured MR must stay in the paper's
+// band (classification into zero / low / high miss rate is what Figures
+// 4–7 depend on), and IPC must stay within a factor of two. Run with
+// modest windows so the whole sweep stays under ~10 s; the -calibrate
+// table (calibration_test.go) remains the precise tuning aid.
+func TestCalibrationGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration guard needs full windows")
+	}
+	cfg := DefaultConfig()
+	cfg.WarmupInstructions = 20_000
+	cfg.MeasureInstructions = 100_000
+	cfg.Prewarm = []PrewarmRange{
+		{Base: workload.HotBase, Bytes: workload.HotBytes, IntoL1: true},
+		{Base: workload.WarmBase, Bytes: workload.WarmBytes},
+	}
+	type result struct {
+		name    string
+		ipc, mr float64
+	}
+	results := make(chan result, 26)
+	sem := make(chan struct{}, 8)
+	for _, p := range workload.Profiles() {
+		go func(p workload.Profile) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r := NewMachine(cfg, workload.NewGenerator(p)).Run(p.Name)
+			results <- result{p.Name, r.IPC, r.MR}
+		}(p)
+	}
+	for range workload.Profiles() {
+		got := <-results
+		p, _ := workload.ByName(got.name)
+		// MR classification bands: zero (< 0.5), low (0.5–4), high (> 4).
+		switch {
+		case p.MRPaper > 4:
+			if got.mr <= 4 {
+				t.Errorf("%s: MR %.2f fell out of the high-MR class (paper %.1f)",
+					got.name, got.mr, p.MRPaper)
+			}
+			// High-MR values matter quantitatively: within ±40%.
+			if got.mr < p.MRPaper*0.6 || got.mr > p.MRPaper*1.4 {
+				t.Errorf("%s: MR %.2f drifted from paper %.1f", got.name, got.mr, p.MRPaper)
+			}
+		case p.MRPaper >= 0.5:
+			if got.mr > 4 || got.mr < 0.05 {
+				t.Errorf("%s: MR %.2f fell out of the mid class (paper %.1f)",
+					got.name, got.mr, p.MRPaper)
+			}
+		default:
+			if got.mr > 0.8 {
+				t.Errorf("%s: MR %.2f but the paper reports ~%.1f",
+					got.name, got.mr, p.MRPaper)
+			}
+		}
+		if got.ipc < p.IPCPaper/2 || got.ipc > p.IPCPaper*2 {
+			t.Errorf("%s: IPC %.2f outside 2x of paper %.2f", got.name, got.ipc, p.IPCPaper)
+		}
+	}
+}

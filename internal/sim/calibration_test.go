@@ -1,0 +1,35 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestCalibrationTable prints measured vs paper IPC/MR for every benchmark.
+// It is a tuning aid: run with
+//
+//	go test ./internal/sim -run TestCalibrationTable -v -calibrate
+//
+// (kept out of normal runs by the flag; correctness assertions about the
+// calibration live in the experiments package tests).
+func TestCalibrationTable(t *testing.T) {
+	if testing.Short() || !calibrate {
+		t.Skip("calibration table is a tuning aid; enable with -calibrate")
+	}
+	cfg := DefaultConfig()
+	cfg.WarmupInstructions = 30_000
+	cfg.MeasureInstructions = 150_000
+	cfg.Prewarm = []PrewarmRange{
+		{Base: workload.HotBase, Bytes: workload.HotBytes, IntoL1: true},
+		{Base: workload.WarmBase, Bytes: workload.WarmBytes},
+	}
+	fmt.Printf("%-9s %7s %7s %8s %8s %8s\n", "bench", "IPC", "IPC*", "MR", "MR*", "P(W)")
+	for _, p := range workload.Profiles() {
+		m := NewMachine(cfg, workload.NewGenerator(p))
+		r := m.Run(p.Name)
+		fmt.Printf("%-9s %7.2f %7.2f %8.2f %8.2f %8.2f\n",
+			p.Name, r.IPC, p.IPCPaper, r.MR, p.MRPaper, r.AvgPowerW)
+	}
+}

@@ -1,0 +1,10 @@
+package sim
+
+import "flag"
+
+// calibrate gates the (verbose, slow) calibration table test.
+var calibrate = false
+
+func init() {
+	flag.BoolVar(&calibrate, "calibrate", false, "print the Table 2 calibration table")
+}

@@ -1,0 +1,528 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/branch"
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/prefetch"
+	"repro/internal/trace"
+)
+
+// l2Event is a pending access to the L2 array. The L2 runs on its own
+// full-speed VDDH clock, so its latency is in ticks; the miss-detection
+// point is conservatively one full L2-hit latency after the access starts
+// (§5, "the latency to detect an L2 miss is as long as the L2 cache hit
+// latency").
+type l2Event struct {
+	block    uint64
+	readyAt  int64
+	write    bool // a writeback from the DL1 (no fill, no response)
+	prefetch bool // software or hardware prefetch (never triggers VSV)
+	fillBuf  bool // Time-Keeping request: fill the prefetch buffer
+}
+
+// MachineStats aggregates machine-level counters for one measurement
+// window.
+type MachineStats struct {
+	Ticks          int64
+	DemandL2Misses uint64
+	L2Accesses     uint64
+	TKPrefetches   uint64
+	RetriedL2Full  uint64
+}
+
+// Machine is the composed processor + memory system.
+type Machine struct {
+	cfg Config
+
+	pred *branch.Predictor
+	pipe *pipeline.Pipeline
+
+	il1, dl1, l2             *cache.Cache
+	il1MSHR, dl1MSHR, l2MSHR *cache.MSHRFile
+
+	bus *bus.Bus
+	mem *mem.Memory
+	pow *power.Model
+
+	ctl   *core.Controller
+	tk    *prefetch.TimeKeeping
+	tkBuf *prefetch.Buffer
+	rec   *trace.Recorder
+
+	now      int64
+	l2Events []l2Event
+	l2Ready  []l2Event // scratch
+
+	missDetected bool
+	missReturned bool
+
+	tkFillPending map[uint64]bool
+
+	stats              MachineStats
+	rampsBaseline      uint64
+	missesAtTickStart  uint64
+	energyAtTickStart  float64
+	commitsAtTickStart uint64
+	lastEnergySeen     float64
+
+	lastCommitTick int64
+}
+
+// NewMachine builds a machine running src on the given configuration. It
+// panics on invalid configuration (configurations are static data).
+func NewMachine(cfg Config, src pipeline.InstSource) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{
+		cfg:           cfg,
+		pred:          branch.New(cfg.Branch),
+		il1:           cache.New(cfg.IL1),
+		dl1:           cache.New(cfg.DL1),
+		l2:            cache.New(cfg.L2),
+		il1MSHR:       cache.NewMSHRFile("IL1", cfg.IL1.MSHREntries),
+		dl1MSHR:       cache.NewMSHRFile("DL1", cfg.DL1.MSHREntries),
+		l2MSHR:        cache.NewMSHRFile("L2", cfg.L2.MSHREntries),
+		bus:           bus.New(cfg.Bus),
+		mem:           mem.New(cfg.Mem),
+		pow:           power.NewModel(cfg.Power, cfg.Pipeline.IssueWidth),
+		tkFillPending: make(map[uint64]bool),
+	}
+	m.pipe = pipeline.New(cfg.Pipeline, src, m.pred, m)
+	for _, pr := range cfg.Prewarm {
+		bb := uint64(cfg.L2.BlockBytes)
+		for a := pr.Base; a < pr.Base+pr.Bytes; a += bb {
+			m.l2.Fill(a, false, false)
+			if pr.IntoL1 {
+				m.dl1.Fill(a, false, false)
+			}
+		}
+	}
+	if cfg.VSV != nil {
+		m.ctl = core.New(cfg.VSV.Policy, cfg.VSV.Timing)
+	}
+	if cfg.TimeKeeping != nil {
+		m.tk = prefetch.New(*cfg.TimeKeeping)
+		m.tkBuf = prefetch.NewBuffer(cfg.TimeKeeping.BufferEntries, cfg.TimeKeeping.BufferLatency)
+	}
+	if cfg.TraceInterval > 0 {
+		maxS := cfg.TraceSamples
+		if maxS <= 0 {
+			maxS = 4096
+		}
+		m.rec = trace.NewRecorder(cfg.TraceInterval, maxS)
+	}
+	return m
+}
+
+// Recorder returns the time-series recorder (nil unless TraceInterval was
+// set).
+func (m *Machine) Recorder() *trace.Recorder { return m.rec }
+
+// Controller returns the VSV controller (nil on baseline machines).
+func (m *Machine) Controller() *core.Controller { return m.ctl }
+
+// Pipeline returns the core (for tests and diagnostics).
+func (m *Machine) Pipeline() *pipeline.Pipeline { return m.pipe }
+
+// Power returns the power model.
+func (m *Machine) Power() *power.Model { return m.pow }
+
+// Caches returns (IL1, DL1, L2) for diagnostics.
+func (m *Machine) Caches() (il1, dl1, l2 *cache.Cache) { return m.il1, m.dl1, m.l2 }
+
+// Stats returns the machine-level counters.
+func (m *Machine) Stats() MachineStats { return m.stats }
+
+// ---------------------------------------------------------------- ticks --
+
+// tick advances the whole machine by one nanosecond.
+func (m *Machine) tick() {
+	now := m.now
+	edge := true
+	vdd := m.cfg.Power.VDDH
+	if m.ctl != nil {
+		edge = m.ctl.BeginTick(now)
+		vdd = m.ctl.VDD()
+	}
+
+	m.missDetected = false
+	m.missReturned = false
+	m.missesAtTickStart = m.stats.DemandL2Misses
+
+	// Memory side: always at full speed.
+	m.bus.Tick(now)
+	m.mem.Tick(now)
+	m.processL2Events(now)
+	m.tkTick(now)
+
+	// Pipeline side: only on edges.
+	issued := 0
+	if edge {
+		r := m.pipe.Step(now)
+		issued = r.Issued
+		if r.Committed > 0 {
+			m.lastCommitTick = now
+		}
+		m.pow.Tick(true, vdd, &r.Activity)
+	} else {
+		m.pow.Tick(false, vdd, nil)
+	}
+
+	if m.rec != nil {
+		mode, slow := "high", false
+		if m.ctl != nil {
+			mode, slow = m.ctl.Mode().String(), m.ctl.HalfSpeed()
+		}
+		energy := m.pow.TotalEnergy()
+		commits := m.pipe.Committed()
+		m.rec.Observe(now, energy-m.energyAtTickStart, commits-m.commitsAtTickStart,
+			vdd, mode, slow, m.stats.DemandL2Misses-m.missesAtTickStart)
+		m.energyAtTickStart = energy
+		m.commitsAtTickStart = commits
+	}
+
+	if m.ctl != nil {
+		outstanding := m.l2MSHR.DemandOutstanding()
+		if m.cfg.VSV.TriggerOnPrefetch {
+			// §4.2 ablation: the controller cannot distinguish prefetch
+			// misses, so it sees every outstanding miss.
+			outstanding = m.l2MSHR.Used()
+		}
+		m.ctl.EndTick(now, core.Observation{
+			Issued:            issued,
+			MissDetected:      m.missDetected,
+			MissReturned:      m.missReturned,
+			OutstandingDemand: outstanding,
+		})
+	}
+
+	if m.cfg.SelfCheck {
+		m.selfCheck(now)
+	}
+
+	m.stats.Ticks++
+	m.now++
+}
+
+// Run executes warm-up then the measurement window and returns results.
+func (m *Machine) Run(benchmark string) Results {
+	m.runUntil(m.cfg.WarmupInstructions)
+	m.resetStats()
+	start := m.pipe.Committed()
+	m.runUntil(start + m.cfg.MeasureInstructions)
+	return m.results(benchmark)
+}
+
+func (m *Machine) runUntil(committed uint64) {
+	for m.pipe.Committed() < committed {
+		m.tick()
+		if m.cfg.WatchdogTicks > 0 && m.now-m.lastCommitTick > m.cfg.WatchdogTicks {
+			panic(fmt.Sprintf("sim: no commit for %d ticks at tick %d (committed %d, RUU %d, LSQ %d, L2 MSHR %d)",
+				m.cfg.WatchdogTicks, m.now, m.pipe.Committed(),
+				m.pipe.RUUOccupancy(), m.pipe.LSQOccupancy(), m.l2MSHR.Used()))
+		}
+	}
+}
+
+func (m *Machine) resetStats() {
+	m.pipe.ResetStats()
+	m.il1.ResetStats()
+	m.dl1.ResetStats()
+	m.l2.ResetStats()
+	m.pow.Reset()
+	m.pred.ResetStats()
+	if m.rec != nil {
+		m.rec.Reset()
+		m.energyAtTickStart = 0
+		m.commitsAtTickStart = m.pipe.Committed()
+	}
+	m.lastEnergySeen = 0
+	if m.ctl != nil {
+		m.ctl.ResetStats()
+		m.rampsBaseline = 0
+	}
+	m.stats = MachineStats{}
+}
+
+// ------------------------------------------------------------- L2 side --
+
+func (m *Machine) scheduleL2(block uint64, write, isPrefetch, fillBuf bool) {
+	m.l2Events = append(m.l2Events, l2Event{
+		block:    block,
+		readyAt:  m.now + int64(m.cfg.L2.HitLatency),
+		write:    write,
+		prefetch: isPrefetch,
+		fillBuf:  fillBuf,
+	})
+}
+
+func (m *Machine) processL2Events(now int64) {
+	if len(m.l2Events) == 0 {
+		return
+	}
+	m.l2Ready = m.l2Ready[:0]
+	keep := m.l2Events[:0]
+	for _, e := range m.l2Events {
+		if e.readyAt <= now {
+			m.l2Ready = append(m.l2Ready, e)
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	m.l2Events = keep
+	for _, e := range m.l2Ready {
+		m.handleL2Access(e, now)
+	}
+}
+
+func (m *Machine) handleL2Access(e l2Event, now int64) {
+	m.pow.L2Access()
+	m.stats.L2Accesses++
+	if e.write {
+		// DL1 writeback: set dirty on hit; forward to memory on miss.
+		if !m.l2.Access(e.block, cache.Write) {
+			m.l2.Fill(e.block, true, false) // victim-writeback allocate
+		}
+		return
+	}
+	kind := cache.Read
+	if e.prefetch {
+		kind = cache.Prefetch
+	}
+	if m.l2.Access(e.block, kind) {
+		m.deliverFill(e.block, e.fillBuf, e.prefetch)
+		return
+	}
+	// L2 miss detected (one hit-latency after the access started).
+	if !e.prefetch {
+		m.missDetected = true
+		m.stats.DemandL2Misses++
+	} else if m.cfg.VSV != nil && m.cfg.VSV.TriggerOnPrefetch {
+		// §4.2 ablation: prefetch misses also signal the controller.
+		m.missDetected = true
+	}
+	if e.fillBuf {
+		m.tkFillPending[e.block] = true
+	}
+	_, merged, ok := m.l2MSHR.Allocate(e.block, -1, kind, now)
+	if !ok {
+		// L2 MSHR full: drop prefetches, retry demand accesses shortly.
+		if e.prefetch {
+			delete(m.tkFillPending, e.block)
+			if le := m.dl1MSHR.Lookup(e.block); le != nil {
+				if le.IsPrefetchOnly() {
+					// Clean up the L1-side entry so later demand requests
+					// do not merge into a fill that will never arrive.
+					m.dl1MSHR.Free(e.block)
+				} else {
+					// A demand access already merged behind this prefetch;
+					// it must not be dropped — retry as a demand read.
+					m.stats.RetriedL2Full++
+					e.prefetch = false
+					e.readyAt = now + 4
+					m.l2Events = append(m.l2Events, e)
+				}
+			}
+			return
+		}
+		m.stats.RetriedL2Full++
+		e.readyAt = now + 4
+		m.l2Events = append(m.l2Events, e)
+		return
+	}
+	if merged {
+		return
+	}
+	block := e.block
+	m.submitBus(&bus.Transaction{
+		Block: block,
+		Kind:  bus.Request,
+		OnDone: func(reqDone int64) {
+			m.mem.Read(block, reqDone, func(memDone int64) {
+				m.submitBus(&bus.Transaction{
+					Block: block,
+					Kind:  bus.Response,
+					OnDone: func(respDone int64) {
+						m.l2FillArrived(block, respDone)
+					},
+				}, memDone)
+			})
+		},
+	}, now)
+}
+
+func (m *Machine) submitBus(t *bus.Transaction, now int64) {
+	m.pow.BusTransaction()
+	m.bus.Submit(t, now)
+}
+
+func (m *Machine) l2FillArrived(block uint64, now int64) {
+	entry := m.l2MSHR.Free(block)
+	demand := entry != nil && entry.DemandRefs > 0
+	prefetchOnly := entry == nil || entry.IsPrefetchOnly()
+	ev := m.l2.Fill(block, false, prefetchOnly)
+	if ev.Valid && ev.Dirty {
+		m.submitBus(&bus.Transaction{Block: ev.Addr, Kind: bus.Writeback,
+			OnDone: func(done int64) { m.mem.Write(ev.Addr, done) }}, now)
+	}
+	if demand {
+		m.missReturned = true
+	}
+	m.deliverFill(block, m.tkFillPending[block], prefetchOnly)
+}
+
+// deliverFill propagates a block arriving from the L2 (hit or fill) to the
+// L1 side: prefetch buffer for Time-Keeping requests, the waiting L1 MSHRs
+// otherwise.
+func (m *Machine) deliverFill(block uint64, fillBuf, asPrefetch bool) {
+	if fillBuf {
+		delete(m.tkFillPending, block)
+		if m.tkBuf != nil {
+			m.tkBuf.Insert(block)
+		}
+	}
+	if e := m.dl1MSHR.Free(block); e != nil {
+		ev := m.dl1.Fill(block, e.Write, e.IsPrefetchOnly())
+		m.handleDL1Eviction(ev)
+		if m.tk != nil {
+			m.tk.OnFill(block, m.dl1.SetIndex(block), m.now)
+		}
+		for _, w := range e.Waiters {
+			m.pipe.LoadDone(uint64(w))
+		}
+	}
+	if e := m.il1MSHR.Free(block); e != nil {
+		m.il1.Fill(block, false, false)
+		m.pipe.IFetchDone()
+	}
+	_ = asPrefetch
+}
+
+func (m *Machine) handleDL1Eviction(ev cache.Eviction) {
+	if !ev.Valid {
+		return
+	}
+	if m.tk != nil {
+		m.tk.OnEvict(ev.Addr, m.dl1.SetIndex(ev.Addr), m.now)
+	}
+	if ev.Dirty {
+		m.scheduleL2(ev.Addr, true, false, false)
+	}
+}
+
+// ------------------------------------------------------ Time-Keeping ----
+
+func (m *Machine) tkTick(now int64) {
+	if m.tk == nil {
+		return
+	}
+	targets := m.tk.Tick(now, m.dl1.SetIndex, func(block uint64) bool {
+		return m.dl1.Probe(block) || m.tkBuf.Contains(block) ||
+			m.dl1MSHR.Lookup(block) != nil || m.l2MSHR.Lookup(block) != nil ||
+			m.tkFillPending[block]
+	})
+	for _, t := range targets {
+		m.stats.TKPrefetches++
+		m.scheduleL2(t, false, true, true)
+	}
+}
+
+// ------------------------------------------------- pipeline.MemPort -----
+
+var _ pipeline.MemPort = (*Machine)(nil)
+
+// IFetch implements pipeline.MemPort.
+func (m *Machine) IFetch(blockAddr uint64, now int64) pipeline.IFetchResult {
+	if m.il1.Access(blockAddr, cache.Read) {
+		return pipeline.IFetchResult{HitCycles: m.cfg.IL1.HitLatency}
+	}
+	_, merged, ok := m.il1MSHR.Allocate(blockAddr, -1, cache.Read, now)
+	if !ok {
+		return pipeline.IFetchResult{Stall: true}
+	}
+	if !merged {
+		m.scheduleL2(blockAddr, false, false, false)
+	}
+	return pipeline.IFetchResult{Async: true}
+}
+
+// Load implements pipeline.MemPort.
+func (m *Machine) Load(addr uint64, token uint64, isPrefetch bool, now int64) pipeline.LoadResult {
+	block := m.dl1.BlockAddr(addr)
+	if isPrefetch {
+		if m.dl1.Access(addr, cache.Prefetch) {
+			return pipeline.LoadResult{HitCycles: 1}
+		}
+		if m.tkBuf != nil && m.tkBuf.Contains(block) {
+			return pipeline.LoadResult{HitCycles: 1}
+		}
+		_, merged, ok := m.dl1MSHR.Allocate(block, -1, cache.Prefetch, now)
+		if ok && !merged {
+			m.scheduleL2(block, false, true, false)
+		}
+		return pipeline.LoadResult{HitCycles: 1} // non-binding: drop if full
+	}
+	if m.dl1.Access(addr, cache.Read) {
+		if m.tk != nil {
+			m.tk.OnAccess(block, now)
+		}
+		return pipeline.LoadResult{HitCycles: m.cfg.DL1.HitLatency}
+	}
+	if m.tk != nil {
+		m.tk.OnDemandMiss(block, m.dl1.SetIndex(addr))
+	}
+	if m.tkBuf != nil && m.tkBuf.Lookup(block) {
+		ev := m.dl1.Fill(block, false, false)
+		m.handleDL1Eviction(ev)
+		if m.tk != nil {
+			m.tk.OnFill(block, m.dl1.SetIndex(block), now)
+		}
+		return pipeline.LoadResult{HitCycles: m.tkBuf.Latency(), BufferHit: true}
+	}
+	_, merged, ok := m.dl1MSHR.Allocate(block, int(token), cache.Read, now)
+	if !ok {
+		return pipeline.LoadResult{Stall: true}
+	}
+	if !merged {
+		m.scheduleL2(block, false, false, false)
+	}
+	return pipeline.LoadResult{Async: true}
+}
+
+// StoreCommit implements pipeline.MemPort.
+func (m *Machine) StoreCommit(addr uint64, now int64) bool {
+	block := m.dl1.BlockAddr(addr)
+	if m.dl1.Access(addr, cache.Write) {
+		if m.tk != nil {
+			m.tk.OnAccess(block, now)
+		}
+		return true
+	}
+	if m.tk != nil {
+		m.tk.OnDemandMiss(block, m.dl1.SetIndex(addr))
+	}
+	if m.tkBuf != nil && m.tkBuf.Lookup(block) {
+		ev := m.dl1.Fill(block, true, false)
+		m.handleDL1Eviction(ev)
+		if m.tk != nil {
+			m.tk.OnFill(block, m.dl1.SetIndex(block), now)
+		}
+		return true
+	}
+	_, merged, ok := m.dl1MSHR.Allocate(block, -1, cache.Write, now)
+	if !ok {
+		return false
+	}
+	if !merged {
+		m.scheduleL2(block, false, false, false)
+	}
+	return true // write-allocate in flight; the store buffer absorbs it
+}

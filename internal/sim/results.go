@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Results summarizes one measurement window.
+type Results struct {
+	Benchmark    string
+	Ticks        int64
+	Instructions uint64
+
+	// IPC is instructions per full-speed clock cycle (per tick), the
+	// paper's Table 2 metric — in low-power mode the pipeline gets fewer
+	// edges per tick, which is exactly how VSV costs performance.
+	IPC float64
+	// MR is L2 demand misses per 1000 instructions (Table 2).
+	MR float64
+
+	// AvgPowerW is mean power over the window (nJ/ns = W).
+	AvgPowerW float64
+	// EnergyNJ is total energy over the window.
+	EnergyNJ float64
+	// Breakdown is each structure's share of energy.
+	Breakdown map[string]float64
+
+	// LowFrac is the fraction of ticks outside high-power mode (0 for
+	// baseline machines).
+	LowFrac float64
+	// Transitions counts completed high→low transitions.
+	Transitions uint64
+	// ControllerStats carries the raw VSV counters (zero for baseline).
+	ControllerStats core.Stats
+
+	// MispredictRate is mispredicts per branch.
+	MispredictRate float64
+	// ZeroIssueFrac is the fraction of pipeline cycles with no issue.
+	ZeroIssueFrac float64
+	// DL1MissRate and L2LocalMissRate are demand miss ratios.
+	DL1MissRate     float64
+	L2LocalMissRate float64
+}
+
+func (m *Machine) results(benchmark string) Results {
+	ps := m.pipe.Stats()
+	r := Results{
+		Benchmark:    benchmark,
+		Ticks:        m.stats.Ticks,
+		Instructions: ps.Committed,
+		EnergyNJ:     m.pow.TotalEnergy(),
+		Breakdown:    m.pow.Breakdown(),
+	}
+	if m.stats.Ticks > 0 {
+		r.IPC = float64(ps.Committed) / float64(m.stats.Ticks)
+	}
+	if ps.Committed > 0 {
+		r.MR = float64(m.stats.DemandL2Misses) / float64(ps.Committed) * 1000
+	}
+	if m.ctl != nil {
+		cs := m.ctl.Stats()
+		r.ControllerStats = cs
+		r.Transitions = cs.DownTransitions
+		if total := cs.LowTicks() + cs.TicksInMode[core.ModeHigh]; total > 0 {
+			r.LowFrac = float64(cs.LowTicks()) / float64(total)
+		}
+		// Charge the dual-supply ramp energy before reading power.
+		for i := uint64(0); i < cs.Ramps-m.rampsBaseline; i++ {
+			m.pow.Ramp()
+		}
+		m.rampsBaseline = cs.Ramps
+		r.EnergyNJ = m.pow.TotalEnergy()
+		r.Breakdown = m.pow.Breakdown()
+	}
+	r.AvgPowerW = m.pow.AveragePower()
+	if ps.Branches > 0 {
+		r.MispredictRate = float64(ps.Mispredicts) / float64(ps.Branches)
+	}
+	if ps.Steps > 0 {
+		r.ZeroIssueFrac = float64(ps.ZeroIssueCycles) / float64(ps.Steps)
+	}
+	if ds := m.dl1.Stats(); ds.DemandAccesses > 0 {
+		r.DL1MissRate = float64(ds.DemandMisses) / float64(ds.DemandAccesses)
+	}
+	if ls := m.l2.Stats(); ls.DemandAccesses > 0 {
+		r.L2LocalMissRate = float64(ls.DemandMisses) / float64(ls.DemandAccesses)
+	}
+	return r
+}
+
+// String renders a one-line summary.
+func (r Results) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s IPC=%.2f MR=%.1f P=%.2fW", r.Benchmark, r.IPC, r.MR, r.AvgPowerW)
+	if r.Transitions > 0 || r.LowFrac > 0 {
+		fmt.Fprintf(&b, " low=%.0f%% trans=%d", r.LowFrac*100, r.Transitions)
+	}
+	return b.String()
+}
+
+// Comparison pairs a baseline run with a VSV run of the same workload and
+// window, the unit of every figure in §6.
+type Comparison struct {
+	Base Results
+	VSV  Results
+}
+
+// PerfDegradationPct is the paper's Y axis in Figures 4–7 (top): execution
+// time increase as a percentage of the baseline (both runs execute the same
+// instruction count, so the tick ratio is the time ratio).
+func (c Comparison) PerfDegradationPct() float64 {
+	if c.Base.Ticks == 0 {
+		return 0
+	}
+	return (float64(c.VSV.Ticks)/float64(c.Base.Ticks) - 1) * 100
+}
+
+// PowerSavingsPct is the paper's Y axis in Figures 4–7 (bottom): average
+// CPU power reduction as a percentage of the baseline.
+func (c Comparison) PowerSavingsPct() float64 {
+	if c.Base.AvgPowerW == 0 {
+		return 0
+	}
+	return (1 - c.VSV.AvgPowerW/c.Base.AvgPowerW) * 100
+}
+
+// EnergySavingsPct is the corresponding energy metric (power × time).
+func (c Comparison) EnergySavingsPct() float64 {
+	if c.Base.EnergyNJ == 0 {
+		return 0
+	}
+	return (1 - c.VSV.EnergyNJ/c.Base.EnergyNJ) * 100
+}

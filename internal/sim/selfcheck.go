@@ -1,0 +1,82 @@
+package sim
+
+import "fmt"
+
+// Self-check mode: when Config.SelfCheck is set, the machine asserts
+// cross-component invariants while it runs — occupancy bounds, energy
+// monotonicity, voltage limits, event-queue sanity. It exists to catch
+// integration bugs (the kind unit tests of individual substrates cannot
+// see) and is enabled in the integration test suite; it costs a few percent
+// of simulation speed.
+
+// selfCheck asserts the per-tick invariants; it panics with a diagnostic on
+// the first violation.
+func (m *Machine) selfCheck(now int64) {
+	// MSHR files can never exceed their configured capacity, and the
+	// demand-outstanding counter is a subset of the live entries.
+	checks := []struct {
+		name string
+		used int
+		max  int
+	}{
+		{"IL1 MSHR", m.il1MSHR.Used(), m.cfg.IL1.MSHREntries},
+		{"DL1 MSHR", m.dl1MSHR.Used(), m.cfg.DL1.MSHREntries},
+		{"L2 MSHR", m.l2MSHR.Used(), m.cfg.L2.MSHREntries},
+	}
+	for _, c := range checks {
+		if c.used > c.max {
+			m.fail(now, "%s holds %d entries, capacity %d", c.name, c.used, c.max)
+		}
+	}
+	if d := m.l2MSHR.DemandOutstanding(); d > m.l2MSHR.Used() {
+		m.fail(now, "L2 demand-outstanding %d exceeds live entries %d", d, m.l2MSHR.Used())
+	}
+
+	// Pipeline occupancies within their configured structures.
+	if occ := m.pipe.RUUOccupancy(); occ < 0 || occ > m.cfg.Pipeline.RUUSize {
+		m.fail(now, "RUU occupancy %d out of [0, %d]", occ, m.cfg.Pipeline.RUUSize)
+	}
+	if occ := m.pipe.LSQOccupancy(); occ < 0 || occ > m.cfg.Pipeline.LSQSize {
+		m.fail(now, "LSQ occupancy %d out of [0, %d]", occ, m.cfg.Pipeline.LSQSize)
+	}
+
+	// Energy is cumulative and can only grow.
+	if e := m.pow.TotalEnergy(); e < m.lastEnergySeen {
+		m.fail(now, "energy decreased: %v -> %v", m.lastEnergySeen, e)
+	} else {
+		m.lastEnergySeen = e
+	}
+
+	// The scaled domain's voltage stays within the electrical envelope.
+	if m.ctl != nil {
+		vdd := m.ctl.VDD()
+		lo := m.cfg.VSV.Timing.VDDL
+		if m.cfg.VSV.Policy.EscalateOutstanding > 0 {
+			lo = m.cfg.VSV.Timing.Deep.VDD
+		}
+		if vdd < lo-1e-9 || vdd > m.cfg.VSV.Timing.VDDH+1e-9 {
+			m.fail(now, "VDD %v outside [%v, %v]", vdd, lo, m.cfg.VSV.Timing.VDDH)
+		}
+	}
+
+	// Pending L2 events must be in the future (stale events would be a
+	// scheduling bug) and bounded (a leak would grow without bound).
+	for _, e := range m.l2Events {
+		if e.readyAt <= now {
+			m.fail(now, "stale L2 event for block %#x ready at %d", e.block, e.readyAt)
+		}
+	}
+	if len(m.l2Events) > 4*m.cfg.L2.MSHREntries+m.cfg.DL1.MSHREntries {
+		m.fail(now, "L2 event queue grew to %d entries", len(m.l2Events))
+	}
+
+	// Time-Keeping bookkeeping exists only when the prefetcher does.
+	if m.tk == nil && len(m.tkFillPending) > 0 {
+		m.fail(now, "TK fill-pending entries without a prefetcher")
+	}
+}
+
+func (m *Machine) fail(now int64, format string, args ...interface{}) {
+	panic(fmt.Sprintf("sim: self-check failed at tick %d: %s",
+		now, fmt.Sprintf(format, args...)))
+}

@@ -1,0 +1,31 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestProbeTKDetail(t *testing.T) {
+	if !calibrate {
+		t.Skip("tuning aid")
+	}
+	cfg := DefaultConfig()
+	cfg.WarmupInstructions = 30_000
+	cfg.MeasureInstructions = 150_000
+	cfg.Prewarm = []PrewarmRange{
+		{Base: workload.HotBase, Bytes: workload.HotBytes, IntoL1: true},
+		{Base: workload.WarmBase, Bytes: workload.WarmBytes},
+	}
+	p, _ := workload.ByName("applu")
+	m := NewMachine(cfg.WithTimeKeeping(), workload.NewGenerator(p))
+	r := m.Run(p.Name)
+	ts := m.tk.Stats()
+	bs := m.tkBuf.Stats()
+	fmt.Printf("MR=%.2f demandMisses=%d\n", r.MR, m.stats.DemandL2Misses)
+	fmt.Printf("tk: dead=%d issued=%d corr=%d stride=%d filteredPresent=%d stale=%d trains=%d\n",
+		ts.DeadPredictions, ts.PrefetchesIssued, ts.PredictorHits, ts.StrideFallbacks, ts.FilteredPresent, ts.StaleDeadChecks, ts.PredictorTrains)
+	fmt.Printf("buf: ins=%d hits=%d miss=%d evict=%d\n", bs.Insertions, bs.Hits, bs.Misses, bs.Evictions)
+	fmt.Printf("machine tkPrefetches=%d l2Acc=%d\n", m.stats.TKPrefetches, m.stats.L2Accesses)
+}

@@ -1,0 +1,27 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestProbeTK(t *testing.T) {
+	if !calibrate {
+		t.Skip("tuning aid")
+	}
+	cfg := DefaultConfig()
+	cfg.WarmupInstructions = 30_000
+	cfg.MeasureInstructions = 150_000
+	cfg.Prewarm = []PrewarmRange{
+		{Base: workload.HotBase, Bytes: workload.HotBytes, IntoL1: true},
+		{Base: workload.WarmBase, Bytes: workload.WarmBytes},
+	}
+	fmt.Printf("%-9s %7s %7s %7s | %7s %7s\n", "bench", "MRbase", "MRtk", "MRtk*", "IPCbase", "IPCtk")
+	for _, p := range workload.Profiles() {
+		b := NewMachine(cfg, workload.NewGenerator(p)).Run(p.Name)
+		k := NewMachine(cfg.WithTimeKeeping(), workload.NewGenerator(p)).Run(p.Name)
+		fmt.Printf("%-9s %7.2f %7.2f %7.2f | %7.2f %7.2f\n", p.Name, b.MR, k.MR, p.MRTKPaper, b.IPC, k.IPC)
+	}
+}

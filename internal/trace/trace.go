@@ -1,0 +1,136 @@
+// Package trace records time-series samples of a running simulation —
+// supply voltage, power, issue rate, power mode — so the dynamics of VSV
+// (the sawtooth of ramps, the stall-triggered descents) can be plotted,
+// not just averaged.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sample is one point of the time series.
+type Sample struct {
+	// Tick is the sample time (end of the sampling interval).
+	Tick int64
+	// VDD is the scaled domain's supply at the sample tick.
+	VDD float64
+	// Mode is the controller mode's name at the sample tick ("high" for
+	// baseline machines).
+	Mode string
+	// AvgPowerW is the mean power over the sampling interval.
+	AvgPowerW float64
+	// IPC is instructions per tick over the sampling interval.
+	IPC float64
+	// LowFrac is the fraction of the interval spent outside full speed.
+	LowFrac float64
+	// Misses is the number of demand L2 misses detected in the interval.
+	Misses uint64
+}
+
+// Recorder accumulates samples at a fixed tick interval. The machine calls
+// Observe every tick with that tick's deltas; the recorder aggregates and
+// emits one sample per interval, up to a bounded count (sampling stops
+// silently afterwards so long runs cannot exhaust memory).
+type Recorder struct {
+	interval   int64
+	maxSamples int
+
+	samples []Sample
+
+	// interval accumulators
+	ticks    int64
+	energy   float64
+	commits  uint64
+	lowTicks int64
+	misses   uint64
+}
+
+// NewRecorder builds a recorder sampling every interval ticks, keeping at
+// most maxSamples samples. It panics on non-positive arguments.
+func NewRecorder(interval int64, maxSamples int) *Recorder {
+	if interval < 1 || maxSamples < 1 {
+		panic("trace: interval and maxSamples must be positive")
+	}
+	return &Recorder{interval: interval, maxSamples: maxSamples}
+}
+
+// Interval returns the sampling interval in ticks.
+func (r *Recorder) Interval() int64 { return r.interval }
+
+// Observe feeds one tick's deltas: the energy dissipated this tick, the
+// instructions committed this tick, the instantaneous VDD and mode name,
+// whether the pipeline ran below full speed this tick, and how many demand
+// misses were detected this tick.
+func (r *Recorder) Observe(tick int64, energyNJ float64, commits uint64,
+	vdd float64, mode string, slow bool, missesThisTick uint64) {
+	r.ticks++
+	r.energy += energyNJ
+	r.commits += commits
+	if slow {
+		r.lowTicks++
+	}
+	r.misses += missesThisTick
+	if r.ticks < r.interval {
+		return
+	}
+	if len(r.samples) < r.maxSamples {
+		r.samples = append(r.samples, Sample{
+			Tick:      tick,
+			VDD:       vdd,
+			Mode:      mode,
+			AvgPowerW: r.energy / float64(r.ticks),
+			IPC:       float64(r.commits) / float64(r.ticks),
+			LowFrac:   float64(r.lowTicks) / float64(r.ticks),
+			Misses:    r.misses,
+		})
+	}
+	r.ticks, r.energy, r.commits, r.lowTicks, r.misses = 0, 0, 0, 0, 0
+}
+
+// Samples returns the recorded series.
+func (r *Recorder) Samples() []Sample { return r.samples }
+
+// Reset clears the series and the in-progress interval (end of warm-up).
+func (r *Recorder) Reset() {
+	r.samples = r.samples[:0]
+	r.ticks, r.energy, r.commits, r.lowTicks, r.misses = 0, 0, 0, 0, 0
+}
+
+// CSV renders the series with a header row.
+func (r *Recorder) CSV() string {
+	var b strings.Builder
+	b.WriteString("tick,vdd,mode,avg_power_w,ipc,low_frac,misses\n")
+	for _, s := range r.samples {
+		fmt.Fprintf(&b, "%d,%.3f,%s,%.4f,%.4f,%.3f,%d\n",
+			s.Tick, s.VDD, s.Mode, s.AvgPowerW, s.IPC, s.LowFrac, s.Misses)
+	}
+	return b.String()
+}
+
+// Sparkline renders the power series as a compact unicode strip — handy
+// for eyeballing the VSV sawtooth in a terminal.
+func (r *Recorder) Sparkline() string {
+	if len(r.samples) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := r.samples[0].AvgPowerW, r.samples[0].AvgPowerW
+	for _, s := range r.samples {
+		if s.AvgPowerW < lo {
+			lo = s.AvgPowerW
+		}
+		if s.AvgPowerW > hi {
+			hi = s.AvgPowerW
+		}
+	}
+	var b strings.Builder
+	for _, s := range r.samples {
+		idx := 0
+		if hi > lo {
+			idx = int((s.AvgPowerW - lo) / (hi - lo) * float64(len(levels)-1))
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSamplingInterval(t *testing.T) {
+	r := NewRecorder(10, 100)
+	for tick := int64(0); tick < 95; tick++ {
+		r.Observe(tick, 2.0, 3, 1.8, "high", false, 0)
+	}
+	if got := len(r.Samples()); got != 9 {
+		t.Fatalf("samples = %d, want 9 (95 ticks / interval 10)", got)
+	}
+	s := r.Samples()[0]
+	if s.Tick != 9 {
+		t.Errorf("first sample tick = %d", s.Tick)
+	}
+	if s.AvgPowerW < 1.9 || s.AvgPowerW > 2.1 {
+		t.Errorf("power = %v, want ~2", s.AvgPowerW)
+	}
+	if s.IPC < 2.9 || s.IPC > 3.1 {
+		t.Errorf("IPC = %v, want ~3", s.IPC)
+	}
+}
+
+func TestLowFracAndMisses(t *testing.T) {
+	r := NewRecorder(4, 10)
+	for tick := int64(0); tick < 4; tick++ {
+		r.Observe(tick, 1, 0, 1.2, "low", tick%2 == 0, 1)
+	}
+	s := r.Samples()[0]
+	if s.LowFrac != 0.5 {
+		t.Errorf("low frac = %v", s.LowFrac)
+	}
+	if s.Misses != 4 {
+		t.Errorf("misses = %d", s.Misses)
+	}
+	if s.Mode != "low" || s.VDD != 1.2 {
+		t.Errorf("sample = %+v", s)
+	}
+}
+
+func TestMaxSamplesBounded(t *testing.T) {
+	r := NewRecorder(1, 3)
+	for tick := int64(0); tick < 100; tick++ {
+		r.Observe(tick, 1, 0, 1.8, "high", false, 0)
+	}
+	if len(r.Samples()) != 3 {
+		t.Fatalf("samples = %d, want cap 3", len(r.Samples()))
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRecorder(2, 10)
+	r.Observe(0, 1, 1, 1.8, "high", true, 1)
+	r.Reset()
+	if len(r.Samples()) != 0 {
+		t.Fatal("reset kept samples")
+	}
+	// A fresh interval must not inherit the old accumulators.
+	r.Observe(10, 1, 1, 1.8, "high", false, 0)
+	r.Observe(11, 1, 1, 1.8, "high", false, 0)
+	s := r.Samples()[0]
+	if s.LowFrac != 0 || s.Misses != 0 {
+		t.Fatalf("accumulators leaked across Reset: %+v", s)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	r := NewRecorder(2, 10)
+	r.Observe(0, 1, 1, 1.8, "high", false, 0)
+	r.Observe(1, 2, 3, 1.8, "high", false, 2)
+	csv := r.CSV()
+	if !strings.HasPrefix(csv, "tick,vdd,mode,avg_power_w,ipc,low_frac,misses\n") {
+		t.Fatalf("header missing: %q", csv)
+	}
+	if !strings.Contains(csv, "1,1.800,high,") {
+		t.Fatalf("row missing: %q", csv)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	r := NewRecorder(1, 10)
+	for tick := int64(0); tick < 4; tick++ {
+		r.Observe(tick, float64(tick*tick), 0, 1.8, "high", false, 0)
+	}
+	sp := r.Sparkline()
+	if len([]rune(sp)) != 4 {
+		t.Fatalf("sparkline runes = %d, want 4: %q", len([]rune(sp)), sp)
+	}
+	if NewRecorder(1, 1).Sparkline() != "" {
+		t.Fatal("empty recorder sparkline should be empty")
+	}
+}
+
+func TestFlatSparkline(t *testing.T) {
+	r := NewRecorder(1, 10)
+	for tick := int64(0); tick < 3; tick++ {
+		r.Observe(tick, 2, 0, 1.8, "high", false, 0)
+	}
+	// Constant power: all runes identical, no panic on hi==lo.
+	sp := []rune(r.Sparkline())
+	for _, c := range sp {
+		if c != sp[0] {
+			t.Fatalf("flat series not flat: %q", string(sp))
+		}
+	}
+}
+
+func TestNewRecorderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRecorder(0,0) did not panic")
+		}
+	}()
+	NewRecorder(0, 0)
+}

@@ -1,0 +1,303 @@
+// Package tracefile serializes dynamic instruction traces to a compact
+// binary format, so workloads can be generated once, inspected, shared and
+// replayed — the classic trace-driven-simulator workflow. The format is
+// delta/varint encoded: a typical synthetic SPEC2K stream compresses to
+// about three bytes per instruction.
+//
+// Format (little-endian varints, after an 8-byte header):
+//
+//	magic "VSVT" | version u8 | reserved [3]u8
+//	per instruction:
+//	  op u8 | flags u8 | regs u8[n] | pc zigzag-delta | [addr zigzag-delta]
+//	  [target zigzag-delta]
+//
+// where flags carry the branch outcome, call/return kind and which operand
+// registers are present, and addr/target appear only for memory and branch
+// operations respectively.
+package tracefile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// magic identifies trace files.
+var magic = [4]byte{'V', 'S', 'V', 'T'}
+
+// Version is the current format version.
+const Version = 1
+
+const (
+	flagTaken   = 1 << 0
+	flagCall    = 1 << 1
+	flagRet     = 1 << 2
+	flagHasSrc1 = 1 << 3
+	flagHasSrc2 = 1 << 4
+	flagHasDst  = 1 << 5
+)
+
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+func unzig(u uint64) int64  { return int64(u>>1) ^ -int64(u&1) }
+func delta(cur, prev uint64) uint64 {
+	return zigzag(int64(cur) - int64(prev))
+}
+func undelta(d, prev uint64) uint64 {
+	return uint64(int64(prev) + unzig(d))
+}
+
+// Writer streams instructions to an underlying io.Writer. Close (or Flush)
+// must be called to drain the internal buffer.
+type Writer struct {
+	w        *bufio.Writer
+	prevPC   uint64
+	prevAddr uint64
+	prevTgt  uint64
+	count    uint64
+	scratch  [binary.MaxVarintLen64]byte
+	started  bool
+}
+
+// NewWriter writes the header and returns a trace writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	header := append(magic[:], Version, 0, 0, 0)
+	if _, err := bw.Write(header); err != nil {
+		return nil, fmt.Errorf("tracefile: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+func (w *Writer) uvarint(v uint64) error {
+	n := binary.PutUvarint(w.scratch[:], v)
+	_, err := w.w.Write(w.scratch[:n])
+	return err
+}
+
+// Write appends one instruction.
+func (w *Writer) Write(in *isa.Inst) error {
+	var flags byte
+	if in.Taken {
+		flags |= flagTaken
+	}
+	switch in.CallRet {
+	case 1:
+		flags |= flagCall
+	case 2:
+		flags |= flagRet
+	}
+	if in.Src1.Valid() {
+		flags |= flagHasSrc1
+	}
+	if in.Src2.Valid() {
+		flags |= flagHasSrc2
+	}
+	if in.Dst.Valid() {
+		flags |= flagHasDst
+	}
+	if err := w.w.WriteByte(byte(in.Op)); err != nil {
+		return err
+	}
+	if err := w.w.WriteByte(flags); err != nil {
+		return err
+	}
+	for _, r := range []struct {
+		present bool
+		reg     isa.Reg
+	}{
+		{in.Src1.Valid(), in.Src1},
+		{in.Src2.Valid(), in.Src2},
+		{in.Dst.Valid(), in.Dst},
+	} {
+		if r.present {
+			if err := w.w.WriteByte(byte(r.reg)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := w.uvarint(delta(in.PC, w.prevPC)); err != nil {
+		return err
+	}
+	w.prevPC = in.PC
+	if in.Op.IsMem() {
+		if err := w.uvarint(delta(in.Addr, w.prevAddr)); err != nil {
+			return err
+		}
+		w.prevAddr = in.Addr
+	}
+	if in.Op == isa.OpBranch {
+		if err := w.uvarint(delta(in.Target, w.prevTgt)); err != nil {
+			return err
+		}
+		w.prevTgt = in.Target
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of instructions written so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush drains the internal buffer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader streams instructions from a trace file.
+type Reader struct {
+	r        *bufio.Reader
+	prevPC   uint64
+	prevAddr uint64
+	prevTgt  uint64
+	count    uint64
+}
+
+// NewReader validates the header and returns a trace reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	var header [8]byte
+	if _, err := io.ReadFull(br, header[:]); err != nil {
+		return nil, fmt.Errorf("tracefile: reading header: %w", err)
+	}
+	if [4]byte(header[:4]) != magic {
+		return nil, fmt.Errorf("tracefile: bad magic %q", header[:4])
+	}
+	if header[4] != Version {
+		return nil, fmt.Errorf("tracefile: unsupported version %d", header[4])
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next decodes the next instruction; it returns io.EOF cleanly at the end
+// of the trace and io.ErrUnexpectedEOF on truncation.
+func (r *Reader) Next(in *isa.Inst) error {
+	op, err := r.r.ReadByte()
+	if err == io.EOF {
+		return io.EOF
+	}
+	if err != nil {
+		return err
+	}
+	if int(op) >= isa.NumOpClasses {
+		return fmt.Errorf("tracefile: invalid op %d at instruction %d", op, r.count)
+	}
+	flags, err := r.r.ReadByte()
+	if err != nil {
+		return eof(err)
+	}
+	*in = isa.Inst{Op: isa.OpClass(op), Src1: isa.RegNone, Src2: isa.RegNone, Dst: isa.RegNone}
+	in.Taken = flags&flagTaken != 0
+	switch {
+	case flags&flagCall != 0:
+		in.CallRet = 1
+	case flags&flagRet != 0:
+		in.CallRet = 2
+	}
+	for _, slot := range []*isa.Reg{&in.Src1, &in.Src2, &in.Dst} {
+		mask := byte(0)
+		switch slot {
+		case &in.Src1:
+			mask = flagHasSrc1
+		case &in.Src2:
+			mask = flagHasSrc2
+		default:
+			mask = flagHasDst
+		}
+		if flags&mask == 0 {
+			continue
+		}
+		b, err := r.r.ReadByte()
+		if err != nil {
+			return eof(err)
+		}
+		reg := isa.Reg(b)
+		if !reg.Valid() {
+			return fmt.Errorf("tracefile: invalid register %d at instruction %d", b, r.count)
+		}
+		*slot = reg
+	}
+	d, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return eof(err)
+	}
+	in.PC = undelta(d, r.prevPC)
+	r.prevPC = in.PC
+	if in.Op.IsMem() {
+		d, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return eof(err)
+		}
+		in.Addr = undelta(d, r.prevAddr)
+		r.prevAddr = in.Addr
+	}
+	if in.Op == isa.OpBranch {
+		d, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return eof(err)
+		}
+		in.Target = undelta(d, r.prevTgt)
+		r.prevTgt = in.Target
+	}
+	r.count++
+	return nil
+}
+
+// Count returns the number of instructions read so far.
+func (r *Reader) Count() uint64 { return r.count }
+
+func eof(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Source is an in-memory trace that implements pipeline.InstSource by
+// looping over the recorded instructions (simulation windows may exceed
+// the trace length).
+type Source struct {
+	insts []isa.Inst
+	i     int
+	laps  int
+}
+
+// LoadSource reads an entire trace into memory.
+func LoadSource(r io.Reader) (*Source, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	s := &Source{}
+	for {
+		var in isa.Inst
+		err := tr.Next(&in)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.insts = append(s.insts, in)
+	}
+	if len(s.insts) == 0 {
+		return nil, fmt.Errorf("tracefile: empty trace")
+	}
+	return s, nil
+}
+
+// Len returns the trace length in instructions.
+func (s *Source) Len() int { return len(s.insts) }
+
+// Laps returns how many times the trace has wrapped.
+func (s *Source) Laps() int { return s.laps }
+
+// Next implements pipeline.InstSource.
+func (s *Source) Next(in *isa.Inst) {
+	*in = s.insts[s.i]
+	s.i++
+	if s.i == len(s.insts) {
+		s.i = 0
+		s.laps++
+	}
+}

@@ -1,0 +1,302 @@
+package tracefile
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+func roundTrip(t *testing.T, insts []isa.Inst) []isa.Inst {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range insts {
+		if err := w.Write(&insts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []isa.Inst
+	for {
+		var in isa.Inst
+		err := r.Next(&in)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+func TestRoundTripBasics(t *testing.T) {
+	insts := []isa.Inst{
+		{PC: 0x1000, Op: isa.OpIntALU, Src1: 1, Src2: 2, Dst: 3},
+		{PC: 0x1004, Op: isa.OpLoad, Src1: 4, Src2: isa.RegNone, Dst: 5, Addr: 0x4000_0000},
+		{PC: 0x1008, Op: isa.OpStore, Src1: 6, Src2: 7, Addr: 0x2000_0100},
+		{PC: 0x100c, Op: isa.OpBranch, Src1: isa.RegNone, Src2: isa.RegNone,
+			Dst: isa.RegNone, Taken: true, Target: 0x1000},
+		{PC: 0x1010, Op: isa.OpBranch, Taken: true, Target: 0x9000, CallRet: 1,
+			Src1: isa.RegNone, Src2: isa.RegNone, Dst: isa.RegNone},
+		{PC: 0x9000, Op: isa.OpBranch, Taken: true, Target: 0x1014, CallRet: 2,
+			Src1: isa.RegNone, Src2: isa.RegNone, Dst: isa.RegNone},
+		{PC: 0x1014, Op: isa.OpPrefetch, Src1: isa.RegNone, Src2: isa.RegNone,
+			Dst: isa.RegNone, Addr: 0x4000_1000},
+		{PC: 0x1018, Op: isa.OpNop, Src1: isa.RegNone, Src2: isa.RegNone, Dst: isa.RegNone},
+	}
+	got := roundTrip(t, insts)
+	if len(got) != len(insts) {
+		t.Fatalf("count = %d, want %d", len(got), len(insts))
+	}
+	for i := range insts {
+		if got[i] != insts[i] {
+			t.Errorf("instruction %d: got %+v, want %+v", i, got[i], insts[i])
+		}
+	}
+}
+
+func TestRoundTripWorkloadStream(t *testing.T) {
+	// Round-trip a real synthetic benchmark stream and compare field by
+	// field.
+	p, _ := workload.ByName("swim")
+	g := workload.NewGenerator(p)
+	insts := make([]isa.Inst, 20000)
+	for i := range insts {
+		g.Next(&insts[i])
+	}
+	got := roundTrip(t, insts)
+	if len(got) != len(insts) {
+		t.Fatalf("count = %d", len(got))
+	}
+	for i := range insts {
+		if got[i] != insts[i] {
+			t.Fatalf("instruction %d differs: %+v vs %+v", i, got[i], insts[i])
+		}
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	p, _ := workload.ByName("gcc")
+	g := workload.NewGenerator(p)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	const n = 50000
+	var in isa.Inst
+	for i := 0; i < n; i++ {
+		g.Next(&in)
+		if err := w.Write(&in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	perInst := float64(buf.Len()) / n
+	if perInst > 8 {
+		t.Fatalf("trace encodes at %.1f bytes/inst, want < 8", perInst)
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(pcs []uint32, ops []uint8, addrs []uint64, takens []bool) bool {
+		n := len(pcs)
+		for _, s := range [][]int{{len(ops)}, {len(addrs)}, {len(takens)}} {
+			if s[0] < n {
+				n = s[0]
+			}
+		}
+		if n == 0 {
+			return true
+		}
+		insts := make([]isa.Inst, n)
+		for i := 0; i < n; i++ {
+			op := isa.OpClass(ops[i]) % isa.OpClass(isa.NumOpClasses)
+			insts[i] = isa.Inst{
+				PC: uint64(pcs[i]), Op: op,
+				Src1: isa.IntReg(int(ops[i])), Src2: isa.RegNone,
+				Dst: isa.FPReg(i),
+			}
+			if op.IsMem() {
+				insts[i].Addr = addrs[i]
+			}
+			if op == isa.OpBranch {
+				insts[i].Taken = takens[i]
+				insts[i].Target = uint64(pcs[(i+1)%n])
+			}
+		}
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		for i := range insts {
+			if w.Write(&insts[i]) != nil {
+				return false
+			}
+		}
+		w.Flush()
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for i := range insts {
+			var got isa.Inst
+			if r.Next(&got) != nil {
+				return false
+			}
+			if got != insts[i] {
+				return false
+			}
+		}
+		var extra isa.Inst
+		return r.Next(&extra) == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRACE"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	data := append([]byte("VSVT"), 99, 0, 0, 0)
+	if _, err := NewReader(bytes.NewReader(data)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	in := isa.Inst{PC: 0x1000, Op: isa.OpLoad, Src1: 1, Src2: isa.RegNone, Dst: 2, Addr: 0x4000}
+	w.Write(&in)
+	w.Write(&in)
+	w.Flush()
+	data := buf.Bytes()
+	// Chop the tail: the reader must report unexpected EOF, not garbage.
+	r, err := NewReader(bytes.NewReader(data[:len(data)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got isa.Inst
+	if err := r.Next(&got); err != nil {
+		t.Fatalf("first instruction should decode: %v", err)
+	}
+	err = r.Next(&got)
+	if err != io.ErrUnexpectedEOF && err == nil {
+		t.Fatalf("truncated read error = %v", err)
+	}
+}
+
+func TestInvalidOpRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Flush()
+	buf.WriteByte(200) // bogus op
+	buf.WriteByte(0)
+	r, _ := NewReader(&buf)
+	var in isa.Inst
+	if err := r.Next(&in); err == nil {
+		t.Fatal("invalid op accepted")
+	}
+}
+
+func TestSourceLoops(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 5; i++ {
+		in := isa.Inst{PC: uint64(0x1000 + i*4), Op: isa.OpIntALU,
+			Src1: 1, Src2: 2, Dst: 3}
+		w.Write(&in)
+	}
+	w.Flush()
+	s, err := LoadSource(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	var in isa.Inst
+	for i := 0; i < 12; i++ {
+		s.Next(&in)
+	}
+	if s.Laps() != 2 {
+		t.Fatalf("laps = %d, want 2 after 12 reads of 5", s.Laps())
+	}
+	if in.PC != 0x1004 {
+		t.Fatalf("position wrong after wrap: %#x", in.PC)
+	}
+}
+
+func TestLoadSourceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Flush()
+	if _, err := LoadSource(&buf); err == nil {
+		t.Fatal("empty trace accepted as a source")
+	}
+}
+
+func TestWriterCount(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	in := isa.Inst{Op: isa.OpNop, Src1: isa.RegNone, Src2: isa.RegNone, Dst: isa.RegNone}
+	w.Write(&in)
+	w.Write(&in)
+	if w.Count() != 2 {
+		t.Fatalf("count = %d", w.Count())
+	}
+}
+
+func TestReaderCount(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	in := isa.Inst{Op: isa.OpNop, Src1: isa.RegNone, Src2: isa.RegNone, Dst: isa.RegNone}
+	w.Write(&in)
+	w.Flush()
+	r, _ := NewReader(&buf)
+	var got isa.Inst
+	r.Next(&got)
+	if r.Count() != 1 {
+		t.Fatalf("reader count = %d", r.Count())
+	}
+}
+
+// TestGoldenEncoding pins the byte-level format: changing the encoding
+// must bump Version, not silently alter these bytes.
+func TestGoldenEncoding(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	ld := isa.Inst{PC: 0x1000, Op: isa.OpLoad, Src1: 1, Src2: isa.RegNone,
+		Dst: 2, Addr: 0x40}
+	br := isa.Inst{PC: 0x1004, Op: isa.OpBranch, Src1: isa.RegNone,
+		Src2: isa.RegNone, Dst: isa.RegNone, Taken: true, Target: 0x1000}
+	w.Write(&ld)
+	w.Write(&br)
+	w.Flush()
+	want := []byte{
+		'V', 'S', 'V', 'T', 1, 0, 0, 0, // header
+		// load: op=7, flags=src1|dst=0x28, regs 1,2, pc zz(0x1000), addr zz(0x40)
+		7, 0x28, 1, 2, 0x80, 0x40, 0x80, 1,
+		// branch: op=9, flags=taken=0x01, pc zz(+4)=8, target zz(0x1000)
+		9, 0x01, 8, 0x80, 0x40,
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("encoding changed:\n got %#v\nwant %#v", buf.Bytes(), want)
+	}
+}

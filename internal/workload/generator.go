@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"repro/internal/isa"
+	"repro/internal/rng"
+)
+
+// Kernel PC regions: each kernel's loop body lives in its own small code
+// footprint, so the IL1 and BTB behave as they would for real loop nests.
+const (
+	chasePC   uint64 = 0x0040_0000
+	streamPC  uint64 = 0x0048_0000
+	computePC uint64 = 0x0050_0000
+	branchyPC uint64 = 0x0058_0000
+)
+
+// Generator produces the deterministic dynamic instruction stream for one
+// benchmark profile. It implements pipeline.InstSource.
+type Generator struct {
+	prof    Profile
+	r       *rng.Source
+	kernels [4]kernel
+	weights []float64
+	index   []int
+	cur     kernel
+	left    int
+}
+
+// NewGenerator builds a generator for the profile, seeded deterministically
+// from the benchmark name. It panics on an invalid profile (profiles are
+// static data).
+func NewGenerator(p Profile) *Generator {
+	return NewGeneratorSeed(p, 0)
+}
+
+// NewGeneratorSeed builds a generator whose pseudo-random streams are
+// additionally perturbed by seed. Seed 0 is the canonical stream used by
+// the experiments; other seeds give statistically-equivalent instruction
+// streams for robustness studies (different phase interleavings and
+// address walks, same calibrated mixture).
+func NewGeneratorSeed(p Profile, seed uint64) *Generator {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	base := rng.NewString(p.Name)
+	if seed != 0 {
+		base = rng.New(base.Uint64() ^ seed)
+	}
+	g := &Generator{prof: p, r: base}
+	type entry struct {
+		w     float64
+		build func(r *rng.Source) kernel
+	}
+	entries := []entry{
+		{p.WChase, func(r *rng.Source) kernel {
+			return newChaseKernel(r, chasePC, p.ChaseChains, p.ChaseFiller,
+				p.ChaseFillerDep, p.ChaseHotFrac)
+		}},
+		{p.WStream, func(r *rng.Source) kernel {
+			return newStreamKernel(r, streamPC, p.StreamStreams, p.StreamColdFrac,
+				p.StreamFPOps, p.StreamALUOps, p.StreamFPDep, p.StreamPFCover, p.StreamPFDist)
+		}},
+		{p.WCompute, func(r *rng.Source) kernel {
+			return newComputeKernel(r, computePC, p.ComputeBodyLen, p.ComputeILP,
+				p.ComputeFPFrac, p.ComputeMemFrac, p.ComputeWarmFrac, p.ComputeColdFrac)
+		}},
+		{p.WBranchy, func(r *rng.Source) kernel {
+			return newBranchyKernel(r, branchyPC, p.BranchyBlock,
+				p.BranchyHardFrac, p.BranchyWarmFrac, p.BranchyColdFrac)
+		}},
+	}
+	for i, e := range entries {
+		if e.w <= 0 {
+			continue
+		}
+		g.kernels[i] = e.build(g.r.Split())
+		g.weights = append(g.weights, e.w)
+		g.index = append(g.index, i)
+	}
+	g.nextPhase()
+	return g
+}
+
+// Profile returns the generator's profile.
+func (g *Generator) Profile() Profile { return g.prof }
+
+func (g *Generator) nextPhase() {
+	k := g.index[g.r.Pick(g.weights)]
+	g.cur = g.kernels[k]
+	g.left = 1 + g.r.Geometric(float64(g.prof.PhaseLen))
+}
+
+// Next fills in the next dynamic instruction.
+func (g *Generator) Next(in *isa.Inst) {
+	if g.left <= 0 {
+		g.nextPhase()
+	}
+	g.cur.emit(in)
+	g.left--
+}

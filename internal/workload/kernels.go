@@ -1,0 +1,485 @@
+// Package workload synthesizes SPEC2K-like dynamic instruction streams.
+//
+// The paper runs pre-compiled Alpha SPEC2K binaries; we cannot. What VSV's
+// behaviour actually depends on is the *timing structure* of each program —
+// how much instruction-level parallelism surrounds L2 misses, whether
+// missing loads form dependent chains or independent streams, the demand
+// miss rate (MR), and the branch behaviour. Each of the 26 benchmarks is
+// therefore modeled as a deterministic, seeded mixture of four kernels that
+// span that space:
+//
+//   - chase: pointer chasing — dependent loads over a >L2 footprint
+//     (mcf/ammp-like: misses serialize, near-zero ILP under a miss)
+//   - stream: strided loads/stores with FP compute over large arrays
+//     (swim/applu/mgrid-like: many independent misses, high ILP; carries
+//     the software prefetches of the SPEC peak binaries)
+//   - compute: register-register compute loops with a tunable dependence
+//     distance (eon/sixtrack/wupwise-like: high IPC, few misses)
+//   - branchy: short basic blocks with partly unpredictable branches
+//     (gcc/twolf/parser-like)
+//
+// Each benchmark's mixture and knobs are calibrated against the paper's
+// Table 2 (IPC and MR per benchmark); EXPERIMENTS.md records measured vs.
+// paper values.
+package workload
+
+import (
+	"repro/internal/isa"
+	"repro/internal/rng"
+)
+
+// Memory-region layout shared by all kernels.
+const (
+	// HotBase/HotBytes: L1-resident working set (always hits).
+	HotBase  uint64 = 0x1000_0000
+	HotBytes uint64 = 16 << 10
+	// WarmBase/WarmBytes: L2-resident working set (L1 misses, L2 hits).
+	WarmBase  uint64 = 0x2000_0000
+	WarmBytes uint64 = 1 << 20
+	// ColdBase/ColdBytes: streaming/chasing footprint far beyond the 2 MB
+	// L2 (drives demand L2 misses).
+	ColdBase  uint64 = 0x4000_0000
+	ColdBytes uint64 = 64 << 20
+
+	blockBytes uint64 = 32
+)
+
+// kernel is a stateful instruction emitter.
+type kernel interface {
+	emit(in *isa.Inst)
+}
+
+// ---------------------------------------------------------------- chase --
+
+// chaseKernel emits pointer-chase iterations: a dependent load per chain
+// followed by filler instructions and a loop branch. With FillerDep the
+// filler depends on the loaded value, so a missing load starves issue — the
+// signature VSV exploits.
+type chaseKernel struct {
+	r       *rng.Source
+	basePC  uint64
+	chains  []uint64 // current block index per chain
+	strides []uint64
+	nblocks uint64
+
+	filler    int
+	fillerDep bool
+	hotFrac   float64
+
+	chainIdx int
+	pos      int
+	hotIdx   uint64
+	lastHot  bool
+}
+
+func newChaseKernel(r *rng.Source, basePC uint64, chains, filler int, fillerDep bool, hotFrac float64) *chaseKernel {
+	k := &chaseKernel{
+		r: r, basePC: basePC,
+		nblocks:   ColdBytes / blockBytes, // power of two
+		filler:    filler,
+		fillerDep: fillerDep,
+		hotFrac:   hotFrac,
+	}
+	for c := 0; c < chains; c++ {
+		k.chains = append(k.chains, r.Uint64n(k.nblocks))
+		k.strides = append(k.strides, r.Uint64()|1) // odd → full cycle mod 2^k
+	}
+	return k
+}
+
+func (k *chaseKernel) bodyLen() int { return k.filler + 2 }
+
+func chainReg(c int) isa.Reg { return isa.Reg(8 + c%8) }
+
+func (k *chaseKernel) emit(in *isa.Inst) {
+	pc := k.basePC + uint64(k.pos)*isa.InstBytes
+	switch {
+	case k.pos == 0: // the chase load
+		c := k.chainIdx
+		if k.r.Bool(k.hotFrac) {
+			// A hot-set access: hits the L1, does not advance the chain.
+			k.hotIdx++
+			addr := HotBase + (k.hotIdx*blockBytes)%HotBytes
+			*in = isa.Inst{PC: pc, Op: isa.OpLoad, Src1: chainReg(c),
+				Src2: isa.RegNone, Dst: 24, Addr: addr}
+			k.lastHot = true
+		} else {
+			k.chains[c] = (k.chains[c] + k.strides[c]) & (k.nblocks - 1)
+			addr := ColdBase + k.chains[c]*blockBytes
+			*in = isa.Inst{PC: pc, Op: isa.OpLoad, Src1: chainReg(c),
+				Src2: isa.RegNone, Dst: chainReg(c), Addr: addr}
+			k.lastHot = false
+		}
+	case k.pos <= k.filler: // filler
+		src := isa.Reg(25)
+		if k.fillerDep && !k.lastHot {
+			src = chainReg(k.chainIdx)
+		}
+		*in = isa.Inst{PC: pc, Op: isa.OpIntALU, Src1: src,
+			Src2: isa.Reg(26), Dst: isa.Reg(16 + k.pos%8)}
+	default: // loop branch, strongly predictable
+		*in = isa.Inst{PC: pc, Op: isa.OpBranch, Src1: isa.Reg(16),
+			Src2: isa.RegNone, Dst: isa.RegNone, Taken: true, Target: k.basePC}
+		k.pos = -1
+		k.chainIdx = (k.chainIdx + 1) % len(k.chains)
+	}
+	k.pos++
+}
+
+// --------------------------------------------------------------- stream --
+
+type streamState struct {
+	addr, base, size uint64
+	cold             bool
+}
+
+// streamKernel emits software-pipelined streaming iterations: one load per
+// stream (8-byte stride), FP compute, a store, and a loop branch. Cold
+// streams walk footprints far beyond the L2; software prefetches cover a
+// configurable fraction of their block transitions, as the SPEC peak
+// binaries' prefetching would.
+type streamKernel struct {
+	r      *rng.Source
+	basePC uint64
+
+	streams []streamState
+	out     streamState
+
+	fpOps   int
+	alu     int // address/index arithmetic per iteration
+	fpDep   bool
+	pfCover float64
+	pfDist  uint64
+
+	pos       int // index into the iteration's emission schedule
+	sIdx      int // stream being processed
+	pfPending bool
+	fpCount   int
+	aluCount  int
+	fpRing    int
+}
+
+func newStreamKernel(r *rng.Source, basePC uint64, nStreams int, coldFrac float64,
+	fpOps, alu int, fpDep bool, pfCover float64, pfDist int) *streamKernel {
+	k := &streamKernel{
+		r: r, basePC: basePC,
+		fpOps: fpOps, alu: alu, fpDep: fpDep,
+		pfCover: pfCover, pfDist: uint64(pfDist),
+	}
+	// Slices must stay block-aligned: the prefetch trigger fires on block
+	// crossings (addr % blockBytes == 0).
+	align := func(v uint64) uint64 { return v &^ (blockBytes - 1) }
+	nCold := int(coldFrac*float64(nStreams) + 0.5)
+	for s := 0; s < nStreams; s++ {
+		cold := s < nCold
+		var st streamState
+		if cold {
+			slice := align(ColdBytes / uint64(nStreams+1))
+			st = streamState{base: ColdBase + uint64(s)*slice, size: slice, cold: true}
+		} else {
+			slice := align(WarmBytes / uint64(nStreams+1))
+			st = streamState{base: WarmBase + uint64(s)*slice, size: slice}
+		}
+		st.addr = st.base + r.Uint64n(st.size/8)*8
+		k.streams = append(k.streams, st)
+	}
+	outSlice := align(ColdBytes / uint64(nStreams+1))
+	k.out = streamState{base: ColdBase + uint64(nStreams)*outSlice, size: outSlice, cold: true}
+	k.out.addr = k.out.base
+	return k
+}
+
+func (k *streamKernel) emit(in *isa.Inst) {
+	pc := k.basePC + uint64(k.pos)*isa.InstBytes
+	nS := len(k.streams)
+	switch {
+	case k.sIdx < nS: // per-stream: optional prefetch, then the load
+		st := &k.streams[k.sIdx]
+		if !k.pfPending && st.cold && st.addr%blockBytes == 0 && k.r.Bool(k.pfCover) {
+			k.pfPending = true
+			target := st.addr + k.pfDist*blockBytes
+			if target >= st.base+st.size {
+				target = st.base + (target-st.base)%st.size
+			}
+			*in = isa.Inst{PC: pc, Op: isa.OpPrefetch, Src1: isa.Reg(1),
+				Src2: isa.RegNone, Dst: isa.RegNone, Addr: target}
+			k.pos++
+			return
+		}
+		k.pfPending = false
+		*in = isa.Inst{PC: pc, Op: isa.OpLoad, Src1: isa.Reg(1),
+			Src2: isa.RegNone, Dst: isa.FPReg(k.sIdx), Addr: st.addr}
+		st.addr += 8
+		if st.addr >= st.base+st.size {
+			st.addr = st.base
+		}
+		k.sIdx++
+		k.pos++
+	case k.aluCount < k.alu: // index/address arithmetic (independent)
+		*in = isa.Inst{PC: pc, Op: isa.OpIntALU, Src1: isa.Reg(1 + k.aluCount%4),
+			Src2: isa.Reg(2), Dst: isa.Reg(16 + k.aluCount%8)}
+		k.aluCount++
+		k.pos++
+	case k.fpCount < k.fpOps: // FP compute over the loaded values
+		src1 := isa.FPReg(k.fpCount % nS)
+		src2 := isa.FPReg((k.fpCount + 1) % nS)
+		if k.fpDep && k.fpCount > 0 {
+			src2 = isa.FPReg(8 + (k.fpRing+7)%8)
+		}
+		op := isa.OpFPAdd
+		if k.fpCount%2 == 1 {
+			op = isa.OpFPMul
+		}
+		*in = isa.Inst{PC: pc, Op: op, Src1: src1, Src2: src2,
+			Dst: isa.FPReg(8 + k.fpRing%8)}
+		k.fpRing++
+		k.fpCount++
+		k.pos++
+	case k.fpCount == k.fpOps: // the store (with its own prefetch coverage)
+		if !k.pfPending && k.out.addr%blockBytes == 0 && k.r.Bool(k.pfCover) {
+			k.pfPending = true
+			target := k.out.addr + k.pfDist*blockBytes
+			if target >= k.out.base+k.out.size {
+				target = k.out.base + (target-k.out.base)%k.out.size
+			}
+			*in = isa.Inst{PC: pc, Op: isa.OpPrefetch, Src1: isa.Reg(1),
+				Src2: isa.RegNone, Dst: isa.RegNone, Addr: target}
+			k.pos++
+			return
+		}
+		k.pfPending = false
+		*in = isa.Inst{PC: pc, Op: isa.OpStore, Src1: isa.Reg(1),
+			Src2: isa.FPReg(8 + (k.fpRing+7)%8), Addr: k.out.addr}
+		k.out.addr += 8
+		if k.out.addr >= k.out.base+k.out.size {
+			k.out.addr = k.out.base
+		}
+		k.fpCount++
+		k.pos++
+	default: // loop branch
+		*in = isa.Inst{PC: k.basePC + 0xFC, Op: isa.OpBranch, Src1: isa.Reg(1),
+			Src2: isa.RegNone, Dst: isa.RegNone, Taken: true, Target: k.basePC}
+		k.pos, k.sIdx, k.fpCount, k.aluCount = 0, 0, 0, 0
+	}
+}
+
+// -------------------------------------------------------------- compute --
+
+// computeKernel emits long straight-line loop bodies of register compute
+// with a tunable dependence distance (the ILP knob) and occasional
+// hot/warm/cold memory references.
+type computeKernel struct {
+	r      *rng.Source
+	basePC uint64
+
+	bodyLen  int
+	ilp      int
+	fpFrac   float64
+	memFrac  float64
+	warmFrac float64 // of memory refs
+	coldFrac float64 // of memory refs
+
+	pos      int
+	recent   [16]isa.Reg
+	recentFP [16]isa.Reg
+	ri, rf   int
+
+	hotIdx, warmIdx, coldIdx uint64
+	stride                   uint64
+}
+
+func newComputeKernel(r *rng.Source, basePC uint64, bodyLen, ilp int,
+	fpFrac, memFrac, warmFrac, coldFrac float64) *computeKernel {
+	k := &computeKernel{
+		r: r, basePC: basePC, bodyLen: bodyLen, ilp: ilp,
+		fpFrac: fpFrac, memFrac: memFrac, warmFrac: warmFrac, coldFrac: coldFrac,
+		stride: r.Uint64() | 1,
+	}
+	for i := range k.recent {
+		k.recent[i] = isa.IntReg(16 + i)
+		k.recentFP[i] = isa.FPReg(16 + i)
+	}
+	return k
+}
+
+func (k *computeKernel) pickSrc(fp bool) isa.Reg {
+	// Higher-ILP codes also carry more loop-invariant operands: with a
+	// probability scaling with the ILP knob, read a never-written constant
+	// register (no dependence at all).
+	if k.r.Bool(float64(k.ilp-1) / 14) {
+		if fp {
+			return isa.FPReg(k.r.Intn(4))
+		}
+		return isa.Reg(1 + k.r.Intn(4))
+	}
+	d := 1 + k.r.Intn(k.ilp)
+	if fp {
+		return k.recentFP[(k.rf-d+64)%len(k.recentFP)]
+	}
+	return k.recent[(k.ri-d+64)%len(k.recent)]
+}
+
+func (k *computeKernel) nextDst(fp bool) isa.Reg {
+	if fp {
+		r := k.recentFP[k.rf%len(k.recentFP)]
+		k.rf++
+		return r
+	}
+	r := k.recent[k.ri%len(k.recent)]
+	k.ri++
+	return r
+}
+
+func (k *computeKernel) memAddr() uint64 {
+	x := k.r.Float64()
+	switch {
+	case x < k.coldFrac:
+		k.coldIdx = (k.coldIdx + k.stride) & (ColdBytes/blockBytes - 1)
+		return ColdBase + k.coldIdx*blockBytes
+	case x < k.coldFrac+k.warmFrac:
+		k.warmIdx += 40 // a stride that wanders the warm set
+		return WarmBase + (k.warmIdx*8)%WarmBytes
+	default:
+		k.hotIdx++
+		return HotBase + (k.hotIdx*8)%HotBytes
+	}
+}
+
+func (k *computeKernel) emit(in *isa.Inst) {
+	pc := k.basePC + uint64(k.pos)*isa.InstBytes
+	if k.pos == k.bodyLen-1 {
+		*in = isa.Inst{PC: pc, Op: isa.OpBranch, Src1: isa.Reg(16),
+			Src2: isa.RegNone, Dst: isa.RegNone, Taken: true, Target: k.basePC}
+		k.pos = 0
+		return
+	}
+	k.pos++
+	switch {
+	case k.r.Bool(k.memFrac):
+		if k.r.Bool(0.3) { // store
+			*in = isa.Inst{PC: pc, Op: isa.OpStore, Src1: isa.Reg(2),
+				Src2: k.pickSrc(false), Addr: k.memAddr()}
+		} else {
+			*in = isa.Inst{PC: pc, Op: isa.OpLoad, Src1: isa.Reg(2),
+				Src2: isa.RegNone, Dst: k.nextDst(false), Addr: k.memAddr()}
+		}
+	case k.r.Bool(k.fpFrac):
+		op := isa.OpFPAdd
+		switch k.r.Intn(32) {
+		case 0:
+			op = isa.OpFPDiv
+		case 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11:
+			op = isa.OpFPMul
+		}
+		*in = isa.Inst{PC: pc, Op: op, Src1: k.pickSrc(true),
+			Src2: k.pickSrc(true), Dst: k.nextDst(true)}
+	default:
+		op := isa.OpIntALU
+		if k.r.Bool(0.04) {
+			op = isa.OpIntMul
+		}
+		*in = isa.Inst{PC: pc, Op: op, Src1: k.pickSrc(false),
+			Src2: k.pickSrc(false), Dst: k.nextDst(false)}
+	}
+}
+
+// -------------------------------------------------------------- branchy --
+
+// branchyKernel emits short basic blocks ending in conditional branches, a
+// fraction of which have effectively random outcomes (mispredicts), plus
+// occasional call/return pairs that exercise the RAS.
+type branchyKernel struct {
+	r      *rng.Source
+	basePC uint64
+
+	block    int
+	hardFrac float64
+	warmFrac float64
+	coldFrac float64
+
+	pos     int
+	iter    uint64
+	hotIdx  uint64
+	warmIdx uint64
+	coldIdx uint64
+	stride  uint64
+
+	callPhase int // 0 = none, 1..3 emitting call/sub/ret
+}
+
+func newBranchyKernel(r *rng.Source, basePC uint64, block int,
+	hardFrac, warmFrac, coldFrac float64) *branchyKernel {
+	return &branchyKernel{
+		r: r, basePC: basePC, block: block,
+		hardFrac: hardFrac, warmFrac: warmFrac, coldFrac: coldFrac,
+		stride: r.Uint64() | 1,
+	}
+}
+
+func (k *branchyKernel) memAddr() uint64 {
+	x := k.r.Float64()
+	switch {
+	case x < k.coldFrac:
+		k.coldIdx = (k.coldIdx + k.stride) & (ColdBytes/blockBytes - 1)
+		return ColdBase + k.coldIdx*blockBytes
+	case x < k.coldFrac+k.warmFrac:
+		k.warmIdx += 56
+		return WarmBase + (k.warmIdx*8)%WarmBytes
+	default:
+		k.hotIdx++
+		return HotBase + (k.hotIdx*8)%HotBytes
+	}
+}
+
+func (k *branchyKernel) emit(in *isa.Inst) {
+	// Occasional call/return pair (one per 64 iterations).
+	const subPC = 0x00F0_0000
+	switch k.callPhase {
+	case 1: // call
+		pc := k.basePC + uint64(k.block)*isa.InstBytes
+		*in = isa.Inst{PC: pc, Op: isa.OpBranch, Src1: isa.RegNone,
+			Src2: isa.RegNone, Dst: isa.RegNone, Taken: true, Target: subPC, CallRet: 1}
+		k.callPhase = 2
+		return
+	case 2: // subroutine body
+		*in = isa.Inst{PC: subPC, Op: isa.OpIntALU, Src1: isa.Reg(3),
+			Src2: isa.Reg(4), Dst: isa.Reg(5)}
+		k.callPhase = 3
+		return
+	case 3: // return
+		*in = isa.Inst{PC: subPC + isa.InstBytes, Op: isa.OpBranch, Src1: isa.RegNone,
+			Src2: isa.RegNone, Dst: isa.RegNone, Taken: true,
+			Target: k.basePC + uint64(k.block+1)*isa.InstBytes, CallRet: 2}
+		k.callPhase = 0
+		return
+	}
+	pc := k.basePC + uint64(k.pos)*isa.InstBytes
+	if k.pos == k.block-1 {
+		taken := k.iter%8 != 0 // learnable pattern
+		if k.r.Bool(k.hardFrac) {
+			taken = k.r.Bool(0.5) // data-dependent: effectively random
+		}
+		tgt := k.basePC
+		*in = isa.Inst{PC: pc, Op: isa.OpBranch, Src1: isa.Reg(6),
+			Src2: isa.RegNone, Dst: isa.RegNone, Taken: taken, Target: tgt}
+		k.pos = 0
+		k.iter++
+		if k.iter%64 == 0 {
+			k.callPhase = 1
+		}
+		return
+	}
+	k.pos++
+	if k.r.Bool(0.25) {
+		if k.r.Bool(0.3) {
+			*in = isa.Inst{PC: pc, Op: isa.OpStore, Src1: isa.Reg(2),
+				Src2: isa.Reg(7), Addr: k.memAddr()}
+		} else {
+			*in = isa.Inst{PC: pc, Op: isa.OpLoad, Src1: isa.Reg(2),
+				Src2: isa.RegNone, Dst: isa.Reg(7), Addr: k.memAddr()}
+		}
+		return
+	}
+	*in = isa.Inst{PC: pc, Op: isa.OpIntALU, Src1: isa.Reg(7),
+		Src2: isa.Reg(6), Dst: isa.Reg(6 + isa.Reg(k.pos%4))}
+}

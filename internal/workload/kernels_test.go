@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/rng"
+)
+
+func TestChaseAllHot(t *testing.T) {
+	k := newChaseKernel(rng.New(20), chasePC, 1, 2, true, 1.0)
+	in := &isa.Inst{}
+	for i := 0; i < 400; i++ {
+		k.emit(in)
+		if in.Op == isa.OpLoad && in.Addr >= ColdBase {
+			t.Fatalf("hotFrac=1 emitted a cold load: %#x", in.Addr)
+		}
+	}
+}
+
+func TestChaseZeroFiller(t *testing.T) {
+	k := newChaseKernel(rng.New(21), chasePC, 2, 0, false, 0)
+	in := &isa.Inst{}
+	loads, branches := 0, 0
+	for i := 0; i < 200; i++ {
+		k.emit(in)
+		switch in.Op {
+		case isa.OpLoad:
+			loads++
+		case isa.OpBranch:
+			branches++
+		}
+	}
+	// Body = load + branch only.
+	if loads != 100 || branches != 100 {
+		t.Fatalf("mix = %d loads, %d branches", loads, branches)
+	}
+}
+
+func TestChaseChainsIndependent(t *testing.T) {
+	// With two chains, consecutive chase loads use different registers, so
+	// the misses can overlap (MLP).
+	k := newChaseKernel(rng.New(22), chasePC, 2, 0, false, 0)
+	in := &isa.Inst{}
+	var regs []isa.Reg
+	for i := 0; i < 40 && len(regs) < 4; i++ {
+		k.emit(in)
+		if in.Op == isa.OpLoad {
+			regs = append(regs, in.Dst)
+		}
+	}
+	if regs[0] == regs[1] {
+		t.Fatal("consecutive chase loads share a register — chains not independent")
+	}
+	if regs[0] != regs[2] || regs[1] != regs[3] {
+		t.Fatal("chains do not alternate round-robin")
+	}
+}
+
+func TestStreamSingleStream(t *testing.T) {
+	k := newStreamKernel(rng.New(23), streamPC, 1, 1.0, 2, 2, false, 0.5, 4)
+	in := &isa.Inst{}
+	for i := 0; i < 500; i++ {
+		k.emit(in) // must not panic with one stream
+	}
+}
+
+func TestStreamFPDepChains(t *testing.T) {
+	dep := newStreamKernel(rng.New(24), streamPC, 2, 1.0, 4, 0, true, 0, 4)
+	in := &isa.Inst{}
+	sawChain := false
+	var lastDst isa.Reg = isa.RegNone
+	for i := 0; i < 200; i++ {
+		dep.emit(in)
+		if in.Op == isa.OpFPAdd || in.Op == isa.OpFPMul {
+			if in.Src2 == lastDst && lastDst != isa.RegNone {
+				sawChain = true
+			}
+			lastDst = in.Dst
+		} else {
+			lastDst = isa.RegNone
+		}
+	}
+	if !sawChain {
+		t.Fatal("fpDep did not chain FP operations")
+	}
+}
+
+func TestStreamSlicesBlockAligned(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7} {
+		k := newStreamKernel(rng.New(25), streamPC, n, 1.0, 2, 0, false, 1.0, 4)
+		for _, st := range k.streams {
+			if st.base%blockBytes != 0 || st.size%blockBytes != 0 {
+				t.Fatalf("n=%d: slice not block aligned: base=%#x size=%#x",
+					n, st.base, st.size)
+			}
+		}
+		if k.out.base%blockBytes != 0 {
+			t.Fatalf("n=%d: out stream misaligned", n)
+		}
+	}
+}
+
+func TestComputeAllMemKinds(t *testing.T) {
+	k := newComputeKernel(rng.New(26), computePC, 16, 3, 0, 1.0, 0.3, 0.1)
+	in := &isa.Inst{}
+	var hot, warm, cold int
+	for i := 0; i < 30000; i++ {
+		k.emit(in)
+		if !in.Op.IsMem() {
+			continue
+		}
+		switch {
+		case in.Addr >= ColdBase:
+			cold++
+		case in.Addr >= WarmBase:
+			warm++
+		default:
+			hot++
+		}
+	}
+	if hot == 0 || warm == 0 || cold == 0 {
+		t.Fatalf("regions not all exercised: hot=%d warm=%d cold=%d", hot, warm, cold)
+	}
+}
+
+func TestComputeStoresAndLoads(t *testing.T) {
+	k := newComputeKernel(rng.New(27), computePC, 16, 3, 0, 0.5, 0, 0)
+	in := &isa.Inst{}
+	loads, stores := 0, 0
+	for i := 0; i < 5000; i++ {
+		k.emit(in)
+		switch in.Op {
+		case isa.OpLoad:
+			loads++
+		case isa.OpStore:
+			stores++
+		}
+	}
+	if loads == 0 || stores == 0 {
+		t.Fatalf("loads=%d stores=%d", loads, stores)
+	}
+	ratio := float64(stores) / float64(loads+stores)
+	if ratio < 0.15 || ratio > 0.45 {
+		t.Fatalf("store ratio = %.2f, want ~0.3", ratio)
+	}
+}
+
+func TestBranchyPCsStayInKernelRegion(t *testing.T) {
+	k := newBranchyKernel(rng.New(28), branchyPC, 6, 0.3, 0.2, 0.01)
+	in := &isa.Inst{}
+	for i := 0; i < 5000; i++ {
+		k.emit(in)
+		if in.PC < 0x00F0_0000 && (in.PC < branchyPC || in.PC > branchyPC+0x1000) {
+			t.Fatalf("PC %#x outside kernel region", in.PC)
+		}
+	}
+}
+
+func TestBranchyColdRefsRare(t *testing.T) {
+	k := newBranchyKernel(rng.New(29), branchyPC, 6, 0, 0, 0.01)
+	in := &isa.Inst{}
+	mem, cold := 0, 0
+	for i := 0; i < 50000; i++ {
+		k.emit(in)
+		if in.Op.IsMem() {
+			mem++
+			if in.Addr >= ColdBase {
+				cold++
+			}
+		}
+	}
+	frac := float64(cold) / float64(mem)
+	if frac < 0.002 || frac > 0.03 {
+		t.Fatalf("cold fraction = %.4f, want ~0.01", frac)
+	}
+}

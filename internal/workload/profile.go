@@ -1,0 +1,325 @@
+package workload
+
+import "fmt"
+
+// Profile parameterizes one synthetic SPEC2K benchmark. The paper-reference
+// fields carry Table 2's measurements for reporting alongside ours.
+type Profile struct {
+	// Name is the SPEC2K benchmark name.
+	Name string
+
+	// IPCPaper, MRPaper and MRTKPaper are Table 2's baseline IPC, baseline
+	// L2 demand misses per 1000 instructions, and the same under
+	// Time-Keeping prefetching.
+	IPCPaper, MRPaper, MRTKPaper float64
+
+	// Kernel mixture weights (relative).
+	WChase, WStream, WCompute, WBranchy float64
+
+	// chase kernel knobs.
+	ChaseChains    int
+	ChaseFiller    int
+	ChaseFillerDep bool
+	ChaseHotFrac   float64
+
+	// stream kernel knobs.
+	StreamStreams  int
+	StreamColdFrac float64
+	StreamFPOps    int
+	StreamALUOps   int
+	StreamFPDep    bool
+	StreamPFCover  float64
+	StreamPFDist   int
+
+	// compute kernel knobs.
+	ComputeBodyLen  int
+	ComputeILP      int
+	ComputeFPFrac   float64
+	ComputeMemFrac  float64
+	ComputeWarmFrac float64
+	ComputeColdFrac float64
+
+	// branchy kernel knobs.
+	BranchyBlock    int
+	BranchyHardFrac float64
+	BranchyWarmFrac float64
+	BranchyColdFrac float64
+
+	// PhaseLen is the mean kernel-phase length in instructions.
+	PhaseLen int
+}
+
+// Validate reports a profile error, if any.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: empty profile name")
+	}
+	total := p.WChase + p.WStream + p.WCompute + p.WBranchy
+	if total <= 0 {
+		return fmt.Errorf("workload %s: no kernel weights", p.Name)
+	}
+	if p.WChase > 0 && (p.ChaseChains < 1 || p.ChaseFiller < 0) {
+		return fmt.Errorf("workload %s: bad chase knobs", p.Name)
+	}
+	if p.WStream > 0 && (p.StreamStreams < 1 || p.StreamFPOps < 0 || p.StreamPFDist < 1) {
+		return fmt.Errorf("workload %s: bad stream knobs", p.Name)
+	}
+	if p.WCompute > 0 && (p.ComputeBodyLen < 2 || p.ComputeILP < 1) {
+		return fmt.Errorf("workload %s: bad compute knobs", p.Name)
+	}
+	if p.WBranchy > 0 && p.BranchyBlock < 2 {
+		return fmt.Errorf("workload %s: bad branchy knobs", p.Name)
+	}
+	if p.PhaseLen < 1 {
+		return fmt.Errorf("workload %s: phase length %d < 1", p.Name, p.PhaseLen)
+	}
+	return nil
+}
+
+// HighMR reports whether the paper classifies the benchmark as high miss
+// rate (MR > 4 per 1000 instructions, the left section of Figure 4).
+func (p Profile) HighMR() bool { return p.MRPaper > 4.0 }
+
+// profiles lists all 26 SPEC2K benchmarks in Table 2's (alphabetical)
+// order, with kernel mixtures calibrated against Table 2's IPC and MR.
+var profiles = []Profile{
+	{
+		Name: "ammp", IPCPaper: 0.59, MRPaper: 11.0, MRTKPaper: 0.5,
+		WChase:      1,
+		ChaseChains: 1, ChaseFiller: 30, ChaseFillerDep: true, ChaseHotFrac: 0.65,
+		PhaseLen: 2000,
+	},
+	{
+		Name: "applu", IPCPaper: 2.32, MRPaper: 10.1, MRTKPaper: 4.1,
+		WStream:       1,
+		StreamStreams: 4, StreamColdFrac: 0.5, StreamFPOps: 4, StreamALUOps: 4,
+		StreamPFCover: 0.80, StreamPFDist: 16,
+		PhaseLen: 2000,
+	},
+	{
+		Name: "apsi", IPCPaper: 2.51, MRPaper: 1.4, MRTKPaper: 0.7,
+		WStream: 0.35, WCompute: 0.65,
+		StreamStreams: 4, StreamColdFrac: 0.25, StreamFPOps: 5, StreamALUOps: 6,
+		StreamPFCover: 0.88, StreamPFDist: 10,
+		ComputeBodyLen: 32, ComputeILP: 3, ComputeFPFrac: 0.35,
+		ComputeMemFrac: 0.2, ComputeWarmFrac: 0.1,
+		PhaseLen: 2000,
+	},
+	{
+		Name: "art", IPCPaper: 1.36, MRPaper: 10.3, MRTKPaper: 11.7,
+		WStream: 0.7, WCompute: 0.3,
+		StreamStreams: 4, StreamColdFrac: 0.75, StreamFPOps: 4, StreamALUOps: 6,
+		StreamFPDep:   true,
+		StreamPFCover: 0.72, StreamPFDist: 8,
+		ComputeBodyLen: 24, ComputeILP: 2, ComputeFPFrac: 0.4,
+		ComputeMemFrac: 0.25, ComputeWarmFrac: 0.3,
+		PhaseLen: 1500,
+	},
+	{
+		Name: "bzip2", IPCPaper: 2.38, MRPaper: 0.5, MRTKPaper: 0.4,
+		WCompute: 0.6, WBranchy: 0.4,
+		ComputeBodyLen: 32, ComputeILP: 3, ComputeFPFrac: 0.02,
+		ComputeMemFrac: 0.3, ComputeWarmFrac: 0.15, ComputeColdFrac: 0.0035,
+		BranchyBlock: 8, BranchyHardFrac: 0.14, BranchyWarmFrac: 0.1,
+		PhaseLen: 2000,
+	},
+	{
+		Name: "crafty", IPCPaper: 2.68, MRPaper: 0.0, MRTKPaper: 0.0,
+		WCompute: 0.55, WBranchy: 0.45,
+		ComputeBodyLen: 40, ComputeILP: 3, ComputeFPFrac: 0.02,
+		ComputeMemFrac: 0.3, ComputeWarmFrac: 0.05,
+		BranchyBlock: 8, BranchyHardFrac: 0.14, BranchyWarmFrac: 0.05,
+		PhaseLen: 2000,
+	},
+	{
+		Name: "eon", IPCPaper: 3.13, MRPaper: 0.0, MRTKPaper: 0.0,
+		WCompute: 0.85, WBranchy: 0.15,
+		ComputeBodyLen: 48, ComputeILP: 3, ComputeFPFrac: 0.25,
+		ComputeMemFrac: 0.25, ComputeWarmFrac: 0.02,
+		BranchyBlock: 10, BranchyHardFrac: 0.03,
+		PhaseLen: 2000,
+	},
+	{
+		Name: "equake", IPCPaper: 4.51, MRPaper: 0.0, MRTKPaper: 0.0,
+		WCompute:       1,
+		ComputeBodyLen: 64, ComputeILP: 6, ComputeFPFrac: 0.35,
+		ComputeMemFrac: 0.25, ComputeWarmFrac: 0.02,
+		PhaseLen: 2000,
+	},
+	{
+		Name: "facerec", IPCPaper: 3.02, MRPaper: 4.7, MRTKPaper: 2.3,
+		WStream: 0.5, WCompute: 0.5,
+		StreamStreams: 4, StreamColdFrac: 0.25, StreamFPOps: 6, StreamALUOps: 6,
+		StreamPFCover: 0.55, StreamPFDist: 10,
+		ComputeBodyLen: 48, ComputeILP: 7, ComputeFPFrac: 0.4,
+		ComputeMemFrac: 0.2, ComputeWarmFrac: 0.05,
+		PhaseLen: 2000,
+	},
+	{
+		Name: "fma3d", IPCPaper: 4.35, MRPaper: 0.0, MRTKPaper: 0.0,
+		WCompute:       1,
+		ComputeBodyLen: 64, ComputeILP: 6, ComputeFPFrac: 0.4,
+		ComputeMemFrac: 0.22, ComputeWarmFrac: 0.02,
+		PhaseLen: 2000,
+	},
+	{
+		Name: "galgel", IPCPaper: 2.21, MRPaper: 0.0, MRTKPaper: 0.0,
+		WCompute:       1,
+		ComputeBodyLen: 32, ComputeILP: 4, ComputeFPFrac: 0.45,
+		ComputeMemFrac: 0.25, ComputeWarmFrac: 0.08,
+		PhaseLen: 2000,
+	},
+	{
+		Name: "gap", IPCPaper: 3.00, MRPaper: 0.5, MRTKPaper: 0.3,
+		WCompute: 0.8, WBranchy: 0.2,
+		ComputeBodyLen: 48, ComputeILP: 3, ComputeFPFrac: 0.05,
+		ComputeMemFrac: 0.3, ComputeWarmFrac: 0.08, ComputeColdFrac: 0.002,
+		BranchyBlock: 9, BranchyHardFrac: 0.05,
+		PhaseLen: 2000,
+	},
+	{
+		Name: "gcc", IPCPaper: 2.27, MRPaper: 0.1, MRTKPaper: 0.1,
+		WCompute: 0.5, WBranchy: 0.5,
+		ComputeBodyLen: 32, ComputeILP: 3, ComputeFPFrac: 0.01,
+		ComputeMemFrac: 0.3, ComputeWarmFrac: 0.1, ComputeColdFrac: 0.0006,
+		BranchyBlock: 7, BranchyHardFrac: 0.16, BranchyWarmFrac: 0.08,
+		PhaseLen: 1200,
+	},
+	{
+		Name: "gzip", IPCPaper: 2.31, MRPaper: 0.1, MRTKPaper: 0.1,
+		WCompute: 0.5, WBranchy: 0.5,
+		ComputeBodyLen: 32, ComputeILP: 2, ComputeFPFrac: 0.0,
+		ComputeMemFrac: 0.3, ComputeWarmFrac: 0.2, ComputeColdFrac: 0.0006,
+		BranchyBlock: 8, BranchyHardFrac: 0.35, BranchyWarmFrac: 0.15,
+		PhaseLen: 2000,
+	},
+	{
+		Name: "lucas", IPCPaper: 1.34, MRPaper: 10.2, MRTKPaper: 4.2,
+		WStream:       1,
+		StreamStreams: 2, StreamColdFrac: 1.0, StreamFPOps: 6, StreamALUOps: 6,
+		StreamFPDep:   true,
+		StreamPFCover: 0.78, StreamPFDist: 10,
+		PhaseLen: 2000,
+	},
+	{
+		Name: "mcf", IPCPaper: 0.29, MRPaper: 67.4, MRTKPaper: 48.2,
+		WChase:      1,
+		ChaseChains: 3, ChaseFiller: 12, ChaseFillerDep: true, ChaseHotFrac: 0.05,
+		PhaseLen: 2000,
+	},
+	{
+		Name: "mesa", IPCPaper: 3.64, MRPaper: 0.3, MRTKPaper: 0.2,
+		WCompute:       1,
+		ComputeBodyLen: 56, ComputeILP: 5, ComputeFPFrac: 0.3,
+		ComputeMemFrac: 0.25, ComputeWarmFrac: 0.04, ComputeColdFrac: 0.0012,
+		PhaseLen: 2000,
+	},
+	{
+		Name: "mgrid", IPCPaper: 4.17, MRPaper: 1.5, MRTKPaper: 0.8,
+		WStream: 0.5, WCompute: 0.5,
+		StreamStreams: 4, StreamColdFrac: 0.25, StreamFPOps: 8, StreamALUOps: 8,
+		StreamPFCover: 0.88, StreamPFDist: 12,
+		ComputeBodyLen: 64, ComputeILP: 8, ComputeFPFrac: 0.4,
+		ComputeMemFrac: 0.22, ComputeWarmFrac: 0.02,
+		PhaseLen: 2000,
+	},
+	{
+		Name: "parser", IPCPaper: 1.68, MRPaper: 0.6, MRTKPaper: 0.7,
+		WCompute: 0.3, WBranchy: 0.7,
+		ComputeBodyLen: 24, ComputeILP: 3, ComputeFPFrac: 0.01,
+		ComputeMemFrac: 0.3, ComputeWarmFrac: 0.15, ComputeColdFrac: 0.003,
+		BranchyBlock: 7, BranchyHardFrac: 0.22, BranchyWarmFrac: 0.12, BranchyColdFrac: 0.002,
+		PhaseLen: 1200,
+	},
+	{
+		Name: "perlbmk", IPCPaper: 1.41, MRPaper: 1.3, MRTKPaper: 0.6,
+		WCompute: 0.25, WBranchy: 0.75,
+		ComputeBodyLen: 24, ComputeILP: 3, ComputeFPFrac: 0.01,
+		ComputeMemFrac: 0.3, ComputeWarmFrac: 0.15, ComputeColdFrac: 0.008,
+		BranchyBlock: 7, BranchyHardFrac: 0.27, BranchyWarmFrac: 0.12, BranchyColdFrac: 0.005,
+		PhaseLen: 1200,
+	},
+	{
+		Name: "sixtrack", IPCPaper: 3.64, MRPaper: 0.0, MRTKPaper: 0.0,
+		WCompute:       1,
+		ComputeBodyLen: 56, ComputeILP: 6, ComputeFPFrac: 0.4,
+		ComputeMemFrac: 0.2, ComputeWarmFrac: 0.02,
+		PhaseLen: 2000,
+	},
+	{
+		Name: "swim", IPCPaper: 3.81, MRPaper: 5.8, MRTKPaper: 1.4,
+		WStream: 0.55, WCompute: 0.45,
+		StreamStreams: 4, StreamColdFrac: 0.5, StreamFPOps: 6, StreamALUOps: 6,
+		StreamPFCover: 0.80, StreamPFDist: 12,
+		ComputeBodyLen: 64, ComputeILP: 8, ComputeFPFrac: 0.45,
+		ComputeMemFrac: 0.15, ComputeWarmFrac: 0.02,
+		PhaseLen: 2000,
+	},
+	{
+		Name: "twolf", IPCPaper: 1.42, MRPaper: 0.0, MRTKPaper: 0.0,
+		WBranchy:     1,
+		BranchyBlock: 7, BranchyHardFrac: 0.22, BranchyWarmFrac: 0.2,
+		PhaseLen: 2000,
+	},
+	{
+		Name: "vortex", IPCPaper: 2.31, MRPaper: 0.2, MRTKPaper: 0.2,
+		WCompute: 0.6, WBranchy: 0.4,
+		ComputeBodyLen: 40, ComputeILP: 4, ComputeFPFrac: 0.02,
+		ComputeMemFrac: 0.35, ComputeWarmFrac: 0.1, ComputeColdFrac: 0.001,
+		BranchyBlock: 8, BranchyHardFrac: 0.25, BranchyWarmFrac: 0.1,
+		PhaseLen: 2000,
+	},
+	{
+		Name: "vpr", IPCPaper: 1.25, MRPaper: 2.0, MRTKPaper: 2.1,
+		WCompute: 0.25, WBranchy: 0.75,
+		ComputeBodyLen: 24, ComputeILP: 2, ComputeFPFrac: 0.15,
+		ComputeMemFrac: 0.3, ComputeWarmFrac: 0.2, ComputeColdFrac: 0.011,
+		BranchyBlock: 6, BranchyHardFrac: 0.30, BranchyWarmFrac: 0.2, BranchyColdFrac: 0.008,
+		PhaseLen: 1200,
+	},
+	{
+		Name: "wupwise", IPCPaper: 4.58, MRPaper: 0.5, MRTKPaper: 0.4,
+		WCompute:       1,
+		ComputeBodyLen: 64, ComputeILP: 7, ComputeFPFrac: 0.4,
+		ComputeMemFrac: 0.25, ComputeWarmFrac: 0.02, ComputeColdFrac: 0.0018,
+		PhaseLen: 2000,
+	},
+}
+
+// Profiles returns all 26 benchmark profiles (a fresh copy each call).
+func Profiles() []Profile {
+	out := make([]Profile, len(profiles))
+	copy(out, profiles)
+	return out
+}
+
+// ByName returns the profile with the given benchmark name.
+func ByName(name string) (Profile, error) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Names returns the benchmark names in table order.
+func Names() []string {
+	out := make([]string, len(profiles))
+	for i, p := range profiles {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// HighMRNames returns the benchmarks the paper classes as MR > 4 (the
+// Figure 5/6 subset).
+func HighMRNames() []string {
+	var out []string
+	for _, p := range profiles {
+		if p.HighMR() {
+			out = append(out, p.Name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,458 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/rng"
+)
+
+func collect(g *Generator, n int) []isa.Inst {
+	out := make([]isa.Inst, n)
+	for i := range out {
+		g.Next(&out[i])
+	}
+	return out
+}
+
+func TestAllProfilesValid(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 26 {
+		t.Fatalf("profile count = %d, want 26 (full SPEC2K)", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestHighMRSubsetMatchesPaper(t *testing.T) {
+	// The paper's Figures 5/6 subset: mcf, ammp, art, lucas, applu, swim,
+	// facerec (MR > 4).
+	want := map[string]bool{
+		"mcf": true, "ammp": true, "art": true, "lucas": true,
+		"applu": true, "swim": true, "facerec": true,
+	}
+	got := HighMRNames()
+	if len(got) != len(want) {
+		t.Fatalf("high-MR set = %v", got)
+	}
+	for _, n := range got {
+		if !want[n] {
+			t.Fatalf("unexpected high-MR benchmark %s", n)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("mcf")
+	if err != nil || p.Name != "mcf" {
+		t.Fatalf("ByName(mcf) = %v, %v", p, err)
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestNamesOrderStable(t *testing.T) {
+	a, b := Names(), Names()
+	if len(a) != 26 {
+		t.Fatalf("names = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("name order unstable")
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	p, _ := ByName("gcc")
+	a := collect(NewGenerator(p), 5000)
+	b := collect(NewGenerator(p), 5000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSeededGeneratorsDiffer(t *testing.T) {
+	p, _ := ByName("gcc")
+	a := collect(NewGeneratorSeed(p, 0), 2000)
+	b := collect(NewGeneratorSeed(p, 1), 2000)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > 1500 {
+		t.Fatalf("seeds 0 and 1 coincide on %d/2000 instructions", same)
+	}
+	// Seed 0 must equal the canonical generator.
+	c := collect(NewGenerator(p), 2000)
+	d := collect(NewGeneratorSeed(p, 0), 2000)
+	for i := range c {
+		if c[i] != d[i] {
+			t.Fatal("seed 0 differs from canonical stream")
+		}
+	}
+}
+
+func TestSeededGeneratorsSameMixture(t *testing.T) {
+	// Different seeds must keep the calibrated instruction mixture: count
+	// memory-op fractions across seeds. Use a single-kernel benchmark so
+	// phase-selection variance does not dominate the sample.
+	p, _ := ByName("lucas")
+	frac := func(seed uint64) float64 {
+		g := NewGeneratorSeed(p, seed)
+		insts := collect(g, 30000)
+		mem := 0
+		for i := range insts {
+			if insts[i].Op.IsMem() {
+				mem++
+			}
+		}
+		return float64(mem) / float64(len(insts))
+	}
+	f0, f1 := frac(0), frac(12345)
+	if f1 < f0*0.85 || f1 > f0*1.15 {
+		t.Fatalf("memory-op fraction shifted across seeds: %.3f vs %.3f", f0, f1)
+	}
+}
+
+func TestGeneratorsDifferAcrossBenchmarks(t *testing.T) {
+	p1, _ := ByName("mcf")
+	p2, _ := ByName("swim")
+	a := collect(NewGenerator(p1), 1000)
+	b := collect(NewGenerator(p2), 1000)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Fatalf("mcf and swim streams coincide on %d/1000 instructions", same)
+	}
+}
+
+func TestChaseKernelStructure(t *testing.T) {
+	k := newChaseKernel(rng.New(1), chasePC, 2, 5, true, 0)
+	var loads, branches, fillers int
+	var prevDst isa.Reg = isa.RegNone
+	in := &isa.Inst{}
+	for i := 0; i < 700; i++ {
+		k.emit(in)
+		switch in.Op {
+		case isa.OpLoad:
+			loads++
+			// The chase load must depend on itself (pointer chain).
+			if in.Src1 != in.Dst {
+				t.Fatalf("chase load not self-dependent: %v", in)
+			}
+			if in.Addr < ColdBase || in.Addr >= ColdBase+ColdBytes {
+				t.Fatalf("chase address outside cold region: %#x", in.Addr)
+			}
+			prevDst = in.Dst
+		case isa.OpBranch:
+			branches++
+			if !in.Taken || in.Target != chasePC {
+				t.Fatalf("chase loop branch wrong: %v", in)
+			}
+		case isa.OpIntALU:
+			fillers++
+			if prevDst != isa.RegNone && in.Src1 != prevDst {
+				t.Fatalf("dependent filler does not read the chase register: %v", in)
+			}
+		}
+	}
+	// Body = 1 load + 5 fillers + 1 branch = 7 instructions.
+	if loads == 0 || branches == 0 || fillers != 5*loads {
+		t.Fatalf("mix: loads=%d fillers=%d branches=%d", loads, fillers, branches)
+	}
+}
+
+func TestChaseHotFraction(t *testing.T) {
+	k := newChaseKernel(rng.New(2), chasePC, 1, 0, false, 0.5)
+	in := &isa.Inst{}
+	hot, cold := 0, 0
+	for i := 0; i < 4000; i++ {
+		k.emit(in)
+		if in.Op != isa.OpLoad {
+			continue
+		}
+		if in.Addr >= HotBase && in.Addr < HotBase+HotBytes {
+			hot++
+		} else {
+			cold++
+		}
+	}
+	frac := float64(hot) / float64(hot+cold)
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("hot fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestChaseAddressesCoverFootprint(t *testing.T) {
+	k := newChaseKernel(rng.New(3), chasePC, 1, 0, false, 0)
+	in := &isa.Inst{}
+	seen := map[uint64]bool{}
+	for i := 0; i < 3000; i++ {
+		k.emit(in)
+		if in.Op == isa.OpLoad {
+			seen[in.Addr] = true
+		}
+	}
+	// An odd-stride walk over a power-of-two ring never revisits early:
+	// every chase address in this horizon is distinct.
+	if len(seen) < 900 {
+		t.Fatalf("only %d distinct chase addresses in 1000 loads", len(seen))
+	}
+}
+
+func TestStreamKernelPrefetchesAndStrides(t *testing.T) {
+	k := newStreamKernel(rng.New(4), streamPC, 4, 0.5, 4, 0, false, 1.0, 8)
+	in := &isa.Inst{}
+	var loads, prefetches, stores, branches, fp int
+	lastAddr := map[isa.Reg]uint64{}
+	for i := 0; i < 5000; i++ {
+		k.emit(in)
+		switch in.Op {
+		case isa.OpLoad:
+			loads++
+			if prev, ok := lastAddr[in.Dst]; ok && in.Addr != prev+8 && in.Addr > prev {
+				t.Fatalf("stream load stride broken: %#x after %#x", in.Addr, prev)
+			}
+			lastAddr[in.Dst] = in.Addr
+		case isa.OpPrefetch:
+			prefetches++
+			if in.Addr%blockBytes != 0 {
+				t.Fatalf("prefetch not block-aligned: %#x", in.Addr)
+			}
+		case isa.OpStore:
+			stores++
+		case isa.OpBranch:
+			branches++
+		case isa.OpFPAdd, isa.OpFPMul:
+			fp++
+		}
+	}
+	if loads == 0 || stores == 0 || branches == 0 || fp == 0 {
+		t.Fatalf("mix: loads=%d stores=%d branches=%d fp=%d", loads, stores, branches, fp)
+	}
+	// Full coverage on 2 cold streams advancing 8B/iteration: one prefetch
+	// per 4 iterations per cold stream → prefetches ≈ loads/8.
+	if prefetches == 0 {
+		t.Fatal("no prefetches despite full coverage")
+	}
+	ratio := float64(prefetches) / float64(loads)
+	if ratio < 0.05 || ratio > 0.25 {
+		t.Fatalf("prefetch/load ratio = %v", ratio)
+	}
+}
+
+func TestStreamZeroCoverageNoPrefetches(t *testing.T) {
+	k := newStreamKernel(rng.New(5), streamPC, 4, 0.5, 4, 0, false, 0, 8)
+	in := &isa.Inst{}
+	for i := 0; i < 3000; i++ {
+		k.emit(in)
+		if in.Op == isa.OpPrefetch {
+			t.Fatal("prefetch emitted with zero coverage")
+		}
+	}
+}
+
+func TestStreamWarmStreamsStayWarm(t *testing.T) {
+	k := newStreamKernel(rng.New(6), streamPC, 4, 0.5, 2, 0, false, 0, 8)
+	in := &isa.Inst{}
+	for i := 0; i < 5000; i++ {
+		k.emit(in)
+		if in.Op == isa.OpLoad {
+			inCold := in.Addr >= ColdBase && in.Addr < ColdBase+ColdBytes
+			inWarm := in.Addr >= WarmBase && in.Addr < WarmBase+WarmBytes
+			if !inCold && !inWarm {
+				t.Fatalf("stream load outside cold/warm regions: %#x", in.Addr)
+			}
+		}
+	}
+}
+
+func TestComputeKernelILPAndMix(t *testing.T) {
+	k := newComputeKernel(rng.New(7), computePC, 32, 4, 0.3, 0.25, 0.1, 0)
+	in := &isa.Inst{}
+	var alu, fp, mem, branches int
+	for i := 0; i < 8000; i++ {
+		k.emit(in)
+		switch {
+		case in.Op == isa.OpBranch:
+			branches++
+			if in.Target != computePC || !in.Taken {
+				t.Fatalf("compute loop branch wrong: %v", in)
+			}
+		case in.Op.IsMem():
+			mem++
+		case in.Op.IsFP():
+			fp++
+		default:
+			alu++
+		}
+	}
+	total := float64(alu + fp + mem + branches)
+	if branches == 0 {
+		t.Fatal("no loop branches")
+	}
+	if f := float64(mem) / total; f < 0.15 || f > 0.35 {
+		t.Fatalf("mem fraction = %v, want ~0.25", f)
+	}
+	if f := float64(fp) / total; f < 0.1 || f > 0.4 {
+		t.Fatalf("fp fraction = %v", f)
+	}
+}
+
+func TestComputeColdFracProducesColdRefs(t *testing.T) {
+	k := newComputeKernel(rng.New(8), computePC, 32, 4, 0, 0.3, 0, 0.05)
+	in := &isa.Inst{}
+	cold, mem := 0, 0
+	for i := 0; i < 20000; i++ {
+		k.emit(in)
+		if in.Op.IsMem() {
+			mem++
+			if in.Addr >= ColdBase {
+				cold++
+			}
+		}
+	}
+	frac := float64(cold) / float64(mem)
+	if frac < 0.02 || frac > 0.09 {
+		t.Fatalf("cold fraction of mem refs = %v, want ~0.05", frac)
+	}
+}
+
+func TestBranchyKernelHardBranches(t *testing.T) {
+	easy := newBranchyKernel(rng.New(9), branchyPC, 8, 0, 0, 0)
+	hard := newBranchyKernel(rng.New(9), branchyPC, 8, 1.0, 0, 0)
+	in := &isa.Inst{}
+	flips := func(k *branchyKernel) int {
+		var prev, n, seen int
+		for i := 0; i < 8000; i++ {
+			k.emit(in)
+			if in.Op != isa.OpBranch || in.CallRet != 0 {
+				continue
+			}
+			cur := 0
+			if in.Taken {
+				cur = 1
+			}
+			if seen > 0 && cur != prev {
+				n++
+			}
+			prev = cur
+			seen++
+		}
+		return n
+	}
+	if fe, fh := flips(easy), flips(hard); fh <= fe {
+		t.Fatalf("hard branches no more variable than easy: %d vs %d", fh, fe)
+	}
+}
+
+func TestBranchyCallReturnPairs(t *testing.T) {
+	k := newBranchyKernel(rng.New(10), branchyPC, 6, 0, 0, 0)
+	in := &isa.Inst{}
+	calls, rets := 0, 0
+	for i := 0; i < 50000; i++ {
+		k.emit(in)
+		switch in.CallRet {
+		case 1:
+			calls++
+		case 2:
+			rets++
+			if in.Op != isa.OpBranch || !in.Taken {
+				t.Fatalf("return malformed: %v", in)
+			}
+		}
+	}
+	if calls == 0 || calls != rets {
+		t.Fatalf("calls=%d rets=%d", calls, rets)
+	}
+}
+
+func TestGeneratorMixturePhases(t *testing.T) {
+	p, _ := ByName("apsi") // stream + compute mixture
+	g := NewGenerator(p)
+	insts := collect(g, 30000)
+	streamSeen, computeSeen := false, false
+	for i := range insts {
+		pc := insts[i].PC
+		if pc >= streamPC && pc < streamPC+0x8000 {
+			streamSeen = true
+		}
+		if pc >= computePC && pc < computePC+0x8000 {
+			computeSeen = true
+		}
+	}
+	if !streamSeen || !computeSeen {
+		t.Fatalf("mixture did not visit both kernels: stream=%v compute=%v",
+			streamSeen, computeSeen)
+	}
+}
+
+func TestGeneratorPanicsOnInvalidProfile(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid profile accepted")
+		}
+	}()
+	NewGenerator(Profile{Name: "bad"})
+}
+
+func TestMemoryRegionsDisjoint(t *testing.T) {
+	if HotBase+HotBytes > WarmBase || WarmBase+WarmBytes > ColdBase {
+		t.Fatal("memory regions overlap")
+	}
+	// Cold footprint must exceed the 2 MB L2 by a wide margin.
+	if ColdBytes < 16<<20 {
+		t.Fatal("cold region too small to guarantee L2 misses")
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	p, _ := ByName("gcc")
+	g := NewGenerator(p)
+	in := &isa.Inst{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next(in)
+	}
+}
+
+func TestGeneratorProfileAccessor(t *testing.T) {
+	p, _ := ByName("mcf")
+	g := NewGenerator(p)
+	if g.Profile().Name != "mcf" {
+		t.Fatal("profile accessor wrong")
+	}
+}
+
+func TestProfileValidateRejects(t *testing.T) {
+	bad := []Profile{
+		{Name: "x", WChase: 1, ChaseChains: 0, PhaseLen: 10},
+		{Name: "x", WStream: 1, StreamStreams: 0, StreamPFDist: 1, PhaseLen: 10},
+		{Name: "x", WCompute: 1, ComputeBodyLen: 1, ComputeILP: 1, PhaseLen: 10},
+		{Name: "x", WBranchy: 1, BranchyBlock: 1, PhaseLen: 10},
+		{Name: "x", WChase: 1, ChaseChains: 1, PhaseLen: 0},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("bad profile %d accepted", i)
+		}
+	}
+}
