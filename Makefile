@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench experiments examples cover clean
+.PHONY: all build vet test check bench experiments examples cover clean
 
 all: build vet test
 
@@ -14,6 +14,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# The pre-merge gate: vet plus the race-enabled short suite, which includes
+# the sweep engine's determinism and cancellation tests.
+check: vet
+	$(GO) test -race -short ./...
 
 # One testing.B per paper artefact + ablations, run once each.
 bench:

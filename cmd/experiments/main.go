@@ -2,12 +2,19 @@
 // Table 1, Table 2, Figures 4–7 and the §6 headline averages — on the
 // simulated machine, printing the same rows and series the paper reports.
 //
+// Every experiment's runs go through one shared sweep engine, so points
+// repeated across experiments (the per-benchmark baselines, most notably)
+// are simulated once per invocation; the engine's run/cache-hit counters
+// are reported on stderr. Output on stdout is byte-identical for any
+// -parallel value.
+//
 // Examples:
 //
 //	experiments -exp table2
 //	experiments -exp fig4
 //	experiments -exp all -instructions 300000
 //	experiments -exp fig5 -benchmarks mcf,ammp,swim
+//	experiments -exp all -parallel 16 -progress
 package main
 
 import (
@@ -15,42 +22,55 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strings"
 
+	"repro/internal/cliconfig"
 	"repro/internal/experiments"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
 func main() {
+	var simFlags cliconfig.SimFlags
 	var (
 		exp      = flag.String("exp", "all", "experiment: table1, table2, fig4, fig5, fig6, fig7, summary, residency, robustness, sensitivity, all")
-		warmup   = flag.Uint64("warmup", 60_000, "warm-up instructions per run")
-		measure  = flag.Uint64("instructions", 300_000, "measured instructions per run")
-		parallel = flag.Int("parallel", 8, "concurrent simulations")
+		parallel = cliconfig.RegisterParallel(flag.CommandLine)
 		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: the experiment's own set)")
 		csvDir   = flag.String("csvdir", "", "also write each artefact as CSV into this directory")
 		seeds    = flag.Int("seeds", 5, "workload seeds for -exp robustness")
+		progress = flag.Bool("progress", false, "report campaign progress on stderr")
 	)
+	simFlags.RegisterWindows(flag.CommandLine)
 	flag.Parse()
-
-	o := experiments.Options{
-		WarmupInstructions:  *warmup,
-		MeasureInstructions: *measure,
-		Parallelism:         *parallel,
-	}
-	subset := func(def []string) []string {
-		if *benches == "" {
-			return def
-		}
-		return strings.Split(*benches, ",")
-	}
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+
+	engineOpts := []sweep.Option{sweep.Workers(*parallel)}
+	if *progress {
+		engineOpts = append(engineOpts, sweep.OnProgress(func(p sweep.Progress) {
+			fmt.Fprintf(os.Stderr, "sweep: %d/%d points (%d cache hits, %.1f sims/s, worst %s %v)\n",
+				p.Done, p.Total, p.CacheHits, p.SimsPerSec, p.WorstKey, p.WorstRun.Round(1e6))
+		}))
+	}
+	engine := sweep.New(engineOpts...)
+	o := experiments.Options{
+		WarmupInstructions:  simFlags.Warmup,
+		MeasureInstructions: simFlags.Measure,
+		Parallelism:         *parallel,
+		Engine:              engine,
+	}
+	subset := func(def []string) []string {
+		names, err := cliconfig.Benchmarks(*benches, def)
+		if err != nil {
+			fail(err)
+		}
+		return names
+	}
+
 	writeCSV := func(exp string, t *report.Table) {
 		if *csvDir == "" {
 			return
@@ -163,5 +183,12 @@ func main() {
 		!run["residency"] && !run["robustness"] && !run["sensitivity"]) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+
+	if st := engine.Stats(); st.Points > 0 {
+		fmt.Fprintf(os.Stderr,
+			"sweep: %d points, %d simulated, %d cache hits, %v total sim time (worst %s %v)\n",
+			st.Points, st.Ran, st.CacheHits, st.SimTime.Round(1e6),
+			st.WorstKey, st.WorstRun.Round(1e6))
 	}
 }

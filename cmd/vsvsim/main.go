@@ -18,32 +18,31 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strings"
 
-	"repro/internal/core"
+	"repro/internal/cliconfig"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
 func main() {
+	var simFlags cliconfig.SimFlags
 	var (
 		bench     = flag.String("bench", "mcf", "SPEC2K benchmark name")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
-		vsv       = flag.String("vsv", "off", "VSV policy: off, fsm, adaptive, nofsm, firstr, lastr")
-		downTh    = flag.Int("down-threshold", 3, "down-FSM threshold (0 = immediate)")
-		upTh      = flag.Int("up-threshold", 3, "up-FSM threshold")
-		window    = flag.Int("window", 10, "FSM monitoring window (cycles)")
-		tk        = flag.Bool("tk", false, "enable Time-Keeping prefetching")
-		warmup    = flag.Uint64("warmup", 60_000, "warm-up instructions")
-		measure   = flag.Uint64("instructions", 300_000, "measured instructions")
 		breakdown = flag.Bool("breakdown", false, "print the power breakdown")
 		timeline  = flag.Bool("timeline", false, "print the first controller transitions")
 		compare   = flag.Bool("compare", true, "also run the baseline and print savings (VSV runs only)")
 		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON instead of text")
-		seed      = flag.Uint64("seed", 0, "workload seed (0 = canonical stream)")
 		traceOut  = flag.String("trace", "", "write a power/mode time-series CSV to this file")
 	)
+	simFlags.RegisterWindows(flag.CommandLine)
+	simFlags.RegisterVSV(flag.CommandLine)
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	if *list {
 		for _, n := range workload.Names() {
@@ -53,63 +52,49 @@ func main() {
 		return
 	}
 
-	prof, err := workload.ByName(*bench)
+	prof, err := cliconfig.Profile(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	policy, withVSV, err := simFlags.Policy()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	cfg := sim.DefaultConfig()
-	cfg.WarmupInstructions = *warmup
-	cfg.MeasureInstructions = *measure
-	cfg.Prewarm = []sim.PrewarmRange{
-		{Base: workload.HotBase, Bytes: workload.HotBytes, IntoL1: true},
-		{Base: workload.WarmBase, Bytes: workload.WarmBytes},
-	}
-	if *tk {
-		cfg = cfg.WithTimeKeeping()
-	}
-	if *traceOut != "" {
-		cfg.TraceInterval = 200
-		cfg.TraceSamples = 8192
-	}
-
-	var policy core.Policy
-	withVSV := true
-	switch strings.ToLower(*vsv) {
-	case "off":
-		withVSV = false
-	case "fsm":
-		policy = core.PolicyFSM()
-		policy.DownThreshold = *downTh
-		if *downTh == 0 {
-			policy.UseDownFSM = false
-		}
-		policy.UpThreshold = *upTh
-		policy.DownWindow, policy.UpWindow = *window, *window
-	case "adaptive":
-		policy = core.PolicyFSM()
-		policy.Adaptive = core.DefaultAdaptiveConfig()
-	case "nofsm":
-		policy = core.PolicyNoFSM()
-	case "firstr":
-		policy = core.PolicyFirstR()
-	case "lastr":
-		policy = core.PolicyLastR()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -vsv %q\n", *vsv)
+	opts, err := simFlags.Options()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-
-	runCfg := cfg
-	if withVSV {
-		runCfg = cfg.WithVSV(policy)
+	if *traceOut != "" {
+		opts = append(opts, sim.WithTrace(200, 8192))
 	}
-	m := sim.NewMachine(runCfg, workload.NewGeneratorSeed(prof, *seed))
+
+	m, err := sim.NewBench(prof.Name, opts...)
+	if err != nil {
+		fail(err)
+	}
 	if withVSV && *timeline {
 		m.Controller().Trace().SetLimit(64)
 	}
 	res := m.Run(prof.Name)
+
+	// The baseline for -compare: the same options minus the controller.
+	runBaseline := func() sim.Results {
+		baseFlags := simFlags
+		baseFlags.VSV = "off"
+		baseOpts, err := baseFlags.Options()
+		if err != nil {
+			fail(err)
+		}
+		mb, err := sim.NewBench(prof.Name, baseOpts...)
+		if err != nil {
+			fail(err)
+		}
+		return mb.Run(prof.Name)
+	}
 
 	if *jsonOut {
 		out := struct {
@@ -120,9 +105,7 @@ func main() {
 		if withVSV {
 			out.Policy = policy.String()
 			if *compare {
-				mb := sim.NewMachine(cfg, workload.NewGeneratorSeed(prof, *seed))
-				base := mb.Run(prof.Name)
-				c := sim.Comparison{Base: base, VSV: res}
+				c := sim.Comparison{Base: runBaseline(), VSV: res}
 				out.Comparison = &jsonComparison{
 					PowerSavingsPct:    c.PowerSavingsPct(),
 					PerfDegradationPct: c.PerfDegradationPct(),
@@ -133,14 +116,13 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	}
 
 	fmt.Printf("benchmark     %s\n", prof.Name)
-	fmt.Printf("instructions  %d (after %d warm-up)\n", res.Instructions, *warmup)
+	fmt.Printf("instructions  %d (after %d warm-up)\n", res.Instructions, simFlags.Warmup)
 	fmt.Printf("time          %d ns\n", res.Ticks)
 	fmt.Printf("IPC           %.3f   (paper baseline %.2f)\n", res.IPC, prof.IPCPaper)
 	fmt.Printf("MR            %.2f   (paper baseline %.1f)\n", res.MR, prof.MRPaper)
@@ -158,9 +140,7 @@ func main() {
 	}
 
 	if withVSV && *compare {
-		mb := sim.NewMachine(cfg, workload.NewGeneratorSeed(prof, *seed))
-		base := mb.Run(prof.Name)
-		c := sim.Comparison{Base: base, VSV: res}
+		c := sim.Comparison{Base: runBaseline(), VSV: res}
 		fmt.Printf("vs baseline   %.2f%% power savings, %.2f%% performance degradation\n",
 			c.PowerSavingsPct(), c.PerfDegradationPct())
 	}
@@ -191,8 +171,7 @@ func main() {
 	if *traceOut != "" {
 		rec := m.Recorder()
 		if err := os.WriteFile(*traceOut, []byte(rec.CSV()), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Printf("trace         %d samples -> %s\n", len(rec.Samples()), *traceOut)
 		fmt.Printf("power         %s\n", rec.Sparkline())

@@ -3,7 +3,7 @@
 //
 //	vsvtrace gen  -bench mcf -n 500000 -o mcf.trace   # synthesize & dump
 //	vsvtrace info mcf.trace                           # summarize a trace
-//	vsvtrace run  mcf.trace -vsv                      # simulate from a file
+//	vsvtrace run  mcf.trace -vsv fsm                  # simulate from a file
 package main
 
 import (
@@ -12,7 +12,7 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/core"
+	"repro/internal/cliconfig"
 	"repro/internal/isa"
 	"repro/internal/sim"
 	"repro/internal/tracefile"
@@ -55,7 +55,7 @@ func gen(args []string) {
 	if *out == "" {
 		fail(fmt.Errorf("gen: -o is required"))
 	}
-	p, err := workload.ByName(*bench)
+	p, err := cliconfig.Profile(*bench)
 	if err != nil {
 		fail(err)
 	}
@@ -152,9 +152,9 @@ func run(args []string) {
 		fail(fmt.Errorf("run: trace file required"))
 	}
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	vsv := fs.Bool("vsv", false, "attach the VSV controller (FSM policy)")
-	warmup := fs.Uint64("warmup", 20_000, "warm-up instructions")
-	measure := fs.Uint64("instructions", 100_000, "measured instructions")
+	var simFlags cliconfig.SimFlags
+	simFlags.RegisterWindows(fs)
+	simFlags.RegisterVSV(fs)
 	fs.Parse(args[1:])
 
 	f, err := os.Open(args[0])
@@ -166,23 +166,27 @@ func run(args []string) {
 	if err != nil {
 		fail(err)
 	}
-	cfg := sim.DefaultConfig()
-	cfg.WarmupInstructions = *warmup
-	cfg.MeasureInstructions = *measure
-	cfg.Prewarm = []sim.PrewarmRange{
-		{Base: workload.HotBase, Bytes: workload.HotBytes, IntoL1: true},
-		{Base: workload.WarmBase, Bytes: workload.WarmBytes},
+	_, withVSV, err := simFlags.Policy()
+	if err != nil {
+		fail(err)
 	}
-	if *vsv {
-		cfg = cfg.WithVSV(core.PolicyFSM())
+	opts, err := simFlags.Options()
+	if err != nil {
+		fail(err)
 	}
-	m := sim.NewMachine(cfg, src)
+	// Trace files carry the synthetic workloads' address layout, so the
+	// standard resident-set prewarm applies.
+	opts = append([]sim.Option{sim.WithConfig(sim.BenchConfig())}, opts...)
+	m, err := sim.New(src, opts...)
+	if err != nil {
+		fail(err)
+	}
 	res := m.Run(args[0])
 	fmt.Printf("trace         %s (%d instructions, %d laps)\n", args[0], src.Len(), src.Laps())
 	fmt.Printf("IPC           %.3f\n", res.IPC)
 	fmt.Printf("MR            %.2f\n", res.MR)
 	fmt.Printf("avg power     %.2f W\n", res.AvgPowerW)
-	if *vsv {
+	if withVSV {
 		fmt.Printf("low-power     %.1f%% of time, %d transitions\n",
 			res.LowFrac*100, res.Transitions)
 	}

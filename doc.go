@@ -26,6 +26,26 @@
 //	§6.4/Figure 7                      experiments.Figure7
 //	Figures 2–3 timelines              core controller tests, examples/timeline
 //
+// # Building machines
+//
+// Machines are constructed with functional options: sim.NewBench(name,
+// opts...) starts from the Table 1 configuration with the benchmark's
+// resident working sets pre-warmed, sim.New(src, opts...) runs any
+// pipeline.InstSource, and options such as sim.WithVSV, sim.WithTimeKeeping
+// and sim.WithWindows layer the paper's mechanisms on top. Invalid
+// configurations are reported as errors.
+//
+// # Campaigns
+//
+// Package sweep executes batches of (benchmark × configuration) points on a
+// bounded worker pool with context cancellation, memoizing completed runs
+// under a stable configuration hash and returning results in submission
+// order — so every experiment's output is byte-identical for any worker
+// count, and points shared between experiments (the per-benchmark
+// baselines, most notably) are simulated once. Package experiments and
+// cmd/experiments run entirely on it; cmd binaries share flag parsing via
+// package cliconfig.
+//
 // # Extensions beyond the paper
 //
 //   - power leakage model (§1 mentions VDD³–VDD⁴ leakage; power.LeakageParams)

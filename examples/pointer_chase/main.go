@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"repro/internal/core"
 	"repro/internal/isa"
@@ -50,26 +51,33 @@ func (c *chase) Next(in *isa.Inst) {
 }
 
 func main() {
-	cfg := sim.DefaultConfig()
-	cfg.WarmupInstructions = 20_000
-	cfg.MeasureInstructions = 100_000
-
 	fmt.Println("Dependent-load chain (fillers read the loaded value):")
 	fmt.Printf("%8s %8s %12s %12s %8s\n", "filler", "IPC", "perf deg %", "pow sav %", "low %")
 	for _, filler := range []int{6, 14, 30} {
-		report(cfg, filler, true)
+		report(filler, true)
 	}
 
 	fmt.Println("\nIndependent fillers (work overlaps the misses — the down-FSM should hold the machine at full speed):")
 	fmt.Printf("%8s %8s %12s %12s %8s\n", "filler", "IPC", "perf deg %", "pow sav %", "low %")
 	for _, filler := range []int{6, 14, 30} {
-		report(cfg, filler, false)
+		report(filler, false)
 	}
 }
 
-func report(cfg sim.Config, filler int, dependent bool) {
-	base := sim.NewMachine(cfg, &chase{filler: filler, dependent: dependent}).Run("chase")
-	vsv := sim.NewMachine(cfg.WithVSV(core.PolicyFSM()), &chase{filler: filler, dependent: dependent}).Run("chase")
+// run builds a machine over a fresh chase source with sim.New — the custom
+// InstSource goes where NewBench would install a synthetic benchmark.
+func run(filler int, dependent bool, opts ...sim.Option) sim.Results {
+	opts = append([]sim.Option{sim.WithWindows(20_000, 100_000)}, opts...)
+	m, err := sim.New(&chase{filler: filler, dependent: dependent}, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m.Run("chase")
+}
+
+func report(filler int, dependent bool) {
+	base := run(filler, dependent)
+	vsv := run(filler, dependent, sim.WithVSV(core.PolicyFSM()))
 	c := sim.Comparison{Base: base, VSV: vsv}
 	fmt.Printf("%8d %8.2f %12.1f %12.1f %8.0f\n",
 		filler, base.IPC, c.PerfDegradationPct(), c.PowerSavingsPct(), vsv.LowFrac*100)

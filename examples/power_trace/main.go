@@ -11,30 +11,22 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 func main() {
-	prof, err := workload.ByName("ammp")
+	const bench = "ammp"
+	m, err := sim.NewBench(bench,
+		sim.WithWindows(20_000, 60_000),
+		sim.WithVSV(core.PolicyFSM()),
+		sim.WithTrace(100, 4096)) // one sample per 100 ns
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := sim.DefaultConfig()
-	cfg.WarmupInstructions = 20_000
-	cfg.MeasureInstructions = 60_000
-	cfg.Prewarm = []sim.PrewarmRange{
-		{Base: workload.HotBase, Bytes: workload.HotBytes, IntoL1: true},
-		{Base: workload.WarmBase, Bytes: workload.WarmBytes},
-	}
-	cfg.TraceInterval = 100 // one sample per 100 ns
-	cfg.TraceSamples = 4096
-
-	m := sim.NewMachine(cfg.WithVSV(core.PolicyFSM()), workload.NewGenerator(prof))
-	res := m.Run(prof.Name)
+	res := m.Run(bench)
 	rec := m.Recorder()
 
 	fmt.Printf("benchmark %s: %.2f W average, %.0f%% of time in low-power mode\n\n",
-		prof.Name, res.AvgPowerW, res.LowFrac*100)
+		bench, res.AvgPowerW, res.LowFrac*100)
 	fmt.Println("power over time (one glyph per 100 ns):")
 	fmt.Println(rec.Sparkline())
 

@@ -10,31 +10,24 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 func main() {
 	const bench = "lucas"
-	prof, err := workload.ByName(bench)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cfg := sim.DefaultConfig()
-	cfg.WarmupInstructions = 30_000
-	cfg.MeasureInstructions = 150_000
-	cfg.Prewarm = []sim.PrewarmRange{
-		{Base: workload.HotBase, Bytes: workload.HotBytes, IntoL1: true},
-		{Base: workload.WarmBase, Bytes: workload.WarmBytes},
+
+	run := func(opts ...sim.Option) sim.Results {
+		opts = append([]sim.Option{sim.WithWindows(30_000, 150_000)}, opts...)
+		m, err := sim.NewBench(bench, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return m.Run(bench)
 	}
 
-	run := func(c sim.Config) sim.Results {
-		return sim.NewMachine(c, workload.NewGenerator(prof)).Run(bench)
-	}
-
-	base := run(cfg)
-	vsv := run(cfg.WithVSV(core.PolicyFSM()))
-	baseTK := run(cfg.WithTimeKeeping())
-	vsvTK := run(cfg.WithTimeKeeping().WithVSV(core.PolicyFSM()))
+	base := run()
+	vsv := run(sim.WithVSV(core.PolicyFSM()))
+	baseTK := run(sim.WithTimeKeeping())
+	vsvTK := run(sim.WithTimeKeeping(), sim.WithVSV(core.PolicyFSM()))
 
 	noTK := sim.Comparison{Base: base, VSV: vsv}
 	withTK := sim.Comparison{Base: baseTK, VSV: vsvTK}

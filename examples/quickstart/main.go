@@ -9,39 +9,43 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 func main() {
 	// Pick the paper's flagship workload: mcf, the highest-MR benchmark.
-	prof, err := workload.ByName("mcf")
+	// NewBench starts from the Table 1 machine with the benchmark's
+	// resident working sets pre-warmed (standing in for the paper's
+	// 2-billion-instruction fast-forward).
+	const bench = "mcf"
+
+	// Baseline run: full speed, fixed VDDH, clock gating + s/w prefetching.
+	base, err := run(bench, sim.WithWindows(30_000, 150_000))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// The Table 1 machine, with the benchmark's resident working sets
-	// pre-warmed (standing in for the paper's 2-billion-instruction
-	// fast-forward).
-	cfg := sim.DefaultConfig()
-	cfg.WarmupInstructions = 30_000
-	cfg.MeasureInstructions = 150_000
-	cfg.Prewarm = []sim.PrewarmRange{
-		{Base: workload.HotBase, Bytes: workload.HotBytes, IntoL1: true},
-		{Base: workload.WarmBase, Bytes: workload.WarmBytes},
-	}
-
-	// Baseline run: full speed, fixed VDDH, clock gating + s/w prefetching.
-	base := sim.NewMachine(cfg, workload.NewGenerator(prof)).Run(prof.Name)
-
 	// VSV run: the same machine plus the paper's controller — down-FSM and
 	// up-FSM with threshold 3 in a 10-cycle window (§6.2–6.3).
-	vsv := sim.NewMachine(cfg.WithVSV(core.PolicyFSM()), workload.NewGenerator(prof)).Run(prof.Name)
+	vsv, err := run(bench,
+		sim.WithWindows(30_000, 150_000),
+		sim.WithVSV(core.PolicyFSM()))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	c := sim.Comparison{Base: base, VSV: vsv}
-	fmt.Printf("benchmark:            %s\n", prof.Name)
+	fmt.Printf("benchmark:            %s\n", bench)
 	fmt.Printf("baseline:             IPC %.2f, MR %.1f, %.2f W\n", base.IPC, base.MR, base.AvgPowerW)
 	fmt.Printf("VSV:                  IPC %.2f, %.2f W, %.0f%% of time in low-power mode\n",
 		vsv.IPC, vsv.AvgPowerW, vsv.LowFrac*100)
 	fmt.Printf("power savings:        %.1f%%\n", c.PowerSavingsPct())
 	fmt.Printf("perf degradation:     %.1f%%\n", c.PerfDegradationPct())
+}
+
+func run(bench string, opts ...sim.Option) (sim.Results, error) {
+	m, err := sim.NewBench(bench, opts...)
+	if err != nil {
+		return sim.Results{}, err
+	}
+	return m.Run(bench), nil
 }

@@ -10,27 +10,21 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
-func run(cfg sim.Config, prof workload.Profile) sim.Results {
-	return sim.NewMachine(cfg, workload.NewGenerator(prof)).Run(prof.Name)
-}
+const bench = "swim" // high-ILP streaming: the FSMs matter most here
 
-func main() {
-	const bench = "swim" // high-ILP streaming: the FSMs matter most here
-	prof, err := workload.ByName(bench)
+func run(opts ...sim.Option) sim.Results {
+	opts = append([]sim.Option{sim.WithWindows(30_000, 150_000)}, opts...)
+	m, err := sim.NewBench(bench, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := sim.DefaultConfig()
-	cfg.WarmupInstructions = 30_000
-	cfg.MeasureInstructions = 150_000
-	cfg.Prewarm = []sim.PrewarmRange{
-		{Base: workload.HotBase, Bytes: workload.HotBytes, IntoL1: true},
-		{Base: workload.WarmBase, Bytes: workload.WarmBytes},
-	}
-	base := run(cfg, prof)
+	return m.Run(bench)
+}
+
+func main() {
+	base := run()
 	fmt.Printf("benchmark %s: baseline IPC %.2f, MR %.1f, %.2f W\n\n",
 		bench, base.IPC, base.MR, base.AvgPowerW)
 
@@ -43,7 +37,7 @@ func main() {
 		} else {
 			p.DownThreshold = th
 		}
-		r := run(cfg.WithVSV(p), prof)
+		r := run(sim.WithVSV(p))
 		c := sim.Comparison{Base: base, VSV: r}
 		fmt.Printf("%10d %12.1f %12.1f %10.0f\n",
 			th, c.PerfDegradationPct(), c.PowerSavingsPct(), r.LowFrac*100)
@@ -62,7 +56,7 @@ func main() {
 		{"Last-R", core.PolicyLastR()},
 	}
 	for _, v := range variants {
-		r := run(cfg.WithVSV(v.policy), prof)
+		r := run(sim.WithVSV(v.policy))
 		c := sim.Comparison{Base: base, VSV: r}
 		fmt.Printf("%10s %12.1f %12.1f %10.0f\n",
 			v.label, c.PerfDegradationPct(), c.PowerSavingsPct(), r.LowFrac*100)

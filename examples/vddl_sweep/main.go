@@ -13,23 +13,22 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
-func main() {
-	prof, err := workload.ByName("mcf")
+const bench = "mcf"
+
+func run(opts ...sim.Option) sim.Results {
+	opts = append([]sim.Option{sim.WithWindows(20_000, 100_000)}, opts...)
+	m, err := sim.NewBench(bench, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := sim.DefaultConfig()
-	cfg.WarmupInstructions = 20_000
-	cfg.MeasureInstructions = 100_000
-	cfg.Prewarm = []sim.PrewarmRange{
-		{Base: workload.HotBase, Bytes: workload.HotBytes, IntoL1: true},
-		{Base: workload.WarmBase, Bytes: workload.WarmBytes},
-	}
-	base := sim.NewMachine(cfg, workload.NewGenerator(prof)).Run(prof.Name)
-	fmt.Printf("benchmark mcf: baseline %.2f W\n\n", base.AvgPowerW)
+	return m.Run(bench)
+}
+
+func main() {
+	base := run()
+	fmt.Printf("benchmark %s: baseline %.2f W\n\n", bench, base.AvgPowerW)
 	fmt.Printf("%8s %10s %12s %12s %12s\n", "VDDL", "ramp(ns)", "perf deg %", "pow sav %", "note")
 	for _, vddl := range []float64{1.2, 1.3, 1.4, 1.5, 1.6} {
 		tm := core.DefaultTiming()
@@ -37,9 +36,7 @@ func main() {
 		// dV/dt is fixed at 0.05 V/ns (§3.2), so a smaller swing ramps
 		// faster.
 		tm.RampTicks = int((tm.VDDH-vddl)/0.05 + 0.5)
-		vcfg := cfg
-		vcfg.VSV = &sim.VSVConfig{Policy: core.PolicyFSM(), Timing: tm}
-		r := sim.NewMachine(vcfg, workload.NewGenerator(prof)).Run(prof.Name)
+		r := run(sim.WithVSVTiming(core.PolicyFSM(), tm))
 		c := sim.Comparison{Base: base, VSV: r}
 		note := ""
 		if vddl == 1.2 {

@@ -1,0 +1,112 @@
+package cliconfig
+
+import (
+	"flag"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestRegisterDefaults(t *testing.T) {
+	var f SimFlags
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f.RegisterWindows(fs)
+	f.RegisterVSV(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Warmup != 60_000 || f.Measure != 300_000 || f.Seed != 0 {
+		t.Fatalf("window defaults: %+v", f)
+	}
+	if f.VSV != "off" || f.DownThreshold != 3 || f.UpThreshold != 3 || f.Window != 10 || f.TK {
+		t.Fatalf("vsv defaults: %+v", f)
+	}
+}
+
+func TestPolicyResolution(t *testing.T) {
+	var f SimFlags
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f.RegisterWindows(fs)
+	f.RegisterVSV(fs)
+	if err := fs.Parse([]string{"-vsv", "fsm", "-down-threshold", "5", "-up-threshold", "1", "-window", "12"}); err != nil {
+		t.Fatal(err)
+	}
+	p, on, err := f.Policy()
+	if err != nil || !on {
+		t.Fatalf("on=%v err=%v", on, err)
+	}
+	if p.DownThreshold != 5 || p.UpThreshold != 1 || p.DownWindow != 12 || p.UpWindow != 12 {
+		t.Fatalf("policy = %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyThresholdZeroDisablesDownFSM(t *testing.T) {
+	p, on, err := PolicyByName("fsm", 0, 3, 10)
+	if err != nil || !on {
+		t.Fatalf("on=%v err=%v", on, err)
+	}
+	if p.UseDownFSM {
+		t.Fatal("threshold 0 must disable the down-FSM")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, name := range []string{"off", "fsm", "adaptive", "nofsm", "firstr", "lastr", "FSM"} {
+		if _, _, err := PolicyByName(name, 3, 3, 10); err != nil {
+			t.Errorf("%q rejected: %v", name, err)
+		}
+	}
+	if _, on, _ := PolicyByName("off", 3, 3, 10); on {
+		t.Error("off must disable VSV")
+	}
+	if _, _, err := PolicyByName("bogus", 3, 3, 10); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestOptionsBuild(t *testing.T) {
+	f := SimFlags{Warmup: 10, Measure: 20, VSV: "fsm", DownThreshold: 3,
+		UpThreshold: 3, Window: 10, TK: true}
+	opts, err := f.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) != 4 { // windows, seed, vsv, tk
+		t.Fatalf("opts = %d, want 4", len(opts))
+	}
+	f.VSV = "bogus"
+	if _, err := f.Options(); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
+func TestBenchmarks(t *testing.T) {
+	def := workload.Names()
+	got, err := Benchmarks("", def)
+	if err != nil || len(got) != len(def) {
+		t.Fatalf("default subset: %v %v", got, err)
+	}
+	got, err = Benchmarks("mcf, swim ,eon", def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != "mcf" || got[1] != "swim" || got[2] != "eon" {
+		t.Fatalf("subset = %v", got)
+	}
+	if _, err := Benchmarks("mcf,nonesuch", def); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestProfile(t *testing.T) {
+	p, err := Profile("mcf")
+	if err != nil || p.Name != "mcf" {
+		t.Fatalf("p=%+v err=%v", p, err)
+	}
+	if _, err := Profile("nonesuch"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

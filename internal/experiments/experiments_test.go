@@ -401,17 +401,19 @@ func TestMeanHelpers(t *testing.T) {
 }
 
 func TestRunAllPropagatesError(t *testing.T) {
-	_, err := runAll([]job{{key: "x", name: "nonesuch", cfg: BenchConfig(tinyOpts())}}, 2)
+	_, err := runAll(tinyOpts(), []job{{key: "x", name: "nonesuch", cfg: BenchConfig(tinyOpts())}})
 	if err == nil {
 		t.Fatal("error not propagated")
 	}
 }
 
 func TestRunAllParallelismOne(t *testing.T) {
-	res, err := runAll([]job{
+	o := tinyOpts()
+	o.Parallelism = 0 // clamped to 1 by the engine
+	res, err := runAll(o, []job{
 		{key: "a", name: "eon", cfg: BenchConfig(tinyOpts())},
 		{key: "b", name: "eon", cfg: BenchConfig(tinyOpts())},
-	}, 0) // 0 → clamped to 1
+	})
 	if err != nil || len(res) != 2 {
 		t.Fatalf("res=%d err=%v", len(res), err)
 	}

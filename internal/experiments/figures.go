@@ -53,7 +53,7 @@ func Figure4(o Options, names []string) ([]Fig4Row, error) {
 			job{key: "fsm/" + n, name: n, cfg: fsm},
 		)
 	}
-	res, err := runAll(jobs, o.Parallelism)
+	res, err := runAll(o, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -147,7 +147,7 @@ func Figure5(o Options, names []string, thresholds []int) ([]Fig5Row, error) {
 			})
 		}
 	}
-	res, err := runAll(jobs, o.Parallelism)
+	res, err := runAll(o, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -240,7 +240,7 @@ func Figure6(o Options, names []string, variants []UpVariant) ([]Fig6Row, error)
 			})
 		}
 	}
-	res, err := runAll(jobs, o.Parallelism)
+	res, err := runAll(o, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -317,7 +317,7 @@ func Figure7(o Options, names []string) ([]Fig7Row, error) {
 			job{key: "vsvtk/" + n, name: n, cfg: vsvTK},
 		)
 	}
-	res, err := runAll(jobs, o.Parallelism)
+	res, err := runAll(o, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -36,7 +36,7 @@ func Residency(o Options, names []string) ([]ResidencyRow, error) {
 	for _, n := range names {
 		jobs = append(jobs, job{key: n, name: n, cfg: cfg})
 	}
-	res, err := runAll(jobs, o.Parallelism)
+	res, err := runAll(o, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -4,12 +4,10 @@ import (
 	"fmt"
 	"math"
 	"strings"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 // RobustnessRow reports, for one benchmark, the spread of VSV's savings and
@@ -34,51 +32,18 @@ func Robustness(o Options, names []string, seeds int) ([]RobustnessRow, error) {
 	}
 	base := BenchConfig(o)
 	vsv := BenchConfig(o).WithVSV(core.PolicyFSM())
-	type seededJob struct {
-		name string
-		seed uint64
-		cfg  sim.Config
-		key  string
-	}
-	var jobs []seededJob
+	var jobs []job
 	for _, n := range names {
 		for s := 0; s < seeds; s++ {
 			jobs = append(jobs,
-				seededJob{n, uint64(s), base, fmt.Sprintf("base/%s/%d", n, s)},
-				seededJob{n, uint64(s), vsv, fmt.Sprintf("vsv/%s/%d", n, s)},
+				job{key: fmt.Sprintf("base/%s/%d", n, s), name: n, seed: uint64(s), cfg: base},
+				job{key: fmt.Sprintf("vsv/%s/%d", n, s), name: n, seed: uint64(s), cfg: vsv},
 			)
 		}
 	}
-	results := make(map[string]sim.Results, len(jobs))
-	var mu sync.Mutex
-	var firstErr error
-	sem := make(chan struct{}, max(1, o.Parallelism))
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j seededJob) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			p, err := workload.ByName(j.name)
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-				return
-			}
-			m := sim.NewMachine(j.cfg, workload.NewGeneratorSeed(p, j.seed))
-			r := m.Run(j.name)
-			mu.Lock()
-			results[j.key] = r
-			mu.Unlock()
-		}(j)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	results, err := runAll(o, jobs)
+	if err != nil {
+		return nil, err
 	}
 
 	var rows []RobustnessRow
@@ -130,13 +95,6 @@ func meanStd(vs []float64) (mean, std float64) {
 	}
 	std = math.Sqrt(std / float64(len(vs)-1))
 	return mean, std
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // RenderRobustness formats the seed-spread table.

@@ -3,15 +3,17 @@
 // Figure 5 (down-FSM threshold sweep), Figure 6 (up-FSM threshold sweep vs
 // First-R/Last-R), Figure 7 (impact of Time-Keeping prefetching), and the
 // §6 summary averages. Each experiment renders the same rows/series the
-// paper reports.
+// paper reports. All fan-out goes through the sweep engine, so experiments
+// sharing points (every figure's baselines, for example) simulate them
+// once when run against a shared Engine.
 package experiments
 
 import (
-	"fmt"
+	"context"
 	"sort"
-	"sync"
 
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -20,9 +22,15 @@ type Options struct {
 	// WarmupInstructions and MeasureInstructions size each run's windows.
 	WarmupInstructions  uint64
 	MeasureInstructions uint64
-	// Parallelism bounds concurrent simulations (machines are independent;
-	// 0 means 1).
+	// Parallelism bounds concurrent simulations when no Engine is supplied
+	// (0 means 1).
 	Parallelism int
+	// Engine, when non-nil, executes every run of every experiment. Sharing
+	// one engine across experiments shares its memoization cache, so
+	// repeated points — the common baselines of Table 2 and Figures 4–7 —
+	// are simulated exactly once per campaign. Nil runs each experiment on
+	// a private engine.
+	Engine *sweep.Engine
 }
 
 // DefaultOptions returns windows large enough for stable percentages at
@@ -40,63 +48,40 @@ func DefaultOptions() Options {
 // working sets (standing in for the paper's 2-billion-instruction
 // fast-forward).
 func BenchConfig(o Options) sim.Config {
-	cfg := sim.DefaultConfig()
+	cfg := sim.BenchConfig()
 	cfg.WarmupInstructions = o.WarmupInstructions
 	cfg.MeasureInstructions = o.MeasureInstructions
-	cfg.Prewarm = []sim.PrewarmRange{
-		{Base: workload.HotBase, Bytes: workload.HotBytes, IntoL1: true},
-		{Base: workload.WarmBase, Bytes: workload.WarmBytes},
-	}
 	return cfg
 }
 
 // RunOne simulates one benchmark on one configuration.
 func RunOne(name string, cfg sim.Config) (sim.Results, error) {
-	p, err := workload.ByName(name)
+	m, err := sim.NewBench(name, sim.WithConfig(cfg))
 	if err != nil {
 		return sim.Results{}, err
 	}
-	m := sim.NewMachine(cfg, workload.NewGenerator(p))
 	return m.Run(name), nil
 }
 
-// job is one (benchmark, config) simulation in a batch.
+// job is one (benchmark, seed, config) simulation in a batch.
 type job struct {
 	key  string
 	name string
+	seed uint64
 	cfg  sim.Config
 }
 
-// runAll executes jobs with bounded parallelism and returns results by key.
-func runAll(jobs []job, parallelism int) (map[string]sim.Results, error) {
-	if parallelism < 1 {
-		parallelism = 1
+// runAll executes jobs through the sweep engine and returns results by key.
+func runAll(o Options, jobs []job) (map[string]sim.Results, error) {
+	eng := o.Engine
+	if eng == nil {
+		eng = sweep.New(sweep.Workers(o.Parallelism))
 	}
-	results := make(map[string]sim.Results, len(jobs))
-	var mu sync.Mutex
-	var firstErr error
-	sem := make(chan struct{}, parallelism)
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			r, err := RunOne(j.name, j.cfg)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("%s: %w", j.key, err)
-				}
-				return
-			}
-			results[j.key] = r
-		}(j)
+	pts := make([]sweep.Point, len(jobs))
+	for i, j := range jobs {
+		pts[i] = sweep.Point{Key: j.key, Benchmark: j.name, Seed: j.seed, Config: j.cfg}
 	}
-	wg.Wait()
-	return results, firstErr
+	return eng.RunMap(context.Background(), pts)
 }
 
 // sortByMRDesc orders benchmark names by paper MR descending, the X-axis

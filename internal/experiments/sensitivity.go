@@ -38,7 +38,7 @@ func Sensitivity(o Options, names []string, latencies []int) ([]SensitivityRow, 
 			)
 		}
 	}
-	res, err := runAll(jobs, o.Parallelism)
+	res, err := runAll(o, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -32,7 +32,7 @@ func Table2(o Options) ([]Table2Row, error) {
 			job{key: "tk/" + n, name: n, cfg: tk},
 		)
 	}
-	res, err := runAll(jobs, o.Parallelism)
+	res, err := runAll(o, jobs)
 	if err != nil {
 		return nil, err
 	}

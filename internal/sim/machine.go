@@ -76,10 +76,23 @@ type Machine struct {
 }
 
 // NewMachine builds a machine running src on the given configuration. It
-// panics on invalid configuration (configurations are static data).
+// panics on invalid configuration and is retained only for static-data
+// configurations (table-driven tests, benchmarks) where an invalid value is
+// a programming error — typically passing the unusable zero Config. Runtime
+// construction should go through New or NewBench, which surface the
+// validation error instead.
 func NewMachine(cfg Config, src pipeline.InstSource) *Machine {
-	if err := cfg.Validate(); err != nil {
+	m, err := build(cfg, src)
+	if err != nil {
 		panic(err)
+	}
+	return m
+}
+
+// build composes and validates the machine; every constructor funnels here.
+func build(cfg Config, src pipeline.InstSource) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	m := &Machine{
 		cfg:           cfg,
@@ -119,7 +132,7 @@ func NewMachine(cfg Config, src pipeline.InstSource) *Machine {
 		}
 		m.rec = trace.NewRecorder(cfg.TraceInterval, maxS)
 	}
-	return m
+	return m, nil
 }
 
 // Recorder returns the time-series recorder (nil unless TraceInterval was

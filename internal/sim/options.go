@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/prefetch"
+	"repro/internal/workload"
+)
+
+// settings collects what the functional options configure: the underlying
+// Config value plus construction-time extras that are not part of the
+// machine configuration proper (the workload seed).
+type settings struct {
+	cfg  Config
+	seed uint64
+}
+
+// Option configures a machine under construction by New or NewBench. The
+// options compose left to right over a Config base (DefaultConfig for New,
+// BenchConfig for NewBench); WithConfig replaces the base wholesale, so it
+// should come first when combined with other options.
+type Option func(*settings)
+
+// New builds a machine running src, starting from DefaultConfig and applying
+// opts. It is the canonical construction path: invalid configurations are
+// reported as errors rather than panics (NewMachine keeps the panic for
+// static-data misuse).
+func New(src pipeline.InstSource, opts ...Option) (*Machine, error) {
+	if src == nil {
+		return nil, fmt.Errorf("sim: nil instruction source")
+	}
+	s := settings{cfg: DefaultConfig()}
+	for _, o := range opts {
+		o(&s)
+	}
+	return build(s.cfg, src)
+}
+
+// NewBench builds a machine running the named synthetic SPEC2K benchmark,
+// starting from BenchConfig — the Table 1 machine with the benchmarks'
+// resident working sets pre-warmed — and applying opts. WithSeed selects a
+// non-canonical instruction stream.
+func NewBench(bench string, opts ...Option) (*Machine, error) {
+	p, err := workload.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	s := settings{cfg: BenchConfig()}
+	for _, o := range opts {
+		o(&s)
+	}
+	return build(s.cfg, workload.NewGeneratorSeed(p, s.seed))
+}
+
+// BenchConfig returns DefaultConfig with the synthetic benchmarks' resident
+// working sets installed into the caches before the run — standing in for
+// the paper's 2-billion-instruction warm-cache fast-forward (§5).
+func BenchConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Prewarm = []PrewarmRange{
+		{Base: workload.HotBase, Bytes: workload.HotBytes, IntoL1: true},
+		{Base: workload.WarmBase, Bytes: workload.WarmBytes},
+	}
+	return cfg
+}
+
+// WithConfig replaces the entire configuration with cfg. Use it to run a
+// fully pre-built Config (e.g. a sweep point) through the options path.
+func WithConfig(cfg Config) Option {
+	return func(s *settings) { s.cfg = cfg }
+}
+
+// WithVSV attaches the VSV controller with the given policy and the paper's
+// default circuit timing.
+func WithVSV(p core.Policy) Option {
+	return WithVSVTiming(p, core.DefaultTiming())
+}
+
+// WithVSVTiming attaches the VSV controller with explicit circuit timing
+// (VDDL, ramp rate, clock-distribution delays).
+func WithVSVTiming(p core.Policy, t core.Timing) Option {
+	return func(s *settings) {
+		s.cfg.VSV = &VSVConfig{Policy: p, Timing: t}
+	}
+}
+
+// WithTriggerOnPrefetch lets prefetch-caused L2 misses arm the down-FSM —
+// the §4.2 ablation. It only has an effect when a VSV option is also
+// applied.
+func WithTriggerOnPrefetch() Option {
+	return func(s *settings) {
+		if s.cfg.VSV != nil {
+			s.cfg.VSV.TriggerOnPrefetch = true
+		}
+	}
+}
+
+// WithTimeKeeping attaches the Time-Keeping hardware prefetcher with its
+// default configuration (§5.1) and accounts the prefetch buffer's power.
+func WithTimeKeeping() Option {
+	return WithTimeKeepingConfig(prefetch.DefaultConfig())
+}
+
+// WithTimeKeepingConfig attaches the Time-Keeping prefetcher with an
+// explicit configuration.
+func WithTimeKeepingConfig(pc prefetch.Config) Option {
+	return func(s *settings) {
+		s.cfg.TimeKeeping = &pc
+		s.cfg.Power.PrefetchBufEnabled = true
+	}
+}
+
+// WithTrace attaches the time-series recorder: VDD, power, IPC and mode are
+// sampled every interval ticks, keeping at most samples points (<=0 keeps
+// the default bound).
+func WithTrace(interval int64, samples int) Option {
+	return func(s *settings) {
+		s.cfg.TraceInterval = interval
+		s.cfg.TraceSamples = samples
+	}
+}
+
+// WithSelfCheck asserts cross-component invariants every tick (used by the
+// integration tests; costs a few percent of speed).
+func WithSelfCheck() Option {
+	return func(s *settings) { s.cfg.SelfCheck = true }
+}
+
+// WithWindows sizes the warm-up and measurement windows in instructions.
+func WithWindows(warmup, measure uint64) Option {
+	return func(s *settings) {
+		s.cfg.WarmupInstructions = warmup
+		s.cfg.MeasureInstructions = measure
+	}
+}
+
+// WithPrewarm replaces the pre-installed address ranges.
+func WithPrewarm(ranges ...PrewarmRange) Option {
+	return func(s *settings) { s.cfg.Prewarm = ranges }
+}
+
+// WithWatchdog sets the no-commit watchdog (0 disables).
+func WithWatchdog(ticks int64) Option {
+	return func(s *settings) { s.cfg.WatchdogTicks = ticks }
+}
+
+// WithMemoryLatency overrides the flat main-memory latency in ticks (the
+// memory-wall sensitivity knob).
+func WithMemoryLatency(ticks int) Option {
+	return func(s *settings) { s.cfg.Mem.LatencyTicks = ticks }
+}
+
+// WithSeed selects the workload's pseudo-random streams for NewBench
+// (0 is the canonical stream). New ignores it: explicit sources carry their
+// own seeding.
+func WithSeed(seed uint64) Option {
+	return func(s *settings) { s.seed = seed }
+}

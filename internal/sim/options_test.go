@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/prefetch"
+)
+
+// nopSource is the minimal InstSource: an endless stream of independent ALU
+// ops (construction-path tests never run it far).
+type nopSource struct{}
+
+func (nopSource) Next(in *isa.Inst) {
+	*in = isa.Inst{PC: 0x40_0000, Op: isa.OpIntALU, Src1: 1, Src2: 2, Dst: 3}
+}
+
+// TestNewRejectsInvalidConfig drives one invalid value through every
+// validated field group and checks that the options path reports it as an
+// error (not a panic), with the offending subsystem named.
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantSub string
+	}{
+		{"pipeline width", func(c *Config) { c.Pipeline.IssueWidth = 0 }, "pipeline"},
+		{"branch tables", func(c *Config) { c.Branch.BimodalEntries = 3 }, "branch"},
+		{"IL1 geometry", func(c *Config) { c.IL1.SizeBytes = 3000 }, "IL1"},
+		{"DL1 associativity", func(c *Config) { c.DL1.Assoc = 0 }, "DL1"},
+		{"L2 hit latency", func(c *Config) { c.L2.HitLatency = 0 }, "L2"},
+		{"bus occupancy", func(c *Config) { c.Bus.Occupancy = 0 }, "bus occupancy"},
+		{"memory latency", func(c *Config) { c.Mem.LatencyTicks = 0 }, "memory latency"},
+		{"block size mismatch", func(c *Config) { c.DL1.BlockBytes = 64 }, "block sizes"},
+		{"zero measurement window", func(c *Config) { c.MeasureInstructions = 0 }, "measurement window"},
+		{"vsv down threshold", func(c *Config) {
+			p := core.PolicyFSM()
+			p.DownThreshold = p.DownWindow + 1
+			c.VSV = &VSVConfig{Policy: p, Timing: core.DefaultTiming()}
+		}, "down threshold"},
+		{"vsv up threshold", func(c *Config) {
+			p := core.PolicyFSM()
+			p.UpThreshold = 0
+			c.VSV = &VSVConfig{Policy: p, Timing: core.DefaultTiming()}
+		}, "up threshold"},
+		{"vsv voltage order", func(c *Config) {
+			tm := core.DefaultTiming()
+			tm.VDDL = tm.VDDH + 1
+			c.VSV = &VSVConfig{Policy: core.PolicyFSM(), Timing: tm}
+		}, "VDDL < VDDH"},
+		{"vsv ramp", func(c *Config) {
+			tm := core.DefaultTiming()
+			tm.RampTicks = 0
+			c.VSV = &VSVConfig{Policy: core.PolicyFSM(), Timing: tm}
+		}, "ramp ticks"},
+		{"timekeeping buffer", func(c *Config) {
+			tk := prefetch.DefaultConfig()
+			tk.BufferEntries = 0
+			c.TimeKeeping = &tk
+		}, "buffer entries"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			_, err := New(nopSource{}, WithConfig(cfg))
+			if err == nil {
+				t.Fatal("New accepted an invalid config")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+			if _, err := NewBench("mcf", WithConfig(cfg)); err == nil {
+				t.Fatal("NewBench accepted an invalid config")
+			}
+		})
+	}
+}
+
+func TestNewRejectsNilSource(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("New(nil) did not error")
+	}
+}
+
+func TestNewBenchRejectsUnknownBenchmark(t *testing.T) {
+	if _, err := NewBench("no-such-bench"); err == nil {
+		t.Fatal("NewBench accepted an unknown benchmark")
+	}
+}
+
+// TestNewMachinePanicsOnInvalidConfig pins the legacy contract: the
+// value-style constructor still panics, for static-data misuse.
+func TestNewMachinePanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMachine did not panic on an invalid config")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.MeasureInstructions = 0
+	NewMachine(cfg, nopSource{})
+}
+
+// TestOptionsComposeOverBase checks that options layer left to right over
+// the constructor's base config.
+func TestOptionsComposeOverBase(t *testing.T) {
+	var got Config
+	capture := func(s *settings) { got = s.cfg }
+
+	_, err := NewBench("mcf",
+		WithWindows(1_000, 2_000),
+		WithVSV(core.PolicyFSM()),
+		WithTimeKeeping(),
+		WithTriggerOnPrefetch(),
+		WithMemoryLatency(250),
+		WithTrace(50, 128),
+		WithSelfCheck(),
+		Option(capture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Prewarm) == 0 {
+		t.Error("NewBench base lost the prewarm ranges")
+	}
+	if got.WarmupInstructions != 1_000 || got.MeasureInstructions != 2_000 {
+		t.Errorf("windows = %d/%d, want 1000/2000", got.WarmupInstructions, got.MeasureInstructions)
+	}
+	if got.VSV == nil || !got.VSV.TriggerOnPrefetch {
+		t.Error("VSV options not applied")
+	}
+	if got.TimeKeeping == nil || !got.Power.PrefetchBufEnabled {
+		t.Error("WithTimeKeeping did not attach the prefetcher and its power")
+	}
+	if got.Mem.LatencyTicks != 250 {
+		t.Errorf("memory latency = %d, want 250", got.Mem.LatencyTicks)
+	}
+	if got.TraceInterval != 50 || got.TraceSamples != 128 {
+		t.Errorf("trace = %d/%d, want 50/128", got.TraceInterval, got.TraceSamples)
+	}
+	if !got.SelfCheck {
+		t.Error("WithSelfCheck not applied")
+	}
+}
+
+// TestWithConfigReplacesBase checks the sweep-point path: WithConfig
+// installs a pre-built Config wholesale.
+func TestWithConfigReplacesBase(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarmupInstructions = 77
+	var got Config
+	_, err := New(nopSource{}, WithConfig(cfg), Option(func(s *settings) { got = s.cfg }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WarmupInstructions != 77 {
+		t.Errorf("WithConfig did not replace the base (warmup = %d)", got.WarmupInstructions)
+	}
+	if len(got.Prewarm) != 0 {
+		t.Error("WithConfig leaked the base's prewarm ranges")
+	}
+}

@@ -1,0 +1,31 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"repro/internal/sim"
+)
+
+// Fingerprint returns the point's stable memoization key: a digest of
+// (Config, Benchmark, Seed). The simulator is a deterministic function of
+// those three, so equal fingerprints mean identical results. The Key label
+// deliberately does not participate.
+//
+// The digest is the SHA-256 of the canonical JSON encoding of the point.
+// JSON is canonical here because every configuration type in the machine is
+// a plain struct of exported scalar/slice fields (encoded in declaration
+// order), with nil pointers marking absent subsystems.
+func (p Point) Fingerprint() (string, error) {
+	b, err := json.Marshal(struct {
+		Benchmark string
+		Seed      uint64
+		Config    sim.Config
+	}{p.Benchmark, p.Seed, p.Config})
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,268 @@
+// Package sweep is the batch simulation engine behind every campaign: it
+// takes a set of (benchmark × configuration) points, executes them on a
+// bounded worker pool with context cancellation, and memoizes completed
+// runs under a stable configuration hash so points repeated across
+// experiments (for example the shared baselines of Figures 4–7) are
+// simulated exactly once. Results come back in submission order regardless
+// of scheduling, so campaign output is byte-identical for any worker count.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Point is one simulation of a campaign: a benchmark (and workload seed)
+// on a machine configuration.
+type Point struct {
+	// Key labels the point in the caller's result map. It has no effect on
+	// execution or memoization.
+	Key string
+	// Benchmark names the synthetic SPEC2K workload.
+	Benchmark string
+	// Seed selects the workload's pseudo-random streams (0 = canonical).
+	Seed uint64
+	// Config is the full machine configuration.
+	Config sim.Config
+}
+
+// Stats aggregates an engine's lifetime counters across Run calls.
+type Stats struct {
+	// Points counts every submitted point; Ran counts the simulations that
+	// actually executed; CacheHits counts points satisfied by a memoized
+	// (or in-flight duplicate) run. Points == Ran + CacheHits.
+	Points, Ran, CacheHits int
+	// SimTime is the summed wall time of executed simulations; WorstRun is
+	// the longest single simulation and WorstKey its point key.
+	SimTime  time.Duration
+	WorstRun time.Duration
+	WorstKey string
+}
+
+// Progress is a point-in-time snapshot delivered to the progress callback
+// after every completed simulation of a Run call.
+type Progress struct {
+	// Done and Total count points of the current Run call; CacheHits is how
+	// many of Done were served from the memo cache.
+	Done, Total, CacheHits int
+	// SimsPerSec is executed simulations per wall-clock second since the
+	// Run call started.
+	SimsPerSec float64
+	// WorstRun and WorstKey identify the slowest simulation so far (across
+	// the engine's lifetime).
+	WorstRun time.Duration
+	WorstKey string
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// Workers bounds concurrent simulations (minimum 1). The default is
+// runtime.GOMAXPROCS(0).
+func Workers(n int) Option {
+	if n < 1 {
+		n = 1
+	}
+	return func(e *Engine) { e.workers = n }
+}
+
+// OnProgress installs a progress callback. It is invoked from worker
+// goroutines (serialized, but concurrent with the caller of Run), so it
+// must be safe to call from another goroutine.
+func OnProgress(fn func(Progress)) Option {
+	return func(e *Engine) { e.progress = fn }
+}
+
+// WithoutCache disables memoization: every point runs, even duplicates.
+func WithoutCache() Option {
+	return func(e *Engine) { e.noCache = true }
+}
+
+// entry is one memoized (or in-flight) simulation.
+type entry struct {
+	res  sim.Results
+	err  error
+	done chan struct{} // closed once res/err are valid
+}
+
+// Engine executes sweep points with bounded parallelism and a memoization
+// cache that persists across Run calls. An Engine is safe for concurrent
+// use.
+type Engine struct {
+	workers  int
+	progress func(Progress)
+	noCache  bool
+
+	mu    sync.Mutex
+	cache map[string]*entry
+	stats Stats
+}
+
+// New returns an engine with the given options applied.
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		workers: runtime.GOMAXPROCS(0),
+		cache:   make(map[string]*entry),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Stats returns a snapshot of the engine's lifetime counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// runItem is one simulation scheduled by a Run call.
+type runItem struct {
+	fp string
+	p  Point
+	en *entry
+}
+
+// Run executes the points and returns their results in submission order.
+// Points whose fingerprint matches a memoized or in-flight run are not
+// re-simulated. On context cancellation the unstarted remainder is dropped
+// (in-flight simulations complete and stay cached) and ctx.Err() is
+// returned.
+func (e *Engine) Run(ctx context.Context, points []Point) ([]sim.Results, error) {
+	// Plan sequentially: map each point to its cache entry, creating
+	// entries for the runs this call owns. Hit accounting happens here, in
+	// submission order, so it is deterministic for any worker count.
+	waiters := make([]*entry, len(points))
+	var toRun []runItem
+	e.mu.Lock()
+	e.stats.Points += len(points)
+	for i, p := range points {
+		fp, err := p.Fingerprint()
+		if err != nil {
+			e.mu.Unlock()
+			return nil, fmt.Errorf("sweep: point %q: %w", p.Key, err)
+		}
+		if !e.noCache {
+			if en, ok := e.cache[fp]; ok {
+				e.stats.CacheHits++
+				waiters[i] = en
+				continue
+			}
+		}
+		en := &entry{done: make(chan struct{})}
+		if !e.noCache {
+			e.cache[fp] = en
+		}
+		waiters[i] = en
+		toRun = append(toRun, runItem{fp: fp, p: p, en: en})
+	}
+	hits := len(points) - len(toRun)
+	e.mu.Unlock()
+
+	// Fan the owned runs out over the worker pool. Workers drain the whole
+	// channel even after cancellation, failing (and uncaching) the items
+	// they skip, so every entry's done channel is guaranteed to close.
+	start := time.Now()
+	jobs := make(chan runItem)
+	var wg sync.WaitGroup
+	done := 0
+	var progMu sync.Mutex
+	note := func(it runItem, dur time.Duration) {
+		e.mu.Lock()
+		e.stats.Ran++
+		e.stats.SimTime += dur
+		if dur > e.stats.WorstRun {
+			e.stats.WorstRun = dur
+			e.stats.WorstKey = it.p.Key
+		}
+		worst, worstKey := e.stats.WorstRun, e.stats.WorstKey
+		e.mu.Unlock()
+		if e.progress == nil {
+			return
+		}
+		progMu.Lock()
+		done++
+		p := Progress{
+			Done:       hits + done,
+			Total:      len(points),
+			CacheHits:  hits,
+			SimsPerSec: float64(done) / time.Since(start).Seconds(),
+			WorstRun:   worst,
+			WorstKey:   worstKey,
+		}
+		e.progress(p)
+		progMu.Unlock()
+	}
+	workers := e.workers
+	if workers > len(toRun) {
+		workers = len(toRun)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range jobs {
+				if ctx.Err() != nil {
+					e.fail(it, ctx.Err())
+					continue
+				}
+				t0 := time.Now()
+				m, err := sim.NewBench(it.p.Benchmark,
+					sim.WithConfig(it.p.Config), sim.WithSeed(it.p.Seed))
+				if err != nil {
+					e.fail(it, err)
+					continue
+				}
+				it.en.res = m.Run(it.p.Benchmark)
+				close(it.en.done)
+				note(it, time.Since(t0))
+			}
+		}()
+	}
+	for _, it := range toRun {
+		jobs <- it
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Assemble in submission order. Entries owned by concurrent Run calls
+	// may still be in flight; wait on them.
+	out := make([]sim.Results, len(points))
+	for i, en := range waiters {
+		<-en.done
+		if en.err != nil {
+			return nil, fmt.Errorf("sweep: point %q: %w", points[i].Key, en.err)
+		}
+		out[i] = en.res
+	}
+	return out, nil
+}
+
+// fail marks an entry as errored and, for transient errors (cancellation),
+// removes it from the cache so a later Run call re-executes the point.
+func (e *Engine) fail(it runItem, err error) {
+	e.mu.Lock()
+	delete(e.cache, it.fp)
+	e.mu.Unlock()
+	it.en.err = err
+	close(it.en.done)
+}
+
+// RunMap executes the points and returns the results keyed by Point.Key.
+func (e *Engine) RunMap(ctx context.Context, points []Point) (map[string]sim.Results, error) {
+	res, err := e.Run(ctx, points)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]sim.Results, len(points))
+	for i, p := range points {
+		out[p.Key] = res[i]
+	}
+	return out, nil
+}
