@@ -15,14 +15,22 @@ vet:
 test:
 	$(GO) test ./...
 
-# The pre-merge gate: vet plus the race-enabled short suite, which includes
-# the sweep engine's determinism and cancellation tests.
+# The pre-merge gate: vet, the race-enabled short suite (which includes
+# the sweep engine's determinism and cancellation tests), and the
+# golden-output regression (short-mode experiments digest must match the
+# committed hash — see scripts/check_golden.sh).
 check: vet
 	$(GO) test -race -short ./...
+	sh scripts/check_golden.sh
 
-# One testing.B per paper artefact + ablations, run once each.
+# One testing.B per paper artefact + ablations, run once each. The raw
+# output is converted to a machine-readable JSON document (BENCH_$(BENCH_N).json)
+# so runs can be committed and compared across PRs.
+BENCH_N ?= 2
 bench:
-	$(GO) test -run XXX -bench=. -benchmem -benchtime=1x .
+	$(GO) test -run XXX -bench=. -benchmem -count=1 -benchtime=1x . | tee /dev/stderr | \
+		$(GO) run ./cmd/benchjson -o BENCH_$(BENCH_N).json \
+			-note "PR $(BENCH_N): hot-path overhaul; Table2 baseline 1764592084 ns/op, 985617 allocs/op"
 
 # Regenerate every table and figure (a few minutes).
 experiments:

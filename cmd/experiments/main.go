@@ -33,6 +33,7 @@ import (
 
 func main() {
 	var simFlags cliconfig.SimFlags
+	var profFlags cliconfig.ProfileFlags
 	var (
 		exp      = flag.String("exp", "all", "experiment: table1, table2, fig4, fig5, fig6, fig7, summary, residency, robustness, sensitivity, all")
 		parallel = cliconfig.RegisterParallel(flag.CommandLine)
@@ -42,11 +43,17 @@ func main() {
 		progress = flag.Bool("progress", false, "report campaign progress on stderr")
 	)
 	simFlags.RegisterWindows(flag.CommandLine)
+	profFlags.RegisterProfiles(flag.CommandLine)
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
+		profFlags.Stop()
 		os.Exit(1)
+	}
+
+	if err := profFlags.Start(); err != nil {
+		fail(err)
 	}
 
 	engineOpts := []sweep.Option{sweep.Workers(*parallel)}
@@ -190,5 +197,9 @@ func main() {
 			"sweep: %d points, %d simulated, %d cache hits, %v total sim time (worst %s %v)\n",
 			st.Points, st.Ran, st.CacheHits, st.SimTime.Round(1e6),
 			st.WorstKey, st.WorstRun.Round(1e6))
+	}
+	if err := profFlags.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -36,12 +36,25 @@ func (k Kind) String() string {
 	}
 }
 
-// Transaction is one bus transfer. OnDone, if non-nil, is invoked exactly
-// once when the transfer completes, with the completion tick.
+// Completer receives transaction completions without the per-transaction
+// closure a func callback requires; pooled callers (the simulator's hot
+// path) implement it once and reuse transaction structs across transfers.
+type Completer interface {
+	// TransactionDone is invoked exactly once when t completes, with the
+	// completion tick. The bus holds no reference to t afterwards, so the
+	// implementation may recycle it immediately.
+	TransactionDone(t *Transaction, finish int64)
+}
+
+// Transaction is one bus transfer. On completion, OnDone (if non-nil) is
+// invoked exactly once with the completion tick; otherwise Done (if
+// non-nil) receives the transaction. OnDone takes precedence so existing
+// closure-style callers are unaffected.
 type Transaction struct {
 	Block    uint64
 	Kind     Kind
 	OnDone   func(finish int64)
+	Done     Completer
 	enqueued int64
 }
 
@@ -108,10 +121,12 @@ func (b *Bus) QueueLen() int { return len(b.queue) }
 // same tick a previous one finishes (back-to-back pipelining).
 func (b *Bus) Tick(now int64) {
 	if b.current != nil && now >= b.finishAt {
-		done := b.current.OnDone
+		t := b.current
 		b.current = nil
-		if done != nil {
-			done(now)
+		if t.OnDone != nil {
+			t.OnDone(now)
+		} else if t.Done != nil {
+			t.Done.TransactionDone(t, now)
 		}
 	}
 	if b.current == nil && len(b.queue) > 0 {

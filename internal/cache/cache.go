@@ -93,6 +93,8 @@ type Cache struct {
 	numSets  int
 	idxMask  uint64
 	blkShift uint
+	setShift uint // log2(numSets), precomputed: tag() runs on every access
+	tagShift uint // blkShift + setShift
 	useClock uint64
 	stats    Stats
 }
@@ -109,7 +111,9 @@ func New(cfg Config) *Cache {
 		numSets:  numSets,
 		idxMask:  uint64(numSets - 1),
 		blkShift: log2(uint64(cfg.BlockBytes)),
+		setShift: log2(uint64(numSets)),
 	}
+	c.tagShift = c.blkShift + c.setShift
 	c.sets = make([][]line, numSets)
 	backing := make([]line, numSets*cfg.Assoc)
 	for i := range c.sets {
@@ -148,7 +152,7 @@ func (c *Cache) SetIndex(addr uint64) uint64 {
 func (c *Cache) NumSets() int { return c.numSets }
 
 func (c *Cache) tag(addr uint64) uint64 {
-	return addr >> c.blkShift >> log2(uint64(c.numSets))
+	return addr >> c.tagShift
 }
 
 // Access looks up addr, updating recency, dirtiness and statistics.
@@ -281,7 +285,7 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 }
 
 func (c *Cache) reconstruct(tag, setIdx uint64) uint64 {
-	return (tag<<log2(uint64(c.numSets)) | setIdx) << c.blkShift
+	return (tag<<c.setShift | setIdx) << c.blkShift
 }
 
 // ResetStats clears the counters (used at the end of warm-up).

@@ -1,0 +1,53 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTagReconstructRoundTrip is the property behind the precomputed shift
+// geometry: for any address and any legal configuration,
+// reconstruct(tag(a), SetIndex(a)) must recover BlockAddr(a) exactly.
+// Evictions rely on this to report the victim's block address.
+func TestTagReconstructRoundTrip(t *testing.T) {
+	configs := []Config{
+		{Name: "L1-like", SizeBytes: 64 << 10, Assoc: 2, BlockBytes: 32, HitLatency: 1, MSHREntries: 32},
+		{Name: "L2-like", SizeBytes: 2 << 20, Assoc: 8, BlockBytes: 64, HitLatency: 10, MSHREntries: 64},
+		{Name: "tiny", SizeBytes: 128, Assoc: 1, BlockBytes: 16, HitLatency: 1, MSHREntries: 1},
+		{Name: "one-set", SizeBytes: 512, Assoc: 8, BlockBytes: 64, HitLatency: 1, MSHREntries: 4},
+		{Name: "fully-assoc", SizeBytes: 4096, Assoc: 64, BlockBytes: 64, HitLatency: 1, MSHREntries: 8},
+		{Name: "big-blocks", SizeBytes: 1 << 20, Assoc: 4, BlockBytes: 256, HitLatency: 1, MSHREntries: 16},
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, cfg := range configs {
+		c := New(cfg)
+		for i := 0; i < 10_000; i++ {
+			addr := rng.Uint64()
+			if i < 64 {
+				// Cover the edges too: low addresses and dense low bits.
+				addr = uint64(i) * uint64(cfg.BlockBytes) / 2
+			}
+			got := c.reconstruct(c.tag(addr), c.SetIndex(addr))
+			if want := c.BlockAddr(addr); got != want {
+				t.Fatalf("%s: reconstruct(tag, set) of %#x = %#x, want %#x",
+					cfg.Name, addr, got, want)
+			}
+		}
+	}
+}
+
+// TestAccessHitZeroAlloc pins down the steady-state allocation behavior:
+// a cache hit must not allocate.
+func TestAccessHitZeroAlloc(t *testing.T) {
+	c := New(Config{Name: "DL1", SizeBytes: 64 << 10, Assoc: 2, BlockBytes: 32,
+		HitLatency: 1, MSHREntries: 32})
+	const addr = 0x1040
+	c.Fill(addr, false, false)
+	if n := testing.AllocsPerRun(1000, func() {
+		if !c.Access(addr, Read) {
+			t.Fatal("expected a hit")
+		}
+	}); n != 0 {
+		t.Fatalf("Access hit allocates %.1f times per call, want 0", n)
+	}
+}

@@ -1,0 +1,74 @@
+package cliconfig
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// ProfileFlags holds the shared pprof flag surface. Binaries register the
+// flags, call Start after flag parsing and defer Stop; both are no-ops when
+// the flags are unset, so profiling costs nothing unless requested.
+//
+//	go run ./cmd/experiments -exp table2 -cpuprofile cpu.out
+//	go tool pprof cpu.out
+type ProfileFlags struct {
+	// CPUProfile is the CPU-profile destination ("" = disabled).
+	CPUProfile string
+	// MemProfile is the heap-profile destination, written at Stop
+	// ("" = disabled).
+	MemProfile string
+
+	cpuFile *os.File
+}
+
+// RegisterProfiles registers the -cpuprofile and -memprofile flags.
+func (f *ProfileFlags) RegisterProfiles(fs *flag.FlagSet) {
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+}
+
+// Start begins CPU profiling if requested.
+func (f *ProfileFlags) Start() error {
+	if f.CPUProfile == "" {
+		return nil
+	}
+	file, err := os.Create(f.CPUProfile)
+	if err != nil {
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(file); err != nil {
+		file.Close()
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	f.cpuFile = file
+	return nil
+}
+
+// Stop ends CPU profiling and writes the heap profile, as requested. It is
+// safe to call exactly once, including when Start failed or never ran.
+func (f *ProfileFlags) Stop() error {
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		err := f.cpuFile.Close()
+		f.cpuFile = nil
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	if f.MemProfile == "" {
+		return nil
+	}
+	file, err := os.Create(f.MemProfile)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer file.Close()
+	runtime.GC() // up-to-date allocation stats
+	if err := pprof.WriteHeapProfile(file); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}

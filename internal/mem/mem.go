@@ -22,10 +22,19 @@ type Stats struct {
 	PeakQueued int
 }
 
+// ReadNotifier receives read completions without the per-read closure a
+// func callback requires (the simulator's hot path implements it once).
+type ReadNotifier interface {
+	// MemReadDone is invoked exactly once when the read of block is ready
+	// to cross the bus back, with the completion tick.
+	MemReadDone(block uint64, finish int64)
+}
+
 type access struct {
 	block   uint64
 	readyAt int64
 	onReady func(finish int64)
+	notify  ReadNotifier
 }
 
 // Memory is the main-memory controller. Because capacity is infinite and
@@ -33,6 +42,7 @@ type access struct {
 type Memory struct {
 	cfg      Config
 	inflight []access
+	done     []access // scratch for Tick's completion batch
 	stats    Stats
 }
 
@@ -51,7 +61,14 @@ func (m *Memory) Config() Config { return m.cfg }
 // ready to cross the bus back.
 func (m *Memory) Read(block uint64, now int64, onReady func(finish int64)) {
 	m.stats.Reads++
-	m.enqueue(block, now, onReady)
+	m.enqueue(access{block: block, readyAt: now + int64(m.cfg.LatencyTicks), onReady: onReady})
+}
+
+// ReadNotify is Read with an interface-based completion: it avoids
+// allocating a closure per read on the miss path.
+func (m *Memory) ReadNotify(block uint64, now int64, n ReadNotifier) {
+	m.stats.Reads++
+	m.enqueue(access{block: block, readyAt: now + int64(m.cfg.LatencyTicks), notify: n})
 }
 
 // Write absorbs a writeback at time now. Writebacks complete silently (no
@@ -60,12 +77,8 @@ func (m *Memory) Write(block uint64, now int64) {
 	m.stats.Writes++
 }
 
-func (m *Memory) enqueue(block uint64, now int64, onReady func(int64)) {
-	m.inflight = append(m.inflight, access{
-		block:   block,
-		readyAt: now + int64(m.cfg.LatencyTicks),
-		onReady: onReady,
-	})
+func (m *Memory) enqueue(a access) {
+	m.inflight = append(m.inflight, a)
 	if len(m.inflight) > m.stats.PeakQueued {
 		m.stats.PeakQueued = len(m.inflight)
 	}
@@ -73,7 +86,9 @@ func (m *Memory) enqueue(block uint64, now int64, onReady func(int64)) {
 
 // Tick completes all accesses that are ready at time now. Because the
 // latency is constant and requests arrive in time order, the in-flight list
-// is ordered by readyAt and only the prefix needs checking.
+// is ordered by readyAt and only the prefix needs checking. The completed
+// prefix is staged into a reused scratch slice (callbacks may enqueue new
+// accesses while we iterate).
 func (m *Memory) Tick(now int64) {
 	n := 0
 	for n < len(m.inflight) && m.inflight[n].readyAt <= now {
@@ -82,13 +97,16 @@ func (m *Memory) Tick(now int64) {
 	if n == 0 {
 		return
 	}
-	done := make([]access, n)
-	copy(done, m.inflight[:n])
+	m.done = append(m.done[:0], m.inflight[:n]...)
 	m.inflight = m.inflight[:copy(m.inflight, m.inflight[n:])]
-	for _, a := range done {
+	for i := range m.done {
+		a := &m.done[i]
 		if a.onReady != nil {
 			a.onReady(now)
+		} else if a.notify != nil {
+			a.notify.MemReadDone(a.block, now)
 		}
+		*a = access{}
 	}
 }
 

@@ -36,6 +36,13 @@ func (p *Pipeline) commit(now int64, r *StepResult) {
 			}
 			p.stats.Stores++
 			r.Activity.DL1Access++
+			// Stores retire strictly in order, so the head of storeQ is this
+			// store; pop it.
+			p.storeQHead++
+			if p.storeQHead == len(p.storeQ) {
+				p.storeQ = p.storeQ[:0]
+				p.storeQHead = 0
+			}
 		}
 		// Clear the rename-table entry if this instruction is still the
 		// architecturally latest writer of its destination.
@@ -56,26 +63,29 @@ func (p *Pipeline) commit(now int64, r *StepResult) {
 }
 
 // writeback advances executing instructions and completes those that
-// finish, waking their dependents.
+// finish, waking their dependents. Only the executing entries (execList)
+// are touched; completion effects within one cycle commute, so list order
+// (issue order) is as good as age order.
 func (p *Pipeline) writeback(r *StepResult) {
-	for n, idx := 0, p.head; n < p.count; n, idx = n+1, (idx+1)%p.cfg.RUUSize {
+	kept := p.execList[:0]
+	for _, idx := range p.execList {
 		e := &p.ruu[idx]
-		if !e.issued || e.completed {
-			continue
-		}
 		if e.waitingMem {
 			if !e.memDone {
+				kept = append(kept, idx)
 				continue
 			}
 			e.waitingMem = false
 		} else {
 			e.execLeft--
 			if e.execLeft > 0 {
+				kept = append(kept, idx)
 				continue
 			}
 		}
-		p.complete(idx, r)
+		p.complete(int(idx), r)
 	}
+	p.execList = kept
 }
 
 func (p *Pipeline) complete(idx int, r *StepResult) {
@@ -105,26 +115,41 @@ func (p *Pipeline) complete(idx int, r *StepResult) {
 }
 
 // issue selects ready instructions oldest-first, honoring issue width and
-// functional-unit availability.
+// functional-unit availability. The unissued list holds exactly the
+// not-yet-issued window entries in age order, so the walk skips the
+// already-issued bulk of the window.
 func (p *Pipeline) issue(now int64, r *StepResult) {
 	issued := 0
-	for n, idx := 0, p.head; n < p.count && issued < p.cfg.IssueWidth; n, idx = n+1, (idx+1)%p.cfg.RUUSize {
+	kept := p.unissued[:0]
+	for qi, idx := range p.unissued {
+		if issued >= p.cfg.IssueWidth {
+			// Width exhausted: keep the rest untouched (src region is at
+			// or after the dst region, so the in-place copy is safe).
+			kept = append(kept, p.unissued[qi:]...)
+			break
+		}
 		e := &p.ruu[idx]
-		if !e.valid || e.issued || e.pendingSrcs > 0 {
+		if !e.valid {
 			continue
 		}
+		if e.pendingSrcs > 0 {
+			kept = append(kept, idx)
+			continue
+		}
+		ok := true
 		switch e.inst.Op {
 		case isa.OpLoad:
-			if !p.tryIssueLoad(idx, now, r) {
-				continue
-			}
+			ok = p.tryIssueLoad(int(idx), now, r)
 		case isa.OpPrefetch:
-			p.issuePrefetch(idx, now, r)
+			p.issuePrefetch(int(idx), now, r)
 		default:
-			if !p.tryIssueALU(idx, r) {
-				continue
-			}
+			ok = p.tryIssueALU(int(idx), r)
 		}
+		if !ok {
+			kept = append(kept, idx)
+			continue
+		}
+		p.execList = append(p.execList, idx)
 		issued++
 		r.Issued++
 		p.stats.Issued++
@@ -139,6 +164,7 @@ func (p *Pipeline) issue(now int64, r *StepResult) {
 			r.Activity.LSQOps++
 		}
 	}
+	p.unissued = kept
 }
 
 // takeFU reserves a functional unit for op; it returns false if none is
@@ -179,21 +205,20 @@ func (p *Pipeline) tryIssueLoad(idx int, now int64, r *StepResult) bool {
 	e := &p.ruu[idx]
 	// Memory ordering (oracle disambiguation, as in sim-outorder): scan
 	// older stores to the same block. A completed (address-known) match
-	// forwards; an address-unknown match blocks issue.
+	// forwards; an address-unknown match blocks issue. storeQ holds the
+	// in-flight stores in age order; entries at or past the load's seq are
+	// younger and do not constrain it.
 	blk := e.inst.Addr >> 5 // block granularity for aliasing (32 B)
 	forward := false
-	for n, j := 0, p.head; n < p.count; n, j = n+1, (j+1)%p.cfg.RUUSize {
-		if j == idx {
+	for i := p.storeQHead; i < len(p.storeQ); i++ {
+		s := &p.storeQ[i]
+		if s.seq >= e.seq {
 			break
 		}
-		s := &p.ruu[j]
-		if !s.valid || s.inst.Op != isa.OpStore {
+		if s.block != blk {
 			continue
 		}
-		if s.inst.Addr>>5 != blk {
-			continue
-		}
-		if !s.addrKnown {
+		if !p.ruu[s.idx].addrKnown {
 			return false // must wait for the older store's address
 		}
 		forward = true // latest older match wins; keep scanning
@@ -209,7 +234,7 @@ func (p *Pipeline) tryIssueLoad(idx int, now int64, r *StepResult) bool {
 		r.Activity.DL1Access++
 		return true
 	}
-	res := p.port.Load(e.inst.Addr, e.seq, false, now)
+	res := p.port.Load(e.inst.Addr, uint64(idx), false, now)
 	if res.Stall {
 		// MSHR full: release nothing (FU reservations are per-cycle and
 		// this one is wasted — an acceptable structural artifact), retry
@@ -225,7 +250,7 @@ func (p *Pipeline) tryIssueLoad(idx int, now int64, r *StepResult) bool {
 	}
 	if res.Async {
 		e.waitingMem = true
-		p.loadTokens[e.seq] = idx
+		p.loadWaiting[idx] = true
 	} else {
 		e.execLeft = 1 + res.HitCycles // address generation + access
 	}
@@ -236,7 +261,7 @@ func (p *Pipeline) issuePrefetch(idx int, now int64, r *StepResult) {
 	e := &p.ruu[idx]
 	// Non-binding: fire the probe and complete regardless of hit/miss; a
 	// full MSHR simply drops the prefetch.
-	p.port.Load(e.inst.Addr, e.seq, true, now)
+	p.port.Load(e.inst.Addr, uint64(idx), true, now)
 	p.stats.Prefetches++
 	e.issued = true
 	e.execLeft = 1
@@ -285,6 +310,21 @@ func (p *Pipeline) dispatch(r *StepResult) {
 		if fe.inst.Op.IsMem() {
 			p.lsqCount++
 		}
+		if fe.inst.Op == isa.OpStore {
+			if len(p.storeQ) == cap(p.storeQ) && p.storeQHead > 0 {
+				// Reclaim the popped prefix before the append would grow the
+				// backing array; live entries are bounded by the LSQ size.
+				n := copy(p.storeQ, p.storeQ[p.storeQHead:])
+				p.storeQ = p.storeQ[:n]
+				p.storeQHead = 0
+			}
+			p.storeQ = append(p.storeQ, storeRef{
+				block: fe.inst.Addr >> 5,
+				seq:   fe.seq,
+				idx:   int32(idx),
+			})
+		}
+		p.unissued = append(p.unissued, int32(idx))
 		p.tail = (p.tail + 1) % p.cfg.RUUSize
 		p.count++
 		p.stats.Dispatched++
@@ -313,9 +353,9 @@ func (p *Pipeline) fetch(now int64, r *StepResult) {
 	var curBlock uint64
 	first := true
 	for n := 0; n < p.cfg.FetchWidth && len(p.fq) < p.cfg.FetchQueueSize; n++ {
-		if p.pending == nil {
-			p.pending = new(isa.Inst)
-			p.src.Next(p.pending)
+		if !p.havePending {
+			p.src.Next(&p.pending)
+			p.havePending = true
 		}
 		blk := p.pending.PC & blockMask
 		if first {
@@ -333,8 +373,8 @@ func (p *Pipeline) fetch(now int64, r *StepResult) {
 		} else if blk != curBlock {
 			return // next block starts next cycle
 		}
-		inst := *p.pending
-		p.pending = nil
+		inst := p.pending
+		p.havePending = false
 		p.nextSeq++
 		fe := fqEntry{inst: inst, seq: p.nextSeq, fetchedAt: p.step}
 		stop := false

@@ -225,8 +225,9 @@ type Pipeline struct {
 	lastWriter [isa.NumRegs]int
 
 	// Fetch queue.
-	fq      []fqEntry
-	pending *isa.Inst // next unfetched instruction (peeked from src)
+	fq          []fqEntry
+	pending     isa.Inst // next unfetched instruction (peeked from src)
+	havePending bool
 
 	// Fetch stall state.
 	waitingIFetch   bool
@@ -237,11 +238,39 @@ type Pipeline struct {
 	// FU pools: per-unit free-at step.
 	fuFreeAt [isa.NumFUPools][]int64
 
-	// loadTokens maps outstanding async load tokens to RUU indices.
-	loadTokens map[uint64]int
-	nextSeq    uint64
+	// loadWaiting flags RUU entries with an async load in flight; the RUU
+	// index doubles as the memory port's load token, so completion is a
+	// slice index instead of a map lookup.
+	loadWaiting []bool
+	nextSeq     uint64
+
+	// storeQ is the in-flight stores in age order: pushed at dispatch,
+	// popped at commit (stores retire strictly in order). Load issue scans
+	// only this queue for memory disambiguation instead of the whole RUU
+	// window. storeQHead indexes the oldest live entry.
+	storeQ     []storeRef
+	storeQHead int
+
+	// unissued lists RUU indices awaiting issue, in age order (dispatch
+	// appends; issue compacts). It spares the issue stage from re-walking
+	// already-issued window entries every cycle.
+	unissued []int32
+
+	// execList lists RUU indices that are issued but not yet completed, so
+	// writeback touches only executing entries instead of the full window.
+	// Order is issue order; completion effects within a cycle commute.
+	execList []int32
 
 	stats Stats
+}
+
+// storeRef is one in-flight store as seen by the issue-stage memory
+// disambiguation scan. addrKnown is read live from the RUU entry (it flips
+// when the store completes); block and seq are fixed at dispatch.
+type storeRef struct {
+	block uint64
+	seq   uint64
+	idx   int32
 }
 
 type fqEntry struct {
@@ -257,13 +286,16 @@ func New(cfg Config, src InstSource, pred *branch.Predictor, port MemPort) *Pipe
 		panic(err)
 	}
 	p := &Pipeline{
-		cfg:        cfg,
-		src:        src,
-		pred:       pred,
-		port:       port,
-		ruu:        make([]ruuEntry, cfg.RUUSize),
-		fq:         make([]fqEntry, 0, cfg.FetchQueueSize),
-		loadTokens: make(map[uint64]int),
+		cfg:         cfg,
+		src:         src,
+		pred:        pred,
+		port:        port,
+		ruu:         make([]ruuEntry, cfg.RUUSize),
+		fq:          make([]fqEntry, 0, cfg.FetchQueueSize),
+		loadWaiting: make([]bool, cfg.RUUSize),
+		storeQ:      make([]storeRef, 0, cfg.LSQSize),
+		unissued:    make([]int32, 0, cfg.RUUSize),
+		execList:    make([]int32, 0, cfg.RUUSize),
 	}
 	for i := range p.lastWriter {
 		p.lastWriter[i] = -1
@@ -302,12 +334,11 @@ func (p *Pipeline) LSQOccupancy() int { return p.lsqCount }
 // The load completes at the next pipeline edge (modeling the fill/bypass
 // synchronization at the cache boundary).
 func (p *Pipeline) LoadDone(token uint64) {
-	idx, ok := p.loadTokens[token]
-	if !ok {
+	if token >= uint64(len(p.loadWaiting)) || !p.loadWaiting[token] {
 		return
 	}
-	delete(p.loadTokens, token)
-	e := &p.ruu[idx]
+	p.loadWaiting[token] = false
+	e := &p.ruu[token]
 	if e.valid && e.waitingMem {
 		e.memDone = true
 	}

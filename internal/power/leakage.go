@@ -33,25 +33,17 @@ func DefaultLeakageParams() LeakageParams {
 	}
 }
 
-// leakTick accrues one tick of static energy at the given scaled-domain
-// supply voltage. Leakage flows every tick regardless of clock edges —
-// that is precisely why voltage scaling (unlike clock gating) reduces it.
-func (m *Model) leakTick(vdd float64) {
+// leakTick accrues one tick of static energy at the current scaled-domain
+// supply voltage (the caller refreshes the cached (VDD/VDDH)^Exponent
+// factor before calling). Leakage flows every tick regardless of clock
+// edges — that is precisely why voltage scaling (unlike clock gating)
+// reduces it.
+func (m *Model) leakTick() {
 	lp := &m.cfg.Leakage
 	if !lp.Enabled {
 		return
 	}
-	f := vdd / m.cfg.VDDH
-	scale := 1.0
-	switch lp.Exponent {
-	case 3:
-		scale = f * f * f
-	case 4:
-		scale = f * f * f * f
-	default:
-		scale = pow(f, lp.Exponent)
-	}
-	m.energy[SLeakScaled] += lp.ScaledPerTick * scale
+	m.energy[SLeakScaled] += lp.ScaledPerTick * m.cachedLeak
 	m.energy[SLeakFixed] += lp.FixedPerTick
 }
 

@@ -254,6 +254,18 @@ type Model struct {
 	energy [NumStructures]float64
 	ticks  int64
 	edges  int64
+
+	// Voltage-dependent factors, cached against the last vdd seen: vdd
+	// only changes during ramps, so the steady state reuses them for
+	// millions of ticks between transitions.
+	cachedVDD  float64
+	cachedSF   float64 // (vdd/VDDH)²
+	cachedLeak float64 // (vdd/VDDH)^LeakageExponent
+
+	// Per-edge idle-floor energies — constants of the configuration,
+	// precomputed at construction so Tick does not rebuild them each edge.
+	idleFetch, idleDecode, idleRename, idleWindow float64
+	idleLSQ, idleRegfile, idleIL1, idleDL1       float64
 }
 
 // NewModel builds a power model for a machine of the given issue width.
@@ -264,7 +276,38 @@ func NewModel(cfg Config, width int) *Model {
 	if width < 1 {
 		panic("power: width must be >= 1")
 	}
-	return &Model{cfg: cfg, width: width}
+	m := &Model{cfg: cfg, width: width}
+	p := &m.cfg.Params
+	idle := p.IdleFraction
+	w := float64(width)
+	m.idleFetch = idle * p.FetchPerInst * w
+	m.idleDecode = idle * p.DecodePerInst * w
+	m.idleRename = idle * p.RenamePerInst * w
+	m.idleWindow = idle * p.WindowPerIssue * w
+	m.idleLSQ = idle * p.LSQPerOp * w / 2
+	m.idleRegfile = idle * p.RegfilePerRead * w
+	m.idleIL1 = idle / 2 * p.IL1PerAccess
+	m.idleDL1 = idle / 2 * p.DL1PerAccess
+	m.recalcVDD(cfg.VDDH)
+	return m
+}
+
+// recalcVDD refreshes the cached voltage-dependent factors.
+func (m *Model) recalcVDD(vdd float64) {
+	m.cachedVDD = vdd
+	f := vdd / m.cfg.VDDH
+	m.cachedSF = f * f
+	lp := &m.cfg.Leakage
+	if lp.Enabled {
+		switch lp.Exponent {
+		case 3:
+			m.cachedLeak = f * f * f
+		case 4:
+			m.cachedLeak = f * f * f * f
+		default:
+			m.cachedLeak = pow(f, lp.Exponent)
+		}
+	}
 }
 
 // Config returns the model configuration.
@@ -272,8 +315,10 @@ func (m *Model) Config() Config { return m.cfg }
 
 // vddFactor returns the dynamic-energy scale factor for the scaled domain.
 func (m *Model) vddFactor(vdd float64) float64 {
-	f := vdd / m.cfg.VDDH
-	return f * f
+	if vdd != m.cachedVDD {
+		m.recalcVDD(vdd)
+	}
+	return m.cachedSF
 }
 
 // Tick accrues one tick of energy. edge reports whether the pipeline domain
@@ -282,9 +327,12 @@ func (m *Model) vddFactor(vdd float64) float64 {
 func (m *Model) Tick(edge bool, vdd float64, act *Activity) {
 	m.ticks++
 	p := &m.cfg.Params
+	if vdd != m.cachedVDD {
+		m.recalcVDD(vdd)
+	}
 	// Fixed-domain, always-on blocks; leakage flows every tick.
 	m.energy[SPLL] += p.PLLPerTick
-	m.leakTick(vdd)
+	m.leakTick()
 	if !edge {
 		return
 	}
@@ -292,29 +340,27 @@ func (m *Model) Tick(edge bool, vdd float64, act *Activity) {
 		act = &Activity{}
 	}
 	m.edges++
-	sf := m.vddFactor(vdd) // scaled-domain factor
-	rf := 1.0              // RAM-domain factor (VDDH unless ScaleRAMs ablation)
+	sf := m.cachedSF // scaled-domain factor
+	rf := 1.0        // RAM-domain factor (VDDH unless ScaleRAMs ablation)
 	if m.cfg.ScaleRAMs {
 		rf = sf
 	}
-	idle := p.IdleFraction
-	w := float64(m.width)
 
 	// Clock tree: ungateable trunk + DCG-gated latch load.
 	m.energy[SClockTree] += sf * (p.ClockTrunkPerEdge + p.ClockLatchPerEdge*act.utilization(m.width))
 
 	// Conditionally-clocked front end (idle floor = IdleFraction of full
 	// width activity).
-	m.energy[SFetch] += sf * (p.FetchPerInst*float64(act.Fetched) + idle*p.FetchPerInst*w)
-	m.energy[SDecode] += sf * (p.DecodePerInst*float64(act.Decoded) + idle*p.DecodePerInst*w)
-	m.energy[SRename] += sf * (p.RenamePerInst*float64(act.Renamed) + idle*p.RenamePerInst*w)
+	m.energy[SFetch] += sf * (p.FetchPerInst*float64(act.Fetched) + m.idleFetch)
+	m.energy[SDecode] += sf * (p.DecodePerInst*float64(act.Decoded) + m.idleDecode)
+	m.energy[SRename] += sf * (p.RenamePerInst*float64(act.Renamed) + m.idleRename)
 	m.energy[SWindow] += sf * (p.WindowPerIssue*float64(act.Issued) +
-		p.WindowPerWakeup*float64(act.Wakeups) + idle*p.WindowPerIssue*w)
-	m.energy[SLSQ] += sf * (p.LSQPerOp*float64(act.LSQOps) + idle*p.LSQPerOp*w/2)
+		p.WindowPerWakeup*float64(act.Wakeups) + m.idleWindow)
+	m.energy[SLSQ] += sf * (p.LSQPerOp*float64(act.LSQOps) + m.idleLSQ)
 
 	// Register file: fixed VDD, clocked with the pipeline.
 	m.energy[SRegfile] += rf * (p.RegfilePerRead*float64(act.RegReads) +
-		p.RegfilePerWrite*float64(act.RegWrites) + idle*p.RegfilePerRead*w)
+		p.RegfilePerWrite*float64(act.RegWrites) + m.idleRegfile)
 
 	// DCG-gated execution resources: zero when unused.
 	m.energy[SIntALU] += sf * p.IntALUPerOp * float64(act.FUOps[1])
@@ -325,8 +371,8 @@ func (m *Model) Tick(edge bool, vdd float64, act *Activity) {
 
 	// L1 caches: fixed VDD, clocked with the pipeline; D-cache wordline
 	// decoders are DCG-gated, so the idle floor is small.
-	m.energy[SIL1] += rf * (p.IL1PerAccess*float64(act.IL1Access) + idle/2*p.IL1PerAccess)
-	m.energy[SDL1] += rf * (p.DL1PerAccess*float64(act.DL1Access) + idle/2*p.DL1PerAccess)
+	m.energy[SIL1] += rf * (p.IL1PerAccess*float64(act.IL1Access) + m.idleIL1)
+	m.energy[SDL1] += rf * (p.DL1PerAccess*float64(act.DL1Access) + m.idleDL1)
 
 	if m.cfg.PrefetchBufEnabled {
 		m.energy[SPrefetchBuf] += rf * p.BufPerAccess * float64(act.BufAccess)

@@ -123,27 +123,46 @@ type blockState struct {
 	deadDone   bool // dead prediction already made this generation
 }
 
+// wheelSlots sizes the timing wheel's bucket ring (a power of two). Events
+// whose deadline lies beyond the ring's horizon simply share a slot with a
+// nearer bucket and wait for their exact bucket to come around.
+const wheelSlots = 1024
+
+// wheelEntry is one scheduled dead-block check.
+type wheelEntry struct {
+	bucket int64
+	block  uint64
+}
+
 // TimeKeeping is the dead-block predictor + address predictor. One instance
 // observes one L1 data cache. Not safe for concurrent use.
 type TimeKeeping struct {
 	cfg Config
 
 	// resident maps block address → generation state for blocks in the L1.
+	// States are recycled through free, so the steady state allocates
+	// nothing per fill/evict generation.
 	resident map[uint64]*blockState
+	free     []*blockState
 	// liveHistory remembers, per L1 set, the live time of the most recent
 	// generation that ended there — the software equivalent of the paper's
 	// per-frame decay counters (a frame's next tenant inherits the live
-	// time its predecessor exhibited).
-	liveHistory map[uint64]int64
-	// wheel buckets dead-check events by decayed time.
-	wheel map[int64][]uint64
+	// time its predecessor exhibited). Indexed by set, grown on demand.
+	liveHistory []int64
+	// wheel buckets dead-check events by decayed time: a fixed ring of
+	// bucket slots indexed bucket mod wheelSlots. Each entry remembers its
+	// exact bucket, so far-future events sharing a slot are skipped (and
+	// kept) until their bucket arrives.
+	wheel   [wheelSlots][]wheelEntry
+	matured []uint64 // scratch: blocks maturing in the current bucket
 	// predictor maps signatures to the next block address needed.
 	predictor []uint64
 	predValid []bool
 	// pendingSig holds, per L1 set, the signature formed when the set's
-	// last block died; the next demand miss in the set trains it.
-	pendingSig map[uint64]uint32
-	hasPending map[uint64]bool
+	// last block died; the next demand miss in the set trains it. Indexed
+	// by set, grown on demand, hasPending gating validity.
+	pendingSig []uint32
+	hasPending []bool
 
 	stats Stats
 }
@@ -154,15 +173,34 @@ func New(cfg Config) *TimeKeeping {
 		panic(err)
 	}
 	return &TimeKeeping{
-		cfg:         cfg,
-		resident:    make(map[uint64]*blockState),
-		liveHistory: make(map[uint64]int64),
-		wheel:       make(map[int64][]uint64),
-		predictor:   make([]uint64, cfg.PredictorEntries),
-		predValid:   make([]bool, cfg.PredictorEntries),
-		pendingSig:  make(map[uint64]uint32),
-		hasPending:  make(map[uint64]bool),
+		cfg:       cfg,
+		resident:  make(map[uint64]*blockState),
+		predictor: make([]uint64, cfg.PredictorEntries),
+		predValid: make([]bool, cfg.PredictorEntries),
 	}
+}
+
+// growSets ensures the per-set tables cover set.
+func (tk *TimeKeeping) growSets(set uint64) {
+	if int(set) < len(tk.liveHistory) {
+		return
+	}
+	n := len(tk.liveHistory)
+	if n == 0 {
+		n = 64
+	}
+	for n <= int(set) {
+		n *= 2
+	}
+	live := make([]int64, n)
+	copy(live, tk.liveHistory)
+	tk.liveHistory = live
+	sig := make([]uint32, n)
+	copy(sig, tk.pendingSig)
+	tk.pendingSig = sig
+	has := make([]bool, n)
+	copy(has, tk.hasPending)
+	tk.hasPending = has
 }
 
 // Config returns the prefetcher configuration.
@@ -195,7 +233,8 @@ func (tk *TimeKeeping) schedule(block uint64, s *blockState) {
 	at := s.lastAccess + tk.deadline(s)
 	res := int64(tk.cfg.DecayResolution)
 	bucket := (at + res - 1) / res // ceil: process at or after the deadline
-	tk.wheel[bucket] = append(tk.wheel[bucket], block)
+	slot := bucket & (wheelSlots - 1)
+	tk.wheel[slot] = append(tk.wheel[slot], wheelEntry{bucket: bucket, block: block})
 }
 
 // strideEligible deterministically selects StrideCoverage of all blocks.
@@ -206,8 +245,21 @@ func (tk *TimeKeeping) strideEligible(block uint64) bool {
 
 // OnFill records that the L1 filled block (mapping to set) at time now.
 func (tk *TimeKeeping) OnFill(block, set uint64, now int64) {
-	s := &blockState{filledAt: now, lastAccess: now, prevLive: tk.liveHistory[set]}
-	tk.resident[block] = s
+	var prevLive int64
+	if int(set) < len(tk.liveHistory) {
+		prevLive = tk.liveHistory[set]
+	}
+	s := tk.resident[block]
+	if s == nil {
+		if n := len(tk.free); n > 0 {
+			s = tk.free[n-1]
+			tk.free = tk.free[:n-1]
+		} else {
+			s = &blockState{}
+		}
+		tk.resident[block] = s
+	}
+	*s = blockState{filledAt: now, lastAccess: now, prevLive: prevLive}
 	tk.schedule(block, s)
 }
 
@@ -232,8 +284,10 @@ func (tk *TimeKeeping) OnEvict(block, set uint64, now int64) {
 	if s == nil {
 		return
 	}
+	tk.growSets(set)
 	tk.liveHistory[set] = s.lastAccess - s.filledAt
 	delete(tk.resident, block)
+	tk.free = append(tk.free, s)
 	tk.pendingSig[set] = tk.signature(block, set)
 	tk.hasPending[set] = true
 }
@@ -241,7 +295,7 @@ func (tk *TimeKeeping) OnEvict(block, set uint64, now int64) {
 // OnDemandMiss trains the address predictor: the set's pending signature
 // (from the last death in the set) learns that missBlock was needed next.
 func (tk *TimeKeeping) OnDemandMiss(missBlock, set uint64) {
-	if !tk.hasPending[set] {
+	if int(set) >= len(tk.hasPending) || !tk.hasPending[set] {
 		return
 	}
 	sig := tk.pendingSig[set]
@@ -260,11 +314,29 @@ func (tk *TimeKeeping) Tick(now int64, setOf func(uint64) uint64, isPresent func
 		return nil
 	}
 	bucket := now / int64(tk.cfg.DecayResolution)
-	blocks := tk.wheel[bucket]
-	if blocks == nil {
+	slot := bucket & (wheelSlots - 1)
+	entries := tk.wheel[slot]
+	if len(entries) == 0 {
 		return nil
 	}
-	delete(tk.wheel, bucket)
+	// Pop this bucket's entries; keep (in order) entries for future buckets
+	// that merely share the slot, drop entries whose bucket has passed
+	// (they can never fire — buckets are visited exactly once).
+	blocks := tk.matured[:0]
+	kept := entries[:0]
+	for _, we := range entries {
+		switch {
+		case we.bucket == bucket:
+			blocks = append(blocks, we.block)
+		case we.bucket > bucket:
+			kept = append(kept, we)
+		}
+	}
+	tk.wheel[slot] = kept
+	tk.matured = blocks
+	if len(blocks) == 0 {
+		return nil
+	}
 	var out []uint64
 	for _, block := range blocks {
 		s := tk.resident[block]
@@ -285,6 +357,7 @@ func (tk *TimeKeeping) Tick(now int64, setOf func(uint64) uint64, isPresent func
 		sig := tk.signature(block, set)
 		// The death context itself becomes the set's pending signature, so
 		// the next miss in the set trains it even without an eviction.
+		tk.growSets(set)
 		tk.pendingSig[set] = sig
 		tk.hasPending[set] = true
 		// Prefer the trained correlation; if its target is already covered

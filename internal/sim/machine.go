@@ -56,14 +56,23 @@ type Machine struct {
 	tkBuf *prefetch.Buffer
 	rec   *trace.Recorder
 
-	now      int64
-	l2Events []l2Event
-	l2Ready  []l2Event // scratch
+	now         int64
+	l2Events    []l2Event
+	l2Ready     []l2Event // scratch
+	nextL2Ready int64     // min readyAt over l2Events; valid iff len(l2Events) > 0
 
 	missDetected bool
 	missReturned bool
 
-	tkFillPending map[uint64]bool
+	// tkFillPending is the set of blocks whose in-flight L2 miss should
+	// fill the prefetch buffer on arrival. It is bounded by the L2 MSHR
+	// capacity, so a linear-scanned slice beats a map on the tick path.
+	tkFillPending []uint64
+
+	// txnFree pools bus transactions so the steady-state miss path does not
+	// allocate; completions dispatch through TransactionDone instead of
+	// per-transaction closures.
+	txnFree []*bus.Transaction
 
 	stats              MachineStats
 	rampsBaseline      uint64
@@ -95,18 +104,17 @@ func build(cfg Config, src pipeline.InstSource) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{
-		cfg:           cfg,
-		pred:          branch.New(cfg.Branch),
-		il1:           cache.New(cfg.IL1),
-		dl1:           cache.New(cfg.DL1),
-		l2:            cache.New(cfg.L2),
-		il1MSHR:       cache.NewMSHRFile("IL1", cfg.IL1.MSHREntries),
-		dl1MSHR:       cache.NewMSHRFile("DL1", cfg.DL1.MSHREntries),
-		l2MSHR:        cache.NewMSHRFile("L2", cfg.L2.MSHREntries),
-		bus:           bus.New(cfg.Bus),
-		mem:           mem.New(cfg.Mem),
-		pow:           power.NewModel(cfg.Power, cfg.Pipeline.IssueWidth),
-		tkFillPending: make(map[uint64]bool),
+		cfg:     cfg,
+		pred:    branch.New(cfg.Branch),
+		il1:     cache.New(cfg.IL1),
+		dl1:     cache.New(cfg.DL1),
+		l2:      cache.New(cfg.L2),
+		il1MSHR: cache.NewMSHRFile("IL1", cfg.IL1.MSHREntries),
+		dl1MSHR: cache.NewMSHRFile("DL1", cfg.DL1.MSHREntries),
+		l2MSHR:  cache.NewMSHRFile("L2", cfg.L2.MSHREntries),
+		bus:     bus.New(cfg.Bus),
+		mem:     mem.New(cfg.Mem),
+		pow:     power.NewModel(cfg.Power, cfg.Pipeline.IssueWidth),
 	}
 	m.pipe = pipeline.New(cfg.Pipeline, src, m.pred, m)
 	for _, pr := range cfg.Prewarm {
@@ -268,7 +276,7 @@ func (m *Machine) resetStats() {
 // ------------------------------------------------------------- L2 side --
 
 func (m *Machine) scheduleL2(block uint64, write, isPrefetch, fillBuf bool) {
-	m.l2Events = append(m.l2Events, l2Event{
+	m.pushL2Event(l2Event{
 		block:    block,
 		readyAt:  m.now + int64(m.cfg.L2.HitLatency),
 		write:    write,
@@ -277,22 +285,65 @@ func (m *Machine) scheduleL2(block uint64, write, isPrefetch, fillBuf bool) {
 	})
 }
 
+// pushL2Event enqueues e, maintaining the nextL2Ready watermark so the
+// per-tick processL2Events scan can skip when nothing is due.
+func (m *Machine) pushL2Event(e l2Event) {
+	if len(m.l2Events) == 0 || e.readyAt < m.nextL2Ready {
+		m.nextL2Ready = e.readyAt
+	}
+	m.l2Events = append(m.l2Events, e)
+}
+
 func (m *Machine) processL2Events(now int64) {
-	if len(m.l2Events) == 0 {
+	if len(m.l2Events) == 0 || now < m.nextL2Ready {
 		return
 	}
 	m.l2Ready = m.l2Ready[:0]
 	keep := m.l2Events[:0]
+	const maxInt64 = 1<<63 - 1
+	next := int64(maxInt64)
 	for _, e := range m.l2Events {
 		if e.readyAt <= now {
 			m.l2Ready = append(m.l2Ready, e)
 		} else {
 			keep = append(keep, e)
+			if e.readyAt < next {
+				next = e.readyAt
+			}
 		}
 	}
 	m.l2Events = keep
+	m.nextL2Ready = next
 	for _, e := range m.l2Ready {
 		m.handleL2Access(e, now)
+	}
+}
+
+// ------------------------------------------- TK fill-pending set ---------
+
+func (m *Machine) tkFillPendingHas(block uint64) bool {
+	for _, b := range m.tkFillPending {
+		if b == block {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Machine) tkFillPendingAdd(block uint64) {
+	if !m.tkFillPendingHas(block) {
+		m.tkFillPending = append(m.tkFillPending, block)
+	}
+}
+
+func (m *Machine) tkFillPendingDel(block uint64) {
+	for i, b := range m.tkFillPending {
+		if b == block {
+			last := len(m.tkFillPending) - 1
+			m.tkFillPending[i] = m.tkFillPending[last]
+			m.tkFillPending = m.tkFillPending[:last]
+			return
+		}
 	}
 }
 
@@ -311,7 +362,7 @@ func (m *Machine) handleL2Access(e l2Event, now int64) {
 		kind = cache.Prefetch
 	}
 	if m.l2.Access(e.block, kind) {
-		m.deliverFill(e.block, e.fillBuf, e.prefetch)
+		m.deliverFill(e.block, e.fillBuf)
 		return
 	}
 	// L2 miss detected (one hit-latency after the access started).
@@ -323,13 +374,13 @@ func (m *Machine) handleL2Access(e l2Event, now int64) {
 		m.missDetected = true
 	}
 	if e.fillBuf {
-		m.tkFillPending[e.block] = true
+		m.tkFillPendingAdd(e.block)
 	}
 	_, merged, ok := m.l2MSHR.Allocate(e.block, -1, kind, now)
 	if !ok {
 		// L2 MSHR full: drop prefetches, retry demand accesses shortly.
 		if e.prefetch {
-			delete(m.tkFillPending, e.block)
+			m.tkFillPendingDel(e.block)
 			if le := m.dl1MSHR.Lookup(e.block); le != nil {
 				if le.IsPrefetchOnly() {
 					// Clean up the L1-side entry so later demand requests
@@ -341,40 +392,59 @@ func (m *Machine) handleL2Access(e l2Event, now int64) {
 					m.stats.RetriedL2Full++
 					e.prefetch = false
 					e.readyAt = now + 4
-					m.l2Events = append(m.l2Events, e)
+					m.pushL2Event(e)
 				}
 			}
 			return
 		}
 		m.stats.RetriedL2Full++
 		e.readyAt = now + 4
-		m.l2Events = append(m.l2Events, e)
+		m.pushL2Event(e)
 		return
 	}
 	if merged {
 		return
 	}
-	block := e.block
-	m.submitBus(&bus.Transaction{
-		Block: block,
-		Kind:  bus.Request,
-		OnDone: func(reqDone int64) {
-			m.mem.Read(block, reqDone, func(memDone int64) {
-				m.submitBus(&bus.Transaction{
-					Block: block,
-					Kind:  bus.Response,
-					OnDone: func(respDone int64) {
-						m.l2FillArrived(block, respDone)
-					},
-				}, memDone)
-			})
-		},
-	}, now)
+	m.submitBus(m.getTxn(e.block, bus.Request), now)
 }
 
 func (m *Machine) submitBus(t *bus.Transaction, now int64) {
 	m.pow.BusTransaction()
 	m.bus.Submit(t, now)
+}
+
+// getTxn takes a pooled bus transaction (completions come back through
+// TransactionDone, which recycles it).
+func (m *Machine) getTxn(block uint64, kind bus.Kind) *bus.Transaction {
+	if n := len(m.txnFree); n > 0 {
+		t := m.txnFree[n-1]
+		m.txnFree = m.txnFree[:n-1]
+		t.Block, t.Kind = block, kind
+		return t
+	}
+	return &bus.Transaction{Block: block, Kind: kind, Done: m}
+}
+
+// TransactionDone implements bus.Completer: it advances a miss through the
+// request → memory → response chain, replacing the closure-per-transaction
+// scheme with pooled structs.
+func (m *Machine) TransactionDone(t *bus.Transaction, finish int64) {
+	block, kind := t.Block, t.Kind
+	m.txnFree = append(m.txnFree, t)
+	switch kind {
+	case bus.Request:
+		m.mem.ReadNotify(block, finish, m)
+	case bus.Response:
+		m.l2FillArrived(block, finish)
+	case bus.Writeback:
+		m.mem.Write(block, finish)
+	}
+}
+
+// MemReadDone implements mem.ReadNotifier: the data is ready in memory, so
+// schedule the response transfer back over the bus.
+func (m *Machine) MemReadDone(block uint64, finish int64) {
+	m.submitBus(m.getTxn(block, bus.Response), finish)
 }
 
 func (m *Machine) l2FillArrived(block uint64, now int64) {
@@ -383,21 +453,22 @@ func (m *Machine) l2FillArrived(block uint64, now int64) {
 	prefetchOnly := entry == nil || entry.IsPrefetchOnly()
 	ev := m.l2.Fill(block, false, prefetchOnly)
 	if ev.Valid && ev.Dirty {
-		m.submitBus(&bus.Transaction{Block: ev.Addr, Kind: bus.Writeback,
-			OnDone: func(done int64) { m.mem.Write(ev.Addr, done) }}, now)
+		m.submitBus(m.getTxn(ev.Addr, bus.Writeback), now)
 	}
 	if demand {
 		m.missReturned = true
 	}
-	m.deliverFill(block, m.tkFillPending[block], prefetchOnly)
+	m.deliverFill(block, m.tkFillPendingHas(block))
 }
 
 // deliverFill propagates a block arriving from the L2 (hit or fill) to the
 // L1 side: prefetch buffer for Time-Keeping requests, the waiting L1 MSHRs
-// otherwise.
-func (m *Machine) deliverFill(block uint64, fillBuf, asPrefetch bool) {
+// otherwise. The DL1 install's prefetch bit comes from the DL1 MSHR entry
+// itself (whether any demand request merged behind the prefetch), so the
+// L2-side prefetch status needs no forwarding here.
+func (m *Machine) deliverFill(block uint64, fillBuf bool) {
 	if fillBuf {
-		delete(m.tkFillPending, block)
+		m.tkFillPendingDel(block)
 		if m.tkBuf != nil {
 			m.tkBuf.Insert(block)
 		}
@@ -416,7 +487,6 @@ func (m *Machine) deliverFill(block uint64, fillBuf, asPrefetch bool) {
 		m.il1.Fill(block, false, false)
 		m.pipe.IFetchDone()
 	}
-	_ = asPrefetch
 }
 
 func (m *Machine) handleDL1Eviction(ev cache.Eviction) {
@@ -440,7 +510,7 @@ func (m *Machine) tkTick(now int64) {
 	targets := m.tk.Tick(now, m.dl1.SetIndex, func(block uint64) bool {
 		return m.dl1.Probe(block) || m.tkBuf.Contains(block) ||
 			m.dl1MSHR.Lookup(block) != nil || m.l2MSHR.Lookup(block) != nil ||
-			m.tkFillPending[block]
+			m.tkFillPendingHas(block)
 	})
 	for _, t := range targets {
 		m.stats.TKPrefetches++

@@ -1,0 +1,28 @@
+#!/bin/sh
+# check_golden.sh — golden-output regression gate.
+#
+# Runs the short-mode experiment suite (every table and figure at reduced
+# scale) and compares the SHA-256 of its stdout against the committed
+# digest. The simulator is deterministic, so any digest drift means a
+# behavior change: performance work must keep this green, and intentional
+# physics changes must update testdata/golden_short.sha256 in the same
+# commit with an explanation.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+GOLDEN_FILE=testdata/golden_short.sha256
+
+want=$(cat "$GOLDEN_FILE")
+got=$($GO run ./cmd/experiments -exp all -warmup 5000 -instructions 20000 -parallel 4 |
+	sha256sum | cut -d' ' -f1)
+
+if [ "$got" != "$want" ]; then
+	echo "FAIL: short-mode experiment output drifted" >&2
+	echo "  want $want" >&2
+	echo "  got  $got" >&2
+	echo "If the change is intentional, update $GOLDEN_FILE." >&2
+	exit 1
+fi
+echo "golden output OK ($got)"
