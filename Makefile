@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench experiments examples cover clean
+.PHONY: all build vet test check bench bench-compare experiments examples cover clean
 
 all: build vet test
 
@@ -16,9 +16,10 @@ test:
 	$(GO) test ./...
 
 # The pre-merge gate: vet, the race-enabled short suite (which includes
-# the sweep engine's determinism and cancellation tests), and the
-# golden-output regression (short-mode experiments digest must match the
-# committed hash — see scripts/check_golden.sh).
+# the sweep engine's determinism and cancellation tests, and the
+# fast-forward differential tests), and the golden-output regression (the
+# short-mode experiments digest must match the committed hash with
+# fast-forward both enabled and disabled — see scripts/check_golden.sh).
 check: vet
 	$(GO) test -race -short ./...
 	sh scripts/check_golden.sh
@@ -26,11 +27,16 @@ check: vet
 # One testing.B per paper artefact + ablations, run once each. The raw
 # output is converted to a machine-readable JSON document (BENCH_$(BENCH_N).json)
 # so runs can be committed and compared across PRs.
-BENCH_N ?= 2
+BENCH_N ?= 3
 bench:
 	$(GO) test -run XXX -bench=. -benchmem -count=1 -benchtime=1x . | tee /dev/stderr | \
 		$(GO) run ./cmd/benchjson -o BENCH_$(BENCH_N).json \
-			-note "PR $(BENCH_N): hot-path overhaul; Table2 baseline 1764592084 ns/op, 985617 allocs/op"
+			-note "PR $(BENCH_N): event-driven stall skipping; Table2 was 286906103 ns/op in BENCH_2"
+
+# Fails on >10% ns/op regression of any benchmark shared between the
+# previous PR's document and this one (see scripts/bench_compare.sh).
+bench-compare:
+	sh scripts/bench_compare.sh
 
 # Regenerate every table and figure (a few minutes).
 experiments:

@@ -298,6 +298,60 @@ func BenchmarkExtensionAdaptive(b *testing.B) {
 	b.ReportMetric(adaptive, "save-adaptive-%")
 }
 
+// stallChase is a miss-dominated dependent-load chain (the motivating
+// pattern from examples/pointer_chase, at its most hostile setting): every
+// iteration chases a pointer through a 64 MB footprint with only two
+// dependent fillers, so the pipeline spends almost every cycle fully
+// stalled behind an L2 miss — the case the event-driven fast-forward in
+// internal/sim targets.
+type stallChase struct {
+	idx uint64
+	pos int
+}
+
+const stallChaseFootprint = 64 << 20
+
+func (c *stallChase) Next(in *isa.Inst) {
+	pc := uint64(0x40_0000) + uint64(c.pos)*isa.InstBytes
+	switch {
+	case c.pos == 0:
+		c.idx = (c.idx + 0x9e3779b97f4a7c15) & (stallChaseFootprint/32 - 1)
+		*in = isa.Inst{PC: pc, Op: isa.OpLoad, Src1: 8, Src2: isa.RegNone,
+			Dst: 8, Addr: workload.ColdBase + c.idx*32}
+	case c.pos <= 2:
+		*in = isa.Inst{PC: pc, Op: isa.OpIntALU, Src1: 8, Src2: 10,
+			Dst: isa.Reg(16 + c.pos%8)}
+	default:
+		*in = isa.Inst{PC: pc, Op: isa.OpBranch, Src1: 16, Src2: isa.RegNone,
+			Dst: isa.RegNone, Taken: true, Target: 0x40_0000}
+		c.pos = -1
+	}
+	c.pos++
+}
+
+// BenchmarkStallSkipPointerChase measures the event-driven stall skip on a
+// miss-dominated workload: the fastforward/slowtick ratio is the speedup,
+// and the two sub-benchmarks produce bit-identical physics (held by
+// TestFastForwardDifferential in internal/sim).
+func BenchmarkStallSkipPointerChase(b *testing.B) {
+	run := func(b *testing.B, opts ...sim.Option) {
+		b.Helper()
+		opts = append([]sim.Option{sim.WithWindows(5_000, 50_000)}, opts...)
+		var insts uint64
+		for i := 0; i < b.N; i++ {
+			m, err := sim.New(&stallChase{}, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			insts += m.Run("chase").Instructions
+		}
+		b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "Minst/s")
+	}
+	b.Run("fastforward", func(b *testing.B) { run(b) })
+	b.Run("vsv", func(b *testing.B) { run(b, sim.WithVSV(core.PolicyFSM())) })
+	b.Run("slowtick", func(b *testing.B) { run(b, sim.WithForceSlowTick()) })
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	p, _ := workload.ByName("gcc")

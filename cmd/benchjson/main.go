@@ -3,11 +3,19 @@
 // diffed across PRs (BENCH_<n>.json). It understands the standard testing
 // output format: header lines (goos/goarch/pkg/cpu) and benchmark result
 // lines with any number of trailing `value unit` metric pairs, including
-// -benchmem's B/op and allocs/op columns.
+// -benchmem's B/op and allocs/op columns and custom b.ReportMetric units
+// like Minst/s. Benchmark names are normalized by stripping the -GOMAXPROCS
+// suffix, so documents recorded on machines with different core counts stay
+// comparable.
+//
+// With -compare it instead diffs two recorded documents and fails (exit 1)
+// on ns/op regressions beyond -max-regress-pct, the gate behind
+// `make bench-compare`.
 //
 // Usage:
 //
-//	go test -run XXX -bench=. -benchmem . | go run ./cmd/benchjson -o BENCH_2.json -note "..."
+//	go test -run XXX -bench=. -benchmem . | go run ./cmd/benchjson -o BENCH_3.json -note "..."
+//	go run ./cmd/benchjson -compare -max-regress-pct 10 BENCH_2.json BENCH_3.json
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -40,7 +49,18 @@ type Report struct {
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	note := flag.String("note", "", "free-form note recorded in the document")
+	compare := flag.Bool("compare", false, "compare two recorded documents: benchjson -compare OLD.json NEW.json")
+	maxRegress := flag.Float64("max-regress-pct", 10, "with -compare, fail on ns/op regressions beyond this percentage")
+	minNS := flag.Float64("min-ns", 1e6, "with -compare, benchmarks under this many ns/op in both documents are noise-prone at -benchtime=1x: reported, never fatal")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: OLD.json NEW.json")
+			os.Exit(2)
+		}
+		os.Exit(compareReports(flag.Arg(0), flag.Arg(1), *maxRegress, *minNS))
+	}
 
 	rep := Report{Note: *note, Results: []Result{}}
 	sc := bufio.NewScanner(os.Stdin)
@@ -93,7 +113,7 @@ func parseLine(line string) (Result, bool) {
 	if err != nil {
 		return Result{}, false
 	}
-	r := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	r := Result{Name: normalizeName(fields[0]), Iterations: iters, Metrics: map[string]float64{}}
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
@@ -102,4 +122,88 @@ func parseLine(line string) (Result, bool) {
 		r.Metrics[fields[i+1]] = v
 	}
 	return r, true
+}
+
+// normalizeName strips the trailing -GOMAXPROCS suffix the testing package
+// appends to benchmark names (BenchmarkFoo-8 → BenchmarkFoo; sub-benchmark
+// slashes are preserved).
+func normalizeName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// compareReports diffs NEW against OLD on ns/op and reports every common
+// benchmark's delta; regressions beyond maxRegressPct fail the run.
+// Benchmarks present in only one document are listed but never fatal (new
+// benchmarks have no baseline; retired ones have no successor), and
+// benchmarks under minNS in both documents — single-iteration timer noise
+// territory — are flagged but never fail the gate.
+func compareReports(oldPath, newPath string, maxRegressPct, minNS float64) int {
+	load := func(path string) (map[string]float64, []string) {
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		var rep Report
+		if err := json.Unmarshal(buf, &rep); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		m := map[string]float64{}
+		var names []string
+		for _, r := range rep.Results {
+			ns, ok := r.Metrics["ns/op"]
+			if !ok {
+				continue
+			}
+			m[r.Name] = ns
+			names = append(names, r.Name)
+		}
+		return m, names
+	}
+	oldNS, _ := load(oldPath)
+	newNS, newNames := load(newPath)
+
+	failed := false
+	for _, name := range newNames {
+		old, ok := oldNS[name]
+		if !ok {
+			fmt.Printf("%-50s %14.0f ns/op  (new, no baseline)\n", name, newNS[name])
+			continue
+		}
+		cur := newNS[name]
+		pct := (cur/old - 1) * 100
+		status := "ok"
+		if pct > maxRegressPct {
+			if old < minNS && cur < minNS {
+				status = "noise (under -min-ns floor)"
+			} else {
+				status = fmt.Sprintf("REGRESSION > %.0f%%", maxRegressPct)
+				failed = true
+			}
+		}
+		fmt.Printf("%-50s %14.0f -> %12.0f ns/op  %+7.1f%%  %s\n", name, old, cur, pct, status)
+	}
+	var gone []string
+	for name := range oldNS {
+		if _, ok := newNS[name]; !ok {
+			gone = append(gone, name)
+		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Printf("%-50s (retired; present only in %s)\n", name, oldPath)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchjson: ns/op regressions beyond %.0f%% — see above\n", maxRegressPct)
+		return 1
+	}
+	return 0
 }

@@ -2,11 +2,13 @@
 // Table 1, Table 2, Figures 4–7 and the §6 headline averages — on the
 // simulated machine, printing the same rows and series the paper reports.
 //
-// Every experiment's runs go through one shared sweep engine, so points
-// repeated across experiments (the per-benchmark baselines, most notably)
-// are simulated once per invocation; the engine's run/cache-hit counters
-// are reported on stderr. Output on stdout is byte-identical for any
-// -parallel value.
+// Artefacts are declared in internal/experiments and executed concurrently
+// against one shared sweep engine: points repeated across experiments (the
+// per-benchmark baselines, most notably) are simulated once per invocation,
+// and independent figures overlap instead of queuing. The engine's
+// run/cache-hit counters are reported on stderr. Output on stdout is
+// byte-identical for any -parallel value, with or without -seq, and with or
+// without -slowtick (the fast-forward differential knob).
 //
 // Examples:
 //
@@ -26,9 +28,7 @@ import (
 	"repro/internal/cliconfig"
 	"repro/internal/experiments"
 	"repro/internal/report"
-	"repro/internal/sim"
 	"repro/internal/sweep"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -41,6 +41,8 @@ func main() {
 		csvDir   = flag.String("csvdir", "", "also write each artefact as CSV into this directory")
 		seeds    = flag.Int("seeds", 5, "workload seeds for -exp robustness")
 		progress = flag.Bool("progress", false, "report campaign progress on stderr")
+		seq      = flag.Bool("seq", false, "run artefacts sequentially instead of concurrently (same output bytes)")
+		slowtick = flag.Bool("slowtick", false, "disable the event-driven fast-forward (debug; results are bit-identical)")
 	)
 	simFlags.RegisterWindows(flag.CommandLine)
 	profFlags.RegisterProfiles(flag.CommandLine)
@@ -56,6 +58,26 @@ func main() {
 		fail(err)
 	}
 
+	var arts []experiments.Artefact
+	if *exp == "all" {
+		arts = experiments.AllArtefacts()
+	} else {
+		var err error
+		if arts, err = experiments.Artefacts(*exp); err != nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+	}
+
+	spec := experiments.Spec{Seeds: *seeds}
+	if *benches != "" {
+		names, err := cliconfig.Benchmarks(*benches, nil)
+		if err != nil {
+			fail(err)
+		}
+		spec.Benchmarks = names
+	}
+
 	engineOpts := []sweep.Option{sweep.Workers(*parallel)}
 	if *progress {
 		engineOpts = append(engineOpts, sweep.OnProgress(func(p sweep.Progress) {
@@ -69,17 +91,16 @@ func main() {
 		MeasureInstructions: simFlags.Measure,
 		Parallelism:         *parallel,
 		Engine:              engine,
+		ForceSlowTick:       *slowtick,
 	}
-	subset := func(def []string) []string {
-		names, err := cliconfig.Benchmarks(*benches, def)
-		if err != nil {
-			fail(err)
-		}
-		return names
+
+	outs, err := experiments.RunArtefacts(o, spec, arts, *seq)
+	if err != nil {
+		fail(err)
 	}
 
 	writeCSV := func(exp string, t *report.Table) {
-		if *csvDir == "" {
+		if *csvDir == "" || t == nil {
 			return
 		}
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -92,104 +113,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
 
-	run := map[string]bool{}
-	if *exp == "all" {
-		for _, e := range []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "summary"} {
-			run[e] = true
-		}
-	} else {
-		run[*exp] = true
-	}
-
-	if run["table1"] {
-		fmt.Print(experiments.RenderTable1(sim.DefaultConfig()))
-		fmt.Println()
-	}
-	if run["table2"] {
-		rows, err := experiments.Table2(o)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(experiments.RenderTable2(rows))
-		fmt.Println()
-		writeCSV("table2", experiments.Table2CSV(rows))
-	}
-	if run["fig4"] {
-		rows, err := experiments.Figure4(o, subset(workload.Names()))
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(experiments.RenderFigure4(rows))
-		fmt.Println()
-		writeCSV("fig4", experiments.Figure4CSV(rows))
-	}
-	if run["fig5"] {
-		rows, err := experiments.Figure5(o, subset(workload.HighMRNames()), []int{0, 1, 3, 5})
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(experiments.RenderFigure5(rows))
-		fmt.Println()
-		writeCSV("fig5", experiments.Figure5CSV(rows))
-	}
-	if run["fig6"] {
-		rows, err := experiments.Figure6(o, subset(workload.HighMRNames()), experiments.Figure6Variants())
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(experiments.RenderFigure6(rows))
-		fmt.Println()
-		writeCSV("fig6", experiments.Figure6CSV(rows))
-	}
-	if run["residency"] {
-		rows, err := experiments.Residency(o, subset(workload.Names()))
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(experiments.RenderResidency(rows))
-		fmt.Println()
-		writeCSV("residency", experiments.ResidencyCSV(rows))
-	}
-	if run["robustness"] {
-		rows, err := experiments.Robustness(o, subset(workload.HighMRNames()), *seeds)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(experiments.RenderRobustness(rows))
-		fmt.Println()
-		writeCSV("robustness", experiments.RobustnessCSV(rows))
-	}
-	if run["sensitivity"] {
-		rows, err := experiments.Sensitivity(o, subset(workload.HighMRNames()),
-			[]int{50, 100, 200, 400})
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(experiments.RenderSensitivity(rows))
-		fmt.Println()
-		writeCSV("sensitivity", experiments.SensitivityCSV(rows))
-	}
-	if run["fig7"] || run["summary"] {
-		rows, err := experiments.Figure7(o, subset(workload.Names()))
-		if err != nil {
-			fail(err)
-		}
-		if run["fig7"] {
-			fmt.Print(experiments.RenderFigure7(rows))
-			fmt.Println()
-			writeCSV("fig7", experiments.Figure7CSV(rows))
-		}
-		if run["summary"] {
-			s := experiments.ComputeSummary(rows)
-			fmt.Print(experiments.RenderSummary(s))
-			writeCSV("summary", experiments.SummaryCSV(s))
-		}
-	}
-	if len(run) == 0 || (!run["table1"] && !run["table2"] && !run["fig4"] &&
-		!run["fig5"] && !run["fig6"] && !run["fig7"] && !run["summary"] &&
-		!run["residency"] && !run["robustness"] && !run["sensitivity"]) {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+	for _, out := range outs {
+		fmt.Print(out.Text)
+		writeCSV(out.Name, out.CSV)
 	}
 
 	if st := engine.Stats(); st.Points > 0 {

@@ -144,6 +144,30 @@ func (b *Bus) Tick(now int64) {
 	}
 }
 
+// NextEventTick returns the earliest tick at or after now at which Tick
+// will complete or grant a transaction: the in-flight transaction's finish
+// time, `now` itself when a queued transaction is awaiting grant, or
+// (1<<63)-1 when the bus is idle and empty. Used by the simulator's
+// fast-forward path to bound event-free spans.
+func (b *Bus) NextEventTick(now int64) int64 {
+	if b.current != nil {
+		return b.finishAt
+	}
+	if len(b.queue) > 0 {
+		return now
+	}
+	return 1<<63 - 1
+}
+
+// SkipTicks accounts for n Tick calls that were skipped because nothing
+// completes or is granted within the span (NextEventTick lies beyond it):
+// only the per-tick busy counter advances.
+func (b *Bus) SkipTicks(n int64) {
+	if b.current != nil && n > 0 {
+		b.stats.BusyTicks += uint64(n)
+	}
+}
+
 // Stats returns a snapshot of the counters.
 func (b *Bus) Stats() Stats { return b.stats }
 

@@ -1,0 +1,67 @@
+package core
+
+// Quiescence support for the simulator's fast-forward path. A steady mode
+// (high/low/deep) with no armed monitor FSM is inert while the pipeline
+// issues nothing and no miss events arrive: BeginTick only advances the
+// divider phase and the per-mode tick counters, and EndTick is a no-op.
+// SkipQuiesced advances all of that in closed form. Transition modes
+// (distribution and ramp phases) always refuse — per-cycle VDD changes and
+// the transLeft countdown must tick cycle by cycle — as do armed FSMs,
+// whose observation windows are at most tens of cycles anyway.
+
+// SkipQuiesced bulk-advances the controller over n ticks during which the
+// pipeline provably issues nothing, no L2 demand miss is detected or
+// returns, and the outstanding demand-miss count stays at `outstanding`.
+// It reports whether the span was absorbed; on true it also returns the
+// number of pipeline edges within the span and the clock phase/divider of
+// its first tick, so the caller can reproduce the exact edge pattern. On
+// false the controller is unchanged and the caller must tick per-cycle.
+func (c *Controller) SkipQuiesced(n int64, outstanding int) (ok bool, edges int64, phase, divider int) {
+	if n <= 0 {
+		return false, 0, 0, 1
+	}
+	switch c.mode {
+	case ModeHigh:
+		if c.recheckHigh || (c.down != nil && c.down.armed) {
+			// A pending re-detection or an armed down-FSM can change mode
+			// on any coming tick; tick it out per-cycle.
+			return false, 0, 0, 1
+		}
+	case ModeLow, ModeDeep:
+		if outstanding == 0 {
+			// endTickLow would start the up-transition immediately.
+			return false, 0, 0, 1
+		}
+		if c.up != nil && c.up.armed {
+			return false, 0, 0, 1
+		}
+		if c.mode == ModeLow && c.policy.EscalateOutstanding > 0 &&
+			outstanding >= c.policy.EscalateOutstanding {
+			return false, 0, 0, 1
+		}
+	default:
+		return false, 0, 0, 1
+	}
+
+	divider = c.Divider()
+	phase = c.phase
+	if divider == 1 {
+		// Full speed: every tick is an edge and BeginTick leaves the phase
+		// untouched.
+		edges = n
+	} else {
+		// Edges land where (phase+i) % divider == 0 for i in [0, n):
+		// count the multiples of divider in [phase, phase+n).
+		d, p0 := int64(divider), int64(phase)
+		edges = (p0+n+d-1)/d - (p0+d-1)/d
+		c.phase += int(n)
+		c.edgeThisTick = (p0+n-1)%d == 0
+	}
+	if divider == 1 {
+		c.edgeThisTick = true
+	}
+	c.vdd = c.effectiveVDD()
+	c.stats.TicksInMode[c.mode] += n
+	c.stats.PipelineEdges += edges
+	return true, edges, phase, divider
+}

@@ -31,6 +31,10 @@ type Options struct {
 	// are simulated exactly once per campaign. Nil runs each experiment on
 	// a private engine.
 	Engine *sweep.Engine
+	// ForceSlowTick disables the simulator's event-driven fast-forward for
+	// every run (see sim.Config.ForceSlowTick). Results are bit-identical
+	// either way; the golden-output gate runs both modes to prove it.
+	ForceSlowTick bool
 }
 
 // DefaultOptions returns windows large enough for stable percentages at
@@ -51,6 +55,7 @@ func BenchConfig(o Options) sim.Config {
 	cfg := sim.BenchConfig()
 	cfg.WarmupInstructions = o.WarmupInstructions
 	cfg.MeasureInstructions = o.MeasureInstructions
+	cfg.ForceSlowTick = o.ForceSlowTick
 	return cfg
 }
 

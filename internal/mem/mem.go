@@ -110,6 +110,17 @@ func (m *Memory) Tick(now int64) {
 	}
 }
 
+// NextReadyTick returns the completion tick of the oldest in-flight access
+// — the earliest tick at which Tick will act — or (1<<63)-1 when nothing
+// is in flight. The in-flight list is ordered by readyAt (flat latency,
+// FIFO arrival), so the head is the minimum.
+func (m *Memory) NextReadyTick() int64 {
+	if len(m.inflight) == 0 {
+		return 1<<63 - 1
+	}
+	return m.inflight[0].readyAt
+}
+
 // Outstanding returns the number of in-flight reads.
 func (m *Memory) Outstanding() int { return len(m.inflight) }
 

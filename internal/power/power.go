@@ -265,7 +265,14 @@ type Model struct {
 	// Per-edge idle-floor energies — constants of the configuration,
 	// precomputed at construction so Tick does not rebuild them each edge.
 	idleFetch, idleDecode, idleRename, idleWindow float64
-	idleLSQ, idleRegfile, idleIL1, idleDL1       float64
+	idleLSQ, idleRegfile, idleIL1, idleDL1        float64
+
+	// Idle-tick quanta for the fast-forward path (see quiesce.go), cached
+	// against the voltage they were prepared for.
+	qVDD                                float64
+	qValid                              bool
+	qClock, qFetch, qDecode, qRename    float64
+	qWindow, qLSQ, qRegfile, qIL1, qDL1 float64
 }
 
 // NewModel builds a power model for a machine of the given issue width.

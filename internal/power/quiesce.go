@@ -1,0 +1,89 @@
+package power
+
+// Quiescence support for the simulator's fast-forward path. On a tick with
+// zero pipeline activity, Tick reduces to a handful of constant additions:
+// the PLL and leakage flow every tick, and on a pipeline edge each
+// non-DCG-gated structure accrues its idle floor at the current voltage.
+// All activity-proportional terms multiply by exactly 0.0 and the IEEE
+// additions they feed are exact no-ops, so an idle tick's accrual is a
+// fixed set of per-structure quanta.
+//
+// Bit-identity matters here: float addition is not associative, so the
+// fast-forward path must replay the *same adds in the same order* as the
+// per-tick path, not an analytically equivalent n×quantum product.
+// PrepareQuiesced precomputes the quanta (each bitwise-equal to the value
+// the corresponding Tick expression yields at zero activity) and
+// QuiescedTick replays one tick's additions.
+
+// PrepareQuiesced refreshes the cached idle-tick quanta for the given
+// scaled-domain voltage. Call it before a run of QuiescedTick calls; it is
+// a no-op when the voltage is unchanged since the last preparation.
+func (m *Model) PrepareQuiesced(vdd float64) {
+	if vdd != m.cachedVDD {
+		m.recalcVDD(vdd)
+	}
+	if m.qValid && m.qVDD == vdd {
+		return
+	}
+	sf := m.cachedSF
+	rf := 1.0
+	if m.cfg.ScaleRAMs {
+		rf = sf
+	}
+	p := &m.cfg.Params
+	// Each quantum equals the corresponding Tick expression at zero
+	// activity: x*0.0 == +0.0 and y+0.0 == y for the non-negative
+	// coefficients used here, so dropping those terms is bit-exact.
+	m.qClock = sf * p.ClockTrunkPerEdge
+	m.qFetch = sf * m.idleFetch
+	m.qDecode = sf * m.idleDecode
+	m.qRename = sf * m.idleRename
+	m.qWindow = sf * m.idleWindow
+	m.qLSQ = sf * m.idleLSQ
+	m.qRegfile = rf * m.idleRegfile
+	m.qIL1 = rf * m.idleIL1
+	m.qDL1 = rf * m.idleDL1
+	m.qVDD = vdd
+	m.qValid = true
+}
+
+// QuiescedTick accrues one zero-activity tick at the voltage last passed to
+// PrepareQuiesced, bit-identically to Tick(edge, vdd, nil) with an
+// all-zero activity record. The DCG-gated structures (FUs, result bus,
+// prefetch buffer, boundary latches) accrue nothing when idle, exactly as
+// their Tick terms would add +0.0.
+func (m *Model) QuiescedTick(edge bool) {
+	m.ticks++
+	m.energy[SPLL] += m.cfg.Params.PLLPerTick
+	m.leakTick()
+	if !edge {
+		return
+	}
+	m.edges++
+	m.energy[SClockTree] += m.qClock
+	m.energy[SFetch] += m.qFetch
+	m.energy[SDecode] += m.qDecode
+	m.energy[SRename] += m.qRename
+	m.energy[SWindow] += m.qWindow
+	m.energy[SLSQ] += m.qLSQ
+	m.energy[SRegfile] += m.qRegfile
+	m.energy[SIL1] += m.qIL1
+	m.energy[SDL1] += m.qDL1
+}
+
+// QuiescedTicks accrues n consecutive zero-activity ticks whose pipeline
+// edges follow the clock divider starting at the given phase (every tick
+// when divider is 1). The additions run tick by tick — a closed-form
+// multiply would round differently and break bit-identity with the
+// per-tick path.
+func (m *Model) QuiescedTicks(n int64, phase, divider int) {
+	if divider <= 1 {
+		for i := int64(0); i < n; i++ {
+			m.QuiescedTick(true)
+		}
+		return
+	}
+	for i := int64(0); i < n; i++ {
+		m.QuiescedTick((phase+int(i))%divider == 0)
+	}
+}

@@ -164,6 +164,15 @@ type TimeKeeping struct {
 	pendingSig []uint32
 	hasPending []bool
 
+	// scheduled counts wheel entries across all slots; while it is zero,
+	// every Tick is a no-op and fast-forward may skip decay boundaries.
+	scheduled int
+	// nextBucket caches the earliest bucket any scheduled entry matures in
+	// (nextBucketUnknown forces a rescan). Boundaries before it are no-ops:
+	// their slots hold nothing, or only future-bucket entries whose
+	// keep-compaction rewrites the slot with identical contents.
+	nextBucket int64
+
 	stats Stats
 }
 
@@ -229,12 +238,54 @@ func (tk *TimeKeeping) deadline(s *blockState) int64 {
 	return d
 }
 
+// nextBucketUnknown marks the nextBucket cache stale (rescan on demand).
+const nextBucketUnknown = int64(-1)
+
 func (tk *TimeKeeping) schedule(block uint64, s *blockState) {
 	at := s.lastAccess + tk.deadline(s)
 	res := int64(tk.cfg.DecayResolution)
 	bucket := (at + res - 1) / res // ceil: process at or after the deadline
 	slot := bucket & (wheelSlots - 1)
 	tk.wheel[slot] = append(tk.wheel[slot], wheelEntry{bucket: bucket, block: block})
+	if tk.scheduled == 0 || (tk.nextBucket != nextBucketUnknown && bucket < tk.nextBucket) {
+		tk.nextBucket = bucket
+	}
+	tk.scheduled++
+}
+
+// NextEventTick returns a conservative lower bound on the next tick at
+// which Tick can do anything: the decay boundary of the earliest scheduled
+// dead-check at or after now, or (1<<63)-1 when the wheel is empty.
+// Boundaries before it are provably no-ops, so fast-forward may jump whole
+// empty stretches of the wheel, not just to the next 16-tick boundary.
+func (tk *TimeKeeping) NextEventTick(now int64) int64 {
+	if tk.scheduled == 0 {
+		return 1<<63 - 1
+	}
+	if tk.nextBucket == nextBucketUnknown {
+		tk.rescanNextBucket()
+	}
+	res := int64(tk.cfg.DecayResolution)
+	if at := tk.nextBucket * res; at > now {
+		return at
+	}
+	// The earliest bucket's boundary is at or behind now (it matures this
+	// very tick); wake at the boundary covering now.
+	return ((now + res - 1) / res) * res
+}
+
+// rescanNextBucket recomputes the earliest scheduled bucket (O(entries)).
+// Called lazily after the previous earliest bucket was popped.
+func (tk *TimeKeeping) rescanNextBucket() {
+	min := int64(1<<63 - 1)
+	for slot := range tk.wheel {
+		for _, we := range tk.wheel[slot] {
+			if we.bucket < min {
+				min = we.bucket
+			}
+		}
+	}
+	tk.nextBucket = min
 }
 
 // strideEligible deterministically selects StrideCoverage of all blocks.
@@ -330,6 +381,12 @@ func (tk *TimeKeeping) Tick(now int64, setOf func(uint64) uint64, isPresent func
 			blocks = append(blocks, we.block)
 		case we.bucket > bucket:
 			kept = append(kept, we)
+		}
+	}
+	if dropped := len(entries) - len(kept); dropped > 0 {
+		tk.scheduled -= dropped
+		if tk.nextBucket != nextBucketUnknown && tk.nextBucket <= bucket {
+			tk.nextBucket = nextBucketUnknown
 		}
 	}
 	tk.wheel[slot] = kept

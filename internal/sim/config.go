@@ -87,6 +87,12 @@ type Config struct {
 	// bounds, energy monotonicity, voltage envelope, event-queue sanity).
 	// Used by the integration tests; costs a few percent of speed.
 	SelfCheck bool
+
+	// ForceSlowTick disables the event-driven fast-forward path, ticking
+	// every quiesced cycle individually (debug; see internal/sim
+	// fastforward.go). Results are bit-identical either way — this knob
+	// exists so the differential tests and the golden gate can prove it.
+	ForceSlowTick bool
 }
 
 // DefaultConfig returns the paper's Table 1 baseline: 8-way out-of-order,

@@ -1,0 +1,119 @@
+package sim
+
+// Event-driven stall skipping. The paper's premise is that the pipeline
+// spends long stretches fully stalled behind L2 misses; paying one tick()
+// per stalled cycle makes exactly the miss-heavy configurations that
+// matter most the slowest to simulate. fastForward jumps over such
+// stretches in bulk: when the pipeline is provably quiesced
+// (pipeline.Quiesced) and the controller is in an inert steady state
+// (core.SkipQuiesced), nothing can happen before the next scheduled event
+// — an L2 array access maturing, a bus completion or grant, a memory
+// access returning, or a Time-Keeping decay boundary — so the span up to
+// that event is applied in closed form.
+//
+// The skip is bit-identical to ticking, by construction rather than by
+// approximation: integer state (cycle counters, stall statistics, divider
+// phase, mode residency) advances by exact closed forms, while float state
+// (the energy accumulators, the recorder's interval sums) replays the same
+// IEEE additions the per-tick path would perform, one tick at a time, via
+// power.QuiescedTick. Transition modes (voltage ramps, clock
+// distribution) and armed monitor FSMs always tick per-cycle; their spans
+// are tens of ticks, the memory latencies being skipped are hundreds.
+// Config.ForceSlowTick disables the path entirely (the differential test
+// in fastforward_test.go holds the two modes equal).
+
+// maxEventTick is the "no event scheduled" horizon.
+const maxEventTick = int64(1<<63 - 1)
+
+// nextEventTick extends the nextL2Ready watermark into the full event
+// horizon: the earliest future tick at which any event source can act.
+func (m *Machine) nextEventTick() int64 {
+	next := maxEventTick
+	if len(m.l2Events) > 0 {
+		next = m.nextL2Ready
+	}
+	if t := m.bus.NextEventTick(m.now); t < next {
+		next = t
+	}
+	if t := m.mem.NextReadyTick(); t < next {
+		next = t
+	}
+	if m.tk != nil {
+		if t := m.tk.NextEventTick(m.now); t < next {
+			next = t
+		}
+	}
+	return next
+}
+
+// fastForward advances now to the next scheduled event when the machine is
+// provably quiesced, applying the skipped ticks' effects in bulk. It is a
+// no-op (and the per-tick path runs as usual) whenever quiescence cannot
+// be proven or an event is due immediately.
+func (m *Machine) fastForward() {
+	next := m.nextEventTick()
+	n := next - m.now
+	if n <= 0 {
+		return
+	}
+	if m.cfg.WatchdogTicks > 0 {
+		// Never skip past the watchdog horizon: the no-commit panic must
+		// fire on the same tick it would under per-tick execution.
+		if left := m.lastCommitTick + m.cfg.WatchdogTicks - m.now; left < n {
+			n = left
+		}
+		if n <= 0 {
+			return
+		}
+	} else if next == maxEventTick {
+		// Quiesced with nothing scheduled and no watchdog: a genuine
+		// deadlock. Leave it to the per-tick path rather than jump to the
+		// horizon.
+		return
+	}
+	if !m.pipe.Quiesced() {
+		return
+	}
+
+	vdd := m.cfg.Power.VDDH
+	divider, phase := 1, 0
+	edges := n
+	if m.ctl != nil {
+		outstanding := m.l2MSHR.DemandOutstanding()
+		if m.cfg.VSV.TriggerOnPrefetch {
+			outstanding = m.l2MSHR.Used()
+		}
+		ok := false
+		ok, edges, phase, divider = m.ctl.SkipQuiesced(n, outstanding)
+		if !ok {
+			return
+		}
+		vdd = m.ctl.VDD()
+	}
+
+	m.pipe.SkipQuiesced(edges)
+	m.bus.SkipTicks(n)
+	m.pow.PrepareQuiesced(vdd)
+	if m.rec == nil {
+		m.pow.QuiescedTicks(n, phase, divider)
+	} else {
+		// The recorder consumes per-tick energy deltas (and emits samples
+		// at interval boundaries inside the span), so drive it tick by
+		// tick exactly as tick() does.
+		mode, slow := "high", false
+		if m.ctl != nil {
+			mode, slow = m.ctl.Mode().String(), m.ctl.HalfSpeed()
+		}
+		commits := m.pipe.Committed()
+		for i := int64(0); i < n; i++ {
+			m.pow.QuiescedTick(divider == 1 || (phase+int(i))%divider == 0)
+			energy := m.pow.TotalEnergy()
+			m.rec.Observe(m.now+i, energy-m.energyAtTickStart,
+				commits-m.commitsAtTickStart, vdd, mode, slow, 0)
+			m.energyAtTickStart = energy
+			m.commitsAtTickStart = commits
+		}
+	}
+	m.stats.Ticks += n
+	m.now += n
+}

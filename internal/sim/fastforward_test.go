@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/workload"
+)
+
+// runPair executes the same configuration with the fast-forward path
+// enabled and disabled and asserts the physics are bit-identical: the full
+// Results (every float compared bitwise via DeepEqual) and, when tracing is
+// on, the complete recorder timelines.
+func runPair(t *testing.T, name string, seed uint64, cfg Config) {
+	t.Helper()
+	p, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := cfg
+	fast.ForceSlowTick = false
+	slow := cfg
+	slow.ForceSlowTick = true
+
+	mf := NewMachine(fast, workload.NewGeneratorSeed(p, seed))
+	ms := NewMachine(slow, workload.NewGeneratorSeed(p, seed))
+	rf := mf.Run(name)
+	rs := ms.Run(name)
+
+	if !reflect.DeepEqual(rf, rs) {
+		t.Errorf("results diverge:\nfast: %+v\nslow: %+v", rf, rs)
+	}
+	if mf.Stats() != ms.Stats() {
+		t.Errorf("machine stats diverge:\nfast: %+v\nslow: %+v", mf.Stats(), ms.Stats())
+	}
+	if cfg.TraceInterval > 0 {
+		sf, ss := mf.Recorder().Samples(), ms.Recorder().Samples()
+		if !reflect.DeepEqual(sf, ss) {
+			t.Errorf("recorder timelines diverge: %d vs %d samples", len(sf), len(ss))
+			for i := range sf {
+				if i < len(ss) && !reflect.DeepEqual(sf[i], ss[i]) {
+					t.Errorf("first divergent sample %d:\nfast: %+v\nslow: %+v", i, sf[i], ss[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+func diffConfig() Config {
+	cfg := testConfig()
+	cfg.WarmupInstructions = 3_000
+	cfg.MeasureInstructions = 12_000
+	return cfg
+}
+
+// TestFastForwardDifferential sweeps the controller/prefetcher/power
+// feature matrix over a miss-heavy, a prefetch-friendly and a compute-bound
+// workload, holding fast-forward and per-tick execution bit-identical.
+func TestFastForwardDifferential(t *testing.T) {
+	variants := []struct {
+		name string
+		cfg  func() Config
+	}{
+		{"baseline", diffConfig},
+		{"fsm", func() Config { return diffConfig().WithVSV(core.PolicyFSM()) }},
+		{"nofsm", func() Config { return diffConfig().WithVSV(core.PolicyNoFSM()) }},
+		{"firstR", func() Config { return diffConfig().WithVSV(core.PolicyFirstR()) }},
+		{"fsm-tk", func() Config { return diffConfig().WithVSV(core.PolicyFSM()).WithTimeKeeping() }},
+		{"baseline-tk", func() Config { return diffConfig().WithTimeKeeping() }},
+		{"fsm-leakage", func() Config {
+			cfg := diffConfig().WithVSV(core.PolicyFSM())
+			cfg.Power.Leakage = power.DefaultLeakageParams()
+			return cfg
+		}},
+		{"fsm-scalerams", func() Config {
+			cfg := diffConfig().WithVSV(core.PolicyFSM())
+			cfg.Power.ScaleRAMs = true
+			return cfg
+		}},
+		{"deep", func() Config {
+			p := core.PolicyFSM()
+			p.EscalateOutstanding = 2
+			return diffConfig().WithVSV(p)
+		}},
+		{"adaptive", func() Config {
+			p := core.PolicyFSM()
+			p.Adaptive = core.DefaultAdaptiveConfig()
+			return diffConfig().WithVSV(p)
+		}},
+		{"prefetch-trigger", func() Config {
+			cfg := diffConfig().WithVSV(core.PolicyFSM()).WithTimeKeeping()
+			cfg.VSV.TriggerOnPrefetch = true
+			return cfg
+		}},
+		{"fsm-trace", func() Config {
+			cfg := diffConfig().WithVSV(core.PolicyFSM())
+			cfg.TraceInterval = 64
+			cfg.TraceSamples = 4096
+			return cfg
+		}},
+		{"baseline-trace", func() Config {
+			cfg := diffConfig()
+			cfg.TraceInterval = 64
+			cfg.TraceSamples = 4096
+			return cfg
+		}},
+	}
+	benches := []string{"mcf", "applu", "eon"}
+	if testing.Short() {
+		benches = []string{"mcf"}
+	}
+	for _, bench := range benches {
+		for _, v := range variants {
+			t.Run(bench+"/"+v.name, func(t *testing.T) {
+				runPair(t, bench, 0, v.cfg())
+			})
+		}
+	}
+}
+
+// TestFastForwardDifferentialRandomized fuzzes workload seeds and VSV
+// threshold/window settings with a fixed RNG seed: the fast-forward path
+// must stay bit-identical across the whole policy surface, not just the
+// paper's defaults.
+func TestFastForwardDifferentialRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	benches := workload.HighMRNames()
+	cases := 8
+	if testing.Short() {
+		cases = 3
+	}
+	for i := 0; i < cases; i++ {
+		p := core.PolicyFSM()
+		p.DownThreshold = rng.Intn(6)
+		p.DownWindow = 5 + rng.Intn(16)
+		p.UpThreshold = 1 + rng.Intn(4)
+		p.UpWindow = p.UpThreshold + rng.Intn(12)
+		if rng.Intn(2) == 1 {
+			p.EscalateOutstanding = 1 + rng.Intn(4)
+		}
+		cfg := diffConfig().WithVSV(p)
+		if rng.Intn(2) == 1 {
+			cfg = cfg.WithTimeKeeping()
+		}
+		if rng.Intn(2) == 1 {
+			cfg.TraceInterval = int64(16 + rng.Intn(100))
+		}
+		bench := benches[rng.Intn(len(benches))]
+		seed := rng.Uint64() % 16
+		t.Run(fmt.Sprintf("case%d-%s", i, bench), func(t *testing.T) {
+			runPair(t, bench, seed, cfg)
+		})
+	}
+}

@@ -243,7 +243,11 @@ func (m *Machine) Run(benchmark string) Results {
 }
 
 func (m *Machine) runUntil(committed uint64) {
+	slow := m.cfg.ForceSlowTick
 	for m.pipe.Committed() < committed {
+		if !slow {
+			m.fastForward()
+		}
 		m.tick()
 		if m.cfg.WatchdogTicks > 0 && m.now-m.lastCommitTick > m.cfg.WatchdogTicks {
 			panic(fmt.Sprintf("sim: no commit for %d ticks at tick %d (committed %d, RUU %d, LSQ %d, L2 MSHR %d)",

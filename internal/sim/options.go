@@ -128,6 +128,14 @@ func WithSelfCheck() Option {
 	return func(s *settings) { s.cfg.SelfCheck = true }
 }
 
+// WithForceSlowTick disables the event-driven fast-forward over quiesced
+// cycles, forcing one tick() per cycle (debug). Physics are bit-identical
+// with or without it; it exists for differential testing and for the
+// golden-output gate to prove that equivalence.
+func WithForceSlowTick() Option {
+	return func(s *settings) { s.cfg.ForceSlowTick = true }
+}
+
 // WithWindows sizes the warm-up and measurement windows in instructions.
 func WithWindows(warmup, measure uint64) Option {
 	return func(s *settings) {
