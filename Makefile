@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench bench-compare experiments examples cover clean
+.PHONY: all build vet test check stress fuzz bench bench-compare experiments examples cover clean
 
 all: build vet test
 
@@ -23,6 +23,21 @@ test:
 check: vet
 	$(GO) test -race -short ./...
 	sh scripts/check_golden.sh
+
+# Robustness soak: loop the fault-injection, watchdog and campaign-runner
+# tests under the race detector. Fault schedules exercise different
+# interleavings per -count iteration only through scheduling, so the loop
+# shakes out timing-dependent bugs the single-shot suite would miss.
+stress:
+	$(GO) test -race -count=20 ./internal/faults/
+	$(GO) test -race -count=20 -run 'Fault|Watchdog|Robust|Checkpoint|RunError|FailFast|ContinueOnError|Timeout|Resume' \
+		./internal/sim/ ./internal/sweep/ ./internal/experiments/
+
+# Short native-fuzz smoke of the hardened parsers (the CI budget; run with
+# a larger -fuzztime locally when touching these surfaces).
+fuzz:
+	$(GO) test ./internal/sim/ -run FuzzConfigValidate -fuzz FuzzConfigValidate -fuzztime 30s
+	$(GO) test ./internal/tracefile/ -run FuzzReader -fuzz FuzzReader -fuzztime 30s
 
 # One testing.B per paper artefact + ablations, run once each. The raw
 # output is converted to a machine-readable JSON document (BENCH_$(BENCH_N).json)

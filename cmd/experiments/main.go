@@ -43,6 +43,12 @@ func main() {
 		progress = flag.Bool("progress", false, "report campaign progress on stderr")
 		seq      = flag.Bool("seq", false, "run artefacts sequentially instead of concurrently (same output bytes)")
 		slowtick = flag.Bool("slowtick", false, "disable the event-driven fast-forward (debug; results are bit-identical)")
+
+		checkpoint = flag.String("checkpoint", "", "checkpoint completed points to this JSONL file (enables -resume after an interruption)")
+		resume     = flag.Bool("resume", false, "resume from the -checkpoint file: previously completed points are not re-simulated")
+		runTimeout = flag.Duration("run-timeout", 0, "per-simulation wall-clock deadline (0 disables; expired runs fail structurally and are retried per -retries)")
+		retries    = flag.Int("retries", 0, "extra attempts for transiently-failed points (deadline expiries)")
+		keepGoing  = flag.Bool("keep-going", false, "on a point failure, keep draining the campaign and annotate failed artefacts instead of aborting")
 	)
 	simFlags.RegisterWindows(flag.CommandLine)
 	profFlags.RegisterProfiles(flag.CommandLine)
@@ -79,6 +85,41 @@ func main() {
 	}
 
 	engineOpts := []sweep.Option{sweep.Workers(*parallel)}
+	if *runTimeout > 0 {
+		engineOpts = append(engineOpts, sweep.RunTimeout(*runTimeout))
+	}
+	if *retries > 0 {
+		engineOpts = append(engineOpts, sweep.Retries(*retries))
+	}
+	if *keepGoing {
+		engineOpts = append(engineOpts, sweep.ContinueOnError())
+	}
+	var cp *sweep.Checkpoint
+	if *resume && *checkpoint == "" {
+		fail(fmt.Errorf("-resume requires -checkpoint"))
+	}
+	if *checkpoint != "" {
+		if *resume {
+			if _, err := os.Stat(*checkpoint); err != nil {
+				fail(fmt.Errorf("-resume: no checkpoint to resume from: %w", err))
+			}
+		} else {
+			// A fresh campaign must not inherit a stale file's points.
+			if err := os.Remove(*checkpoint); err != nil && !os.IsNotExist(err) {
+				fail(err)
+			}
+		}
+		var err error
+		if cp, err = sweep.OpenCheckpoint(*checkpoint); err != nil {
+			fail(err)
+		}
+		defer cp.Close()
+		if *resume && cp.Loaded() > 0 {
+			fmt.Fprintf(os.Stderr, "resuming: %d checkpointed points loaded from %s\n",
+				cp.Loaded(), *checkpoint)
+		}
+		engineOpts = append(engineOpts, sweep.WithCheckpoint(cp))
+	}
 	if *progress {
 		engineOpts = append(engineOpts, sweep.OnProgress(func(p sweep.Progress) {
 			fmt.Fprintf(os.Stderr, "sweep: %d/%d points (%d cache hits, %.1f sims/s, worst %s %v)\n",
@@ -92,6 +133,7 @@ func main() {
 		Parallelism:         *parallel,
 		Engine:              engine,
 		ForceSlowTick:       *slowtick,
+		ContinueOnError:     *keepGoing,
 	}
 
 	outs, err := experiments.RunArtefacts(o, spec, arts, *seq)
@@ -123,6 +165,10 @@ func main() {
 			"sweep: %d points, %d simulated, %d cache hits, %v total sim time (worst %s %v)\n",
 			st.Points, st.Ran, st.CacheHits, st.SimTime.Round(1e6),
 			st.WorstKey, st.WorstRun.Round(1e6))
+		if st.CheckpointHits > 0 || st.Failed > 0 || st.Retried > 0 {
+			fmt.Fprintf(os.Stderr, "sweep: %d checkpoint hits, %d failed, %d retried\n",
+				st.CheckpointHits, st.Failed, st.Retried)
+		}
 	}
 	if err := profFlags.Stop(); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -78,13 +78,24 @@ func (e Event) String() string {
 	return fmt.Sprintf("t=%-6d %s (in %s)", e.Tick, e.Kind, e.Mode)
 }
 
+// recentN is the size of the always-on ring of most-recent events kept for
+// crash reports (see Recent).
+const recentN = 32
+
 // TraceLog records the first N controller events of a run; it is used by
 // the timeline example and the Figure 2/3 reproduction tests. Recording
 // stops (cheaply) once the limit is reached so long runs pay nothing.
+// Independently of the limit, a small fixed ring always holds the most
+// recent events, so a crash report can show what the controller did last
+// even deep into a long run.
 type TraceLog struct {
 	limit   int
 	events  []Event
 	dropped uint64
+
+	recent      [recentN]Event
+	recentNext  int
+	recentCount int
 }
 
 // NewTraceLog builds a log that keeps the first limit events (limit <= 0
@@ -93,13 +104,30 @@ func NewTraceLog(limit int) *TraceLog {
 	return &TraceLog{limit: limit}
 }
 
-// Add appends an event if capacity remains.
+// Add appends an event if capacity remains (the recent ring always records).
 func (l *TraceLog) Add(tick int64, kind EventKind, mode Mode) {
+	e := Event{Tick: tick, Kind: kind, Mode: mode}
+	l.recent[l.recentNext] = e
+	l.recentNext = (l.recentNext + 1) % recentN
+	if l.recentCount < recentN {
+		l.recentCount++
+	}
 	if len(l.events) >= l.limit {
 		l.dropped++
 		return
 	}
-	l.events = append(l.events, Event{Tick: tick, Kind: kind, Mode: mode})
+	l.events = append(l.events, e)
+}
+
+// Recent returns the most recent events (up to 32) in chronological order,
+// regardless of the first-N recording limit.
+func (l *TraceLog) Recent() []Event {
+	out := make([]Event, 0, l.recentCount)
+	start := l.recentNext - l.recentCount
+	for i := 0; i < l.recentCount; i++ {
+		out = append(out, l.recent[(start+i+recentN)%recentN])
+	}
+	return out
 }
 
 // Events returns the recorded events.
@@ -112,6 +140,7 @@ func (l *TraceLog) Dropped() uint64 { return l.dropped }
 func (l *TraceLog) Reset() {
 	l.events = l.events[:0]
 	l.dropped = 0
+	l.recentNext, l.recentCount = 0, 0
 }
 
 // SetLimit changes the capacity (existing events are kept up to the new

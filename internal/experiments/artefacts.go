@@ -130,9 +130,18 @@ func RunArtefacts(o Options, s Spec, arts []Artefact, sequential bool) ([]Output
 		}
 		wg.Wait()
 	}
-	for _, err := range errs {
-		if err != nil {
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !o.ContinueOnError {
 			return nil, err
+		}
+		// Graceful degradation: the failed artefact is annotated in place
+		// and the campaign's remaining outputs stand.
+		outs[i] = Output{
+			Name: arts[i].Name,
+			Text: fmt.Sprintf("%s: FAILED: %v\n\n", arts[i].Name, err),
 		}
 	}
 	return outs, nil

@@ -35,6 +35,12 @@ type Options struct {
 	// every run (see sim.Config.ForceSlowTick). Results are bit-identical
 	// either way; the golden-output gate runs both modes to prove it.
 	ForceSlowTick bool
+	// ContinueOnError degrades gracefully instead of failing the whole
+	// campaign: artefacts whose points failed render as a one-line FAILED
+	// annotation in the output stream while every other artefact completes.
+	// (Pair it with an Engine built with sweep.ContinueOnError so the
+	// engine keeps draining points too.)
+	ContinueOnError bool
 }
 
 // DefaultOptions returns windows large enough for stable percentages at

@@ -1,0 +1,432 @@
+// Package faults is a deterministic, seeded fault injector for the
+// simulated machine. It perturbs the substrates at their interfaces —
+// delayed and reordered L2 miss returns, stalled bus transactions, spurious
+// and back-to-back controller arms, ramp interruption at mode boundaries,
+// and commit starvation — so the VSV state machines can be driven through
+// adversarial event interleavings that real workloads only reach rarely.
+//
+// Everything is reproducible from (Plan.Seed, Plan.Specs) alone: each fault
+// stream owns its own split-off RNG, so adding or removing a stream never
+// perturbs the draws of the others, and every performed injection is
+// recorded in a bounded log for diagnostics.
+//
+// The injector is fast-forward safe by construction. The simulator may skip
+// provably-quiesced spans in bulk; injections must land on the same ticks
+// either way. Tick-scheduled faults therefore precompute their next firing
+// tick and publish it through NextEventTick, which the simulator's event
+// horizon includes — fast-forward stops at the firing tick and executes it
+// normally. Call-scheduled faults (L2 delays, bus stalls) draw randomness
+// only inside machine activity that executes identically in both modes.
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// Kind labels a fault stream.
+type Kind uint8
+
+const (
+	// L2Delay adds extra ticks to scheduled L2 array accesses (delayed
+	// miss detections and fills; different delays on concurrent misses
+	// reorder their returns).
+	L2Delay Kind = iota
+	// BusStall holds submitted bus transactions for extra ticks before
+	// they reach the bus queue (arbitration starvation).
+	BusStall
+	// SpuriousArm forces a miss-detected observation into the VSV
+	// controller on scheduled ticks; Duration > 1 forces a back-to-back
+	// burst of consecutive arms.
+	SpuriousArm
+	// RampInterrupt perturbs the observation on controller mode
+	// boundaries: entering low/deep it forces an all-returned exit
+	// (interrupting the descent the moment the ramp lands), entering high
+	// it forces a fresh detection (an immediate re-descent).
+	RampInterrupt
+	// CommitStarve suppresses pipeline clock edges for a window of ticks,
+	// starving commit — aimed at the no-commit watchdog edge.
+	CommitStarve
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"l2-delay", "bus-stall", "spurious-arm", "ramp-interrupt", "commit-starve",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Spec configures one fault stream. Exactly how the fields are read depends
+// on the kind:
+//
+//   - L2Delay, BusStall: each opportunity (an L2 event being scheduled, a
+//     bus transaction being submitted) fires with probability 1/Period and
+//     adds a delay of 1..MaxDelay ticks.
+//   - SpuriousArm: fires every ~Period ticks (gap drawn uniformly from
+//     [1, 2·Period]) for max(1, Duration) consecutive ticks.
+//   - RampInterrupt: each controller mode boundary fires with probability
+//     1/Period.
+//   - CommitStarve: fires every ~Period ticks, freezing pipeline edges for
+//     Duration ticks.
+//
+// Start and End bound the active tick window ([Start, End); End == 0 means
+// open-ended).
+type Spec struct {
+	Kind     Kind
+	Period   int64
+	MaxDelay int64
+	Duration int64
+	Start    int64
+	End      int64
+}
+
+// Validate reports a configuration error, if any.
+func (s Spec) Validate() error {
+	if s.Kind >= numKinds {
+		return fmt.Errorf("faults: unknown kind %d", s.Kind)
+	}
+	if s.Period < 1 {
+		return fmt.Errorf("faults: %s period %d < 1", s.Kind, s.Period)
+	}
+	switch s.Kind {
+	case L2Delay, BusStall:
+		if s.MaxDelay < 1 {
+			return fmt.Errorf("faults: %s max delay %d < 1", s.Kind, s.MaxDelay)
+		}
+	case CommitStarve:
+		if s.Duration < 1 {
+			return fmt.Errorf("faults: %s duration %d < 1", s.Kind, s.Duration)
+		}
+	}
+	if s.Start < 0 || (s.End != 0 && s.End <= s.Start) {
+		return fmt.Errorf("faults: %s window [%d, %d) invalid", s.Kind, s.Start, s.End)
+	}
+	return nil
+}
+
+// Plan is a complete, replayable fault schedule: a seed plus the fault
+// streams it drives. Plans are plain data (JSON-serializable), so a failing
+// run reproduces from (seed, plan) alone, and a Plan embedded in a machine
+// configuration participates in sweep fingerprints — a faulted point is a
+// different point.
+type Plan struct {
+	Seed  uint64
+	Specs []Spec
+	// LogLimit bounds the injection log (default 256 when zero).
+	LogLimit int
+}
+
+// Validate reports a configuration error, if any.
+func (p *Plan) Validate() error {
+	if len(p.Specs) == 0 {
+		return fmt.Errorf("faults: plan has no specs")
+	}
+	for i, s := range p.Specs {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("spec %d: %w", i, err)
+		}
+	}
+	if p.LogLimit < 0 {
+		return fmt.Errorf("faults: log limit %d < 0", p.LogLimit)
+	}
+	return nil
+}
+
+// Injection is one performed fault, recorded for diagnostics.
+type Injection struct {
+	Tick int64
+	Kind Kind
+	// Arg is the kind-specific magnitude: delay ticks for L2Delay and
+	// BusStall, freeze length for CommitStarve, burst position for
+	// SpuriousArm, and the entered mode for RampInterrupt.
+	Arg int64
+}
+
+// String formats the injection.
+func (j Injection) String() string {
+	if j.Kind == RampInterrupt {
+		return fmt.Sprintf("t=%-8d %s entering %s", j.Tick, j.Kind, core.Mode(j.Arg))
+	}
+	return fmt.Sprintf("t=%-8d %s arg=%d", j.Tick, j.Kind, j.Arg)
+}
+
+// noFire marks a tick-scheduled stream that will never fire again.
+const noFire = int64(1<<63 - 1)
+
+// stream is one Spec with its live state.
+type stream struct {
+	spec Spec
+	rng  *rng.Source
+	// nextFire is the next scheduled firing tick (tick-scheduled kinds).
+	nextFire int64
+	// activeUntil is the exclusive end of the current burst/freeze window.
+	activeUntil int64
+	// burstBase marks the start of the current SpuriousArm burst.
+	burstBase int64
+}
+
+// tickScheduled reports whether the kind precomputes firing ticks (and so
+// participates in the fast-forward event horizon).
+func tickScheduled(k Kind) bool { return k == SpuriousArm || k == CommitStarve }
+
+// Injector executes a Plan against a running machine. It is not safe for
+// concurrent use; each machine owns one injector.
+type Injector struct {
+	streams []stream
+
+	// per-tick effects, computed by Tick
+	freeze      bool
+	spuriousArm bool
+
+	lastMode core.Mode
+	// hasBoundary is whether any stream reacts to mode boundaries; when it
+	// does, pendingBoundary pins the tick after a mode change into the
+	// event horizon (the boundary is observed on the tick *after* the
+	// controller transitions, which fast-forward must therefore execute).
+	hasBoundary     bool
+	pendingBoundary bool
+
+	log        []Injection
+	logStart   int // ring start when full
+	logLimit   int
+	injections uint64
+}
+
+// NewInjector builds an injector for the plan, validating it first.
+func NewInjector(p *Plan) (*Injector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	limit := p.LogLimit
+	if limit == 0 {
+		limit = 256
+	}
+	inj := &Injector{
+		streams:  make([]stream, len(p.Specs)),
+		lastMode: core.ModeHigh,
+		logLimit: limit,
+	}
+	parent := rng.New(p.Seed)
+	for i, spec := range p.Specs {
+		st := &inj.streams[i]
+		st.spec = spec
+		st.rng = parent.Split()
+		st.nextFire = noFire
+		if tickScheduled(spec.Kind) {
+			st.nextFire = st.clampFire(spec.Start + st.gap())
+		}
+		if spec.Kind == RampInterrupt {
+			inj.hasBoundary = true
+		}
+	}
+	return inj, nil
+}
+
+// gap draws the next inter-firing gap, uniform in [1, 2·Period].
+func (s *stream) gap() int64 {
+	return 1 + int64(s.rng.Uint64()%uint64(2*s.spec.Period))
+}
+
+// clampFire applies the [Start, End) window to a candidate firing tick.
+func (s *stream) clampFire(t int64) int64 {
+	if t < s.spec.Start {
+		t = s.spec.Start
+	}
+	if s.spec.End != 0 && t >= s.spec.End {
+		return noFire
+	}
+	return t
+}
+
+// inWindow reports whether the stream is active at tick now.
+func (s *stream) inWindow(now int64) bool {
+	return now >= s.spec.Start && (s.spec.End == 0 || now < s.spec.End)
+}
+
+// Tick advances the tick-scheduled streams to tick `now` and computes this
+// tick's effects. The machine must call it exactly once per executed tick;
+// skipped quiesced spans are safe because NextEventTick never lies beyond a
+// firing tick or an active window.
+func (i *Injector) Tick(now int64) {
+	i.freeze, i.spuriousArm = false, false
+	for idx := range i.streams {
+		s := &i.streams[idx]
+		switch s.spec.Kind {
+		case CommitStarve:
+			if now >= s.nextFire && s.nextFire != noFire {
+				s.activeUntil = now + s.spec.Duration
+				s.nextFire = s.clampFire(s.activeUntil + s.gap())
+				i.record(Injection{Tick: now, Kind: CommitStarve, Arg: s.spec.Duration})
+			}
+			if now < s.activeUntil {
+				i.freeze = true
+			}
+		case SpuriousArm:
+			if now >= s.nextFire && s.nextFire != noFire {
+				burst := s.spec.Duration
+				if burst < 1 {
+					burst = 1
+				}
+				s.burstBase = now
+				s.activeUntil = now + burst
+				s.nextFire = s.clampFire(s.activeUntil + s.gap())
+			}
+			if now < s.activeUntil {
+				i.spuriousArm = true
+				i.record(Injection{Tick: now, Kind: SpuriousArm, Arg: now - s.burstBase})
+			}
+		}
+	}
+}
+
+// IssueFrozen reports whether pipeline clock edges are suppressed this tick
+// (a CommitStarve window is active). Valid after Tick.
+func (i *Injector) IssueFrozen() bool { return i.freeze }
+
+// PerturbObservation applies observation-level faults for this tick: the
+// scheduled spurious arms and the mode-boundary ramp interruptions. mode is
+// the controller mode at the start of EndTick (before it advances).
+func (i *Injector) PerturbObservation(now int64, mode core.Mode, obs *core.Observation) {
+	if i.spuriousArm {
+		obs.MissDetected = true
+		if obs.OutstandingDemand == 0 {
+			obs.OutstandingDemand = 1
+		}
+	}
+	if mode != i.lastMode {
+		// A mode boundary: transitions tick per-cycle, steady modes cannot
+		// change across a skipped span, and NoteMode pins the tick after a
+		// change into the event horizon, so every boundary is seen here, in
+		// both execution modes, exactly once and on the same tick.
+		for idx := range i.streams {
+			s := &i.streams[idx]
+			if s.spec.Kind != RampInterrupt || !s.inWindow(now) {
+				continue
+			}
+			if s.rng.Uint64()%uint64(s.spec.Period) != 0 {
+				continue
+			}
+			switch mode {
+			case core.ModeLow, core.ModeDeep:
+				// Interrupt the descent the moment the ramp lands: pretend
+				// every outstanding miss returned, forcing the §4.4
+				// all-returned exit right at the phase boundary.
+				obs.MissReturned = true
+				obs.OutstandingDemand = 0
+				i.record(Injection{Tick: now, Kind: RampInterrupt, Arg: int64(mode)})
+			case core.ModeHigh:
+				// Re-entry into high power: force a fresh detection for a
+				// back-to-back descent.
+				obs.MissDetected = true
+				if obs.OutstandingDemand == 0 {
+					obs.OutstandingDemand = 1
+				}
+				i.record(Injection{Tick: now, Kind: RampInterrupt, Arg: int64(mode)})
+			}
+		}
+		i.lastMode = mode
+		i.pendingBoundary = false
+	}
+}
+
+// NoteMode informs the injector of the controller mode after EndTick. When a
+// boundary-scheduled stream exists and the mode just changed, the next tick
+// must execute (not be skipped) so PerturbObservation sees the boundary on
+// the same tick with fast-forward on or off.
+func (i *Injector) NoteMode(mode core.Mode) {
+	if i.hasBoundary && mode != i.lastMode {
+		i.pendingBoundary = true
+	}
+}
+
+// L2Delay returns extra ticks to add to an L2 array access scheduled at
+// tick now (0 almost always). Draws happen per call, which the machine
+// performs identically with fast-forward on or off.
+func (i *Injector) L2Delay(now int64) int64 {
+	return i.callDelay(now, L2Delay)
+}
+
+// BusDelay returns extra ticks to hold a bus transaction submitted at tick
+// now before it enters the bus queue.
+func (i *Injector) BusDelay(now int64) int64 {
+	return i.callDelay(now, BusStall)
+}
+
+func (i *Injector) callDelay(now int64, kind Kind) int64 {
+	var total int64
+	for idx := range i.streams {
+		s := &i.streams[idx]
+		if s.spec.Kind != kind || !s.inWindow(now) {
+			continue
+		}
+		u := s.rng.Uint64()
+		if u%uint64(s.spec.Period) != 0 {
+			continue
+		}
+		d := 1 + int64((u>>32)%uint64(s.spec.MaxDelay))
+		total += d
+		i.record(Injection{Tick: now, Kind: kind, Arg: d})
+	}
+	return total
+}
+
+// NextEventTick returns the earliest tick ≥ now at which a tick-scheduled
+// fault fires or is active — the injector's contribution to the simulator's
+// fast-forward event horizon. Boundary- and call-scheduled faults need no
+// horizon: their opportunities only occur on ticks that execute anyway.
+func (i *Injector) NextEventTick(now int64) int64 {
+	if i.pendingBoundary {
+		return now // a mode boundary awaits observation: execute this tick
+	}
+	next := noFire
+	for idx := range i.streams {
+		s := &i.streams[idx]
+		if !tickScheduled(s.spec.Kind) {
+			continue
+		}
+		if now < s.activeUntil {
+			return now // active window: every tick must execute
+		}
+		if s.nextFire < next {
+			next = s.nextFire
+		}
+	}
+	return next
+}
+
+// record appends to the bounded injection log (a ring keeping the most
+// recent entries) and counts the injection.
+func (i *Injector) record(j Injection) {
+	i.injections++
+	if i.logLimit <= 0 {
+		return
+	}
+	if len(i.log) < i.logLimit {
+		i.log = append(i.log, j)
+		return
+	}
+	i.log[i.logStart] = j
+	i.logStart = (i.logStart + 1) % i.logLimit
+}
+
+// Injections returns the total number of performed injections.
+func (i *Injector) Injections() uint64 { return i.injections }
+
+// Recent returns the most recent logged injections in chronological order.
+func (i *Injector) Recent() []Injection {
+	if i.logStart == 0 {
+		return append([]Injection(nil), i.log...)
+	}
+	out := make([]Injection, 0, len(i.log))
+	out = append(out, i.log[i.logStart:]...)
+	out = append(out, i.log[:i.logStart]...)
+	return out
+}

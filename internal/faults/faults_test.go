@@ -1,0 +1,204 @@
+package faults
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func planAll(seed uint64) *Plan {
+	return &Plan{
+		Seed: seed,
+		Specs: []Spec{
+			{Kind: L2Delay, Period: 3, MaxDelay: 40},
+			{Kind: BusStall, Period: 5, MaxDelay: 12},
+			{Kind: SpuriousArm, Period: 500, Duration: 2},
+			{Kind: RampInterrupt, Period: 2},
+			{Kind: CommitStarve, Period: 2_000, Duration: 120},
+		},
+	}
+}
+
+// drive replays a fixed synthetic tick schedule against an injector and
+// returns everything it injected, so two injectors built from the same plan
+// can be compared draw for draw.
+func drive(t *testing.T, inj *Injector, ticks int64) []Injection {
+	t.Helper()
+	mode := core.ModeHigh
+	for now := int64(0); now < ticks; now++ {
+		inj.Tick(now)
+		if now%37 == 0 {
+			inj.L2Delay(now)
+		}
+		if now%53 == 0 {
+			inj.BusDelay(now)
+		}
+		// Synthesize mode boundaries so RampInterrupt has opportunities.
+		if now%400 == 199 {
+			mode = core.ModeLow
+		} else if now%400 == 399 {
+			mode = core.ModeHigh
+		}
+		obs := core.Observation{OutstandingDemand: 2}
+		inj.PerturbObservation(now, mode, &obs)
+	}
+	return inj.Recent()
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	a, err := NewInjector(planAll(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewInjector(planAll(42))
+	la, lb := drive(t, a, 20_000), drive(t, b, 20_000)
+	if a.Injections() == 0 {
+		t.Fatal("plan injected nothing in 20k ticks")
+	}
+	if !reflect.DeepEqual(la, lb) {
+		t.Fatal("same (seed, plan) produced different injection logs")
+	}
+	c, _ := NewInjector(planAll(43))
+	if lc := drive(t, c, 20_000); reflect.DeepEqual(la, lc) {
+		t.Fatal("different seeds produced identical injection logs")
+	}
+}
+
+// TestStreamIndependence pins the split-stream property: removing one spec
+// must not perturb the draws of the streams that remain in place before it.
+func TestStreamIndependence(t *testing.T) {
+	full, _ := NewInjector(planAll(7))
+	trimmed, _ := NewInjector(&Plan{Seed: 7, Specs: planAll(7).Specs[:1]})
+	for now := int64(0); now < 5_000; now++ {
+		full.Tick(now)
+		trimmed.Tick(now)
+		df, dt := full.L2Delay(now), trimmed.L2Delay(now)
+		if df != dt {
+			t.Fatalf("tick %d: L2Delay %d (full) != %d (trimmed)", now, df, dt)
+		}
+	}
+}
+
+func TestFiringWindow(t *testing.T) {
+	inj, err := NewInjector(&Plan{Seed: 1, Specs: []Spec{
+		{Kind: SpuriousArm, Period: 5, Start: 1_000, End: 2_000},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for now := int64(0); now < 5_000; now++ {
+		inj.Tick(now)
+	}
+	for _, j := range inj.Recent() {
+		if j.Tick < 1_000 || j.Tick >= 2_000 {
+			t.Fatalf("injection at tick %d outside window [1000, 2000)", j.Tick)
+		}
+	}
+	if inj.Injections() == 0 {
+		t.Fatal("no injections inside a 1000-tick window with period 5")
+	}
+}
+
+// TestNextEventTickHorizon is the fast-forward contract: the injector's
+// horizon must never lie beyond a tick on which a tick-scheduled fault
+// fires or is active.
+func TestNextEventTickHorizon(t *testing.T) {
+	inj, _ := NewInjector(&Plan{Seed: 9, Specs: []Spec{
+		{Kind: CommitStarve, Period: 300, Duration: 50},
+		{Kind: SpuriousArm, Period: 700},
+	}})
+	for now := int64(0); now < 10_000; now++ {
+		horizon := inj.NextEventTick(now)
+		inj.Tick(now)
+		fired := inj.IssueFrozen() || inj.spuriousArm
+		if fired && horizon > now {
+			t.Fatalf("tick %d: fault active but horizon said %d", now, horizon)
+		}
+	}
+}
+
+func TestPerturbObservation(t *testing.T) {
+	inj, _ := NewInjector(&Plan{Seed: 3, Specs: []Spec{
+		{Kind: RampInterrupt, Period: 1}, // every boundary fires
+	}})
+	inj.Tick(0)
+	obs := core.Observation{OutstandingDemand: 4}
+	inj.PerturbObservation(0, core.ModeLow, &obs) // high -> low boundary
+	if obs.OutstandingDemand != 0 || !obs.MissReturned {
+		t.Fatalf("low-entry interrupt did not force all-returned: %+v", obs)
+	}
+	obs = core.Observation{}
+	inj.PerturbObservation(1, core.ModeHigh, &obs) // low -> high boundary
+	if !obs.MissDetected || obs.OutstandingDemand != 1 {
+		t.Fatalf("high-entry interrupt did not force detection: %+v", obs)
+	}
+	// No boundary: the observation passes through untouched.
+	obs = core.Observation{OutstandingDemand: 2}
+	inj.PerturbObservation(2, core.ModeHigh, &obs)
+	if obs.MissDetected || obs.OutstandingDemand != 2 {
+		t.Fatalf("steady mode perturbed without a boundary: %+v", obs)
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	bad := []Plan{
+		{Seed: 1},
+		{Seed: 1, Specs: []Spec{{Kind: numKinds, Period: 1}}},
+		{Seed: 1, Specs: []Spec{{Kind: L2Delay, Period: 0, MaxDelay: 1}}},
+		{Seed: 1, Specs: []Spec{{Kind: L2Delay, Period: 1, MaxDelay: 0}}},
+		{Seed: 1, Specs: []Spec{{Kind: CommitStarve, Period: 1}}},
+		{Seed: 1, Specs: []Spec{{Kind: SpuriousArm, Period: 1, Start: 10, End: 5}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+		if _, err := NewInjector(&p); err == nil {
+			t.Errorf("bad plan %d built an injector", i)
+		}
+	}
+	if err := planAll(0).Validate(); err != nil {
+		t.Fatalf("good plan rejected: %v", err)
+	}
+}
+
+// TestPlanJSONRoundTrip: plans embed into machine configurations and sweep
+// fingerprints, so they must survive JSON exactly.
+func TestPlanJSONRoundTrip(t *testing.T) {
+	p := planAll(123)
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Plan
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*p, got) {
+		t.Fatalf("round trip changed the plan:\n  in  %+v\n  out %+v", *p, got)
+	}
+}
+
+func TestLogRing(t *testing.T) {
+	inj, _ := NewInjector(&Plan{Seed: 5, LogLimit: 8, Specs: []Spec{
+		{Kind: L2Delay, Period: 1, MaxDelay: 3},
+	}})
+	for now := int64(0); now < 100; now++ {
+		inj.Tick(now)
+		inj.L2Delay(now)
+	}
+	rec := inj.Recent()
+	if len(rec) != 8 {
+		t.Fatalf("ring kept %d entries, want 8", len(rec))
+	}
+	for i := 1; i < len(rec); i++ {
+		if rec[i].Tick < rec[i-1].Tick {
+			t.Fatalf("ring out of order: %v", rec)
+		}
+	}
+	if rec[len(rec)-1].Tick != 99 {
+		t.Fatalf("ring does not end at the most recent injection: %v", rec)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/bus"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/pipeline"
 	"repro/internal/power"
@@ -87,6 +88,12 @@ type Config struct {
 	// bounds, energy monotonicity, voltage envelope, event-queue sanity).
 	// Used by the integration tests; costs a few percent of speed.
 	SelfCheck bool
+
+	// Faults, when non-nil, attaches a deterministic fault injector that
+	// perturbs the substrates at their interfaces (see internal/faults).
+	// Any failure reproduces from (Faults.Seed, Faults.Specs) alone. Nil —
+	// the default — adds no per-tick work to the hot path.
+	Faults *faults.Plan
 
 	// ForceSlowTick disables the event-driven fast-forward path, ticking
 	// every quiesced cycle individually (debug; see internal/sim
@@ -175,6 +182,11 @@ func (c Config) Validate() error {
 	if c.TimeKeeping != nil {
 		if err := c.TimeKeeping.Validate(); err != nil {
 			return err
+		}
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("sim: fault plan: %w", err)
 		}
 	}
 	return nil

@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/trace"
+)
+
+// FailureKind classifies a structured machine failure.
+type FailureKind uint8
+
+const (
+	// FailSelfCheck: a per-tick invariant was violated (a simulator bug).
+	FailSelfCheck FailureKind = iota
+	// FailWatchdog: no instruction committed for Config.WatchdogTicks (a
+	// deadlock — also a simulator bug, but one that would otherwise hang).
+	FailWatchdog
+	// FailDeadline: the run exceeded its wall-clock deadline.
+	FailDeadline
+	// FailAborted: the run was stopped through its stop channel.
+	FailAborted
+)
+
+var failureNames = [...]string{"self-check", "watchdog", "deadline", "aborted"}
+
+// String names the failure kind.
+func (k FailureKind) String() string {
+	if int(k) < len(failureNames) {
+		return failureNames[k]
+	}
+	return fmt.Sprintf("failure(%d)", uint8(k))
+}
+
+// Snapshot captures the machine state at the moment of a failure, so crash
+// reports are actionable without reattaching a debugger: the occupancies of
+// every bounded structure, the controller's electrical state, the most
+// recent controller transition events, the tail of the time-series
+// recorder, and the most recent fault injections (when a fault plan is
+// active).
+type Snapshot struct {
+	Tick              int64
+	Committed         uint64
+	RUU, LSQ          int
+	IL1MSHR           int
+	DL1MSHR           int
+	L2MSHR            int
+	OutstandingDemand int
+	PendingL2Events   int
+	StalledBusTxns    int
+	BusQueueLen       int
+	MemOutstanding    int
+
+	// Mode, VDD and Divider describe the VSV controller ("high", VDDH, 1
+	// on baseline machines).
+	Mode    string
+	VDD     float64
+	Divider int
+
+	// Events is the tail of the controller transition log (nil on
+	// baseline machines).
+	Events []core.Event
+	// Samples is the tail of the time-series recorder (nil unless tracing
+	// was enabled).
+	Samples []trace.Sample
+	// FaultLog is the tail of the fault-injection log (nil unless a fault
+	// plan was active).
+	FaultLog []faults.Injection
+}
+
+// CheckError is the structured failure the machine raises (via panic) when
+// a run cannot continue: self-check trips, watchdog expiries, wall-clock
+// deadlines and stop-channel aborts. Campaign runners recover it into a
+// RunError; direct callers of Machine.Run see it as the panic value, whose
+// Error string carries the one-line diagnosis and whose Report method
+// renders the full snapshot.
+type CheckError struct {
+	Kind     FailureKind
+	Tick     int64
+	Msg      string
+	Snapshot Snapshot
+}
+
+// Error renders the one-line diagnosis with the headline machine state.
+func (e *CheckError) Error() string {
+	s := &e.Snapshot
+	return fmt.Sprintf("sim: %s at tick %d: %s (mode=%s vdd=%.3f committed=%d ruu=%d lsq=%d l2mshr=%d outstanding=%d)",
+		e.Kind, e.Tick, e.Msg, s.Mode, s.VDD, s.Committed, s.RUU, s.LSQ, s.L2MSHR, s.OutstandingDemand)
+}
+
+// Report renders the full multi-line crash report: the diagnosis, the
+// structure occupancies, and the recent controller / recorder / fault
+// history.
+func (e *CheckError) Report() string {
+	var b strings.Builder
+	s := &e.Snapshot
+	fmt.Fprintf(&b, "%s\n", e.Error())
+	fmt.Fprintf(&b, "  structures: IL1 MSHR %d, DL1 MSHR %d, L2 MSHR %d, pending L2 events %d, bus queue %d (+%d stalled), mem outstanding %d\n",
+		s.IL1MSHR, s.DL1MSHR, s.L2MSHR, s.PendingL2Events, s.BusQueueLen, s.StalledBusTxns, s.MemOutstanding)
+	fmt.Fprintf(&b, "  controller: mode=%s vdd=%.3f divider=%d\n", s.Mode, s.VDD, s.Divider)
+	if len(s.Events) > 0 {
+		b.WriteString("  recent controller events:\n")
+		for _, ev := range s.Events {
+			fmt.Fprintf(&b, "    %s\n", ev)
+		}
+	}
+	if len(s.Samples) > 0 {
+		b.WriteString("  recent recorder samples:\n")
+		for _, sm := range s.Samples {
+			fmt.Fprintf(&b, "    t=%-8d vdd=%.3f mode=%s power=%.4fW ipc=%.3f misses=%d\n",
+				sm.Tick, sm.VDD, sm.Mode, sm.AvgPowerW, sm.IPC, sm.Misses)
+		}
+	}
+	if len(s.FaultLog) > 0 {
+		b.WriteString("  recent fault injections:\n")
+		for _, j := range s.FaultLog {
+			fmt.Fprintf(&b, "    %s\n", j)
+		}
+	}
+	return b.String()
+}
+
+// snapshotTail bounds the recorder-sample tail included in snapshots.
+const snapshotTail = 8
+
+// snapshot captures the machine's current state for a CheckError.
+func (m *Machine) snapshot(now int64) Snapshot {
+	s := Snapshot{
+		Tick:              now,
+		Committed:         m.pipe.Committed(),
+		RUU:               m.pipe.RUUOccupancy(),
+		LSQ:               m.pipe.LSQOccupancy(),
+		IL1MSHR:           m.il1MSHR.Used(),
+		DL1MSHR:           m.dl1MSHR.Used(),
+		L2MSHR:            m.l2MSHR.Used(),
+		OutstandingDemand: m.l2MSHR.DemandOutstanding(),
+		PendingL2Events:   len(m.l2Events),
+		StalledBusTxns:    len(m.stalled),
+		BusQueueLen:       m.bus.QueueLen(),
+		MemOutstanding:    m.mem.Outstanding(),
+		Mode:              "high",
+		VDD:               m.cfg.Power.VDDH,
+		Divider:           1,
+	}
+	if m.ctl != nil {
+		s.Mode = m.ctl.Mode().String()
+		s.VDD = m.ctl.VDD()
+		s.Divider = m.ctl.Divider()
+		s.Events = m.ctl.Trace().Recent()
+	}
+	if m.rec != nil {
+		samples := m.rec.Samples()
+		if len(samples) > snapshotTail {
+			samples = samples[len(samples)-snapshotTail:]
+		}
+		s.Samples = append([]trace.Sample(nil), samples...)
+	}
+	if m.inj != nil {
+		s.FaultLog = m.inj.Recent()
+	}
+	return s
+}
+
+// failure builds the structured error for a failing run.
+func (m *Machine) failure(kind FailureKind, now int64, format string, args ...interface{}) *CheckError {
+	return &CheckError{
+		Kind:     kind,
+		Tick:     now,
+		Msg:      fmt.Sprintf(format, args...),
+		Snapshot: m.snapshot(now),
+	}
+}

@@ -43,6 +43,18 @@ func (m *Machine) nextEventTick() int64 {
 			next = t
 		}
 	}
+	if len(m.stalled) > 0 && m.nextStalledRelease < next {
+		next = m.nextStalledRelease
+	}
+	if m.inj != nil {
+		// Tick-scheduled faults are events too: the skip must stop on the
+		// tick a fault fires (and must not start at all while an injection
+		// window is active), so injections land on identical ticks with
+		// fast-forward on or off.
+		if t := m.inj.NextEventTick(m.now); t < next {
+			next = t
+		}
+	}
 	return next
 }
 

@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/workload"
+)
+
+// The fault-matrix differential: for every fault schedule, the self-check
+// invariants must hold and the fast-forward and per-tick executions must be
+// bit-identical — identical Results, identical injection logs, and, when a
+// run cannot complete, the identical structured *CheckError. No hangs, no
+// bare panics.
+
+func faultDiffConfig() Config {
+	cfg := testConfig()
+	cfg.WarmupInstructions = 3_000
+	cfg.MeasureInstructions = 12_000
+	cfg.SelfCheck = true
+	return cfg
+}
+
+// faultOutcome is one run's observable result: either Results or a
+// structured failure.
+type faultOutcome struct {
+	res        Results
+	stats      MachineStats
+	injections uint64
+	faultLog   []faults.Injection
+	err        *CheckError
+}
+
+// runFaulted executes one configuration, converting a structured failure
+// panic into a value (and re-panicking on anything else).
+func runFaulted(t *testing.T, name string, seed uint64, cfg Config) (out faultOutcome) {
+	t.Helper()
+	p, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(cfg, workload.NewGeneratorSeed(p, seed))
+	defer func() {
+		if m.inj != nil {
+			out.injections = m.inj.Injections()
+			out.faultLog = m.inj.Recent()
+		}
+		out.stats = m.Stats()
+		r := recover()
+		if r == nil {
+			return
+		}
+		ce, ok := r.(*CheckError)
+		if !ok {
+			panic(r) // bare panics are a bug; let the test crash loudly
+		}
+		out.err = ce
+	}()
+	out.res = m.Run(name)
+	return out
+}
+
+// runFaultPair holds fast-forward and per-tick execution of the same
+// faulted configuration equal: same Results or the same structured failure.
+func runFaultPair(t *testing.T, name string, seed uint64, cfg Config) {
+	t.Helper()
+	fast := cfg
+	fast.ForceSlowTick = false
+	slow := cfg
+	slow.ForceSlowTick = true
+
+	of := runFaulted(t, name, seed, fast)
+	os := runFaulted(t, name, seed, slow)
+
+	switch {
+	case of.err == nil && os.err == nil:
+		if !reflect.DeepEqual(of.res, os.res) {
+			t.Errorf("results diverge:\nfast: %+v\nslow: %+v", of.res, os.res)
+		}
+		if of.stats != os.stats {
+			t.Errorf("machine stats diverge:\nfast: %+v\nslow: %+v", of.stats, os.stats)
+		}
+	case of.err != nil && os.err != nil:
+		if of.err.Kind != os.err.Kind || of.err.Tick != os.err.Tick || of.err.Msg != os.err.Msg {
+			t.Errorf("failures diverge:\nfast: %v\nslow: %v", of.err, os.err)
+		}
+	default:
+		t.Errorf("one mode failed, the other did not:\nfast err: %v\nslow err: %v",
+			of.err, os.err)
+	}
+	if of.injections != os.injections {
+		t.Errorf("injection counts diverge: fast %d, slow %d", of.injections, os.injections)
+	}
+	if !reflect.DeepEqual(of.faultLog, os.faultLog) {
+		t.Errorf("injection logs diverge:\nfast: %v\nslow: %v", of.faultLog, os.faultLog)
+	}
+}
+
+// faultMatrix is each fault kind alone, at a rate aggressive enough to fire
+// many times in a short run, plus everything combined.
+func faultMatrix() []struct {
+	name  string
+	specs []faults.Spec
+} {
+	l2 := faults.Spec{Kind: faults.L2Delay, Period: 3, MaxDelay: 40}
+	bus := faults.Spec{Kind: faults.BusStall, Period: 5, MaxDelay: 12}
+	arm := faults.Spec{Kind: faults.SpuriousArm, Period: 450, Duration: 3}
+	ramp := faults.Spec{Kind: faults.RampInterrupt, Period: 2}
+	starve := faults.Spec{Kind: faults.CommitStarve, Period: 1500, Duration: 200}
+	return []struct {
+		name  string
+		specs []faults.Spec
+	}{
+		{"l2-delay", []faults.Spec{l2}},
+		{"bus-stall", []faults.Spec{bus}},
+		{"spurious-arm", []faults.Spec{arm}},
+		{"ramp-interrupt", []faults.Spec{ramp}},
+		{"commit-starve", []faults.Spec{starve}},
+		{"all", []faults.Spec{l2, bus, arm, ramp, starve}},
+	}
+}
+
+// TestFaultMatrixDifferential drives every fault schedule through the VSV
+// controller (with and without Time-Keeping prefetching) on the miss-heavy
+// workload, with self-checks and the watchdog armed.
+func TestFaultMatrixDifferential(t *testing.T) {
+	variants := []struct {
+		name string
+		cfg  func() Config
+	}{
+		{"fsm", func() Config { return faultDiffConfig().WithVSV(core.PolicyFSM()) }},
+		{"fsm-tk", func() Config { return faultDiffConfig().WithVSV(core.PolicyFSM()).WithTimeKeeping() }},
+	}
+	for _, fm := range faultMatrix() {
+		for _, v := range variants {
+			t.Run(fmt.Sprintf("%s/%s", fm.name, v.name), func(t *testing.T) {
+				cfg := v.cfg()
+				cfg.Faults = &faults.Plan{Seed: 0xfa17, Specs: fm.specs}
+				runFaultPair(t, "mcf", 1, cfg)
+			})
+		}
+	}
+}
+
+// TestFaultInjectionChangesPhysics guards against the injector silently
+// doing nothing: an aggressive plan must both record injections and perturb
+// the measured physics relative to the clean run.
+func TestFaultInjectionChangesPhysics(t *testing.T) {
+	cfg := faultDiffConfig().WithVSV(core.PolicyFSM())
+	clean := runFaulted(t, "mcf", 1, cfg)
+	if clean.err != nil {
+		t.Fatalf("clean run failed: %v", clean.err)
+	}
+
+	cfg.Faults = &faults.Plan{Seed: 0xfa17, Specs: faultMatrix()[5].specs}
+	faulted := runFaulted(t, "mcf", 1, cfg)
+	if faulted.err != nil {
+		t.Fatalf("faulted run failed: %v", faulted.err)
+	}
+	if faulted.injections == 0 {
+		t.Fatal("aggressive plan performed zero injections")
+	}
+	if faulted.res.Ticks == clean.res.Ticks && faulted.res.EnergyNJ == clean.res.EnergyNJ {
+		t.Errorf("faulted run is indistinguishable from clean: %+v", faulted.res)
+	}
+}
+
+// TestFaultReplayDeterminism pins that a faulted run reproduces exactly
+// from (seed, plan): same Results, same injection log.
+func TestFaultReplayDeterminism(t *testing.T) {
+	cfg := faultDiffConfig().WithVSV(core.PolicyFSM())
+	cfg.Faults = &faults.Plan{Seed: 7, Specs: faultMatrix()[5].specs}
+	a := runFaulted(t, "mcf", 2, cfg)
+	b := runFaulted(t, "mcf", 2, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("replay diverged:\nfirst:  %+v\nsecond: %+v", a.res, b.res)
+	}
+}
+
+// TestWatchdogTripStructured pins the satellite requirement: a workload
+// deadlocked by commit starvation surfaces a structured watchdog error —
+// not a hang, not a string panic — under both execution modes, with a
+// populated machine snapshot.
+func TestWatchdogTripStructured(t *testing.T) {
+	cfg := faultDiffConfig().WithVSV(core.PolicyFSM())
+	cfg.WatchdogTicks = 20_000
+	// One starvation window longer than the watchdog horizon: commit stops
+	// and never resumes before the watchdog fires.
+	cfg.Faults = &faults.Plan{
+		Seed:  3,
+		Specs: []faults.Spec{{Kind: faults.CommitStarve, Period: 4000, Duration: 50_000}},
+	}
+	for _, slow := range []bool{false, true} {
+		name := "fastforward"
+		if slow {
+			name = "slowtick"
+		}
+		t.Run(name, func(t *testing.T) {
+			c := cfg
+			c.ForceSlowTick = slow
+			out := runFaulted(t, "mcf", 1, c)
+			if out.err == nil {
+				t.Fatalf("expected a watchdog failure, got results: %+v", out.res)
+			}
+			if out.err.Kind != FailWatchdog {
+				t.Fatalf("expected %v, got %v", FailWatchdog, out.err)
+			}
+			if out.err.Snapshot.Tick == 0 || out.err.Snapshot.Mode == "" {
+				t.Errorf("snapshot not populated: %+v", out.err.Snapshot)
+			}
+			if len(out.err.Snapshot.FaultLog) == 0 {
+				t.Errorf("snapshot missing the fault log that caused the trip")
+			}
+		})
+	}
+}

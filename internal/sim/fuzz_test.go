@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// FuzzConfigValidate hardens the configuration surface: whatever scalar
+// soup arrives — CLI flags, sweep axes, JSON-decoded checkpoint configs —
+// Validate must classify it as valid or invalid without panicking, and must
+// do so deterministically.
+func FuzzConfigValidate(f *testing.F) {
+	f.Add(64, 2, 32, 2, 64, 12, 4, 100, uint64(400_000), int64(0),
+		uint8(0), int64(0), int64(0), int64(0), int64(0), int64(0))
+	f.Add(0, 0, 0, 0, 0, 0, 0, 0, uint64(0), int64(-1),
+		uint8(1), int64(1), int64(1), int64(1), int64(0), int64(0))
+	f.Add(1<<20, 16, 64, 1, 1, 1, 1, 1, uint64(1), int64(1),
+		uint8(4), int64(100), int64(5), int64(7), int64(10), int64(5))
+	f.Add(-1, -1, -8, -2, -64, -12, -4, -100, uint64(1), int64(1<<62),
+		uint8(250), int64(-3), int64(-1), int64(-1), int64(-5), int64(3))
+
+	f.Fuzz(func(t *testing.T,
+		l1Size, l1Assoc, block, l1MSHR, l2MSHR, l2Hit, busOcc, memLat int,
+		measure uint64, watchdog int64,
+		fKind uint8, fPeriod, fMaxDelay, fDuration, fStart, fEnd int64,
+	) {
+		cfg := DefaultConfig()
+		cfg.IL1.SizeBytes = l1Size
+		cfg.DL1.SizeBytes = l1Size
+		cfg.IL1.Assoc = l1Assoc
+		cfg.DL1.Assoc = l1Assoc
+		cfg.IL1.BlockBytes = block
+		cfg.DL1.BlockBytes = block
+		cfg.L2.BlockBytes = block
+		cfg.IL1.MSHREntries = l1MSHR
+		cfg.DL1.MSHREntries = l1MSHR
+		cfg.L2.MSHREntries = l2MSHR
+		cfg.L2.HitLatency = l2Hit
+		cfg.Bus.Occupancy = busOcc
+		cfg.Mem.LatencyTicks = memLat
+		cfg.MeasureInstructions = measure
+		cfg.WatchdogTicks = watchdog
+		cfg.Faults = &faults.Plan{
+			Seed: 1,
+			Specs: []faults.Spec{{
+				Kind:     faults.Kind(fKind),
+				Period:   fPeriod,
+				MaxDelay: fMaxDelay,
+				Duration: fDuration,
+				Start:    fStart,
+				End:      fEnd,
+			}},
+		}
+
+		err1 := cfg.Validate()
+		err2 := cfg.Validate()
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("Validate is nondeterministic: %v vs %v", err1, err2)
+		}
+	})
+}

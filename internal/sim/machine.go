@@ -1,12 +1,13 @@
 package sim
 
 import (
-	"fmt"
+	"time"
 
 	"repro/internal/branch"
 	"repro/internal/bus"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/pipeline"
 	"repro/internal/power"
@@ -74,6 +75,19 @@ type Machine struct {
 	// per-transaction closures.
 	txnFree []*bus.Transaction
 
+	// inj, when non-nil, is the deterministic fault injector (Config.Faults).
+	// stalled holds bus transactions the injector is delaying before they
+	// reach the bus queue; nextStalledRelease is their earliest release tick
+	// (valid iff len(stalled) > 0).
+	inj                *faults.Injector
+	stalled            []stalledTxn
+	nextStalledRelease int64
+
+	// wallDeadline and stop are cooperative run-control knobs (see
+	// WithWallDeadline / WithStop); both are polled every pollTicks ticks.
+	wallDeadline time.Time
+	stop         <-chan struct{}
+
 	stats              MachineStats
 	rampsBaseline      uint64
 	missesAtTickStart  uint64
@@ -82,6 +96,12 @@ type Machine struct {
 	lastEnergySeen     float64
 
 	lastCommitTick int64
+}
+
+// stalledTxn is a bus transaction the fault injector is holding back.
+type stalledTxn struct {
+	t         *bus.Transaction
+	releaseAt int64
 }
 
 // NewMachine builds a machine running src on the given configuration. It
@@ -140,6 +160,13 @@ func build(cfg Config, src pipeline.InstSource) (*Machine, error) {
 		}
 		m.rec = trace.NewRecorder(cfg.TraceInterval, maxS)
 	}
+	if cfg.Faults != nil {
+		inj, err := faults.NewInjector(cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		m.inj = inj
+	}
 	return m, nil
 }
 
@@ -162,6 +189,10 @@ func (m *Machine) Caches() (il1, dl1, l2 *cache.Cache) { return m.il1, m.dl1, m.
 // Stats returns the machine-level counters.
 func (m *Machine) Stats() MachineStats { return m.stats }
 
+// FaultInjector returns the fault injector (nil unless Config.Faults was
+// set) for inspecting the injection log.
+func (m *Machine) FaultInjector() *faults.Injector { return m.inj }
+
 // ---------------------------------------------------------------- ticks --
 
 // tick advances the whole machine by one nanosecond.
@@ -173,6 +204,14 @@ func (m *Machine) tick() {
 		edge = m.ctl.BeginTick(now)
 		vdd = m.ctl.VDD()
 	}
+	if m.inj != nil {
+		m.inj.Tick(now)
+		if edge && m.inj.IssueFrozen() {
+			// Commit starvation: the pipeline loses its clock edge (the
+			// controller still observes the tick as a zero-issue edge).
+			edge = false
+		}
+	}
 
 	m.missDetected = false
 	m.missReturned = false
@@ -181,6 +220,9 @@ func (m *Machine) tick() {
 	// Memory side: always at full speed.
 	m.bus.Tick(now)
 	m.mem.Tick(now)
+	if len(m.stalled) > 0 {
+		m.releaseStalled(now)
+	}
 	m.processL2Events(now)
 	m.tkTick(now)
 
@@ -217,12 +259,19 @@ func (m *Machine) tick() {
 			// misses, so it sees every outstanding miss.
 			outstanding = m.l2MSHR.Used()
 		}
-		m.ctl.EndTick(now, core.Observation{
+		obs := core.Observation{
 			Issued:            issued,
 			MissDetected:      m.missDetected,
 			MissReturned:      m.missReturned,
 			OutstandingDemand: outstanding,
-		})
+		}
+		if m.inj != nil {
+			m.inj.PerturbObservation(now, m.ctl.Mode(), &obs)
+		}
+		m.ctl.EndTick(now, obs)
+		if m.inj != nil {
+			m.inj.NoteMode(m.ctl.Mode())
+		}
 	}
 
 	if m.cfg.SelfCheck {
@@ -244,16 +293,40 @@ func (m *Machine) Run(benchmark string) Results {
 
 func (m *Machine) runUntil(committed uint64) {
 	slow := m.cfg.ForceSlowTick
+	poll := 0
 	for m.pipe.Committed() < committed {
 		if !slow {
 			m.fastForward()
 		}
 		m.tick()
 		if m.cfg.WatchdogTicks > 0 && m.now-m.lastCommitTick > m.cfg.WatchdogTicks {
-			panic(fmt.Sprintf("sim: no commit for %d ticks at tick %d (committed %d, RUU %d, LSQ %d, L2 MSHR %d)",
-				m.cfg.WatchdogTicks, m.now, m.pipe.Committed(),
-				m.pipe.RUUOccupancy(), m.pipe.LSQOccupancy(), m.l2MSHR.Used()))
+			panic(m.failure(FailWatchdog, m.now,
+				"no commit for %d ticks", m.cfg.WatchdogTicks))
 		}
+		if poll++; poll >= runPollInterval {
+			poll = 0
+			m.checkRunControl()
+		}
+	}
+}
+
+// runPollInterval is how many loop iterations pass between cooperative
+// checks of the stop channel and the wall-clock deadline — frequent enough
+// to cancel a run within milliseconds, rare enough to cost nothing.
+const runPollInterval = 4096
+
+// checkRunControl polls the run-control knobs (WithStop, WithWallDeadline)
+// and raises the corresponding structured failure.
+func (m *Machine) checkRunControl() {
+	if m.stop != nil {
+		select {
+		case <-m.stop:
+			panic(m.failure(FailAborted, m.now, "run stopped"))
+		default:
+		}
+	}
+	if !m.wallDeadline.IsZero() && time.Now().After(m.wallDeadline) {
+		panic(m.failure(FailDeadline, m.now, "wall-clock deadline exceeded"))
 	}
 }
 
@@ -280,9 +353,16 @@ func (m *Machine) resetStats() {
 // ------------------------------------------------------------- L2 side --
 
 func (m *Machine) scheduleL2(block uint64, write, isPrefetch, fillBuf bool) {
+	readyAt := m.now + int64(m.cfg.L2.HitLatency)
+	if m.inj != nil {
+		// Fault injection: a delayed L2 access also reorders it relative
+		// to accesses scheduled after it (processL2Events gates on
+		// readyAt, not insertion order).
+		readyAt += m.inj.L2Delay(m.now)
+	}
 	m.pushL2Event(l2Event{
 		block:    block,
-		readyAt:  m.now + int64(m.cfg.L2.HitLatency),
+		readyAt:  readyAt,
 		write:    write,
 		prefetch: isPrefetch,
 		fillBuf:  fillBuf,
@@ -413,8 +493,42 @@ func (m *Machine) handleL2Access(e l2Event, now int64) {
 }
 
 func (m *Machine) submitBus(t *bus.Transaction, now int64) {
+	if m.inj != nil {
+		if d := m.inj.BusDelay(now); d > 0 {
+			releaseAt := now + d
+			if len(m.stalled) == 0 || releaseAt < m.nextStalledRelease {
+				m.nextStalledRelease = releaseAt
+			}
+			m.stalled = append(m.stalled, stalledTxn{t: t, releaseAt: releaseAt})
+			return
+		}
+	}
 	m.pow.BusTransaction()
 	m.bus.Submit(t, now)
+}
+
+// releaseStalled re-submits fault-stalled bus transactions whose delay has
+// matured. Power is charged at release, when the wires actually move; the
+// release bypasses the injector so a transaction stalls at most once.
+func (m *Machine) releaseStalled(now int64) {
+	if now < m.nextStalledRelease {
+		return
+	}
+	next := int64(1) << 62
+	kept := m.stalled[:0]
+	for _, st := range m.stalled {
+		if st.releaseAt <= now {
+			m.pow.BusTransaction()
+			m.bus.Submit(st.t, now)
+			continue
+		}
+		if st.releaseAt < next {
+			next = st.releaseAt
+		}
+		kept = append(kept, st)
+	}
+	m.stalled = kept
+	m.nextStalledRelease = next
 }
 
 // getTxn takes a pooled bus transaction (completions come back through

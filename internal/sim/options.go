@@ -2,8 +2,10 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/pipeline"
 	"repro/internal/prefetch"
 	"repro/internal/workload"
@@ -11,10 +13,20 @@ import (
 
 // settings collects what the functional options configure: the underlying
 // Config value plus construction-time extras that are not part of the
-// machine configuration proper (the workload seed).
+// machine configuration proper (the workload seed, and the run-control
+// knobs — wall-clock deadline and stop channel — which campaign runners
+// attach per run and which deliberately stay out of sweep fingerprints).
 type settings struct {
-	cfg  Config
-	seed uint64
+	cfg      Config
+	seed     uint64
+	deadline time.Time
+	stop     <-chan struct{}
+}
+
+// apply transfers the construction-time extras onto a built machine.
+func (s *settings) apply(m *Machine) {
+	m.wallDeadline = s.deadline
+	m.stop = s.stop
 }
 
 // Option configures a machine under construction by New or NewBench. The
@@ -35,7 +47,12 @@ func New(src pipeline.InstSource, opts ...Option) (*Machine, error) {
 	for _, o := range opts {
 		o(&s)
 	}
-	return build(s.cfg, src)
+	m, err := build(s.cfg, src)
+	if err != nil {
+		return nil, err
+	}
+	s.apply(m)
+	return m, nil
 }
 
 // NewBench builds a machine running the named synthetic SPEC2K benchmark,
@@ -51,7 +68,12 @@ func NewBench(bench string, opts ...Option) (*Machine, error) {
 	for _, o := range opts {
 		o(&s)
 	}
-	return build(s.cfg, workload.NewGeneratorSeed(p, s.seed))
+	m, err := build(s.cfg, workload.NewGeneratorSeed(p, s.seed))
+	if err != nil {
+		return nil, err
+	}
+	s.apply(m)
+	return m, nil
 }
 
 // BenchConfig returns DefaultConfig with the synthetic benchmarks' resident
@@ -165,4 +187,31 @@ func WithMemoryLatency(ticks int) Option {
 // own seeding.
 func WithSeed(seed uint64) Option {
 	return func(s *settings) { s.seed = seed }
+}
+
+// WithFaultPlan attaches a deterministic fault injector driven by the plan
+// (see internal/faults). The plan is part of the configuration — a faulted
+// point fingerprints differently from a clean one — and any failure it
+// provokes reproduces from (plan.Seed, plan.Specs) alone.
+func WithFaultPlan(p faults.Plan) Option {
+	return func(s *settings) { s.cfg.Faults = &p }
+}
+
+// WithWallDeadline aborts the run (with a structured *CheckError of kind
+// FailDeadline, delivered by panic) once the wall clock passes deadline.
+// The check is cooperative — polled every few thousand ticks — so it bounds
+// runaway simulations without taxing the hot path. The zero time disables
+// it. The deadline is run control, not machine configuration: it does not
+// participate in sweep fingerprints.
+func WithWallDeadline(deadline time.Time) Option {
+	return func(s *settings) { s.deadline = deadline }
+}
+
+// WithStop aborts the run (with a structured *CheckError of kind
+// FailAborted, delivered by panic) soon after stop is closed. Like the
+// wall-clock deadline it is polled cooperatively and stays out of
+// fingerprints; campaign runners use it to cancel in-flight simulations
+// promptly.
+func WithStop(stop <-chan struct{}) Option {
+	return func(s *settings) { s.stop = stop }
 }

@@ -1,7 +1,5 @@
 package sim
 
-import "fmt"
-
 // Self-check mode: when Config.SelfCheck is set, the machine asserts
 // cross-component invariants while it runs — occupancy bounds, energy
 // monotonicity, voltage limits, event-queue sanity. It exists to catch
@@ -76,7 +74,9 @@ func (m *Machine) selfCheck(now int64) {
 	}
 }
 
+// fail raises a structured *CheckError (via panic) carrying a full machine
+// snapshot — occupancies, controller state, recent events and injections —
+// so a tripped invariant is diagnosable from the error alone.
 func (m *Machine) fail(now int64, format string, args ...interface{}) {
-	panic(fmt.Sprintf("sim: self-check failed at tick %d: %s",
-		now, fmt.Sprintf(format, args...)))
+	panic(m.failure(FailSelfCheck, now, format, args...))
 }

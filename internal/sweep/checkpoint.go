@@ -1,0 +1,135 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Checkpoint persists completed sweep results across process lifetimes so an
+// interrupted campaign resumes instead of recomputing. The format is a JSON
+// Lines file — one {fingerprint, key, results} record per line, appended and
+// synced as each simulation completes — chosen for kill-tolerance: a process
+// killed mid-write loses at most its final partial line, which OpenCheckpoint
+// detects and truncates away. Results round-trip exactly (encoding/json
+// emits the shortest float64 representation and parses it back bit-equal),
+// so a resumed campaign's output is byte-identical to an uninterrupted one.
+type Checkpoint struct {
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	entries map[string]sim.Results
+	loaded  int
+}
+
+// checkpointRecord is one line of the file.
+type checkpointRecord struct {
+	FP  string      `json:"fp"`
+	Key string      `json:"key"`
+	Res sim.Results `json:"res"`
+}
+
+// OpenCheckpoint opens (creating if needed) the checkpoint file at path,
+// loading every complete record and truncating any trailing partial line
+// left by a killed writer.
+func OpenCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: checkpoint: %w", err)
+	}
+	c := &Checkpoint{f: f, entries: make(map[string]sim.Results)}
+
+	// Scan existing records, tracking the byte offset of the last line that
+	// parsed cleanly.
+	var good int64
+	r := bufio.NewReader(f)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			// EOF, possibly with a torn unterminated line: drop the tail (a
+			// record missing its terminator just re-runs on resume).
+			break
+		}
+		var rec checkpointRecord
+		if json.Unmarshal(line, &rec) != nil {
+			// Corrupt line: drop it and everything after.
+			break
+		}
+		good += int64(len(line))
+		c.entries[rec.FP] = rec.Res
+		c.loaded++
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: checkpoint: truncate: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: checkpoint: %w", err)
+	}
+	c.w = bufio.NewWriter(f)
+	return c, nil
+}
+
+// Lookup returns the checkpointed results for a point fingerprint.
+func (c *Checkpoint) Lookup(fp string) (sim.Results, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, ok := c.entries[fp]
+	return res, ok
+}
+
+// Len returns how many distinct fingerprints the checkpoint holds.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Loaded returns how many records were recovered from disk at open time.
+func (c *Checkpoint) Loaded() int { return c.loaded }
+
+// add records one completed simulation, flushing the line to the OS so a
+// subsequent kill cannot lose it. Duplicate fingerprints are ignored.
+func (c *Checkpoint) add(fp, key string, res sim.Results) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[fp]; ok {
+		return nil
+	}
+	line, err := json.Marshal(checkpointRecord{FP: fp, Key: key, Res: res})
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := c.w.Write(line); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	c.entries[fp] = res
+	return nil
+}
+
+// Close flushes and closes the underlying file. The checkpoint stays usable
+// for Lookup afterwards (reads are served from memory).
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	ferr := c.w.Flush()
+	cerr := c.f.Close()
+	c.f = nil
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}

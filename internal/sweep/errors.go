@@ -1,0 +1,73 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// RunError is the structured failure of one campaign point. It carries
+// enough to reproduce the failure ((Benchmark, Seed, Config fingerprint)
+// identify the run; the wrapped error carries the machine snapshot when the
+// failure came from the simulator) and enough to triage it (the attempt
+// count, and the recovered stack when the failure was a bare panic).
+type RunError struct {
+	// Key, Benchmark and Seed identify the failed point.
+	Key       string
+	Benchmark string
+	Seed      uint64
+	// Fingerprint is the point's memoization fingerprint — with the
+	// campaign's plan (or checkpoint) it pins down the exact configuration
+	// that failed.
+	Fingerprint string
+	// Attempts is how many times the point was tried (> 1 when transient
+	// failures were retried).
+	Attempts int
+	// Err is the underlying failure: a *sim.CheckError for structured
+	// simulator failures (self-check, watchdog, deadline), a validation
+	// error, or a wrapped bare panic.
+	Err error
+	// Stack is the goroutine stack captured at recovery when Err was a bare
+	// panic (nil otherwise — structured failures carry their own snapshot).
+	Stack []byte
+}
+
+// Error renders the one-line diagnosis.
+func (e *RunError) Error() string {
+	return fmt.Sprintf("sweep: point %q (bench %s seed %d) failed after %d attempt(s): %v",
+		e.Key, e.Benchmark, e.Seed, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is / errors.As.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// panicError wraps a recovered non-structured panic value so it travels as
+// an error without losing the original value's rendering or the stack it
+// was recovered on.
+type panicError struct {
+	value interface{}
+	stack []byte
+}
+
+func (p *panicError) Error() string { return fmt.Sprintf("panic: %v", p.value) }
+
+// transient reports whether err is worth retrying: wall-clock deadline
+// expiries are (the machine may have been starved by load on a shared box),
+// while self-check trips, watchdog expiries, validation errors and bare
+// panics are deterministic and would only fail again.
+func transient(err error) bool {
+	var ce *sim.CheckError
+	if errors.As(err, &ce) {
+		return ce.Kind == sim.FailDeadline
+	}
+	return false
+}
+
+// isCancel reports whether err is a cancellation rather than a genuine
+// point failure (the caller's context, or the engine's own first-failure
+// abort).
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

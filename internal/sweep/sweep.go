@@ -9,8 +9,10 @@ package sweep
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -35,8 +37,15 @@ type Point struct {
 type Stats struct {
 	// Points counts every submitted point; Ran counts the simulations that
 	// actually executed; CacheHits counts points satisfied by a memoized
-	// (or in-flight duplicate) run. Points == Ran + CacheHits.
+	// (or in-flight duplicate) run. For all-success campaigns,
+	// Points == Ran + CacheHits + CheckpointHits.
 	Points, Ran, CacheHits int
+	// CheckpointHits counts points satisfied from the attached checkpoint
+	// file (completed in an earlier process lifetime).
+	CheckpointHits int
+	// Failed counts points that genuinely failed (cancellations are not
+	// failures); Retried counts extra attempts spent on transient failures.
+	Failed, Retried int
 	// SimTime is the summed wall time of executed simulations; WorstRun is
 	// the longest single simulation and WorstKey its point key.
 	SimTime  time.Duration
@@ -83,6 +92,42 @@ func WithoutCache() Option {
 	return func(e *Engine) { e.noCache = true }
 }
 
+// RunTimeout bounds each simulation's wall-clock time. A run past its
+// deadline fails with a structured *sim.CheckError of kind FailDeadline —
+// classified transient, so it is retried when Retries allows. Zero (the
+// default) disables the bound.
+func RunTimeout(d time.Duration) Option {
+	return func(e *Engine) { e.runTimeout = d }
+}
+
+// Retries allows up to n extra attempts for transiently-failed points
+// (currently: wall-clock deadline expiries), with linear backoff between
+// attempts. Deterministic failures — self-check trips, watchdog expiries,
+// validation errors, panics — are never retried.
+func Retries(n int) Option {
+	if n < 0 {
+		n = 0
+	}
+	return func(e *Engine) { e.retries = n }
+}
+
+// ContinueOnError keeps the campaign draining after a point fails: the
+// remaining points still execute and the failure is reported at the end (or
+// per point, via RunAll). The default is fail-fast — the first failure
+// cancels pending points and promptly aborts in-flight simulations through
+// their stop channels.
+func ContinueOnError() Option {
+	return func(e *Engine) { e.keepGoing = true }
+}
+
+// WithCheckpoint attaches a checkpoint: points whose fingerprint it already
+// holds are served from it, and every newly completed simulation is
+// appended to it. The caller owns the checkpoint's lifetime (Close it after
+// the campaign).
+func WithCheckpoint(cp *Checkpoint) Option {
+	return func(e *Engine) { e.cp = cp }
+}
+
 // entry is one memoized (or in-flight) simulation.
 type entry struct {
 	res  sim.Results
@@ -94,9 +139,14 @@ type entry struct {
 // cache that persists across Run calls. An Engine is safe for concurrent
 // use.
 type Engine struct {
-	workers  int
-	progress func(Progress)
-	noCache  bool
+	workers    int
+	progress   func(Progress)
+	noCache    bool
+	runTimeout time.Duration
+	retries    int
+	backoff    time.Duration
+	keepGoing  bool
+	cp         *Checkpoint
 
 	mu    sync.Mutex
 	cache map[string]*entry
@@ -107,6 +157,7 @@ type Engine struct {
 func New(opts ...Option) *Engine {
 	e := &Engine{
 		workers: runtime.GOMAXPROCS(0),
+		backoff: 50 * time.Millisecond,
 		cache:   make(map[string]*entry),
 	}
 	for _, o := range opts {
@@ -130,16 +181,79 @@ type runItem struct {
 }
 
 // Run executes the points and returns their results in submission order.
-// Points whose fingerprint matches a memoized or in-flight run are not
-// re-simulated. On context cancellation the unstarted remainder is dropped
-// (in-flight simulations complete and stay cached) and ctx.Err() is
-// returned.
+// Points whose fingerprint matches a memoized, checkpointed or in-flight
+// run are not re-simulated. On context cancellation the unstarted remainder
+// is dropped (in-flight simulations are aborted promptly through their stop
+// channels) and ctx.Err() is returned. On a point failure the default is
+// fail-fast — pending and in-flight work is cancelled and the first genuine
+// failure (a *RunError, in submission order) is returned; with
+// ContinueOnError the campaign drains fully first.
 func (e *Engine) Run(ctx context.Context, points []Point) ([]sim.Results, error) {
+	waiters, err := e.execute(ctx, points)
+	if err != nil {
+		return nil, err
+	}
+	// Assemble in submission order. Entries owned by concurrent Run calls
+	// may still be in flight; wait on them. Cancellations are reported only
+	// when no genuine failure explains them.
+	out := make([]sim.Results, len(points))
+	var cancelErr error
+	for i, en := range waiters {
+		<-en.done
+		switch {
+		case en.err == nil:
+			out[i] = en.res
+		case isCancel(en.err):
+			if cancelErr == nil {
+				cancelErr = fmt.Errorf("sweep: point %q: %w", points[i].Key, en.err)
+			}
+		default:
+			return nil, en.err
+		}
+	}
+	if cancelErr != nil {
+		return nil, cancelErr
+	}
+	return out, nil
+}
+
+// PointResult is one point's outcome in a RunAll campaign: its results, or
+// the error that prevented them (a *RunError for genuine failures, a
+// cancellation error for points dropped by fail-fast or the caller's
+// context).
+type PointResult struct {
+	Key string
+	Res sim.Results
+	Err error
+}
+
+// RunAll executes the points and returns every point's individual outcome
+// in submission order — the graceful-degradation interface: with
+// ContinueOnError, a campaign with failing points still yields results for
+// every point that could run, each failure annotated in place. The returned
+// error is only non-nil for planning problems (unhashable configurations).
+func (e *Engine) RunAll(ctx context.Context, points []Point) ([]PointResult, error) {
+	waiters, err := e.execute(ctx, points)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PointResult, len(points))
+	for i, en := range waiters {
+		<-en.done
+		out[i] = PointResult{Key: points[i].Key, Res: en.res, Err: en.err}
+	}
+	return out, nil
+}
+
+// execute plans the campaign and fans it out over the worker pool,
+// returning each point's entry (resolved or in flight).
+func (e *Engine) execute(ctx context.Context, points []Point) ([]*entry, error) {
 	// Plan sequentially: map each point to its cache entry, creating
 	// entries for the runs this call owns. Hit accounting happens here, in
 	// submission order, so it is deterministic for any worker count.
 	waiters := make([]*entry, len(points))
 	var toRun []runItem
+	hits := 0
 	e.mu.Lock()
 	e.stats.Points += len(points)
 	for i, p := range points {
@@ -151,6 +265,20 @@ func (e *Engine) Run(ctx context.Context, points []Point) ([]sim.Results, error)
 		if !e.noCache {
 			if en, ok := e.cache[fp]; ok {
 				e.stats.CacheHits++
+				hits++
+				waiters[i] = en
+				continue
+			}
+		}
+		if e.cp != nil {
+			if res, ok := e.cp.Lookup(fp); ok {
+				en := &entry{res: res, done: make(chan struct{})}
+				close(en.done)
+				if !e.noCache {
+					e.cache[fp] = en
+				}
+				e.stats.CheckpointHits++
+				hits++
 				waiters[i] = en
 				continue
 			}
@@ -162,8 +290,14 @@ func (e *Engine) Run(ctx context.Context, points []Point) ([]sim.Results, error)
 		waiters[i] = en
 		toRun = append(toRun, runItem{fp: fp, p: p, en: en})
 	}
-	hits := len(points) - len(toRun)
 	e.mu.Unlock()
+
+	// runCtx is the campaign's cancellation scope: it follows the caller's
+	// context and, under fail-fast, is cancelled on the first genuine point
+	// failure. Its Done channel is threaded into every simulation as the
+	// stop channel, so in-flight runs abort within a few thousand ticks.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
 
 	// Fan the owned runs out over the worker pool. Workers drain the whole
 	// channel even after cancellation, failing (and uncaching) the items
@@ -208,18 +342,33 @@ func (e *Engine) Run(ctx context.Context, points []Point) ([]sim.Results, error)
 		go func() {
 			defer wg.Done()
 			for it := range jobs {
-				if ctx.Err() != nil {
-					e.fail(it, ctx.Err())
+				if runCtx.Err() != nil {
+					e.fail(it, runCtx.Err(), false)
 					continue
 				}
 				t0 := time.Now()
-				m, err := sim.NewBench(it.p.Benchmark,
-					sim.WithConfig(it.p.Config), sim.WithSeed(it.p.Seed))
+				res, err := e.runPoint(runCtx, it)
 				if err != nil {
-					e.fail(it, err)
+					genuine := !isCancel(err)
+					e.fail(it, err, genuine)
+					if genuine && !e.keepGoing {
+						cancelRun()
+					}
 					continue
 				}
-				it.en.res = m.Run(it.p.Benchmark)
+				if e.cp != nil {
+					if cerr := e.cp.add(it.fp, it.p.Key, res); cerr != nil {
+						// A result that cannot be checkpointed breaks the
+						// resume guarantee; fail the point rather than
+						// silently degrade.
+						e.fail(it, fmt.Errorf("sweep: checkpoint write: %w", cerr), true)
+						if !e.keepGoing {
+							cancelRun()
+						}
+						continue
+					}
+				}
+				it.en.res = res
 				close(it.en.done)
 				note(it, time.Since(t0))
 			}
@@ -230,25 +379,87 @@ func (e *Engine) Run(ctx context.Context, points []Point) ([]sim.Results, error)
 	}
 	close(jobs)
 	wg.Wait()
-
-	// Assemble in submission order. Entries owned by concurrent Run calls
-	// may still be in flight; wait on them.
-	out := make([]sim.Results, len(points))
-	for i, en := range waiters {
-		<-en.done
-		if en.err != nil {
-			return nil, fmt.Errorf("sweep: point %q: %w", points[i].Key, en.err)
-		}
-		out[i] = en.res
-	}
-	return out, nil
+	return waiters, nil
 }
 
-// fail marks an entry as errored and, for transient errors (cancellation),
-// removes it from the cache so a later Run call re-executes the point.
-func (e *Engine) fail(it runItem, err error) {
+// runPoint executes one point with panic isolation, the per-run deadline,
+// and bounded retry of transient failures.
+func (e *Engine) runPoint(ctx context.Context, it runItem) (sim.Results, error) {
+	attempt := 0
+	for {
+		attempt++
+		res, err := e.runOnce(ctx, it.p)
+		if err == nil {
+			return res, nil
+		}
+		var ce *sim.CheckError
+		if errors.As(err, &ce) && ce.Kind == sim.FailAborted {
+			// Stopped through the stop channel: a cancellation, not a
+			// failure of this point.
+			if cerr := ctx.Err(); cerr != nil {
+				return sim.Results{}, cerr
+			}
+			return sim.Results{}, context.Canceled
+		}
+		if attempt <= e.retries && transient(err) && ctx.Err() == nil {
+			e.mu.Lock()
+			e.stats.Retried++
+			e.mu.Unlock()
+			time.Sleep(time.Duration(attempt) * e.backoff)
+			continue
+		}
+		re := &RunError{
+			Key:         it.p.Key,
+			Benchmark:   it.p.Benchmark,
+			Seed:        it.p.Seed,
+			Fingerprint: it.fp,
+			Attempts:    attempt,
+			Err:         err,
+		}
+		var pe *panicError
+		if errors.As(err, &pe) {
+			re.Stack = pe.stack
+		}
+		return sim.Results{}, re
+	}
+}
+
+// runOnce executes one attempt, converting panics — the simulator's
+// structured failures and anything else — into errors.
+func (e *Engine) runOnce(ctx context.Context, p Point) (res sim.Results, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if ce, ok := r.(*sim.CheckError); ok {
+			err = ce
+			return
+		}
+		err = &panicError{value: r, stack: debug.Stack()}
+	}()
+	opts := []sim.Option{
+		sim.WithConfig(p.Config), sim.WithSeed(p.Seed), sim.WithStop(ctx.Done()),
+	}
+	if e.runTimeout > 0 {
+		opts = append(opts, sim.WithWallDeadline(time.Now().Add(e.runTimeout)))
+	}
+	m, err := sim.NewBench(p.Benchmark, opts...)
+	if err != nil {
+		return sim.Results{}, err
+	}
+	return m.Run(p.Benchmark), nil
+}
+
+// fail marks an entry as errored and removes it from the cache so a later
+// Run call re-executes the point; genuine failures (not cancellations) are
+// counted.
+func (e *Engine) fail(it runItem, err error, genuine bool) {
 	e.mu.Lock()
 	delete(e.cache, it.fp)
+	if genuine {
+		e.stats.Failed++
+	}
 	e.mu.Unlock()
 	it.en.err = err
 	close(it.en.done)
