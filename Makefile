@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check stress fuzz bench bench-compare experiments examples cover clean
+.PHONY: all build vet test lint check stress fuzz bench bench-compare experiments examples cover cover-gate clean
 
 all: build vet test
 
@@ -15,12 +15,18 @@ vet:
 test:
 	$(GO) test ./...
 
-# The pre-merge gate: vet, the race-enabled short suite (which includes
-# the sweep engine's determinism and cancellation tests, and the
+# vsvlint enforces the simulator's cross-cutting invariants (determinism,
+# zero-alloc hot path, panic discipline, float ordering, the fast-forward
+# event-horizon contract) — see DESIGN.md §9.
+lint:
+	$(GO) run ./cmd/vsvlint ./...
+
+# The pre-merge gate: vet, vsvlint, the race-enabled short suite (which
+# includes the sweep engine's determinism and cancellation tests, and the
 # fast-forward differential tests), and the golden-output regression (the
 # short-mode experiments digest must match the committed hash with
 # fast-forward both enabled and disabled — see scripts/check_golden.sh).
-check: vet
+check: vet lint
 	$(GO) test -race -short ./...
 	sh scripts/check_golden.sh
 
@@ -41,12 +47,13 @@ fuzz:
 
 # One testing.B per paper artefact + ablations, run once each. The raw
 # output is converted to a machine-readable JSON document (BENCH_$(BENCH_N).json)
-# so runs can be committed and compared across PRs.
-BENCH_N ?= 3
+# so runs can be committed and compared across PRs. Set BENCH_N to the PR
+# number and BENCH_NOTE to a one-line description of what changed.
+BENCH_N ?= 5
+BENCH_NOTE ?= PR $(BENCH_N)
 bench:
 	$(GO) test -run XXX -bench=. -benchmem -count=1 -benchtime=1x . | tee /dev/stderr | \
-		$(GO) run ./cmd/benchjson -o BENCH_$(BENCH_N).json \
-			-note "PR $(BENCH_N): event-driven stall skipping; Table2 was 286906103 ns/op in BENCH_2"
+		$(GO) run ./cmd/benchjson -o BENCH_$(BENCH_N).json -note "$(BENCH_NOTE)"
 
 # Fails on >10% ns/op regression of any benchmark shared between the
 # previous PR's document and this one (see scripts/bench_compare.sh).
@@ -69,6 +76,11 @@ examples:
 cover:
 	$(GO) test ./internal/... -coverprofile=cover.out
 	$(GO) tool cover -func=cover.out | tail -1
+
+# Fails when ./internal/... statement coverage drops below the committed
+# floor (see scripts/cover_gate.sh).
+cover-gate:
+	sh scripts/cover_gate.sh
 
 clean:
 	rm -f cover.out vsv_trace.csv

@@ -1,0 +1,101 @@
+// Command vsvlint runs the repository's static-analysis suite: five
+// stdlib-only analyzers enforcing the simulator's determinism, hot-path,
+// error-discipline, float-ordering and fast-forward-horizon invariants
+// (see DESIGN.md §9).
+//
+// Usage:
+//
+//	go run ./cmd/vsvlint [-root dir] [-v] [-list] [patterns...]
+//
+// Patterns default to ./... . Exit status is 1 when any diagnostic
+// survives pragma suppression (including pragma-hygiene findings:
+// malformed or unused //vsvlint:ignore comments).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	root := flag.String("root", "", "module root (default: nearest go.mod above the working directory)")
+	verbose := flag.Bool("v", false, "list applied suppressions and hot-path seeds")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+
+	if *root == "" {
+		r, err := findRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vsvlint:", err)
+			return 2
+		}
+		*root = r
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	prog, err := lint.Load(*root, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vsvlint:", err)
+		return 2
+	}
+	res := lint.Run(prog, analyzers)
+
+	if *verbose {
+		seeds := lint.HotpathSeeds(prog)
+		fmt.Printf("vsvlint: %d packages, %d analyzers, %d hot-path seeds\n",
+			len(prog.Pkgs), len(analyzers), len(seeds))
+		for _, s := range res.Suppressed {
+			fmt.Printf("suppressed %s:%d [%s]: %s (reason: %s)\n",
+				s.Diagnostic.Pos.Filename, s.Diagnostic.Pos.Line,
+				s.Diagnostic.Analyzer, s.Diagnostic.Message, s.Pragma.Reason)
+		}
+	}
+	for _, d := range res.Diagnostics {
+		fmt.Println(d)
+	}
+	if n := len(res.Diagnostics); n > 0 {
+		fmt.Fprintf(os.Stderr, "vsvlint: %d diagnostics (%d suppressed by pragma)\n", n, len(res.Suppressed))
+		return 1
+	}
+	if *verbose {
+		fmt.Printf("vsvlint: clean (%d findings suppressed by pragma)\n", len(res.Suppressed))
+	}
+	return 0
+}
+
+// findRoot walks upward from the working directory to the nearest go.mod.
+func findRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

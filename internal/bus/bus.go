@@ -119,6 +119,8 @@ func (b *Bus) QueueLen() int { return len(b.queue) }
 // Tick advances the bus to time now: it completes a finished transaction and
 // grants the bus to the next waiting one. A new transaction may start on the
 // same tick a previous one finishes (back-to-back pipelining).
+//
+//vsv:hotpath
 func (b *Bus) Tick(now int64) {
 	if b.current != nil && now >= b.finishAt {
 		t := b.current
@@ -162,6 +164,8 @@ func (b *Bus) NextEventTick(now int64) int64 {
 // SkipTicks accounts for n Tick calls that were skipped because nothing
 // completes or is granted within the span (NextEventTick lies beyond it):
 // only the per-tick busy counter advances.
+//
+//vsv:hotpath
 func (b *Bus) SkipTicks(n int64) {
 	if b.current != nil && n > 0 {
 		b.stats.BusyTicks += uint64(n)

@@ -123,8 +123,11 @@ func (m *MSHRFile) Free(blockAddr uint64) *MSHREntry {
 // Stats returns a snapshot of the counters.
 func (m *MSHRFile) Stats() MSHRStats { return m.stats }
 
-// Outstanding calls fn for each live entry (iteration order unspecified).
+// Outstanding calls fn for each live entry (iteration order unspecified:
+// callers must be order-insensitive reductions, e.g. the self-check's
+// occupancy counting).
 func (m *MSHRFile) Outstanding(fn func(*MSHREntry)) {
+	//vsvlint:ignore determinism callers are order-insensitive reductions (self-check counting); sorting per call would tax the tick path
 	for _, e := range m.entries {
 		fn(e)
 	}

@@ -49,6 +49,7 @@ func (m Mode) String() string {
 	if int(m) < len(modeNames) {
 		return modeNames[m]
 	}
+	//vsvlint:ignore hotpath defensive fallback for an out-of-range Mode; unreachable for any value the FSM produces
 	return fmt.Sprintf("mode(%d)", uint8(m))
 }
 
@@ -204,6 +205,8 @@ func (c *Controller) ResetStats() { c.stats = Stats{} }
 
 // BeginTick starts tick `now` and reports whether the pipeline (and the
 // structures clocked with it) gets a clock edge this tick.
+//
+//vsv:hotpath
 func (c *Controller) BeginTick(now int64) bool {
 	if d := c.Divider(); d == 1 {
 		c.edgeThisTick = true
@@ -240,6 +243,8 @@ func (c *Controller) effectiveVDD() float64 {
 
 // EndTick finishes the current tick with the machine's observation and
 // advances the mode machine and FSMs.
+//
+//vsv:hotpath
 func (c *Controller) EndTick(now int64, obs Observation) {
 	switch c.mode {
 	case ModeHigh:

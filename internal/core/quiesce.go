@@ -16,6 +16,8 @@ package core
 // number of pipeline edges within the span and the clock phase/divider of
 // its first tick, so the caller can reproduce the exact edge pattern. On
 // false the controller is unchanged and the caller must tick per-cycle.
+//
+//vsv:hotpath
 func (c *Controller) SkipQuiesced(n int64, outstanding int) (ok bool, edges int64, phase, divider int) {
 	if n <= 0 {
 		return false, 0, 0, 1

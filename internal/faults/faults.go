@@ -255,6 +255,8 @@ func (s *stream) inWindow(now int64) bool {
 // tick's effects. The machine must call it exactly once per executed tick;
 // skipped quiesced spans are safe because NextEventTick never lies beyond a
 // firing tick or an active window.
+//
+//vsv:hotpath
 func (i *Injector) Tick(now int64) {
 	i.freeze, i.spuriousArm = false, false
 	for idx := range i.streams {

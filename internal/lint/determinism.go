@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// determinism enforces that result-producing code cannot observe
+// nondeterministic substrates:
+//
+//   - Wall-clock reads (time.Now, time.Since, …) and the global math/rand
+//     generators are banned outside an allowlist of wall-clock-aware
+//     packages (the sweep engine's timeouts and the cmd/ drivers). The
+//     simulator's only clock is the tick counter and its only entropy is
+//     internal/rng's seeded streams.
+//
+//   - Ranging over a map with a body that produces ordered effects —
+//     calling functions, appending to a slice that is not subsequently
+//     sorted in the same function — is banned: Go randomizes map
+//     iteration order, so any ordered artefact built that way differs
+//     run to run. The sanctioned idiom is collect-keys-then-sort;
+//     order-insensitive bodies (counting, max/min, delete) are allowed.
+type determinism struct{}
+
+func (determinism) Name() string { return "determinism" }
+
+func (determinism) Doc() string {
+	return "bans wall-clock/math-rand reads and order-dependent map iteration outside allowlisted packages"
+}
+
+// wallClockAllowed lists package-path prefixes permitted to read the
+// wall clock or OS entropy: the sweep engine (run timeouts, progress
+// rates) and the command-line drivers.
+var wallClockAllowed = []string{
+	"repro/internal/sweep",
+	"repro/cmd/",
+}
+
+// bannedTimeFuncs are the time package's wall-clock entry points.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+func wallClockExempt(path string) bool {
+	for _, prefix := range wallClockAllowed {
+		if strings.HasPrefix(path, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func (d determinism) Run(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if !wallClockExempt(pkg.Path) {
+			diags = append(diags, d.checkWallClock(prog, pkg)...)
+		}
+		diags = append(diags, d.checkMapRanges(prog, pkg)...)
+	}
+	return diags
+}
+
+// checkWallClock flags uses of banned time functions and anything from
+// math/rand (whose global state is seeded from the wall clock). It walks
+// the syntax trees rather than the Uses map so its own iteration order
+// is deterministic — the suite lints itself.
+func (d determinism) checkWallClock(prog *Program, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pkg.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if bannedTimeFuncs[fn.Name()] && fn.Type().(*types.Signature).Recv() == nil {
+					diags = append(diags, Diagnostic{d.Name(), prog.Position(id.Pos()),
+						fmt.Sprintf("wall-clock read time.%s outside an allowlisted package; simulated time is the tick counter", fn.Name())})
+				}
+			case "math/rand", "math/rand/v2":
+				diags = append(diags, Diagnostic{d.Name(), prog.Position(id.Pos()),
+					fmt.Sprintf("%s.%s is nondeterministically seeded; use internal/rng's seeded streams", fn.Pkg().Path(), fn.Name())})
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// checkMapRanges flags map-range loops with order-dependent bodies.
+func (d determinism) checkMapRanges(prog *Program, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	eachFuncDecl(pkg, func(decl *ast.FuncDecl) {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pkg.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if msg := mapRangeHazard(pkg, decl, rs); msg != "" {
+				diags = append(diags, Diagnostic{d.Name(), prog.Position(rs.Pos()), msg})
+			}
+			return true
+		})
+	})
+	return diags
+}
+
+// mapRangeHazard classifies the body of a map-range loop. It returns a
+// non-empty message when iteration order can leak into program state:
+// the body calls a function or method (whose effects are ordered), or
+// appends to a slice that is not later sorted within the same function.
+// Order-insensitive bodies — counting, conditional max/min updates,
+// delete(m, k), collecting keys that are sorted afterwards — pass.
+func mapRangeHazard(pkg *Package, enclosing *ast.FuncDecl, rs *ast.RangeStmt) string {
+	var appended []types.Object
+	var hazard string
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if hazard != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, unordered := callOrderInsensitive(pkg, n); !unordered {
+				hazard = fmt.Sprintf("map iteration order leaks through call to %s; sort the keys first", name)
+				return false
+			}
+			// Descend into args of the allowed builtins (e.g. append's
+			// operands may themselves contain hazardous calls).
+			return true
+		case *ast.AssignStmt:
+			// Track append targets; other assignments are allowed
+			// (conditional max/min and counters are order-insensitive;
+			// float accumulation is the floatorder analyzer's charge).
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltin(pkg, call, "append") || i >= len(n.Lhs) {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok {
+					if obj := pkg.Info.ObjectOf(id); obj != nil {
+						appended = append(appended, obj)
+					}
+				}
+			}
+		}
+		return true
+	})
+	if hazard != "" {
+		return hazard
+	}
+	for _, obj := range appended {
+		if !sortedAfter(pkg, enclosing, rs, obj) {
+			return fmt.Sprintf("appending to %s under map iteration without sorting it afterwards; "+
+				"sort the slice (or the keys) before it is consumed", obj.Name())
+		}
+	}
+	return ""
+}
+
+// callOrderInsensitive reports whether a call inside a map-range body is
+// order-insensitive. Only side-effect-free builtins qualify; any named
+// function, method or function value produces effects in iteration
+// order. Returns the callee's rendering for the diagnostic otherwise.
+func callOrderInsensitive(pkg *Package, call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj := pkg.Info.ObjectOf(fun); obj != nil {
+			if _, ok := obj.(*types.Builtin); ok {
+				return "", true
+			}
+			if _, ok := obj.(*types.TypeName); ok {
+				return "", true // conversion
+			}
+		}
+		return fun.Name, false
+	case *ast.SelectorExpr:
+		// Type conversions through qualified names (pkg.T(x)).
+		if obj := pkg.Info.ObjectOf(fun.Sel); obj != nil {
+			if _, ok := obj.(*types.TypeName); ok {
+				return "", true
+			}
+		}
+		return exprString(fun), false
+	default:
+		// Conversions like []byte(x) parse as CallExpr with a type Fun.
+		if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+			return "", true
+		}
+		return "function value", false
+	}
+}
+
+// sortedAfter reports whether obj (a slice variable appended to inside
+// rs) is passed to a sort.* or slices.* ordering call after the loop
+// within the same function.
+func sortedAfter(pkg *Package, enclosing *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(enclosing.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found || call.Pos() <= rs.End() {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pkg.Info.ObjectOf(sel.Sel).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pkg.Info.ObjectOf(id) == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(pkg *Package, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pkg.Info.ObjectOf(id).(*types.Builtin)
+	return ok
+}
+
+// exprString renders a selector chain for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	default:
+		return "expr"
+	}
+}

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+)
+
+// eventhorizon enforces the fast-forward contract: every clocked event
+// source — a named type in internal/... with an exported Tick method
+// whose first parameter is the int64 tick counter — must also implement
+// NextEventTick(int64) int64, the horizon Machine.nextEventTick consults
+// before skipping a quiesced span. Without it a new substrate would tick
+// correctly under per-tick execution but be silently skipped over by
+// fast-forward, breaking bit-identity in the worst possible way: only
+// when the substrate is active.
+type eventhorizon struct{}
+
+func (eventhorizon) Name() string { return "eventhorizon" }
+
+func (eventhorizon) Doc() string {
+	return "types with a clocked Tick(int64, ...) method must implement NextEventTick(int64) int64"
+}
+
+func (a eventhorizon) Run(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if !isInternal(pkg.Path) {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named.Underlying()) {
+				continue
+			}
+			tick := lookupMethod(named, "Tick")
+			if tick == nil || !clockedTick(tick) {
+				continue
+			}
+			next := lookupMethod(named, "NextEventTick")
+			if next != nil && horizonSignature(next) {
+				continue
+			}
+			msg := fmt.Sprintf("%s has a clocked Tick method but no NextEventTick(int64) int64; "+
+				"fast-forward would silently skip it", tn.Name())
+			if next != nil {
+				msg = fmt.Sprintf("%s.NextEventTick has the wrong signature (want func(int64) int64)", tn.Name())
+			}
+			diags = append(diags, Diagnostic{a.Name(), prog.Position(tick.Pos()), msg})
+		}
+	}
+	return diags
+}
+
+// lookupMethod finds a method on *T (covering value and pointer
+// receivers).
+func lookupMethod(named *types.Named, name string) *types.Func {
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, named.Obj().Pkg(), name)
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// clockedTick reports whether the method is a clocked tick: exported,
+// first parameter of type int64 (the tick counter).
+func clockedTick(fn *types.Func) bool {
+	if !fn.Exported() {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() < 1 {
+		return false
+	}
+	return isInt64(sig.Params().At(0).Type())
+}
+
+// horizonSignature reports whether fn is func(int64) int64.
+func horizonSignature(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	return isInt64(sig.Params().At(0).Type()) && isInt64(sig.Results().At(0).Type())
+}
+
+func isInt64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Int64
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatorder enforces fixed-order float reductions. IEEE-754 addition is
+// not associative, so accumulating floats while ranging over a map —
+// whose iteration order Go randomizes — yields a different sum run to
+// run, which is exactly the nondeterminism the golden-output gate and
+// the fast-forward differential tests exist to forbid. Reductions must
+// iterate a deterministically ordered container (slice, array, sorted
+// keys) or go through internal/power's fixed-order accumulation helpers
+// (power.SumOrdered / power.SumMapOrdered).
+type floatorder struct{}
+
+func (floatorder) Name() string { return "floatorder" }
+
+func (floatorder) Doc() string {
+	return "bans float accumulation under map iteration; use sorted keys or power.SumOrdered/SumMapOrdered"
+}
+
+func (a floatorder) Run(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		p := pkg
+		eachFuncDecl(p, func(decl *ast.FuncDecl) {
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := p.Info.Types[rs.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				diags = append(diags, a.checkBody(prog, p, rs)...)
+				return true
+			})
+		})
+	}
+	return diags
+}
+
+// checkBody flags float accumulations inside one map-range body.
+func (a floatorder) checkBody(prog *Program, pkg *Package, rs *ast.RangeStmt) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if len(as.Lhs) == 1 && isFloat(pkg, as.Lhs[0]) {
+				diags = append(diags, Diagnostic{a.Name(), prog.Position(as.Pos()),
+					fmt.Sprintf("float accumulation (%s) under map iteration is order-dependent; "+
+						"sort the keys or use power.SumMapOrdered", as.Tok)})
+			}
+		case token.ASSIGN:
+			// s = s + v (and friends) spelled out long-hand.
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) || !isFloat(pkg, lhs) {
+					continue
+				}
+				if be, ok := as.Rhs[i].(*ast.BinaryExpr); ok && selfReferential(pkg, lhs, be) {
+					diags = append(diags, Diagnostic{a.Name(), prog.Position(as.Pos()),
+						"float accumulation under map iteration is order-dependent; " +
+							"sort the keys or use power.SumMapOrdered"})
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// isFloat reports whether the expression has floating-point (or complex)
+// type.
+func isFloat(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// selfReferential reports whether the binary expression mentions the
+// same object the assignment writes (the s = s + v shape).
+func selfReferential(pkg *Package, lhs ast.Expr, be *ast.BinaryExpr) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pkg.Info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(be, func(n ast.Node) bool {
+		if rid, ok := n.(*ast.Ident); ok && pkg.Info.ObjectOf(rid) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

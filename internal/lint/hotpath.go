@@ -1,0 +1,312 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// hotpath enforces the zero-alloc, format-free discipline of the
+// per-tick core. Seed functions are marked with //vsv:hotpath in their
+// doc comments (Machine.tick, Machine.fastForward, the bus/mem/TK/power
+// tick paths); the analyzer closes the set under the static call graph —
+// including interface dispatch, resolved conservatively to every
+// declared implementation — and checks every reachable function body
+// for:
+//
+//   - function literals and method values (closure allocations),
+//   - calls into package fmt (formatting allocates and is cold-path-only),
+//   - non-constant string concatenation,
+//   - make/new outside pool/reset/grow paths,
+//   - appends of fresh composite literals into interface-typed slices
+//     (interface boxing allocates per element).
+//
+// Functions marked //vsv:coldpath stop the traversal: they are reachable
+// from hot code but execute off the steady state (failure construction,
+// debug-only self-checks).
+type hotpath struct{}
+
+func (hotpath) Name() string { return "hotpath" }
+
+func (hotpath) Doc() string {
+	return "closes //vsv:hotpath seeds under the call graph and bans closures, fmt, string concat and stray allocations"
+}
+
+// poolPathRe exempts make/new inside functions that exist to (re)build
+// pooled state: constructors are not reachable from tick paths anyway,
+// and reset/grow/prepare helpers amortize their allocations.
+var poolPathRe = regexp.MustCompile(`(?i)(reset|pool|prepare|grow|init|new)`)
+
+// funcNode is one declared function in the call graph.
+type funcNode struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+	hot  bool // carries //vsv:hotpath
+	cold bool // carries //vsv:coldpath
+}
+
+// dispatchSite is an unresolved interface method call.
+type dispatchSite struct {
+	iface  *types.Interface
+	method string
+}
+
+func (h hotpath) Run(prog *Program) []Diagnostic {
+	graph := buildCallGraph(prog)
+
+	// Breadth-first closure from the seeds, stopping at coldpath marks.
+	// All iteration runs over the declaration-ordered node list — the
+	// suite must itself satisfy the determinism analyzer.
+	reachable := map[*types.Func]bool{}
+	var queue []*types.Func
+	for _, node := range graph.ordered {
+		if node.hot {
+			reachable[node.obj] = true
+			queue = append(queue, node.obj)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if node, ok := graph.nodes[fn]; ok && node.cold {
+			continue
+		}
+		for _, callee := range graph.edges[fn] {
+			if node, ok := graph.nodes[callee]; ok && !reachable[callee] && !node.cold {
+				reachable[callee] = true
+				queue = append(queue, callee)
+			}
+		}
+	}
+
+	var diags []Diagnostic
+	for _, node := range graph.ordered {
+		if !reachable[node.obj] || node.cold {
+			continue
+		}
+		diags = append(diags, checkHotBody(prog, node)...)
+	}
+	sortDiags(diags)
+	return diags
+}
+
+// HotpathSeeds returns the names of the //vsv:hotpath seed functions in
+// the program (exported so tests can assert the marker sweep is intact).
+func HotpathSeeds(prog *Program) []string {
+	graph := buildCallGraph(prog)
+	var out []string
+	for _, node := range graph.ordered {
+		if node.hot {
+			out = append(out, node.obj.FullName())
+		}
+	}
+	return out
+}
+
+// callGraph holds the indexed functions (both as a lookup map and in
+// deterministic declaration order) and the call edges between them.
+type callGraph struct {
+	nodes   map[*types.Func]*funcNode
+	ordered []*funcNode
+	edges   map[*types.Func][]*types.Func
+}
+
+// buildCallGraph indexes every declared function and the static call
+// edges between them. Interface method calls are resolved to every
+// declared type implementing the interface; references to functions as
+// values (passed as arguments, stored in fields) add edges too, since
+// the value may be invoked downstream.
+func buildCallGraph(prog *Program) *callGraph {
+	g := &callGraph{
+		nodes: map[*types.Func]*funcNode{},
+		edges: map[*types.Func][]*types.Func{},
+	}
+	for _, pkg := range prog.Pkgs {
+		p := pkg
+		eachFuncDecl(p, func(decl *ast.FuncDecl) {
+			obj, ok := p.Info.Defs[decl.Name].(*types.Func)
+			if !ok {
+				return
+			}
+			node := &funcNode{
+				obj: obj, decl: decl, pkg: p,
+				hot:  funcMarker(decl, markerHot),
+				cold: funcMarker(decl, markerCold),
+			}
+			g.nodes[obj] = node
+			g.ordered = append(g.ordered, node)
+		})
+	}
+
+	edges := g.edges
+	sites := map[*types.Func][]dispatchSite{}
+	for _, node := range g.ordered {
+		caller := node.obj
+		info := node.pkg.Info
+		ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				switch fun := n.Fun.(type) {
+				case *ast.Ident:
+					if fn, ok := info.Uses[fun].(*types.Func); ok {
+						edges[caller] = append(edges[caller], fn)
+					}
+				case *ast.SelectorExpr:
+					if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+						fn := sel.Obj().(*types.Func)
+						if iface, ok := sel.Recv().Underlying().(*types.Interface); ok {
+							sites[caller] = append(sites[caller], dispatchSite{iface, fn.Name()})
+						} else {
+							edges[caller] = append(edges[caller], fn)
+						}
+					} else if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+						// Package-qualified call (pkg.Fn).
+						edges[caller] = append(edges[caller], fn)
+					}
+				}
+			case *ast.Ident:
+				// A function referenced as a value: conservatively assume
+				// it may be called from the hot context.
+				if fn, ok := info.Uses[n].(*types.Func); ok {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+						edges[caller] = append(edges[caller], fn)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Resolve interface dispatch against every declared named type.
+	var named []*types.Named
+	for _, pkg := range prog.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok && !tn.IsAlias() {
+				if nt, ok := tn.Type().(*types.Named); ok {
+					named = append(named, nt)
+				}
+			}
+		}
+	}
+	for _, node := range g.ordered {
+		caller := node.obj
+		for _, site := range sites[caller] {
+			for _, nt := range named {
+				if types.IsInterface(nt.Underlying()) {
+					continue
+				}
+				ptr := types.NewPointer(nt)
+				if !types.Implements(nt, site.iface) && !types.Implements(ptr, site.iface) {
+					continue
+				}
+				obj, _, _ := types.LookupFieldOrMethod(ptr, true, nt.Obj().Pkg(), site.method)
+				if fn, ok := obj.(*types.Func); ok {
+					edges[caller] = append(edges[caller], fn)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// checkHotBody reports the allocation/formatting hazards in one
+// reachable hot function.
+func checkHotBody(prog *Program, node *funcNode) []Diagnostic {
+	var diags []Diagnostic
+	info := node.pkg.Info
+	name := node.obj.Name()
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		diags = append(diags, Diagnostic{"hotpath", prog.Position(pos),
+			fmt.Sprintf("hot path (%s): %s", name, fmt.Sprintf(format, args...))})
+	}
+
+	// Collect the Fun nodes of calls so method values in call position
+	// are not double-reported as closures.
+	callFuns := map[ast.Expr]bool{}
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			callFuns[call.Fun] = true
+		}
+		return true
+	})
+
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n.Pos(), "function literal allocates a closure; hoist it or pass an interface")
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.MethodVal && !callFuns[n] {
+				report(n.Pos(), "method value %s.%s allocates a closure", exprString(n.X), n.Sel.Name)
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+					report(n.Pos(), "fmt.%s call; formatting is cold-path-only", fn.Name())
+				}
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := info.ObjectOf(id).(*types.Builtin); ok {
+					switch b.Name() {
+					case "make", "new":
+						if !poolPathRe.MatchString(name) {
+							report(n.Pos(), "%s allocates outside a pool/reset path", b.Name())
+						}
+					case "append":
+						diags = append(diags, checkBoxingAppend(prog, node, n, name)...)
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[n]; ok && tv.Value == nil && isStringType(tv.Type) {
+					report(n.Pos(), "string concatenation allocates; precompute or use a fixed table")
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				if tv, ok := info.Types[n.Lhs[0]]; ok && isStringType(tv.Type) {
+					report(n.Pos(), "string += allocates; precompute or use a fixed table")
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// checkBoxingAppend flags appends of fresh composite literals into
+// interface-typed slices (each element boxes and allocates).
+func checkBoxingAppend(prog *Program, node *funcNode, call *ast.CallExpr, fname string) []Diagnostic {
+	if len(call.Args) < 2 {
+		return nil
+	}
+	tv, ok := node.pkg.Info.Types[call.Args[0]]
+	if !ok {
+		return nil
+	}
+	slice, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok || !types.IsInterface(slice.Elem()) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, arg := range call.Args[1:] {
+		inner := arg
+		if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			inner = u.X
+		}
+		if _, ok := inner.(*ast.CompositeLit); ok {
+			diags = append(diags, Diagnostic{"hotpath", prog.Position(arg.Pos()),
+				fmt.Sprintf("hot path (%s): appending a fresh composite literal into an interface slice boxes per element; pool the values", fname)})
+		}
+	}
+	return diags
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

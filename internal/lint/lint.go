@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one positioned finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in file:line:col: [analyzer] message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker. Run inspects the whole program and
+// returns raw findings; pragma suppression is applied by Run (the
+// package-level runner), not by the analyzers themselves.
+type Analyzer interface {
+	Name() string
+	Doc() string
+	Run(prog *Program) []Diagnostic
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []Analyzer {
+	return []Analyzer{
+		determinism{},
+		hotpath{},
+		panicdiscipline{},
+		floatorder{},
+		eventhorizon{},
+	}
+}
+
+// PragmaAnalyzer is the pseudo-analyzer name under which pragma-hygiene
+// findings (malformed or unused //vsvlint:ignore comments) are reported.
+// It cannot itself be suppressed.
+const PragmaAnalyzer = "pragma"
+
+// Pragma is one parsed //vsvlint:ignore comment.
+type Pragma struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+	used     bool
+}
+
+// Suppression records a diagnostic silenced by a pragma.
+type Suppression struct {
+	Pragma     Pragma
+	Diagnostic Diagnostic
+}
+
+// Result is the outcome of a full lint run.
+type Result struct {
+	// Diagnostics are the findings that survived suppression, sorted by
+	// position. Any non-empty slice should fail the build.
+	Diagnostics []Diagnostic
+	// Suppressed are the findings silenced by a //vsvlint:ignore pragma,
+	// each carrying its written reason.
+	Suppressed []Suppression
+}
+
+const pragmaPrefix = "//vsvlint:ignore"
+
+// parsePragmas extracts every //vsvlint:ignore pragma in the program.
+// Malformed pragmas (missing analyzer or missing reason) are reported as
+// diagnostics of the "pragma" pseudo-analyzer: a suppression without a
+// written reason is itself a violation.
+func parsePragmas(prog *Program) ([]*Pragma, []Diagnostic) {
+	var pragmas []*Pragma
+	var diags []Diagnostic
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name()] = true
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, pragmaPrefix) {
+						continue
+					}
+					pos := prog.Position(c.Pos())
+					rest := strings.TrimSpace(strings.TrimPrefix(c.Text, pragmaPrefix))
+					name, reason, _ := strings.Cut(rest, " ")
+					reason = strings.TrimSpace(reason)
+					switch {
+					case name == "":
+						diags = append(diags, Diagnostic{PragmaAnalyzer, pos,
+							"malformed pragma: want //vsvlint:ignore <analyzer> <reason>"})
+					case !known[name]:
+						diags = append(diags, Diagnostic{PragmaAnalyzer, pos,
+							fmt.Sprintf("pragma names unknown analyzer %q", name)})
+					case reason == "":
+						diags = append(diags, Diagnostic{PragmaAnalyzer, pos,
+							fmt.Sprintf("pragma for %q has no reason; every suppression must say why", name)})
+					default:
+						pragmas = append(pragmas, &Pragma{Pos: pos, Analyzer: name, Reason: reason})
+					}
+				}
+			}
+		}
+	}
+	return pragmas, diags
+}
+
+// Run executes the analyzers over the program, applies pragma
+// suppression, and reports pragma hygiene. A pragma suppresses matching
+// diagnostics on its own line (trailing comment) or on the line directly
+// below it (standalone comment above the offending statement).
+func Run(prog *Program, analyzers []Analyzer) *Result {
+	pragmas, pragmaDiags := parsePragmas(prog)
+	index := map[string][]*Pragma{} // file:line:analyzer is implicit in match
+	for _, p := range pragmas {
+		key := p.Pos.Filename
+		index[key] = append(index[key], p)
+	}
+
+	res := &Result{}
+	for _, a := range analyzers {
+		for _, d := range a.Run(prog) {
+			if p := matchPragma(index[d.Pos.Filename], a.Name(), d.Pos.Line); p != nil {
+				p.used = true
+				res.Suppressed = append(res.Suppressed, Suppression{Pragma: *p, Diagnostic: d})
+				continue
+			}
+			res.Diagnostics = append(res.Diagnostics, d)
+		}
+	}
+	res.Diagnostics = append(res.Diagnostics, pragmaDiags...)
+	for _, p := range pragmas {
+		if !p.used {
+			res.Diagnostics = append(res.Diagnostics, Diagnostic{PragmaAnalyzer, p.Pos,
+				fmt.Sprintf("unused pragma: no %s diagnostic here to suppress", p.Analyzer)})
+		}
+	}
+	sortDiags(res.Diagnostics)
+	return res
+}
+
+// matchPragma finds a pragma for the analyzer covering the given line.
+func matchPragma(pragmas []*Pragma, analyzer string, line int) *Pragma {
+	for _, p := range pragmas {
+		if p.Analyzer == analyzer && (p.Pos.Line == line || p.Pos.Line == line-1) {
+			return p
+		}
+	}
+	return nil
+}
+
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// ------------------------------------------------------------ markers --
+
+// Marker comments tie source to the analyzers:
+//
+//	//vsv:hotpath  — on a function's doc comment: the function is a hot
+//	                 path entry point; the hotpath analyzer seeds its
+//	                 call-graph closure here.
+//	//vsv:coldpath — on a function's doc comment: the function is
+//	                 reachable from hot code but executes off the steady
+//	                 state (failure construction, debug-only checks);
+//	                 traversal stops and its body is exempt.
+const (
+	markerHot  = "//vsv:hotpath"
+	markerCold = "//vsv:coldpath"
+)
+
+// funcMarker reports whether decl's doc comment carries the marker.
+func funcMarker(decl *ast.FuncDecl, marker string) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == marker || strings.HasPrefix(text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// ------------------------------------------------------------ helpers --
+
+// isInternal reports whether the package path sits under the module's
+// internal tree (where the strictest invariants apply).
+func isInternal(path string) bool {
+	return strings.Contains(path, "/internal/")
+}
+
+// eachFuncDecl visits every function declaration with a body.
+func eachFuncDecl(pkg *Package, fn func(*ast.FuncDecl)) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}

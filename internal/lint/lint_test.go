@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The golden-diagnostic harness: fixture packages under testdata/src
+// annotate each construct with the diagnostic the analyzer must produce,
+// as a comment containing
+//
+//	want `regex`        — a diagnostic on this line matching regex
+//	want+N `regex`      — a diagnostic N lines below this comment
+//
+// Every diagnostic must be wanted and every want must be hit, so the
+// fixtures pin both that analyzers fire and that they stay silent on the
+// sanctioned idioms sitting alongside.
+
+// repoRoot locates the module root the fixtures are loaded against.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not found at %s: %v", root, err)
+	}
+	return root
+}
+
+var wantRe = regexp.MustCompile("want(\\+[0-9]+)? `([^`]+)`")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// collectWant extracts the want expectations from a program's comments.
+func collectWant(t *testing.T, prog *Program) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := prog.Position(c.Pos())
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						offset := 0
+						if m[1] != "" {
+							n, err := strconv.Atoi(strings.TrimPrefix(m[1], "+"))
+							if err != nil {
+								t.Fatalf("%s: bad want offset %q", pos, m[1])
+							}
+							offset = n
+						}
+						re, err := regexp.Compile(m[2])
+						if err != nil {
+							t.Fatalf("%s: bad want regex %q: %v", pos, m[2], err)
+						}
+						wants = append(wants, &expectation{
+							file: pos.Filename, line: pos.Line + offset, re: re,
+						})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture loads one fixture package, runs the given analyzers, and
+// matches the result against the fixture's want annotations.
+func runFixture(t *testing.T, dir string, analyzers []Analyzer) *Result {
+	t.Helper()
+	root := repoRoot(t)
+	prog, err := Load(root, "internal/lint/testdata/src/"+dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	res := Run(prog, analyzers)
+	wants := collectWant(t, prog)
+	for _, d := range res.Diagnostics {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit, matched = true, true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched %q", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+	return res
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	t.Parallel()
+	runFixture(t, "determinism", []Analyzer{determinism{}})
+}
+
+func TestHotpathFixture(t *testing.T) {
+	t.Parallel()
+	runFixture(t, "hotpath", []Analyzer{hotpath{}})
+}
+
+func TestPanicDisciplineFixture(t *testing.T) {
+	t.Parallel()
+	runFixture(t, "panics", []Analyzer{panicdiscipline{}})
+}
+
+func TestFloatOrderFixture(t *testing.T) {
+	t.Parallel()
+	runFixture(t, "floatorder", []Analyzer{floatorder{}})
+}
+
+func TestEventHorizonFixture(t *testing.T) {
+	t.Parallel()
+	runFixture(t, "eventhorizon", []Analyzer{eventhorizon{}})
+}
+
+func TestPragmaFixture(t *testing.T) {
+	t.Parallel()
+	res := runFixture(t, "pragmas", []Analyzer{determinism{}})
+	if got := len(res.Suppressed); got != 2 {
+		t.Errorf("suppressed = %d, want 2 (line-above and same-line forms)", got)
+	}
+	for _, s := range res.Suppressed {
+		if s.Pragma.Reason == "" {
+			t.Errorf("suppression at %s has no written reason", s.Pragma.Pos)
+		}
+		if s.Pragma.Analyzer != s.Diagnostic.Analyzer {
+			t.Errorf("suppression at %s matched analyzer %s with pragma for %s",
+				s.Pragma.Pos, s.Diagnostic.Analyzer, s.Pragma.Analyzer)
+		}
+	}
+}
+
+func TestAnalyzerSuite(t *testing.T) {
+	t.Parallel()
+	as := Analyzers()
+	if len(as) < 5 {
+		t.Fatalf("suite has %d analyzers, want >= 5", len(as))
+	}
+	seen := map[string]bool{}
+	for _, a := range as {
+		if a.Name() == "" || a.Doc() == "" {
+			t.Errorf("analyzer %T lacks a name or doc", a)
+		}
+		if seen[a.Name()] {
+			t.Errorf("duplicate analyzer name %q", a.Name())
+		}
+		seen[a.Name()] = true
+		if a.Name() == PragmaAnalyzer {
+			t.Errorf("analyzer name %q collides with the pragma pseudo-analyzer", a.Name())
+		}
+	}
+}
+
+// TestRepoClean is the live gate: the repository itself must lint clean,
+// every suppression must carry a reason, and the hot-path marker sweep
+// must still seed the call-graph closure. It type-checks the whole module
+// (including the stdlib from source), so it is skipped under -short.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped under -short")
+	}
+	root := repoRoot(t)
+	prog, err := Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	res := Run(prog, Analyzers())
+	for _, d := range res.Diagnostics {
+		t.Errorf("repository is not lint-clean: %s", d)
+	}
+	for _, s := range res.Suppressed {
+		if s.Pragma.Reason == "" {
+			t.Errorf("suppression at %s has no written reason", s.Pragma.Pos)
+		}
+	}
+	seeds := HotpathSeeds(prog)
+	if len(seeds) < 15 {
+		t.Errorf("hot-path marker sweep has %d seeds, want >= 15: %v", len(seeds), seeds)
+	}
+	for _, needle := range []string{
+		"Machine).tick",
+		"Machine).fastForward",
+		"Memory).Tick",
+		"Bus).Tick",
+		"TimeKeeping).Tick",
+		"Pipeline).Step",
+	} {
+		found := false
+		for _, s := range seeds {
+			if strings.Contains(s, needle) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("expected a //vsv:hotpath seed matching %q; seeds: %v", needle, seeds)
+		}
+	}
+}

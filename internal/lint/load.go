@@ -1,0 +1,289 @@
+// Package lint is the vsvlint static-analysis suite: a stdlib-only set of
+// analyzers that enforce the simulator's cross-cutting invariants at
+// compile time — determinism (no wall-clock or map-iteration-order
+// dependence in result-producing code), a zero-alloc hot path (no
+// closures, fmt calls or stray allocations reachable from the tick
+// entry points), error discipline (structured sim.CheckError failures
+// instead of bare panics), fixed-order float reductions, and the
+// fast-forward event-horizon contract (every clocked event source must
+// expose NextEventTick).
+//
+// The suite deliberately uses only go/ast, go/parser, go/types and
+// go/importer — no golang.org/x/tools — preserving the repository's
+// stdlib-only rule. See DESIGN.md §9 for the analyzer catalogue, the
+// //vsvlint:ignore pragma syntax and the //vsv:hotpath marker contract.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	// Path is the import path ("repro/internal/sim").
+	Path string
+	// Dir is the absolute directory the sources were read from.
+	Dir string
+	// Files are the non-test source files, parsed with comments.
+	Files []*ast.File
+	// Types and Info are the go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is a set of type-checked packages sharing one FileSet — the
+// unit every analyzer runs over.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// Position resolves a token.Pos against the program's FileSet.
+func (p *Program) Position(pos token.Pos) token.Position {
+	return p.Fset.Position(pos)
+}
+
+// loader loads repository packages recursively, type-checking them with
+// the stdlib importers only: repository-internal imports are resolved by
+// parsing and checking the imported directory, everything else is
+// delegated to go/importer's source importer (which type-checks the
+// standard library from GOROOT sources — no pre-built export data and no
+// external tooling required).
+type loader struct {
+	fset    *token.FileSet
+	root    string // module root directory
+	module  string // module path from go.mod
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool // cycle detection
+}
+
+var moduleRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// newLoader builds a loader for the module rooted at root (a directory
+// containing go.mod).
+func newLoader(root string) (*loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: cannot read go.mod under %s: %w", abs, err)
+	}
+	m := moduleRe.FindSubmatch(data)
+	if m == nil {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", abs)
+	}
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		root:    abs,
+		module:  string(m[1]),
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// Load parses and type-checks the packages matched by the given patterns
+// relative to root and returns them as one Program. Patterns follow the
+// go tool's shape: "./..." walks the whole module, "./dir/..." walks a
+// subtree, "./dir" names one package. Walks skip testdata, vendor and
+// hidden directories; explicitly named directories are loaded even when
+// they sit under testdata (that is how the fixture tests load their
+// packages).
+func Load(root string, patterns ...string) (*Program, error) {
+	l, err := newLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := l.walk(l.root, add); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := filepath.Join(l.root, strings.TrimSuffix(pat, "/..."))
+			if err := l.walk(base, add); err != nil {
+				return nil, err
+			}
+		default:
+			add(filepath.Join(l.root, pat))
+		}
+	}
+	prog := &Program{Fset: l.fset}
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			prog.Pkgs = append(prog.Pkgs, pkg)
+		}
+	}
+	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
+	return prog, nil
+}
+
+// walk collects every directory under base that contains non-test Go
+// files, skipping testdata, vendor and hidden/underscore directories.
+func (l *loader) walk(base string, add func(string)) error {
+	return filepath.Walk(base, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			return nil
+		}
+		name := info.Name()
+		if path != base && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if len(goSources(path)) > 0 {
+			add(path)
+		}
+		return nil
+	})
+}
+
+// goSources lists the non-test .go files in dir, sorted.
+func goSources(dir string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		out = append(out, filepath.Join(dir, name))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// importPathFor maps an absolute directory to its module import path.
+func (l *loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil {
+		return "", err
+	}
+	rel = filepath.ToSlash(rel)
+	if rel == "." {
+		return l.module, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: directory %s is outside module root %s", dir, l.root)
+	}
+	return l.module + "/" + rel, nil
+}
+
+// dirFor maps a module import path back to its absolute directory.
+func (l *loader) dirFor(path string) string {
+	if path == l.module {
+		return l.root
+	}
+	return filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.module+"/")))
+}
+
+// loadDir loads the package in dir (nil if it holds no non-test sources).
+func (l *loader) loadDir(dir string) (*Package, error) {
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.importRepo(path)
+}
+
+// Import implements types.Importer, dispatching between repository
+// packages (parsed and checked recursively) and the stdlib source
+// importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		pkg, err := l.importRepo(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: no Go sources in %s", path)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// importRepo parses and type-checks one repository package, memoized.
+func (l *loader) importRepo(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirFor(path)
+	sources := goSources(dir)
+	if len(sources) == 0 {
+		l.pkgs[path] = nil
+		return nil, nil
+	}
+	var files []*ast.File
+	for _, src := range sources {
+		f, err := parser.ParseFile(l.fset, src, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, typeErrs[0])
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// panicdiscipline enforces structured failures inside internal/...:
+// a run that cannot continue must raise a *sim.CheckError (whose
+// snapshot makes the crash actionable), not a bare panic. The only
+// sanctioned bare panics are init-time configuration validation inside
+// constructors (New*/Must*/Validate*/init), where an invalid static
+// value is a programming error surfaced before any simulation runs.
+type panicdiscipline struct{}
+
+func (panicdiscipline) Name() string { return "panicdiscipline" }
+
+func (panicdiscipline) Doc() string {
+	return "bans bare panics in internal packages outside sim.CheckError raises and constructor-time validation"
+}
+
+// constructorPrefixes name the function shapes whose panics are
+// init-time validation by convention.
+var constructorPrefixes = []string{"New", "Must", "Validate"}
+
+func constructorLike(name string) bool {
+	if name == "init" || name == "validate" {
+		return true
+	}
+	for _, p := range constructorPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func (a panicdiscipline) Run(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if !isInternal(pkg.Path) {
+			continue
+		}
+		p := pkg
+		eachFuncDecl(p, func(decl *ast.FuncDecl) {
+			if constructorLike(decl.Name.Name) {
+				return
+			}
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isBuiltin(p, call, "panic") || len(call.Args) != 1 {
+					return true
+				}
+				if isCheckError(p, call.Args[0]) {
+					return true
+				}
+				diags = append(diags, Diagnostic{a.Name(), prog.Position(call.Pos()),
+					"bare panic in internal package; raise a structured *sim.CheckError " +
+						"(or move the check into constructor-time validation)"})
+				return true
+			})
+		})
+	}
+	return diags
+}
+
+// isCheckError reports whether the expression's static type is
+// *repro/internal/sim.CheckError.
+func isCheckError(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok {
+		return false
+	}
+	ptr, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "CheckError" &&
+		strings.HasSuffix(named.Obj().Pkg().Path(), "/internal/sim")
+}

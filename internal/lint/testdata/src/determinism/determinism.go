@@ -1,0 +1,69 @@
+// Package determinism is a vsvlint fixture: each construct below is
+// annotated with the diagnostic the determinism analyzer must (or must
+// not) produce. See internal/lint/lint_test.go for the harness.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// wallClock reads the wall clock outside an allowlisted package.
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `wall-clock read time\.Now outside an allowlisted package`
+}
+
+// globalRand uses the nondeterministically seeded global generator.
+func globalRand() int {
+	return rand.Intn(6) // want `math/rand\.Intn is nondeterministically seeded`
+}
+
+// emit calls a function under map iteration: its effects land in a
+// random order.
+func emit(m map[string]int, out func(string)) {
+	for k := range m { // want `map iteration order leaks through call to out`
+		out(k)
+	}
+}
+
+// keysUnsorted builds an ordered artefact straight out of map iteration.
+func keysUnsorted(m map[string]int) []string {
+	var ks []string
+	for k := range m { // want `appending to ks under map iteration without sorting it afterwards`
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// keysSorted is the sanctioned collect-then-sort idiom: silent.
+func keysSorted(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// count is an order-insensitive reduction: silent.
+func count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// largest is a conditional max update, order-insensitive: silent.
+func largest(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,38 @@
+// Package eventhorizon is a vsvlint fixture: every named type with a
+// clocked Tick(int64, ...) method must implement the fast-forward
+// horizon NextEventTick(int64) int64, or quiesced skips would silently
+// jump over it.
+package eventhorizon
+
+// Drifter ticks but exposes no horizon.
+type Drifter struct{ n int64 }
+
+func (d *Drifter) Tick(now int64) { d.n = now } // want `Drifter has a clocked Tick method but no NextEventTick`
+
+// Wrong exposes a horizon with the wrong shape.
+type Wrong struct{ n int64 }
+
+func (w *Wrong) Tick(now int64) { w.n = now } // want `Wrong\.NextEventTick has the wrong signature`
+
+func (w *Wrong) NextEventTick() int64 { return w.n }
+
+// Clocked is the compliant shape: silent.
+type Clocked struct{ at int64 }
+
+func (c *Clocked) Tick(now int64) { c.at = now }
+
+func (c *Clocked) NextEventTick(now int64) int64 { return c.at }
+
+// Edge ticks on a clock edge, not the tick counter; exempt.
+type Edge struct{ edges int64 }
+
+func (e *Edge) Tick(edge bool) {
+	if edge {
+		e.edges++
+	}
+}
+
+// quiet has an unexported tick; exempt.
+type quiet struct{ n int64 }
+
+func (q *quiet) tick(now int64) { q.n = now }

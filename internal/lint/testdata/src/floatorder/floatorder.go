@@ -1,0 +1,48 @@
+// Package floatorder is a vsvlint fixture: IEEE addition is not
+// associative, so float reductions under map iteration are
+// order-dependent and banned; integer reductions and sorted-key
+// iteration are fine.
+package floatorder
+
+import "sort"
+
+// totalUnsorted accumulates floats in map order.
+func totalUnsorted(m map[string]float64) float64 {
+	var t float64
+	for _, v := range m {
+		t += v // want `float accumulation \(\+=\) under map iteration is order-dependent`
+	}
+	return t
+}
+
+// totalLonghand spells the accumulation out as t = t + v.
+func totalLonghand(m map[string]float64) float64 {
+	var t float64
+	for _, v := range m {
+		t = t + v // want `float accumulation under map iteration is order-dependent`
+	}
+	return t
+}
+
+// countInts is an integer reduction; addition is associative: silent.
+func countInts(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// totalSorted iterates sorted keys, pinning the addition order: silent.
+func totalSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var t float64
+	for _, k := range keys {
+		t += m[k]
+	}
+	return t
+}

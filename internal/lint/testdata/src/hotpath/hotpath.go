@@ -1,0 +1,98 @@
+// Package hotpath is a vsvlint fixture for the hotpath analyzer: the
+// //vsv:hotpath seeds below close over helpers, interface dispatch and a
+// //vsv:coldpath escape hatch, and each hazard line carries the expected
+// diagnostic.
+package hotpath
+
+import "fmt"
+
+// event is the payload for the interface-boxing case.
+type event struct{ tick int64 }
+
+type sink struct {
+	events  []interface{}
+	scratch []int64
+	label   string
+}
+
+// Tick is the fixture's hot seed.
+//
+//vsv:hotpath
+func (s *sink) Tick(now int64) {
+	f := func() int64 { return now } // want `function literal allocates a closure`
+	_ = f()
+	s.helper(now)
+	s.format(now)
+	s.methodValue()
+	s.concatAssign()
+	s.cold(now)
+}
+
+// helper is reachable from the seed, so its hazards are reported.
+func (s *sink) helper(now int64) {
+	s.scratch = make([]int64, 8)                   // want `make allocates outside a pool/reset path`
+	s.events = append(s.events, &event{tick: now}) // want `appending a fresh composite literal into an interface slice`
+	s.label = "tick " + itoa(now)                  // want `string concatenation allocates`
+}
+
+// format drags in the fmt package.
+func (s *sink) format(now int64) {
+	s.label = fmt.Sprintf("t=%d", now) // want `fmt\.Sprintf call; formatting is cold-path-only`
+}
+
+// methodValue binds a method without calling it.
+func (s *sink) methodValue() {
+	g := s.concatAssign // want `method value s\.concatAssign allocates a closure`
+	_ = g
+}
+
+// concatAssign grows a string in place.
+func (s *sink) concatAssign() {
+	s.label += "!" // want `string \+= allocates`
+}
+
+// cold is reachable from the seed but marked off the steady state:
+// nothing inside it is reported and traversal stops here.
+//
+//vsv:coldpath
+func (s *sink) cold(now int64) {
+	h := func() int64 { return now }
+	s.scratch = make([]int64, h())
+	s.fromColdOnly()
+}
+
+// fromColdOnly is reachable only through the coldpath function, so its
+// allocation is not reported either.
+func (s *sink) fromColdOnly() {
+	s.scratch = make([]int64, 1)
+}
+
+// unreachable is not reachable from any seed: silent.
+func (s *sink) unreachable() {
+	s.scratch = make([]int64, 2)
+}
+
+// itoa is a fmt-free formatter so the concat case isolates the concat.
+func itoa(v int64) string {
+	if v < 0 {
+		return "neg"
+	}
+	return "pos"
+}
+
+// ticker exercises interface dispatch: the seed calls through the
+// interface and the analyzer conservatively visits every implementation.
+type ticker interface{ tick(now int64) }
+
+type impl struct{ buf []byte }
+
+func (i *impl) tick(now int64) {
+	i.buf = make([]byte, 1) // want `make allocates outside a pool/reset path`
+}
+
+// drive is a second seed reaching impl.tick only via the interface.
+//
+//vsv:hotpath
+func drive(t ticker, now int64) {
+	t.tick(now)
+}

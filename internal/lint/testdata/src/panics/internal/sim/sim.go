@@ -1,0 +1,14 @@
+// Package sim mirrors the shape of the real repro/internal/sim CheckError
+// so the panicdiscipline fixture can exercise the sanctioned raise
+// without dragging the whole simulator into the fixture load. The
+// analyzer matches on the type name and the "/internal/sim" path suffix,
+// which this package shares.
+package sim
+
+// CheckError is the structured failure type.
+type CheckError struct {
+	Tick int64
+	Msg  string
+}
+
+func (e *CheckError) Error() string { return e.Msg }

@@ -1,0 +1,45 @@
+// Package panics is a vsvlint fixture for the panicdiscipline analyzer:
+// bare panics in internal packages are banned outside sim.CheckError
+// raises and constructor-time validation.
+package panics
+
+import sim "repro/internal/lint/testdata/src/panics/internal/sim"
+
+type machine struct{ now int64 }
+
+// selfCheck is a runtime invariant check: it must raise a structured
+// error, not a bare panic.
+func (m *machine) selfCheck(got, want int) {
+	if got != want {
+		panic("occupancy mismatch") // want `bare panic in internal package; raise a structured \*sim\.CheckError`
+	}
+}
+
+// fail raises a structured *sim.CheckError: silent.
+func (m *machine) fail(msg string) {
+	panic(&sim.CheckError{Tick: m.now, Msg: msg})
+}
+
+// NewMachine panics on invalid static configuration, the sanctioned
+// constructor-time shape: silent.
+func NewMachine(depth int) *machine {
+	if depth < 1 {
+		panic("depth < 1")
+	}
+	return &machine{}
+}
+
+// MustDepth is a Must* helper: silent.
+func MustDepth(depth int) int {
+	if depth < 1 {
+		panic("bad depth")
+	}
+	return depth
+}
+
+// validate is init-time validation by convention: silent.
+func validate(depth int) {
+	if depth < 1 {
+		panic("bad depth")
+	}
+}

@@ -1,0 +1,36 @@
+// Package pragmas is a vsvlint fixture for the //vsvlint:ignore pragma
+// machinery: suppression on the line above and on the same line, the
+// unused-pragma report, and the three malformed shapes (no analyzer,
+// unknown analyzer, missing reason). It runs under the determinism
+// analyzer.
+package pragmas
+
+import "time"
+
+// deadline is suppressed by a pragma on the line above.
+func deadline() int64 {
+	//vsvlint:ignore determinism fixture exercises the line-above suppression form
+	return time.Now().UnixNano()
+}
+
+// stamp is suppressed by a trailing pragma on the same line.
+func stamp() int64 {
+	return time.Now().UnixNano() //vsvlint:ignore determinism fixture exercises the same-line suppression form
+}
+
+// unused carries a pragma with nothing to suppress.
+func unused() int {
+	//vsvlint:ignore determinism nothing on the next line trips the analyzer, so this is reported as want `unused pragma: no determinism diagnostic here to suppress`
+	return 0
+}
+
+// malformed exercises the three rejected pragma shapes.
+func malformed() int {
+	// want+1 `malformed pragma`
+	//vsvlint:ignore
+	// want+1 `pragma names unknown analyzer "nonexistent"`
+	//vsvlint:ignore nonexistent because reasons
+	// want+1 `pragma for "determinism" has no reason`
+	//vsvlint:ignore determinism
+	return 0
+}

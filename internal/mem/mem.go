@@ -89,6 +89,8 @@ func (m *Memory) enqueue(a access) {
 // is ordered by readyAt and only the prefix needs checking. The completed
 // prefix is staged into a reused scratch slice (callbacks may enqueue new
 // accesses while we iterate).
+//
+//vsv:hotpath
 func (m *Memory) Tick(now int64) {
 	n := 0
 	for n < len(m.inflight) && m.inflight[n].readyAt <= now {
@@ -110,11 +112,13 @@ func (m *Memory) Tick(now int64) {
 	}
 }
 
-// NextReadyTick returns the completion tick of the oldest in-flight access
-// — the earliest tick at which Tick will act — or (1<<63)-1 when nothing
-// is in flight. The in-flight list is ordered by readyAt (flat latency,
-// FIFO arrival), so the head is the minimum.
-func (m *Memory) NextReadyTick() int64 {
+// NextEventTick returns the completion tick of the oldest in-flight
+// access — the earliest tick at which Tick will act — or (1<<63)-1 when
+// nothing is in flight. The in-flight list is ordered by readyAt (flat
+// latency, FIFO arrival), so the head is the minimum. This is the
+// fast-forward event-horizon contract every clocked event source must
+// implement (enforced by vsvlint's eventhorizon analyzer).
+func (m *Memory) NextEventTick(now int64) int64 {
 	if len(m.inflight) == 0 {
 		return 1<<63 - 1
 	}

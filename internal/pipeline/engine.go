@@ -6,6 +6,8 @@ import "repro/internal/isa"
 // Phases run in reverse pipeline order — commit, writeback, issue,
 // dispatch, fetch — so results flow between stages with the right
 // one-cycle boundaries.
+//
+//vsv:hotpath
 func (p *Pipeline) Step(now int64) StepResult {
 	var r StepResult
 	p.commit(now, &r)

@@ -19,6 +19,8 @@ package pipeline
 // external memory event (an L2 fill or I-fetch fill) arrives. It holds
 // across consecutive cycles until such an event, because every condition
 // below depends only on state that external callbacks change.
+//
+//vsv:hotpath
 func (p *Pipeline) Quiesced() bool {
 	// Commit: the head entry must not be retirable. A completed head would
 	// commit (or, for stores, probe the memory port and count a
@@ -79,6 +81,8 @@ func (p *Pipeline) Quiesced() bool {
 // FSMs threshold against, and the stall counters the blocked stages would
 // have incremented. The caller must have established Quiesced() and must
 // guarantee no external event lands within the span.
+//
+//vsv:hotpath
 func (p *Pipeline) SkipQuiesced(edges int64) {
 	if edges <= 0 {
 		return

@@ -1,0 +1,39 @@
+package power
+
+import "sort"
+
+// Fixed-order float accumulation. IEEE-754 addition is not associative, so
+// any float reduction whose iteration order can vary between runs (a map
+// range is the canonical case) produces run-to-run differences in the last
+// bits — enough to break the simulator's bit-identical reproducibility
+// contract. These helpers pin the addition order; vsvlint's floatorder
+// analyzer points offenders here.
+
+// SumOrdered adds xs in index order and returns the total. Use it (or an
+// equivalent explicit index loop) for every float reduction on simulator
+// state, so the addition order is a property of the data layout rather
+// than of the iteration.
+func SumOrdered(xs []float64) float64 {
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// SumMapOrdered adds a string-keyed map's values in ascending key order,
+// making the IEEE addition sequence independent of the map's internal
+// layout. This is the endorsed remediation for a floatorder diagnostic:
+// either sort the keys yourself or route the reduction through here.
+func SumMapOrdered(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var t float64
+	for _, k := range keys {
+		t += m[k]
+	}
+	return t
+}

@@ -1,0 +1,40 @@
+package power
+
+import "testing"
+
+func TestSumOrdered(t *testing.T) {
+	if got := SumOrdered(nil); got != 0 {
+		t.Fatalf("SumOrdered(nil) = %v, want 0", got)
+	}
+	// The contract is a specific addition order, not just a total: summing
+	// left to right must reproduce the exact IEEE result of the explicit
+	// sequence. (want is built from variables so the compiler cannot fold
+	// it in exact constant arithmetic.)
+	xs := []float64{1e16, 1, -1e16, 1}
+	want := xs[0]
+	for _, x := range xs[1:] {
+		want += x
+	}
+	if got := SumOrdered(xs); got != want {
+		t.Fatalf("SumOrdered = %v, want %v", got, want)
+	}
+	if big, one := xs[0], xs[1]; want == big+one+one-big {
+		t.Fatalf("test vector does not exercise non-associativity")
+	}
+}
+
+func TestSumMapOrdered(t *testing.T) {
+	m := map[string]float64{"c": 1, "a": 1e16, "b": 1, "d": -1e16}
+	// Ascending key order: a, b, c, d.
+	order := []float64{m["a"], m["b"], m["c"], m["d"]}
+	want := order[0]
+	for _, x := range order[1:] {
+		want += x
+	}
+	if got := SumMapOrdered(m); got != want {
+		t.Fatalf("SumMapOrdered = %v, want %v", got, want)
+	}
+	if got := SumMapOrdered(nil); got != 0 {
+		t.Fatalf("SumMapOrdered(nil) = %v, want 0", got)
+	}
+}

@@ -331,6 +331,8 @@ func (m *Model) vddFactor(vdd float64) float64 {
 // Tick accrues one tick of energy. edge reports whether the pipeline domain
 // got a clock edge; act must be non-nil iff edge is true. vdd is the scaled
 // domain's effective supply this tick.
+//
+//vsv:hotpath
 func (m *Model) Tick(edge bool, vdd float64, act *Activity) {
 	m.ticks++
 	p := &m.cfg.Params
@@ -420,13 +422,11 @@ func (m *Model) Reset() {
 // Energy returns the accumulated energy of one structure in nJ.
 func (m *Model) Energy(s Structure) float64 { return m.energy[s] }
 
-// TotalEnergy returns the total accumulated energy in nJ.
+// TotalEnergy returns the total accumulated energy in nJ. The sum runs in
+// structure-index order (SumOrdered) so the IEEE addition sequence is
+// fixed.
 func (m *Model) TotalEnergy() float64 {
-	var t float64
-	for _, e := range m.energy {
-		t += e
-	}
-	return t
+	return SumOrdered(m.energy[:])
 }
 
 // AveragePower returns the mean power in watts (nJ per ns).

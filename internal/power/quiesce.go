@@ -18,6 +18,8 @@ package power
 // PrepareQuiesced refreshes the cached idle-tick quanta for the given
 // scaled-domain voltage. Call it before a run of QuiescedTick calls; it is
 // a no-op when the voltage is unchanged since the last preparation.
+//
+//vsv:hotpath
 func (m *Model) PrepareQuiesced(vdd float64) {
 	if vdd != m.cachedVDD {
 		m.recalcVDD(vdd)
@@ -52,6 +54,8 @@ func (m *Model) PrepareQuiesced(vdd float64) {
 // all-zero activity record. The DCG-gated structures (FUs, result bus,
 // prefetch buffer, boundary latches) accrue nothing when idle, exactly as
 // their Tick terms would add +0.0.
+//
+//vsv:hotpath
 func (m *Model) QuiescedTick(edge bool) {
 	m.ticks++
 	m.energy[SPLL] += m.cfg.Params.PLLPerTick
@@ -76,6 +80,8 @@ func (m *Model) QuiescedTick(edge bool) {
 // when divider is 1). The additions run tick by tick — a closed-form
 // multiply would round differently and break bit-identity with the
 // per-tick path.
+//
+//vsv:hotpath
 func (m *Model) QuiescedTicks(n int64, phase, divider int) {
 	if divider <= 1 {
 		for i := int64(0); i < n; i++ {

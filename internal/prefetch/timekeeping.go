@@ -356,11 +356,27 @@ func (tk *TimeKeeping) OnDemandMiss(missBlock, set uint64) {
 	tk.stats.PredictorTrains++
 }
 
+// Host is Time-Keeping's deterministic window into the cache hierarchy
+// it prefetches for. It replaces per-call function parameters so the
+// per-tick path carries no closures: the machine passes itself (an
+// interface holding a pointer allocates nothing), matching the
+// bus.Completer / mem.ReadNotifier continuation idiom.
+type Host interface {
+	// BlockSet maps a block address to its L1 set index.
+	BlockSet(block uint64) uint64
+	// BlockPresent reports whether the block is already covered — in the
+	// L1, the prefetch buffer, or in flight — so the prefetch would be
+	// redundant.
+	BlockPresent(block uint64) bool
+}
+
 // Tick advances the decay clock; at each decay boundary it pops matured
 // dead-check events and returns the block addresses that should be
-// prefetched. isPresent filters requests whose target is already in the L1,
-// the buffer, or in flight. setOf maps a block address to its L1 set.
-func (tk *TimeKeeping) Tick(now int64, setOf func(uint64) uint64, isPresent func(uint64) bool) []uint64 {
+// prefetched, consulting host to map blocks to sets and to filter
+// requests whose target is already covered.
+//
+//vsv:hotpath
+func (tk *TimeKeeping) Tick(now int64, host Host) []uint64 {
 	if now%int64(tk.cfg.DecayResolution) != 0 {
 		return nil
 	}
@@ -410,7 +426,7 @@ func (tk *TimeKeeping) Tick(now int64, setOf func(uint64) uint64, isPresent func
 		// Block predicted dead.
 		s.deadDone = true
 		tk.stats.DeadPredictions++
-		set := setOf(block)
+		set := host.BlockSet(block)
 		sig := tk.signature(block, set)
 		// The death context itself becomes the set's pending signature, so
 		// the next miss in the set trains it even without an eviction.
@@ -422,7 +438,7 @@ func (tk *TimeKeeping) Tick(now int64, setOf func(uint64) uint64, isPresent func
 		// fall back to the stride target off the dying block.
 		issued := false
 		if tk.predValid[sig] {
-			if target := tk.predictor[sig]; !isPresent(target) {
+			if target := tk.predictor[sig]; !host.BlockPresent(target) {
 				tk.stats.PredictorHits++
 				tk.stats.PrefetchesIssued++
 				out = append(out, target)
@@ -433,7 +449,7 @@ func (tk *TimeKeeping) Tick(now int64, setOf func(uint64) uint64, isPresent func
 			continue
 		}
 		if !issued && tk.cfg.StrideFallback && tk.strideEligible(block) {
-			if target := block + uint64(tk.cfg.StrideLookaheadBlocks)*32; !isPresent(target) {
+			if target := block + uint64(tk.cfg.StrideLookaheadBlocks)*32; !host.BlockPresent(target) {
 				tk.stats.StrideFallbacks++
 				tk.stats.PrefetchesIssued++
 				out = append(out, target)

@@ -11,13 +11,26 @@ func tkSmall() *TimeKeeping {
 }
 
 func setOf(block uint64) uint64 { return (block >> 5) & 1023 }
-func neverPresent(uint64) bool  { return false }
-func alwaysPresent(uint64) bool { return true }
 
-func runTicks(tk *TimeKeeping, from, to int64, present func(uint64) bool) []uint64 {
+// hostFuncs adapts plain functions to the prefetch.Host interface for
+// tests.
+type hostFuncs struct {
+	set     func(uint64) uint64
+	present func(uint64) bool
+}
+
+func (h hostFuncs) BlockSet(b uint64) uint64   { return h.set(b) }
+func (h hostFuncs) BlockPresent(b uint64) bool { return h.present(b) }
+
+var (
+	neverPresent  = hostFuncs{setOf, func(uint64) bool { return false }}
+	alwaysPresent = hostFuncs{setOf, func(uint64) bool { return true }}
+)
+
+func runTicks(tk *TimeKeeping, from, to int64, present Host) []uint64 {
 	var out []uint64
 	for t := from; t <= to; t++ {
-		out = append(out, tk.Tick(t, setOf, present)...)
+		out = append(out, tk.Tick(t, present)...)
 	}
 	return out
 }
@@ -61,7 +74,7 @@ func TestAccessPostponesDeath(t *testing.T) {
 		if now%16 == 0 {
 			tk.OnAccess(0x1000, now)
 		}
-		tk.Tick(now, setOf, neverPresent)
+		tk.Tick(now, neverPresent)
 	}
 	if tk.Stats().DeadPredictions != 0 {
 		t.Fatalf("live block predicted dead %d times", tk.Stats().DeadPredictions)

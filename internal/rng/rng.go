@@ -72,6 +72,7 @@ func (s *Source) Split() *Source {
 // Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
 func (s *Source) Intn(n int) int {
 	if n <= 0 {
+		//vsvlint:ignore panicdiscipline stdlib-style API-contract panic mirroring math/rand.Intn; no machine exists here to snapshot
 		panic("rng: Intn with non-positive n")
 	}
 	return int(s.Uint64() % uint64(n))
@@ -80,6 +81,7 @@ func (s *Source) Intn(n int) int {
 // Uint64n returns a pseudo-random uint64 in [0, n). It panics if n == 0.
 func (s *Source) Uint64n(n uint64) uint64 {
 	if n == 0 {
+		//vsvlint:ignore panicdiscipline stdlib-style API-contract panic mirroring math/rand; no machine exists here to snapshot
 		panic("rng: Uint64n with zero n")
 	}
 	return s.Uint64() % n

@@ -163,7 +163,12 @@ func (m *Machine) snapshot(now int64) Snapshot {
 	return s
 }
 
-// failure builds the structured error for a failing run.
+// failure builds the structured error for a failing run. It runs at most
+// once per run, immediately before the CheckError panic unwinds the
+// machine, so it (and the snapshot construction under it) is off the hot
+// path by definition.
+//
+//vsv:coldpath
 func (m *Machine) failure(kind FailureKind, now int64, format string, args ...interface{}) *CheckError {
 	return &CheckError{
 		Kind:     kind,

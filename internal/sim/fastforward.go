@@ -35,7 +35,7 @@ func (m *Machine) nextEventTick() int64 {
 	if t := m.bus.NextEventTick(m.now); t < next {
 		next = t
 	}
-	if t := m.mem.NextReadyTick(); t < next {
+	if t := m.mem.NextEventTick(m.now); t < next {
 		next = t
 	}
 	if m.tk != nil {
@@ -62,6 +62,8 @@ func (m *Machine) nextEventTick() int64 {
 // provably quiesced, applying the skipped ticks' effects in bulk. It is a
 // no-op (and the per-tick path runs as usual) whenever quiescence cannot
 // be proven or an event is due immediately.
+//
+//vsv:hotpath
 func (m *Machine) fastForward() {
 	next := m.nextEventTick()
 	n := next - m.now

@@ -196,6 +196,8 @@ func (m *Machine) FaultInjector() *faults.Injector { return m.inj }
 // ---------------------------------------------------------------- ticks --
 
 // tick advances the whole machine by one nanosecond.
+//
+//vsv:hotpath
 func (m *Machine) tick() {
 	now := m.now
 	edge := true
@@ -325,6 +327,7 @@ func (m *Machine) checkRunControl() {
 		default:
 		}
 	}
+	//vsvlint:ignore determinism the wall-clock deadline is run control (WithWallDeadline), not simulated time; it aborts the run rather than influencing results
 	if !m.wallDeadline.IsZero() && time.Now().After(m.wallDeadline) {
 		panic(m.failure(FailDeadline, m.now, "wall-clock deadline exceeded"))
 	}
@@ -621,19 +624,33 @@ func (m *Machine) handleDL1Eviction(ev cache.Eviction) {
 
 // ------------------------------------------------------ Time-Keeping ----
 
+// tkTick drives the Time-Keeping prefetcher. The machine passes itself
+// as the prefetch.Host window (set mapping + presence filtering) so the
+// per-tick path carries no closures.
+//
+//vsv:hotpath
 func (m *Machine) tkTick(now int64) {
 	if m.tk == nil {
 		return
 	}
-	targets := m.tk.Tick(now, m.dl1.SetIndex, func(block uint64) bool {
-		return m.dl1.Probe(block) || m.tkBuf.Contains(block) ||
-			m.dl1MSHR.Lookup(block) != nil || m.l2MSHR.Lookup(block) != nil ||
-			m.tkFillPendingHas(block)
-	})
+	targets := m.tk.Tick(now, m)
 	for _, t := range targets {
 		m.stats.TKPrefetches++
 		m.scheduleL2(t, false, true, true)
 	}
+}
+
+var _ prefetch.Host = (*Machine)(nil)
+
+// BlockSet implements prefetch.Host: the DL1 set a block maps to.
+func (m *Machine) BlockSet(block uint64) uint64 { return m.dl1.SetIndex(block) }
+
+// BlockPresent implements prefetch.Host: whether a prefetch target is
+// already covered by the DL1, the prefetch buffer, or an in-flight miss.
+func (m *Machine) BlockPresent(block uint64) bool {
+	return m.dl1.Probe(block) || m.tkBuf.Contains(block) ||
+		m.dl1MSHR.Lookup(block) != nil || m.l2MSHR.Lookup(block) != nil ||
+		m.tkFillPendingHas(block)
 }
 
 // ------------------------------------------------- pipeline.MemPort -----
