@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test lint check stress fuzz bench bench-compare experiments examples cover cover-gate clean
+.PHONY: all build vet test lint check serve-smoke stress fuzz bench bench-compare experiments examples cover cover-gate clean
 
 all: build vet test
 
@@ -22,13 +22,20 @@ lint:
 	$(GO) run ./cmd/vsvlint ./...
 
 # The pre-merge gate: vet, vsvlint, the race-enabled short suite (which
-# includes the sweep engine's determinism and cancellation tests, and the
-# fast-forward differential tests), and the golden-output regression (the
-# short-mode experiments digest must match the committed hash with
-# fast-forward both enabled and disabled — see scripts/check_golden.sh).
+# includes the sweep engine's determinism and cancellation tests, the
+# fast-forward differential tests, and the campaign service's e2e suite),
+# and the golden-output regression (the short-mode experiments digest must
+# match the committed hash with fast-forward both enabled and disabled —
+# see scripts/check_golden.sh).
 check: vet lint
 	$(GO) test -race -short ./...
 	sh scripts/check_golden.sh
+
+# End-to-end smoke of the campaign service: boot cmd/vsvserve, drive a
+# campaign through the HTTP API with curl, and diff the fetched artefact
+# bytes against the direct cmd/experiments run (must be identical).
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Robustness soak: loop the fault-injection, watchdog and campaign-runner
 # tests under the race detector. Fault schedules exercise different

@@ -136,7 +136,9 @@ func main() {
 		ContinueOnError:     *keepGoing,
 	}
 
-	outs, err := experiments.RunArtefacts(o, spec, arts, *seq)
+	// Artefact text streams straight to stdout (in artefact order), exactly
+	// as the historical print loop did; outs is kept for the CSV sink.
+	outs, err := experiments.RunArtefacts(os.Stdout, o, spec, arts, *seq)
 	if err != nil {
 		fail(err)
 	}
@@ -156,7 +158,6 @@ func main() {
 	}
 
 	for _, out := range outs {
-		fmt.Print(out.Text)
 		writeCSV(out.Name, out.CSV)
 	}
 

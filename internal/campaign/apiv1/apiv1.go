@@ -1,0 +1,125 @@
+// Package apiv1 is the versioned wire format shared by the campaign
+// service's HTTP JSON API and the sweep engine's JSONL checkpoint files:
+// one schema, tagged "v":1, for simulation requests (Point), simulation
+// outcomes (Results), structured failures (Error) and checkpoint records.
+//
+// The package deliberately sits below the engine (it imports only
+// internal/sim and the configuration packages under it), so every layer
+// that speaks the wire format — the checkpoint codec in internal/sweep,
+// the HTTP service in internal/campaign, external clients — shares these
+// exact types rather than re-deriving them.
+//
+// Compatibility contract: field names in this package are the public API.
+// New fields may be added within v1 (decoders must ignore unknowns where
+// documented); renaming or re-typing an existing field requires a new
+// version tag. Payloads round-trip exactly — encoding/json emits the
+// shortest float64 representation and parses it back bit-equal — which is
+// what lets a checkpoint resume (or an API replay) reproduce byte-identical
+// campaign output.
+package apiv1
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Version is the wire-format version this package encodes. Envelopes carry
+// it as "v"; decoders accept 0 (legacy, pre-versioned payloads) where
+// documented and reject anything newer.
+const Version = 1
+
+// Point is one simulation request: a benchmark (and workload seed) on a
+// machine configuration. It mirrors sweep.Point field for field.
+//
+// Config's JSON schema is the exported field tree of sim.Config — plain
+// structs of scalar/slice fields in every substrate package, with nil
+// pointers marking absent subsystems (VSV, TimeKeeping, Faults). That
+// encoding is already the engine's memoization fingerprint, so a config
+// that round-trips through this type re-fingerprints identically and is
+// served from the same cache entry.
+type Point struct {
+	// Key labels the point in responses; it has no effect on execution or
+	// memoization.
+	Key string `json:"key,omitempty"`
+	// Benchmark names the synthetic SPEC2K workload.
+	Benchmark string `json:"benchmark"`
+	// Seed selects the workload's pseudo-random streams (0 = canonical).
+	Seed uint64 `json:"seed,omitempty"`
+	// Config is the full machine configuration.
+	Config sim.Config `json:"config"`
+}
+
+// Results is the wire form of one measurement window's summary
+// (sim.Results). Conversions are exact field copies in both directions, so
+// a Results that crosses the wire (or a checkpoint file) reconstructs the
+// original sim.Results bit for bit, floats included.
+type Results struct {
+	Benchmark    string `json:"benchmark"`
+	Ticks        int64  `json:"ticks"`
+	Instructions uint64 `json:"instructions"`
+
+	// IPC is instructions per full-speed clock cycle; MR is L2 demand
+	// misses per 1000 instructions (the paper's Table 2 metrics).
+	IPC float64 `json:"ipc"`
+	MR  float64 `json:"mr"`
+
+	// AvgPowerW is mean power over the window (nJ/ns = W); EnergyNJ is
+	// total energy; Breakdown is each structure's share of energy.
+	AvgPowerW float64            `json:"avg_power_w"`
+	EnergyNJ  float64            `json:"energy_nj"`
+	Breakdown map[string]float64 `json:"breakdown"`
+
+	// LowFrac is the fraction of ticks outside high-power mode;
+	// Transitions counts completed high→low transitions; ControllerStats
+	// carries the raw VSV counters (all zero on baseline machines).
+	LowFrac         float64    `json:"low_frac"`
+	Transitions     uint64     `json:"transitions"`
+	ControllerStats core.Stats `json:"controller_stats"`
+
+	MispredictRate  float64 `json:"mispredict_rate"`
+	ZeroIssueFrac   float64 `json:"zero_issue_frac"`
+	DL1MissRate     float64 `json:"dl1_miss_rate"`
+	L2LocalMissRate float64 `json:"l2_local_miss_rate"`
+}
+
+// FromResults converts a simulator result to its wire form.
+func FromResults(r sim.Results) Results {
+	return Results{
+		Benchmark:       r.Benchmark,
+		Ticks:           r.Ticks,
+		Instructions:    r.Instructions,
+		IPC:             r.IPC,
+		MR:              r.MR,
+		AvgPowerW:       r.AvgPowerW,
+		EnergyNJ:        r.EnergyNJ,
+		Breakdown:       r.Breakdown,
+		LowFrac:         r.LowFrac,
+		Transitions:     r.Transitions,
+		ControllerStats: r.ControllerStats,
+		MispredictRate:  r.MispredictRate,
+		ZeroIssueFrac:   r.ZeroIssueFrac,
+		DL1MissRate:     r.DL1MissRate,
+		L2LocalMissRate: r.L2LocalMissRate,
+	}
+}
+
+// Sim converts the wire form back to the simulator's type.
+func (r Results) Sim() sim.Results {
+	return sim.Results{
+		Benchmark:       r.Benchmark,
+		Ticks:           r.Ticks,
+		Instructions:    r.Instructions,
+		IPC:             r.IPC,
+		MR:              r.MR,
+		AvgPowerW:       r.AvgPowerW,
+		EnergyNJ:        r.EnergyNJ,
+		Breakdown:       r.Breakdown,
+		LowFrac:         r.LowFrac,
+		Transitions:     r.Transitions,
+		ControllerStats: r.ControllerStats,
+		MispredictRate:  r.MispredictRate,
+		ZeroIssueFrac:   r.ZeroIssueFrac,
+		DL1MissRate:     r.DL1MissRate,
+		L2LocalMissRate: r.L2LocalMissRate,
+	}
+}

@@ -1,0 +1,188 @@
+package apiv1_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign/apiv1"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// run executes one small genuine simulation, so round-trip tests exercise
+// real float64 values rather than hand-picked ones.
+func run(t *testing.T) sim.Results {
+	t.Helper()
+	cfg := sim.BenchConfig()
+	cfg.WarmupInstructions = 2_000
+	cfg.MeasureInstructions = 8_000
+	m, err := sim.NewBench("mcf", sim.WithConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Run("mcf")
+}
+
+// TestResultsMirrorsSimResults pins the wire type to the simulator's: a
+// field added to sim.Results without a wire counterpart would silently drop
+// on the API and in checkpoint files.
+func TestResultsMirrorsSimResults(t *testing.T) {
+	simN := reflect.TypeOf(sim.Results{}).NumField()
+	wireN := reflect.TypeOf(apiv1.Results{}).NumField()
+	if simN != wireN {
+		t.Fatalf("apiv1.Results has %d fields, sim.Results has %d: extend the wire type (and bump the contract doc)",
+			wireN, simN)
+	}
+}
+
+// TestResultsRoundTripExact pins the compatibility contract's core claim:
+// results crossing the wire reconstruct the original bit for bit, floats
+// included.
+func TestResultsRoundTripExact(t *testing.T) {
+	want := run(t)
+	b, err := json.Marshal(apiv1.FromResults(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire apiv1.Results
+	if err := json.Unmarshal(b, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if got := wire.Sim(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("results changed across the wire:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestPointRoundTripRefingerprints pins the memoization claim: a
+// configuration that round-trips through the wire format hashes to the same
+// fingerprint, so API-submitted points share cache entries with native ones.
+func TestPointRoundTripRefingerprints(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.WarmupInstructions = 2_000
+	cfg.MeasureInstructions = 8_000
+	native := sweep.Point{Key: "x", Benchmark: "mcf", Seed: 7, Config: cfg}
+	want, err := native.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := json.Marshal(apiv1.Point{Key: "x", Benchmark: "mcf", Seed: 7, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire apiv1.Point
+	if err := json.Unmarshal(b, &wire); err != nil {
+		t.Fatal(err)
+	}
+	rt := sweep.Point{Key: wire.Key, Benchmark: wire.Benchmark, Seed: wire.Seed, Config: wire.Config}
+	got, err := rt.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("fingerprint changed across the wire: %s != %s", got, want)
+	}
+}
+
+// TestCheckpointRecordRoundTrip pins the versioned checkpoint codec: v1
+// records round-trip exactly and carry the version tag.
+func TestCheckpointRecordRoundTrip(t *testing.T) {
+	want := run(t)
+	line, err := apiv1.EncodeCheckpointRecord("fp123", "k", want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(line), `"v":1`) {
+		t.Fatalf("record is not version-tagged: %s", line)
+	}
+	fp, key, got, err := apiv1.DecodeCheckpointRecord(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != "fp123" || key != "k" {
+		t.Fatalf("identity fields lost: fp=%q key=%q", fp, key)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("results changed across the codec:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestCheckpointRecordLegacy pins backward compatibility: checkpoint files
+// written before the version tag (Go field names, no "v") still decode.
+func TestCheckpointRecordLegacy(t *testing.T) {
+	want := run(t)
+	line, err := json.Marshal(struct {
+		FP  string      `json:"fp"`
+		Key string      `json:"key"`
+		Res sim.Results `json:"res"`
+	}{FP: "fp0", Key: "old", Res: want})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, key, got, err := apiv1.DecodeCheckpointRecord(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != "fp0" || key != "old" {
+		t.Fatalf("identity fields lost: fp=%q key=%q", fp, key)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("legacy results changed across the codec:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestCheckpointRecordFutureVersion pins forward safety: records from a
+// newer writer are an error, not a silent zero-valued decode.
+func TestCheckpointRecordFutureVersion(t *testing.T) {
+	if _, _, _, err := apiv1.DecodeCheckpointRecord([]byte(`{"v":2,"fp":"f","res":{}}`)); err == nil {
+		t.Fatal("future-version record decoded without error")
+	}
+}
+
+// TestFromError pins the error taxonomy's conversions.
+func TestFromError(t *testing.T) {
+	if apiv1.FromError(nil) != nil {
+		t.Fatal("nil error did not convert to nil")
+	}
+
+	ce := &sim.CheckError{Kind: sim.FailWatchdog, Tick: 42, Msg: "stuck"}
+	ae := apiv1.FromError(fmt.Errorf("wrapped: %w", ce))
+	if ae.Type != apiv1.ErrCheck || ae.Kind != "watchdog" || ae.Tick != 42 {
+		t.Fatalf("CheckError converted wrong: %+v", ae)
+	}
+
+	if ae := apiv1.FromError(context.Canceled); ae.Type != apiv1.ErrCancelled {
+		t.Fatalf("context.Canceled converted to %q", ae.Type)
+	}
+	if ae := apiv1.FromError(errors.New("boom")); ae.Type != apiv1.ErrInternal {
+		t.Fatalf("generic error converted to %q", ae.Type)
+	}
+
+	// *Error passes through unchanged (client-side decode travels back up).
+	orig := &apiv1.Error{Type: apiv1.ErrBudget, Message: "over"}
+	if got := apiv1.FromError(fmt.Errorf("w: %w", orig)); got != orig {
+		t.Fatalf("typed error did not pass through: %+v", got)
+	}
+}
+
+// TestErrorJSONShape pins that failures serialize as dispatchable types,
+// not prose.
+func TestErrorJSONShape(t *testing.T) {
+	ce := &sim.CheckError{Kind: sim.FailSelfCheck, Tick: 7, Msg: "bad"}
+	b, err := json.Marshal(apiv1.FromError(ce))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]interface{}
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["type"] != apiv1.ErrCheck || m["kind"] != "self-check" {
+		t.Fatalf("error JSON lacks the discriminators: %s", b)
+	}
+}

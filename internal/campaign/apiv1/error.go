@@ -1,0 +1,91 @@
+package apiv1
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/sim"
+)
+
+// Error type discriminators. Type is always present; the other Error fields
+// are populated per type as documented.
+const (
+	// ErrCheck is a structured simulator failure (*sim.CheckError): Kind
+	// names the failure class (self-check, watchdog, deadline, aborted)
+	// and Tick is the simulated time it tripped.
+	ErrCheck = "check_error"
+	// ErrRun is a failed campaign point (*sweep.RunError): Key, Benchmark,
+	// Seed and Fingerprint identify the run, Attempts counts tries, and
+	// Cause carries the underlying failure (usually an ErrCheck).
+	ErrRun = "run_error"
+	// ErrCancelled is a cooperative cancellation (the job was deleted or
+	// its context expired) — not a genuine failure.
+	ErrCancelled = "cancelled"
+	// ErrBudget is an admission-control rejection: the job's run budget
+	// would be exceeded.
+	ErrBudget = "budget_exceeded"
+	// ErrBadRequest is a malformed or unsupported request payload.
+	ErrBadRequest = "bad_request"
+	// ErrNotFound is an unknown job ID or artefact name.
+	ErrNotFound = "not_found"
+	// ErrQueueFull is an admission-control rejection: the server's bounded
+	// job queue is full; retry later.
+	ErrQueueFull = "queue_full"
+	// ErrInternal is any other failure, described only by Message.
+	ErrInternal = "internal"
+)
+
+// Error is the wire form of a structured failure. It replaces .Error()
+// strings with typed JSON so clients can dispatch on Type (and Kind)
+// instead of parsing prose; Message still carries the human-readable
+// one-line diagnosis.
+type Error struct {
+	Type    string `json:"type"`
+	Message string `json:"message"`
+
+	// ErrRun fields: the failed point's identity and attempt count.
+	Key         string `json:"key,omitempty"`
+	Benchmark   string `json:"benchmark,omitempty"`
+	Seed        uint64 `json:"seed,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Attempts    int    `json:"attempts,omitempty"`
+
+	// ErrCheck fields: the failure class and the simulated tick.
+	Kind string `json:"kind,omitempty"`
+	Tick int64  `json:"tick,omitempty"`
+
+	// Cause is the wrapped failure, mirroring errors.Unwrap chains.
+	Cause *Error `json:"cause,omitempty"`
+}
+
+// Error renders the one-line diagnosis, so *Error satisfies error and can
+// travel back up Go call chains after decoding.
+func (e *Error) Error() string { return e.Message }
+
+// FromError converts an error chain to its wire form: *sim.CheckError
+// becomes ErrCheck, context cancellations become ErrCancelled, *Error
+// passes through, anything else becomes ErrInternal. Campaign-point
+// failures (*sweep.RunError) are converted by sweep.APIError, which wraps
+// this function — the sweep package sits above this one.
+func FromError(err error) *Error {
+	if err == nil {
+		return nil
+	}
+	var ae *Error
+	if errors.As(err, &ae) {
+		return ae
+	}
+	var ce *sim.CheckError
+	if errors.As(err, &ce) {
+		return &Error{
+			Type:    ErrCheck,
+			Message: ce.Error(),
+			Kind:    ce.Kind.String(),
+			Tick:    ce.Tick,
+		}
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return &Error{Type: ErrCancelled, Message: err.Error()}
+	}
+	return &Error{Type: ErrInternal, Message: err.Error()}
+}

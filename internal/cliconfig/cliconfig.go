@@ -107,6 +107,27 @@ func (f *SimFlags) Options() ([]sim.Option, error) {
 	return opts, nil
 }
 
+// ServeFlags holds the campaign service's flag surface (cmd/vsvserve).
+type ServeFlags struct {
+	// Addr is the listen address; ":0" picks a free port (printed on
+	// stderr, for smoke tests and scripts).
+	Addr string
+	// MaxQueue, MaxJobs and MaxPoints are the admission-control limits:
+	// queued-job bound, concurrent-job slots, per-job run budget
+	// (0 = unlimited).
+	MaxQueue  int
+	MaxJobs   int
+	MaxPoints int
+}
+
+// RegisterServe registers the campaign-service flags.
+func (f *ServeFlags) RegisterServe(fs *flag.FlagSet) {
+	fs.StringVar(&f.Addr, "addr", "127.0.0.1:8080", "listen address (host:port; :0 picks a free port)")
+	fs.IntVar(&f.MaxQueue, "max-queue", 16, "jobs queued but not yet running before submissions get 429")
+	fs.IntVar(&f.MaxJobs, "max-jobs", 2, "jobs simulating concurrently (each fans out over -parallel workers)")
+	fs.IntVar(&f.MaxPoints, "max-points", 0, "per-job run budget in engine submissions (0 = unlimited)")
+}
+
 // RegisterParallel registers the worker-count flag, defaulting to all
 // available CPUs.
 func RegisterParallel(fs *flag.FlagSet) *int {

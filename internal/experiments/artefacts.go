@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"sync"
 
 	"repro/internal/report"
@@ -104,13 +105,18 @@ func Artefacts(names ...string) ([]Artefact, error) {
 }
 
 // RunArtefacts executes the artefacts and returns their outputs in input
-// order. Without an Options.Engine it builds one shared engine, so
-// overlapping points across artefacts are simulated once either way. By
-// default artefacts run concurrently (each one's own fan-out still bounded
-// by the engine's workers); sequential preserves the one-at-a-time order
-// for debugging. Outputs are identical in both modes.
-func RunArtefacts(o Options, s Spec, arts []Artefact, sequential bool) ([]Output, error) {
-	if o.Engine == nil {
+// order, streaming each output's Text to w (in artefact order, once every
+// artefact has rendered). The writer decouples artefact generation from any
+// particular sink: cmd/experiments passes os.Stdout and reproduces the
+// historical byte stream exactly; the campaign service passes a per-job
+// buffer; nil discards the stream (outputs are still returned). Without an
+// Options.Engine it builds one shared engine, so overlapping points across
+// artefacts are simulated once either way. By default artefacts run
+// concurrently (each one's own fan-out still bounded by the engine's
+// workers); sequential preserves the one-at-a-time order for debugging.
+// Outputs are identical in both modes.
+func RunArtefacts(w io.Writer, o Options, s Spec, arts []Artefact, sequential bool) ([]Output, error) {
+	if o.Engine == nil && o.Job == nil {
 		o.Engine = sweep.New(sweep.Workers(o.Parallelism))
 	}
 	outs := make([]Output, len(arts))
@@ -142,6 +148,13 @@ func RunArtefacts(o Options, s Spec, arts []Artefact, sequential bool) ([]Output
 		outs[i] = Output{
 			Name: arts[i].Name,
 			Text: fmt.Sprintf("%s: FAILED: %v\n\n", arts[i].Name, err),
+		}
+	}
+	if w != nil {
+		for _, out := range outs {
+			if _, err := io.WriteString(w, out.Text); err != nil {
+				return outs, fmt.Errorf("experiments: writing artefact %s: %w", out.Name, err)
+			}
 		}
 	}
 	return outs, nil

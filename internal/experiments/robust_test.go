@@ -15,13 +15,9 @@ func campaignText(t *testing.T, o Options, names ...string) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	outs, err := RunArtefacts(o, Spec{}, arts, false)
-	if err != nil {
-		t.Fatal(err)
-	}
 	var b strings.Builder
-	for _, out := range outs {
-		b.WriteString(out.Text)
+	if _, err := RunArtefacts(&b, o, Spec{}, arts, false); err != nil {
+		t.Fatal(err)
 	}
 	return b.String()
 }
@@ -85,7 +81,7 @@ func TestContinueOnErrorAnnotates(t *testing.T) {
 		_, err := Figure4(o, []string{"nonesuch"})
 		return Output{}, err
 	}}
-	outs, err := RunArtefacts(o, Spec{}, append(good, bad), false)
+	outs, err := RunArtefacts(nil, o, Spec{}, append(good, bad), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +94,7 @@ func TestContinueOnErrorAnnotates(t *testing.T) {
 
 	// Without ContinueOnError the same campaign fails outright.
 	o.ContinueOnError = false
-	if _, err := RunArtefacts(o, Spec{}, append(good, bad), false); err == nil {
+	if _, err := RunArtefacts(nil, o, Spec{}, append(good, bad), false); err == nil {
 		t.Fatal("fail-fast campaign did not report the failure")
 	}
 }

@@ -31,6 +31,16 @@ type Options struct {
 	// are simulated exactly once per campaign. Nil runs each experiment on
 	// a private engine.
 	Engine *sweep.Engine
+	// Job, when non-nil, scopes every run to this job handle (which takes
+	// precedence over Engine for execution; the handle's engine supplies
+	// the shared cache). The campaign service uses one Job per HTTP job so
+	// concurrent jobs on the shared engine keep separate progress and
+	// stats.
+	Job *sweep.Job
+	// Context, when non-nil, bounds every run of the campaign: cancelling
+	// it aborts in-flight simulations cooperatively through the engine's
+	// stop channels. Nil means context.Background().
+	Context context.Context
 	// ForceSlowTick disables the simulator's event-driven fast-forward for
 	// every run (see sim.Config.ForceSlowTick). Results are bit-identical
 	// either way; the golden-output gate runs both modes to prove it.
@@ -84,15 +94,22 @@ type job struct {
 
 // runAll executes jobs through the sweep engine and returns results by key.
 func runAll(o Options, jobs []job) (map[string]sim.Results, error) {
-	eng := o.Engine
-	if eng == nil {
-		eng = sweep.New(sweep.Workers(o.Parallelism))
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	pts := make([]sweep.Point, len(jobs))
 	for i, j := range jobs {
 		pts[i] = sweep.Point{Key: j.key, Benchmark: j.name, Seed: j.seed, Config: j.cfg}
 	}
-	return eng.RunMap(context.Background(), pts)
+	if o.Job != nil {
+		return o.Job.RunMap(ctx, pts)
+	}
+	eng := o.Engine
+	if eng == nil {
+		eng = sweep.New(sweep.Workers(o.Parallelism))
+	}
+	return eng.RunMap(ctx, pts)
 }
 
 // sortByMRDesc orders benchmark names by paper MR descending, the X-axis

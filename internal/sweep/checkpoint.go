@@ -2,36 +2,32 @@ package sweep
 
 import (
 	"bufio"
-	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"sync"
 
+	"repro/internal/campaign/apiv1"
 	"repro/internal/sim"
 )
 
 // Checkpoint persists completed sweep results across process lifetimes so an
 // interrupted campaign resumes instead of recomputing. The format is a JSON
-// Lines file — one {fingerprint, key, results} record per line, appended and
+// Lines file — one versioned apiv1.CheckpointRecord per line, appended and
 // synced as each simulation completes — chosen for kill-tolerance: a process
 // killed mid-write loses at most its final partial line, which OpenCheckpoint
 // detects and truncates away. Results round-trip exactly (encoding/json
 // emits the shortest float64 representation and parses it back bit-equal),
 // so a resumed campaign's output is byte-identical to an uninterrupted one.
+// Because the codec is the shared apiv1 wire format, checkpoint files and
+// campaign-service API payloads carry one schema ("v":1); files written
+// before versioning (v0) still load.
 type Checkpoint struct {
 	mu      sync.Mutex
 	f       *os.File
 	w       *bufio.Writer
 	entries map[string]sim.Results
 	loaded  int
-}
-
-// checkpointRecord is one line of the file.
-type checkpointRecord struct {
-	FP  string      `json:"fp"`
-	Key string      `json:"key"`
-	Res sim.Results `json:"res"`
 }
 
 // OpenCheckpoint opens (creating if needed) the checkpoint file at path,
@@ -55,13 +51,14 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 			// record missing its terminator just re-runs on resume).
 			break
 		}
-		var rec checkpointRecord
-		if json.Unmarshal(line, &rec) != nil {
-			// Corrupt line: drop it and everything after.
+		fp, _, res, err := apiv1.DecodeCheckpointRecord(line)
+		if err != nil {
+			// Corrupt (or newer-versioned) line: drop it and everything
+			// after — those records just re-run on resume.
 			break
 		}
 		good += int64(len(line))
-		c.entries[rec.FP] = rec.Res
+		c.entries[fp] = res
 		c.loaded++
 	}
 	if err := f.Truncate(good); err != nil {
@@ -102,7 +99,7 @@ func (c *Checkpoint) add(fp, key string, res sim.Results) error {
 	if _, ok := c.entries[fp]; ok {
 		return nil
 	}
-	line, err := json.Marshal(checkpointRecord{FP: fp, Key: key, Res: res})
+	line, err := apiv1.EncodeCheckpointRecord(fp, key, res)
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/campaign/apiv1"
 	"repro/internal/sim"
 )
 
@@ -42,6 +43,59 @@ func (e *RunError) Error() string {
 
 // Unwrap exposes the underlying failure to errors.Is / errors.As.
 func (e *RunError) Unwrap() error { return e.Err }
+
+// API converts the failure to its typed wire form (apiv1.ErrRun), with the
+// underlying failure as the cause chain.
+func (e *RunError) API() *apiv1.Error {
+	return &apiv1.Error{
+		Type:        apiv1.ErrRun,
+		Message:     e.Error(),
+		Key:         e.Key,
+		Benchmark:   e.Benchmark,
+		Seed:        e.Seed,
+		Fingerprint: e.Fingerprint,
+		Attempts:    e.Attempts,
+		Cause:       apiv1.FromError(e.Err),
+	}
+}
+
+// BudgetError is the admission-control failure of a budgeted job: a RunAll
+// call would push the job past its MaxPoints cap. Nothing was simulated.
+type BudgetError struct {
+	// Submitted is how many points the job had already submitted,
+	// Requested how many the rejected call asked for, and Budget the cap.
+	Submitted, Requested, Budget int
+}
+
+// Error renders the one-line diagnosis.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("sweep: run budget exceeded: %d submitted + %d requested > budget %d",
+		e.Submitted, e.Requested, e.Budget)
+}
+
+// API converts the failure to its typed wire form (apiv1.ErrBudget).
+func (e *BudgetError) API() *apiv1.Error {
+	return &apiv1.Error{Type: apiv1.ErrBudget, Message: e.Error()}
+}
+
+// APIError converts any campaign error chain to its typed wire form,
+// recognizing this package's failures (*RunError, *BudgetError) before
+// falling back to apiv1.FromError for simulator failures, cancellations
+// and everything else.
+func APIError(err error) *apiv1.Error {
+	if err == nil {
+		return nil
+	}
+	var re *RunError
+	if errors.As(err, &re) {
+		return re.API()
+	}
+	var be *BudgetError
+	if errors.As(err, &be) {
+		return be.API()
+	}
+	return apiv1.FromError(err)
+}
 
 // panicError wraps a recovered non-structured panic value so it travels as
 // an error without losing the original value's rendering or the stack it

@@ -1,0 +1,129 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestJobScopedStats pins the two-layer scoping contract: concurrent jobs
+// on one engine keep separate counters and callbacks, while the engine
+// aggregates both (and shares its cache between them).
+func TestJobScopedStats(t *testing.T) {
+	e := New(Workers(4))
+	pts := testPoints()
+
+	var mu sync.Mutex
+	calls := map[string]int{}
+	newJob := func(name string) *Job {
+		return e.NewJob(JobProgress(func(Progress) {
+			mu.Lock()
+			calls[name]++
+			mu.Unlock()
+		}))
+	}
+	a, b := newJob("a"), newJob("b")
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); _, errs[0] = a.Run(context.Background(), pts) }()
+	go func() { defer wg.Done(); _, errs[1] = b.Run(context.Background(), pts) }()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sa, sb, se := a.Stats(), b.Stats(), e.Stats()
+	if sa.Points != len(pts) || sb.Points != len(pts) {
+		t.Fatalf("job points interleaved: a=%d b=%d want %d each", sa.Points, sb.Points, len(pts))
+	}
+	if se.Points != 2*len(pts) {
+		t.Fatalf("engine points = %d, want the jobs' sum %d", se.Points, 2*len(pts))
+	}
+	// The cache is shared: across both jobs each point simulates once
+	// (in-flight duplicates join), so Ran sums to the unique point count.
+	if sa.Ran+sb.Ran != len(pts) {
+		t.Fatalf("cache not shared across jobs: a ran %d, b ran %d, want sum %d",
+			sa.Ran, sb.Ran, len(pts))
+	}
+	if se.Ran != len(pts) || se.CacheHits != sa.CacheHits+sb.CacheHits {
+		t.Fatalf("engine totals are not the jobs' sum: engine %+v, a %+v, b %+v", se, sa, sb)
+	}
+	// Each job's callback fired only for its own simulations.
+	if calls["a"] != sa.Ran || calls["b"] != sb.Ran {
+		t.Fatalf("callbacks interleaved: a fired %d (ran %d), b fired %d (ran %d)",
+			calls["a"], sa.Ran, calls["b"], sb.Ran)
+	}
+}
+
+// TestAnonymousJobsKeepEngineSemantics pins that the Engine-level Run
+// wrappers behave as before the Job layer existed: stats accumulate on the
+// engine and the engine-default progress callback fires.
+func TestAnonymousJobsKeepEngineSemantics(t *testing.T) {
+	fired := 0
+	e := New(Workers(2), OnProgress(func(Progress) { fired++ }))
+	pts := testPoints()[:2]
+	if _, err := e.Run(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Points != len(pts) || st.Ran != len(pts) {
+		t.Fatalf("engine wrapper did not account: %+v", st)
+	}
+	if fired != len(pts) {
+		t.Fatalf("engine-default progress fired %d times, want %d", fired, len(pts))
+	}
+}
+
+// TestMaxPointsBudget pins the admission-control budget: a RunAll that
+// would exceed the job's cap fails whole, before simulating anything, with
+// a typed *BudgetError; the job stays usable within its remaining budget.
+func TestMaxPointsBudget(t *testing.T) {
+	e := New(Workers(2))
+	pts := testPoints()
+	j := e.NewJob(MaxPoints(len(pts) - 1))
+
+	_, err := j.RunAll(context.Background(), pts)
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("over-budget call returned %v, want *BudgetError", err)
+	}
+	if be.Requested != len(pts) || be.Budget != len(pts)-1 {
+		t.Fatalf("budget diagnosis wrong: %+v", be)
+	}
+	if st := e.Stats(); st.Ran != 0 || st.Points != 0 {
+		t.Fatalf("rejected call touched the engine: %+v", st)
+	}
+	if ae := APIError(err); ae.Type != "budget_exceeded" {
+		t.Fatalf("budget error converted to %q", ae.Type)
+	}
+
+	// Within budget the same job still runs; the budget spans calls.
+	if _, err := j.RunAll(context.Background(), pts[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.RunAll(context.Background(), pts[2:]); err == nil {
+		t.Fatal("second call pushed past the budget without error")
+	}
+}
+
+// TestRunErrorAPI pins the typed wire conversion of a genuine failure.
+func TestRunErrorAPI(t *testing.T) {
+	e := New(Workers(1))
+	bad := testPoints()[:1]
+	bad[0].Benchmark = "nonesuch"
+	_, err := e.Run(context.Background(), bad)
+	if err == nil {
+		t.Fatal("unknown benchmark did not fail")
+	}
+	ae := APIError(err)
+	if ae.Type != "run_error" || ae.Key != bad[0].Key || ae.Attempts == 0 {
+		t.Fatalf("run error converted wrong: %+v", ae)
+	}
+	if ae.Cause == nil {
+		t.Fatal("run error lost its cause chain")
+	}
+}

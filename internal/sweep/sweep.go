@@ -5,6 +5,15 @@
 // experiments (for example the shared baselines of Figures 4–7) are
 // simulated exactly once. Results come back in submission order regardless
 // of scheduling, so campaign output is byte-identical for any worker count.
+//
+// Work is scoped in two layers. The Engine owns the shared, contended
+// resources — the worker pool, the fingerprint-keyed memo cache and the
+// optional checkpoint — and survives across campaigns. A Job (NewJob) is
+// one campaign's view of the engine: it carries its own progress callback
+// and its own Stats, so two jobs running concurrently on one engine share
+// the cache without interleaving each other's counters. RunAll is the
+// primitive (every point's individual outcome, in submission order); Run
+// and RunMap are thin wrappers over it.
 package sweep
 
 import (
@@ -33,7 +42,9 @@ type Point struct {
 	Config sim.Config
 }
 
-// Stats aggregates an engine's lifetime counters across Run calls.
+// Stats aggregates counters across Run calls. Engine.Stats returns the
+// engine's lifetime totals (every job summed); Job.Stats returns one job's
+// share.
 type Stats struct {
 	// Points counts every submitted point; Ran counts the simulations that
 	// actually executed; CacheHits counts points satisfied by a memoized
@@ -54,16 +65,16 @@ type Stats struct {
 }
 
 // Progress is a point-in-time snapshot delivered to the progress callback
-// after every completed simulation of a Run call.
+// after every completed simulation of a RunAll call.
 type Progress struct {
-	// Done and Total count points of the current Run call; CacheHits is how
-	// many of Done were served from the memo cache.
+	// Done and Total count points of the current RunAll call; CacheHits is
+	// how many of Done were served from the memo cache.
 	Done, Total, CacheHits int
 	// SimsPerSec is executed simulations per wall-clock second since the
-	// Run call started.
+	// RunAll call started.
 	SimsPerSec float64
 	// WorstRun and WorstKey identify the slowest simulation so far (across
-	// the engine's lifetime).
+	// the owning job's lifetime).
 	WorstRun time.Duration
 	WorstKey string
 }
@@ -80,9 +91,10 @@ func Workers(n int) Option {
 	return func(e *Engine) { e.workers = n }
 }
 
-// OnProgress installs a progress callback. It is invoked from worker
-// goroutines (serialized, but concurrent with the caller of Run), so it
-// must be safe to call from another goroutine.
+// OnProgress installs the engine's default progress callback, inherited by
+// every job that does not set its own (JobProgress). It is invoked from
+// worker goroutines (serialized per RunAll call, but concurrent with the
+// caller), so it must be safe to call from another goroutine.
 func OnProgress(fn func(Progress)) Option {
 	return func(e *Engine) { e.progress = fn }
 }
@@ -136,8 +148,9 @@ type entry struct {
 }
 
 // Engine executes sweep points with bounded parallelism and a memoization
-// cache that persists across Run calls. An Engine is safe for concurrent
-// use.
+// cache that persists across campaigns. An Engine is safe for concurrent
+// use; concurrent campaigns share its cache (duplicate in-flight points are
+// joined, not re-run).
 type Engine struct {
 	workers    int
 	progress   func(Progress)
@@ -166,55 +179,80 @@ func New(opts ...Option) *Engine {
 	return e
 }
 
-// Stats returns a snapshot of the engine's lifetime counters.
+// Stats returns a snapshot of the engine's lifetime counters (every job's
+// counters summed).
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.stats
 }
 
-// runItem is one simulation scheduled by a Run call.
+// CacheLen returns how many fingerprints the memo cache currently holds
+// (completed or in flight).
+func (e *Engine) CacheLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cache)
+}
+
+// Job is one campaign's scoped view of an engine: it shares the engine's
+// worker pool, memo cache and checkpoint, but owns its progress callback,
+// its Stats and its run budget, so concurrent jobs on one engine do not
+// interleave counters or callbacks. The zero value is not usable; call
+// Engine.NewJob. A Job is safe for concurrent use (a job running several
+// campaigns concurrently aggregates them into one set of counters).
+type Job struct {
+	e         *Engine
+	progress  func(Progress)
+	maxPoints int
+
+	// stats is guarded by e.mu (job counters are updated on the same
+	// paths, under the same critical sections, as the engine's).
+	stats Stats
+}
+
+// JobOption configures a Job.
+type JobOption func(*Job)
+
+// JobProgress installs the job's progress callback, overriding the
+// engine-level default. Same calling convention as OnProgress.
+func JobProgress(fn func(Progress)) JobOption {
+	return func(j *Job) { j.progress = fn }
+}
+
+// MaxPoints caps how many points the job may submit across all of its
+// RunAll calls — the admission-control run budget. A call that would exceed
+// the budget fails as a whole with a *BudgetError before simulating
+// anything. Zero (the default) disables the cap.
+func MaxPoints(n int) JobOption {
+	if n < 0 {
+		n = 0
+	}
+	return func(j *Job) { j.maxPoints = n }
+}
+
+// NewJob returns a job-scoped handle on the engine. Jobs inherit the
+// engine's default progress callback unless JobProgress overrides it.
+func (e *Engine) NewJob(opts ...JobOption) *Job {
+	j := &Job{e: e, progress: e.progress}
+	for _, o := range opts {
+		o(j)
+	}
+	return j
+}
+
+// Stats returns a snapshot of the job's counters.
+func (j *Job) Stats() Stats {
+	j.e.mu.Lock()
+	defer j.e.mu.Unlock()
+	return j.stats
+}
+
+// runItem is one simulation scheduled by a RunAll call.
 type runItem struct {
 	fp string
 	p  Point
 	en *entry
-}
-
-// Run executes the points and returns their results in submission order.
-// Points whose fingerprint matches a memoized, checkpointed or in-flight
-// run are not re-simulated. On context cancellation the unstarted remainder
-// is dropped (in-flight simulations are aborted promptly through their stop
-// channels) and ctx.Err() is returned. On a point failure the default is
-// fail-fast — pending and in-flight work is cancelled and the first genuine
-// failure (a *RunError, in submission order) is returned; with
-// ContinueOnError the campaign drains fully first.
-func (e *Engine) Run(ctx context.Context, points []Point) ([]sim.Results, error) {
-	waiters, err := e.execute(ctx, points)
-	if err != nil {
-		return nil, err
-	}
-	// Assemble in submission order. Entries owned by concurrent Run calls
-	// may still be in flight; wait on them. Cancellations are reported only
-	// when no genuine failure explains them.
-	out := make([]sim.Results, len(points))
-	var cancelErr error
-	for i, en := range waiters {
-		<-en.done
-		switch {
-		case en.err == nil:
-			out[i] = en.res
-		case isCancel(en.err):
-			if cancelErr == nil {
-				cancelErr = fmt.Errorf("sweep: point %q: %w", points[i].Key, en.err)
-			}
-		default:
-			return nil, en.err
-		}
-	}
-	if cancelErr != nil {
-		return nil, cancelErr
-	}
-	return out, nil
 }
 
 // PointResult is one point's outcome in a RunAll campaign: its results, or
@@ -227,13 +265,17 @@ type PointResult struct {
 	Err error
 }
 
-// RunAll executes the points and returns every point's individual outcome
-// in submission order — the graceful-degradation interface: with
-// ContinueOnError, a campaign with failing points still yields results for
-// every point that could run, each failure annotated in place. The returned
-// error is only non-nil for planning problems (unhashable configurations).
-func (e *Engine) RunAll(ctx context.Context, points []Point) ([]PointResult, error) {
-	waiters, err := e.execute(ctx, points)
+// RunAll is the engine's primitive: it executes the points and returns
+// every point's individual outcome in submission order — the
+// graceful-degradation interface. With ContinueOnError, a campaign with
+// failing points still yields results for every point that could run, each
+// failure annotated in place; the default is fail-fast (the first genuine
+// failure cancels pending points, which report cancellation errors). The
+// returned error is only non-nil for planning problems (unhashable
+// configurations, an exceeded run budget) — per-point failures live in the
+// PointResults.
+func (j *Job) RunAll(ctx context.Context, points []Point) ([]PointResult, error) {
+	waiters, err := j.execute(ctx, points)
 	if err != nil {
 		return nil, err
 	}
@@ -245,9 +287,68 @@ func (e *Engine) RunAll(ctx context.Context, points []Point) ([]PointResult, err
 	return out, nil
 }
 
+// Run is a thin wrapper over RunAll for all-or-nothing campaigns: it
+// returns just the results, in submission order, or the first genuine
+// failure (a *RunError, in submission order). Cancellations are reported
+// only when no genuine failure explains them.
+func (j *Job) Run(ctx context.Context, points []Point) ([]sim.Results, error) {
+	all, err := j.RunAll(ctx, points)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sim.Results, len(points))
+	var cancelErr error
+	for i, pr := range all {
+		switch {
+		case pr.Err == nil:
+			out[i] = pr.Res
+		case isCancel(pr.Err):
+			if cancelErr == nil {
+				cancelErr = fmt.Errorf("sweep: point %q: %w", points[i].Key, pr.Err)
+			}
+		default:
+			return nil, pr.Err
+		}
+	}
+	if cancelErr != nil {
+		return nil, cancelErr
+	}
+	return out, nil
+}
+
+// RunMap is a thin wrapper over Run that keys the results by Point.Key.
+func (j *Job) RunMap(ctx context.Context, points []Point) (map[string]sim.Results, error) {
+	res, err := j.Run(ctx, points)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]sim.Results, len(points))
+	for i, p := range points {
+		out[p.Key] = res[i]
+	}
+	return out, nil
+}
+
+// RunAll executes the points on an anonymous job (engine-default progress,
+// no budget). See Job.RunAll.
+func (e *Engine) RunAll(ctx context.Context, points []Point) ([]PointResult, error) {
+	return e.NewJob().RunAll(ctx, points)
+}
+
+// Run executes the points on an anonymous job. See Job.Run.
+func (e *Engine) Run(ctx context.Context, points []Point) ([]sim.Results, error) {
+	return e.NewJob().Run(ctx, points)
+}
+
+// RunMap executes the points on an anonymous job. See Job.RunMap.
+func (e *Engine) RunMap(ctx context.Context, points []Point) (map[string]sim.Results, error) {
+	return e.NewJob().RunMap(ctx, points)
+}
+
 // execute plans the campaign and fans it out over the worker pool,
 // returning each point's entry (resolved or in flight).
-func (e *Engine) execute(ctx context.Context, points []Point) ([]*entry, error) {
+func (j *Job) execute(ctx context.Context, points []Point) ([]*entry, error) {
+	e := j.e
 	// Plan sequentially: map each point to its cache entry, creating
 	// entries for the runs this call owns. Hit accounting happens here, in
 	// submission order, so it is deterministic for any worker count.
@@ -255,7 +356,13 @@ func (e *Engine) execute(ctx context.Context, points []Point) ([]*entry, error) 
 	var toRun []runItem
 	hits := 0
 	e.mu.Lock()
+	if j.maxPoints > 0 && j.stats.Points+len(points) > j.maxPoints {
+		submitted := j.stats.Points
+		e.mu.Unlock()
+		return nil, &BudgetError{Submitted: submitted, Requested: len(points), Budget: j.maxPoints}
+	}
 	e.stats.Points += len(points)
+	j.stats.Points += len(points)
 	for i, p := range points {
 		fp, err := p.Fingerprint()
 		if err != nil {
@@ -265,6 +372,7 @@ func (e *Engine) execute(ctx context.Context, points []Point) ([]*entry, error) 
 		if !e.noCache {
 			if en, ok := e.cache[fp]; ok {
 				e.stats.CacheHits++
+				j.stats.CacheHits++
 				hits++
 				waiters[i] = en
 				continue
@@ -278,6 +386,7 @@ func (e *Engine) execute(ctx context.Context, points []Point) ([]*entry, error) 
 					e.cache[fp] = en
 				}
 				e.stats.CheckpointHits++
+				j.stats.CheckpointHits++
 				hits++
 				waiters[i] = en
 				continue
@@ -315,9 +424,15 @@ func (e *Engine) execute(ctx context.Context, points []Point) ([]*entry, error) 
 			e.stats.WorstRun = dur
 			e.stats.WorstKey = it.p.Key
 		}
-		worst, worstKey := e.stats.WorstRun, e.stats.WorstKey
+		j.stats.Ran++
+		j.stats.SimTime += dur
+		if dur > j.stats.WorstRun {
+			j.stats.WorstRun = dur
+			j.stats.WorstKey = it.p.Key
+		}
+		worst, worstKey := j.stats.WorstRun, j.stats.WorstKey
 		e.mu.Unlock()
-		if e.progress == nil {
+		if j.progress == nil {
 			return
 		}
 		progMu.Lock()
@@ -330,7 +445,7 @@ func (e *Engine) execute(ctx context.Context, points []Point) ([]*entry, error) 
 			WorstRun:   worst,
 			WorstKey:   worstKey,
 		}
-		e.progress(p)
+		j.progress(p)
 		progMu.Unlock()
 	}
 	workers := e.workers
@@ -343,14 +458,14 @@ func (e *Engine) execute(ctx context.Context, points []Point) ([]*entry, error) 
 			defer wg.Done()
 			for it := range jobs {
 				if runCtx.Err() != nil {
-					e.fail(it, runCtx.Err(), false)
+					j.fail(it, runCtx.Err(), false)
 					continue
 				}
 				t0 := time.Now()
-				res, err := e.runPoint(runCtx, it)
+				res, err := j.runPoint(runCtx, it)
 				if err != nil {
 					genuine := !isCancel(err)
-					e.fail(it, err, genuine)
+					j.fail(it, err, genuine)
 					if genuine && !e.keepGoing {
 						cancelRun()
 					}
@@ -361,7 +476,7 @@ func (e *Engine) execute(ctx context.Context, points []Point) ([]*entry, error) 
 						// A result that cannot be checkpointed breaks the
 						// resume guarantee; fail the point rather than
 						// silently degrade.
-						e.fail(it, fmt.Errorf("sweep: checkpoint write: %w", cerr), true)
+						j.fail(it, fmt.Errorf("sweep: checkpoint write: %w", cerr), true)
 						if !e.keepGoing {
 							cancelRun()
 						}
@@ -384,7 +499,8 @@ func (e *Engine) execute(ctx context.Context, points []Point) ([]*entry, error) 
 
 // runPoint executes one point with panic isolation, the per-run deadline,
 // and bounded retry of transient failures.
-func (e *Engine) runPoint(ctx context.Context, it runItem) (sim.Results, error) {
+func (j *Job) runPoint(ctx context.Context, it runItem) (sim.Results, error) {
+	e := j.e
 	attempt := 0
 	for {
 		attempt++
@@ -404,6 +520,7 @@ func (e *Engine) runPoint(ctx context.Context, it runItem) (sim.Results, error) 
 		if attempt <= e.retries && transient(err) && ctx.Err() == nil {
 			e.mu.Lock()
 			e.stats.Retried++
+			j.stats.Retried++
 			e.mu.Unlock()
 			time.Sleep(time.Duration(attempt) * e.backoff)
 			continue
@@ -452,28 +569,17 @@ func (e *Engine) runOnce(ctx context.Context, p Point) (res sim.Results, err err
 }
 
 // fail marks an entry as errored and removes it from the cache so a later
-// Run call re-executes the point; genuine failures (not cancellations) are
+// campaign re-executes the point; genuine failures (not cancellations) are
 // counted.
-func (e *Engine) fail(it runItem, err error, genuine bool) {
+func (j *Job) fail(it runItem, err error, genuine bool) {
+	e := j.e
 	e.mu.Lock()
 	delete(e.cache, it.fp)
 	if genuine {
 		e.stats.Failed++
+		j.stats.Failed++
 	}
 	e.mu.Unlock()
 	it.en.err = err
 	close(it.en.done)
-}
-
-// RunMap executes the points and returns the results keyed by Point.Key.
-func (e *Engine) RunMap(ctx context.Context, points []Point) (map[string]sim.Results, error) {
-	res, err := e.Run(ctx, points)
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[string]sim.Results, len(points))
-	for i, p := range points {
-		out[p.Key] = res[i]
-	}
-	return out, nil
 }

@@ -1,0 +1,99 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke of the campaign service (cmd/vsvserve).
+#
+# Boots the server on an ephemeral port, drives one small campaign through
+# the HTTP API with curl (submit → poll → fetch), and diffs the fetched
+# artefact text against the same campaign run directly through
+# cmd/experiments. The two byte streams must be identical: the service is a
+# transport over the engine, never a different computation.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+CURL="curl -sS --fail-with-body"
+WARMUP=2000
+INSTRUCTIONS=8000
+BENCHES=mcf,eon
+
+workdir=$(mktemp -d)
+serverpid=""
+cleanup() {
+	[ -n "$serverpid" ] && kill "$serverpid" 2>/dev/null || true
+	rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building vsvserve"
+$GO build -o "$workdir/vsvserve" ./cmd/vsvserve
+
+"$workdir/vsvserve" -addr 127.0.0.1:0 -parallel 4 2>"$workdir/server.log" &
+serverpid=$!
+
+# The server prints "vsvserve: listening on http://..." once bound.
+base=""
+for _ in $(seq 1 50); do
+	base=$(sed -n 's/^vsvserve: listening on //p' "$workdir/server.log")
+	[ -n "$base" ] && break
+	kill -0 "$serverpid" 2>/dev/null || { cat "$workdir/server.log" >&2; exit 1; }
+	sleep 0.1
+done
+[ -n "$base" ] || { echo "serve-smoke: server never bound" >&2; exit 1; }
+echo "serve-smoke: server at $base"
+
+$CURL "$base/v1/healthz" | grep -q '"status": "ok"' || {
+	echo "serve-smoke: healthz failed" >&2
+	exit 1
+}
+
+benches_json=$(echo "$BENCHES" | sed 's/,/","/g')
+id=$($CURL -X POST "$base/v1/jobs" -d "{
+	\"v\": 1,
+	\"artefacts\": [\"fig4\", \"summary\"],
+	\"benchmarks\": [\"$benches_json\"],
+	\"warmup_instructions\": $WARMUP,
+	\"measure_instructions\": $INSTRUCTIONS
+}" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$id" ] || { echo "serve-smoke: submission returned no job id" >&2; exit 1; }
+echo "serve-smoke: submitted $id"
+
+state=""
+for _ in $(seq 1 300); do
+	state=$($CURL "$base/v1/jobs/$id" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p' | head -1)
+	case "$state" in
+	done) break ;;
+	failed | cancelled)
+		echo "serve-smoke: job ended $state" >&2
+		$CURL "$base/v1/jobs/$id" >&2
+		exit 1
+		;;
+	esac
+	sleep 0.2
+done
+[ "$state" = "done" ] || { echo "serve-smoke: job stuck in state '$state'" >&2; exit 1; }
+
+$CURL "$base/v1/jobs/$id/artefacts?format=text" >"$workdir/api.txt"
+
+echo "serve-smoke: comparing against the direct cmd/experiments run"
+# -exp takes one name; running the artefacts separately and concatenating
+# in print order yields the same bytes as one campaign (each artefact's
+# text is self-contained, separators included).
+{
+	$GO run ./cmd/experiments -exp fig4 -benchmarks "$BENCHES" \
+		-warmup "$WARMUP" -instructions "$INSTRUCTIONS" -parallel 4 2>/dev/null
+	$GO run ./cmd/experiments -exp summary -benchmarks "$BENCHES" \
+		-warmup "$WARMUP" -instructions "$INSTRUCTIONS" -parallel 4 2>/dev/null
+} >"$workdir/direct.txt"
+
+if ! cmp -s "$workdir/api.txt" "$workdir/direct.txt"; then
+	echo "FAIL: API artefact bytes differ from the direct run" >&2
+	diff "$workdir/direct.txt" "$workdir/api.txt" >&2 || true
+	exit 1
+fi
+
+$CURL "$base/v1/stats" | grep -q '"cache_entries"' || {
+	echo "serve-smoke: stats endpoint missing engine counters" >&2
+	exit 1
+}
+
+echo "serve-smoke: OK ($(wc -c <"$workdir/api.txt") bytes byte-identical via API and CLI)"
