@@ -56,7 +56,7 @@ fuzz:
 # output is converted to a machine-readable JSON document (BENCH_$(BENCH_N).json)
 # so runs can be committed and compared across PRs. Set BENCH_N to the PR
 # number and BENCH_NOTE to a one-line description of what changed.
-BENCH_N ?= 5
+BENCH_N ?= 4
 BENCH_NOTE ?= PR $(BENCH_N)
 bench:
 	$(GO) test -run XXX -bench=. -benchmem -count=1 -benchtime=1x . | tee /dev/stderr | \

@@ -9,7 +9,8 @@
 // comparable.
 //
 // With -compare it instead diffs two recorded documents and fails (exit 1)
-// on ns/op regressions beyond -max-regress-pct, the gate behind
+// on metric regressions beyond -max-regress-pct — ns/op rising, or
+// runs/sec (the campaign-throughput gate metric) falling — the gate behind
 // `make bench-compare`.
 //
 // Usage:
@@ -138,14 +139,16 @@ func normalizeName(name string) string {
 	return name[:i]
 }
 
-// compareReports diffs NEW against OLD on ns/op and reports every common
-// benchmark's delta; regressions beyond maxRegressPct fail the run.
-// Benchmarks present in only one document are listed but never fatal (new
-// benchmarks have no baseline; retired ones have no successor), and
-// benchmarks under minNS in both documents — single-iteration timer noise
-// territory — are flagged but never fail the gate.
+// compareReports diffs NEW against OLD on ns/op (lower is better) and
+// runs/sec (higher is better — the campaign-throughput gate metric) and
+// reports every common benchmark's delta; regressions beyond maxRegressPct
+// fail the run. Benchmarks present in only one document are listed but
+// never fatal (new benchmarks have no baseline; retired ones have no
+// successor), and benchmarks under minNS ns/op in both documents —
+// single-iteration timer noise territory — are flagged but never fail the
+// gate (the same floor shields their runs/sec).
 func compareReports(oldPath, newPath string, maxRegressPct, minNS float64) int {
-	load := func(path string) (map[string]float64, []string) {
+	load := func(path string) (map[string]map[string]float64, []string) {
 		buf, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -156,44 +159,65 @@ func compareReports(oldPath, newPath string, maxRegressPct, minNS float64) int {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
 			os.Exit(2)
 		}
-		m := map[string]float64{}
+		m := map[string]map[string]float64{}
 		var names []string
 		for _, r := range rep.Results {
-			ns, ok := r.Metrics["ns/op"]
-			if !ok {
+			if _, ok := r.Metrics["ns/op"]; !ok {
 				continue
 			}
-			m[r.Name] = ns
+			m[r.Name] = r.Metrics
 			names = append(names, r.Name)
 		}
 		return m, names
 	}
-	oldNS, _ := load(oldPath)
-	newNS, newNames := load(newPath)
+	oldM, _ := load(oldPath)
+	newM, newNames := load(newPath)
 
 	failed := false
 	for _, name := range newNames {
-		old, ok := oldNS[name]
+		old, ok := oldM[name]
 		if !ok {
-			fmt.Printf("%-50s %14.0f ns/op  (new, no baseline)\n", name, newNS[name])
+			fmt.Printf("%-50s %14.0f ns/op  (new, no baseline)\n", name, newM[name]["ns/op"])
 			continue
 		}
-		cur := newNS[name]
-		pct := (cur/old - 1) * 100
+		cur := newM[name]
+		underFloor := old["ns/op"] < minNS && cur["ns/op"] < minNS
+		// ns/op: a regression is NEW growing past the tolerance.
+		pct := (cur["ns/op"]/old["ns/op"] - 1) * 100
 		status := "ok"
 		if pct > maxRegressPct {
-			if old < minNS && cur < minNS {
+			if underFloor {
 				status = "noise (under -min-ns floor)"
 			} else {
 				status = fmt.Sprintf("REGRESSION > %.0f%%", maxRegressPct)
 				failed = true
 			}
 		}
-		fmt.Printf("%-50s %14.0f -> %12.0f ns/op  %+7.1f%%  %s\n", name, old, cur, pct, status)
+		fmt.Printf("%-50s %14.0f -> %12.0f ns/op  %+7.1f%%  %s\n",
+			name, old["ns/op"], cur["ns/op"], pct, status)
+		// runs/sec: higher is better, so a regression is NEW falling below
+		// OLD past the tolerance.
+		oldRPS, okOld := old["runs/sec"]
+		curRPS, okNew := cur["runs/sec"]
+		if !okOld || !okNew || oldRPS <= 0 {
+			continue
+		}
+		rpct := (curRPS/oldRPS - 1) * 100
+		rstatus := "ok"
+		if rpct < -maxRegressPct {
+			if underFloor {
+				rstatus = "noise (under -min-ns floor)"
+			} else {
+				rstatus = fmt.Sprintf("REGRESSION > %.0f%%", maxRegressPct)
+				failed = true
+			}
+		}
+		fmt.Printf("%-50s %14.1f -> %12.1f runs/sec  %+7.1f%%  %s\n",
+			name, oldRPS, curRPS, rpct, rstatus)
 	}
 	var gone []string
-	for name := range oldNS {
-		if _, ok := newNS[name]; !ok {
+	for name := range oldM {
+		if _, ok := newM[name]; !ok {
 			gone = append(gone, name)
 		}
 	}
@@ -202,7 +226,7 @@ func compareReports(oldPath, newPath string, maxRegressPct, minNS float64) int {
 		fmt.Printf("%-50s (retired; present only in %s)\n", name, oldPath)
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchjson: ns/op regressions beyond %.0f%% — see above\n", maxRegressPct)
+		fmt.Fprintf(os.Stderr, "benchjson: metric regressions beyond %.0f%% — see above\n", maxRegressPct)
 		return 1
 	}
 	return 0

@@ -55,6 +55,9 @@ func main() {
 	}
 
 	engineOpts := []sweep.Option{sweep.Workers(*parallel)}
+	if serveFlags.CacheEntries > 0 {
+		engineOpts = append(engineOpts, sweep.CacheBound(serveFlags.CacheEntries))
+	}
 	if *runTimeout > 0 {
 		engineOpts = append(engineOpts, sweep.RunTimeout(*runTimeout))
 	}

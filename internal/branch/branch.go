@@ -45,6 +45,8 @@ func DefaultConfig() Config {
 }
 
 // Validate reports a configuration error, if any.
+//
+//vsv:coldpath
 func (c Config) Validate() error {
 	pow2 := func(v int) bool { return v > 0 && v&(v-1) == 0 }
 	switch {
@@ -99,19 +101,41 @@ type Predictor struct {
 
 // New builds a predictor, panicking on invalid configuration.
 func New(cfg Config) *Predictor {
+	p := &Predictor{}
+	p.Reset(cfg)
+	return p
+}
+
+// Reset reinitializes the predictor in place to the state of New(cfg),
+// reusing each table's backing array when its size is unchanged.
+func (p *Predictor) Reset(cfg Config) {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	p := &Predictor{
-		cfg:     cfg,
-		bimodal: make([]uint8, cfg.BimodalEntries),
-		global:  make([]uint8, cfg.GlobalEntries),
-		chooser: make([]uint8, cfg.ChooserEntries),
-		histMax: (1 << uint(cfg.HistoryBits)) - 1,
-		btb:     make([]btbEntry, cfg.BTBEntries),
-		btbSets: cfg.BTBEntries / cfg.BTBAssoc,
-		ras:     make([]uint64, cfg.RASEntries),
+	p.cfg = cfg
+	p.bimodal = growU8(p.bimodal, cfg.BimodalEntries)
+	p.global = growU8(p.global, cfg.GlobalEntries)
+	p.chooser = growU8(p.chooser, cfg.ChooserEntries)
+	p.history = 0
+	p.histMax = (1 << uint(cfg.HistoryBits)) - 1
+	if len(p.btb) != cfg.BTBEntries {
+		p.btb = make([]btbEntry, cfg.BTBEntries)
+	} else {
+		for i := range p.btb {
+			p.btb[i] = btbEntry{}
+		}
 	}
+	p.btbSets = cfg.BTBEntries / cfg.BTBAssoc
+	p.btbClock = 0
+	if len(p.ras) != cfg.RASEntries {
+		p.ras = make([]uint64, cfg.RASEntries)
+	} else {
+		for i := range p.ras {
+			p.ras[i] = 0
+		}
+	}
+	p.rasTop = 0
+	p.stats = Stats{}
 	// Initialize counters weakly taken/not-taken split: weakly not-taken.
 	for i := range p.bimodal {
 		p.bimodal[i] = 1
@@ -122,7 +146,15 @@ func New(cfg Config) *Predictor {
 	for i := range p.chooser {
 		p.chooser[i] = 1
 	}
-	return p
+}
+
+// growU8 returns a slice of exactly n entries, reusing s's backing when
+// the length already matches.
+func growU8(s []uint8, n int) []uint8 {
+	if len(s) == n {
+		return s
+	}
+	return make([]uint8, n)
 }
 
 // Config returns the predictor configuration.

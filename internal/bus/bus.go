@@ -91,10 +91,26 @@ type Bus struct {
 
 // New builds a bus, panicking on non-positive occupancy.
 func New(cfg Config) *Bus {
+	b := &Bus{}
+	b.Reset(cfg)
+	return b
+}
+
+// Reset reinitializes the bus in place to the state of New(cfg), keeping
+// the queue's backing array for reuse across runs.
+func (b *Bus) Reset(cfg Config) {
 	if cfg.Occupancy < 1 {
+		//vsvlint:ignore hotpath constructor-time validation failure; formats only when the config is statically invalid
 		panic(fmt.Sprintf("bus: occupancy %d < 1", cfg.Occupancy))
 	}
-	return &Bus{cfg: cfg}
+	b.cfg = cfg
+	for i := range b.queue {
+		b.queue[i] = nil
+	}
+	b.queue = b.queue[:0]
+	b.current = nil
+	b.finishAt = 0
+	b.stats = Stats{}
 }
 
 // Config returns the bus configuration.

@@ -30,6 +30,8 @@ type Config struct {
 }
 
 // Validate reports a configuration error, if any.
+//
+//vsv:coldpath
 func (c Config) Validate() error {
 	switch {
 	case c.SizeBytes <= 0 || c.SizeBytes&(c.SizeBytes-1) != 0:
@@ -102,24 +104,49 @@ type Cache struct {
 // New builds a cache from cfg, panicking on invalid configuration (a
 // programming error: configurations are static).
 func New(cfg Config) *Cache {
+	c := &Cache{}
+	c.Reset(cfg)
+	return c
+}
+
+// Reset reinitializes the cache in place to the empty state of New(cfg),
+// reusing the line backing array when the geometry (sets x ways) is
+// unchanged. Fresh construction and arena reuse share this one code path,
+// so a Reset cache is bit-identical to a new one by construction.
+func (c *Cache) Reset(cfg Config) {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	numSets := cfg.SizeBytes / cfg.BlockBytes / cfg.Assoc
-	c := &Cache{
-		cfg:      cfg,
-		numSets:  numSets,
-		idxMask:  uint64(numSets - 1),
-		blkShift: log2(uint64(cfg.BlockBytes)),
-		setShift: log2(uint64(numSets)),
-	}
+	sameGeometry := c.sets != nil && c.numSets == numSets && c.cfg.Assoc == cfg.Assoc
+	c.cfg = cfg
+	c.numSets = numSets
+	c.idxMask = uint64(numSets - 1)
+	c.blkShift = log2(uint64(cfg.BlockBytes))
+	c.setShift = log2(uint64(numSets))
 	c.tagShift = c.blkShift + c.setShift
-	c.sets = make([][]line, numSets)
-	backing := make([]line, numSets*cfg.Assoc)
-	for i := range c.sets {
-		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
+	c.useClock = 0
+	c.stats = Stats{}
+	if sameGeometry {
+		for _, set := range c.sets {
+			for i := range set {
+				set[i] = line{}
+			}
+		}
+		return
 	}
-	return c
+	c.grow(numSets, cfg.Assoc)
+}
+
+// grow reallocates the set/line arrays for a new geometry.
+//
+//vsv:coldpath
+func (c *Cache) grow(numSets, assoc int) {
+	c.sets = make([][]line, numSets)
+	backing := make([]line, numSets*assoc)
+	for i := range c.sets {
+		c.sets[i] = backing[i*assoc : (i+1)*assoc : (i+1)*assoc]
+	}
 }
 
 func log2(v uint64) uint {

@@ -11,7 +11,8 @@ type MSHRFile struct {
 	name      string
 	max       int
 	entries   map[uint64]*MSHREntry
-	demandOut int // live entries with DemandRefs > 0
+	free      []*MSHREntry // recycled entries, reused by Allocate
+	demandOut int          // live entries with DemandRefs > 0
 	stats     MSHRStats
 }
 
@@ -45,10 +46,40 @@ type MSHRStats struct {
 
 // NewMSHRFile builds an MSHR file with max entries.
 func NewMSHRFile(name string, max int) *MSHRFile {
+	m := &MSHRFile{}
+	m.Reset(name, max)
+	return m
+}
+
+// Reset reinitializes the file in place to the empty state of
+// NewMSHRFile(name, max), moving any live entries onto the free list so
+// their backing (including Waiters slices) is recycled by later Allocates.
+func (m *MSHRFile) Reset(name string, max int) {
 	if max < 1 {
+		//vsvlint:ignore hotpath constructor-time validation failure; formats only when the config is statically invalid
 		panic(fmt.Sprintf("mshr %s: max %d < 1", name, max))
 	}
-	return &MSHRFile{name: name, max: max, entries: make(map[uint64]*MSHREntry, max)}
+	m.name = name
+	m.max = max
+	if m.entries == nil {
+		m.entries = make(map[uint64]*MSHREntry, max)
+	} else {
+		//vsvlint:ignore determinism free-list order is pointer identity only: Allocate clears the popped entry before use, so which recycled entry serves a request cannot influence results
+		for addr, e := range m.entries {
+			m.recycle(e)
+			delete(m.entries, addr)
+		}
+	}
+	m.demandOut = 0
+	m.stats = MSHRStats{}
+}
+
+// recycle parks an entry on the free list. Its fields are left intact —
+// callers of Free still read Waiters/DemandRefs/Write after release — and
+// are reinitialized when Allocate hands the entry out again, so a recycled
+// entry stays valid until the next Allocate on this file.
+func (m *MSHRFile) recycle(e *MSHREntry) {
+	m.free = append(m.free, e)
 }
 
 // Lookup returns the entry for blockAddr, or nil.
@@ -80,7 +111,15 @@ func (m *MSHRFile) Allocate(blockAddr uint64, waiter int, kind AccessKind, now i
 		m.stats.FullStalls++
 		return nil, false, false
 	}
-	e := &MSHREntry{BlockAddr: blockAddr, IssuedAt: now}
+	var e *MSHREntry
+	if n := len(m.free); n > 0 {
+		e = m.free[n-1]
+		m.free = m.free[:n-1]
+		e.Waiters = e.Waiters[:0]
+		*e = MSHREntry{BlockAddr: blockAddr, IssuedAt: now, Waiters: e.Waiters}
+	} else {
+		e = &MSHREntry{BlockAddr: blockAddr, IssuedAt: now}
+	}
 	m.attach(e, waiter, kind)
 	if e.DemandRefs > 0 {
 		m.demandOut++
@@ -108,7 +147,9 @@ func (m *MSHRFile) attach(e *MSHREntry, waiter int, kind AccessKind) {
 
 // Free releases the entry for blockAddr and returns it for waiter wakeup.
 // It returns nil if no entry exists (a fill for a block the cache never
-// missed on is a simulator bug the caller should surface).
+// missed on is a simulator bug the caller should surface). The returned
+// entry is recycled: it stays valid only until the next Allocate on this
+// file, which is enough for the synchronous fill/wakeup sequence.
 func (m *MSHRFile) Free(blockAddr uint64) *MSHREntry {
 	e := m.entries[blockAddr]
 	if e != nil {
@@ -116,6 +157,7 @@ func (m *MSHRFile) Free(blockAddr uint64) *MSHREntry {
 		if e.DemandRefs > 0 {
 			m.demandOut--
 		}
+		m.recycle(e)
 	}
 	return e
 }

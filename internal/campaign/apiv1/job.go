@@ -182,8 +182,19 @@ type EngineStats struct {
 	SimTimeNS      int64  `json:"sim_time_ns"`
 	WorstRunNS     int64  `json:"worst_run_ns"`
 	WorstKey       string `json:"worst_key,omitempty"`
-	// CacheEntries is the memo cache's current population.
+	// CacheEntries is the memo cache's current population; CacheEvicted
+	// counts entries dropped by the engine's cache bound.
 	CacheEntries int `json:"cache_entries"`
+	CacheEvicted int `json:"cache_evicted"`
+	// ArenaReuses and FreshBuilds split executed run attempts by whether
+	// they recycled a worker's machine arena in place or constructed one;
+	// ReuseRate is ArenaReuses over their sum.
+	ArenaReuses int     `json:"arena_reuses"`
+	FreshBuilds int     `json:"fresh_builds"`
+	ReuseRate   float64 `json:"reuse_rate"`
+	// RunsPerSec is executed simulations per second of simulation wall
+	// time (Ran over SimTimeNS) — the engine's compute throughput.
+	RunsPerSec float64 `json:"runs_per_sec"`
 }
 
 // JobCounts breaks the server's jobs down by state.

@@ -580,6 +580,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			WorstRunNS:     st.WorstRun.Nanoseconds(),
 			WorstKey:       st.WorstKey,
 			CacheEntries:   s.engine.CacheLen(),
+			CacheEvicted:   st.Evicted,
+			ArenaReuses:    st.ArenaReuses,
+			FreshBuilds:    st.FreshBuilds,
+			ReuseRate:      st.ReuseRate(),
+			RunsPerSec:     st.RunsPerSec(),
 		},
 		Jobs:          counts,
 		QueueCap:      s.cfg.MaxQueue,

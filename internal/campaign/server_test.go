@@ -283,6 +283,18 @@ func TestCacheSharedAcrossJobs(t *testing.T) {
 	if stats.Engine.CacheEntries == 0 || stats.Jobs.Done != 2 {
 		t.Fatalf("stats missed the jobs: %+v", stats)
 	}
+	// The throughput surface: run attempts split into fresh builds and
+	// arena reuses, and a positive runs/sec over the executed work.
+	if got := stats.Engine.ArenaReuses + stats.Engine.FreshBuilds; got < stats.Engine.Ran {
+		t.Fatalf("arena accounting misses runs: reuses=%d builds=%d ran=%d",
+			stats.Engine.ArenaReuses, stats.Engine.FreshBuilds, stats.Engine.Ran)
+	}
+	if stats.Engine.RunsPerSec <= 0 {
+		t.Fatalf("runs_per_sec not populated: %+v", stats.Engine)
+	}
+	if stats.Engine.ReuseRate < 0 || stats.Engine.ReuseRate > 1 {
+		t.Fatalf("reuse_rate out of range: %v", stats.Engine.ReuseRate)
+	}
 }
 
 // slowReq is a campaign big enough to still be running when the test acts

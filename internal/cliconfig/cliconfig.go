@@ -118,6 +118,9 @@ type ServeFlags struct {
 	MaxQueue  int
 	MaxJobs   int
 	MaxPoints int
+	// CacheEntries bounds the engine's memo cache (entries; 0 = unbounded),
+	// with deterministic oldest-first eviction.
+	CacheEntries int
 }
 
 // RegisterServe registers the campaign-service flags.
@@ -126,6 +129,7 @@ func (f *ServeFlags) RegisterServe(fs *flag.FlagSet) {
 	fs.IntVar(&f.MaxQueue, "max-queue", 16, "jobs queued but not yet running before submissions get 429")
 	fs.IntVar(&f.MaxJobs, "max-jobs", 2, "jobs simulating concurrently (each fans out over -parallel workers)")
 	fs.IntVar(&f.MaxPoints, "max-points", 0, "per-job run budget in engine submissions (0 = unlimited)")
+	fs.IntVar(&f.CacheEntries, "cache-entries", 0, "memo-cache bound in entries, oldest evicted first (0 = unbounded)")
 }
 
 // RegisterParallel registers the worker-count flag, defaulting to all

@@ -137,29 +137,53 @@ type Controller struct {
 // New builds a controller, panicking on invalid policy or timing
 // (configurations are static; errors are programming mistakes).
 func New(policy Policy, timing Timing) *Controller {
+	c := &Controller{}
+	c.Reset(policy, timing)
+	return c
+}
+
+// Reset reinitializes the controller in place to the state of
+// New(policy, timing), reusing the trace log's event backing.
+func (c *Controller) Reset(policy Policy, timing Timing) {
 	if err := policy.Validate(); err != nil {
 		panic(err)
 	}
 	if err := timing.Validate(); err != nil {
 		panic(err)
 	}
-	c := &Controller{
-		policy: policy,
-		timing: timing,
-		mode:   ModeHigh,
-		vdd:    timing.VDDH,
-		trace:  NewTraceLog(256),
+	trace := c.trace
+	if trace == nil {
+		trace = NewTraceLog(256)
+	} else {
+		trace.Reset()
+		trace.SetLimit(256)
 	}
+	down, up, adaptive := c.down, c.up, c.adaptive
+	*c = Controller{policy: policy, timing: timing, mode: ModeHigh, vdd: timing.VDDH, trace: trace}
 	if policy.UseDownFSM && policy.DownThreshold > 0 {
-		c.down = newDownFSM(policy.DownThreshold, policy.DownWindow)
+		if down == nil {
+			down = newDownFSM(policy.DownThreshold, policy.DownWindow)
+		} else {
+			*down = downFSM{threshold: policy.DownThreshold, window: policy.DownWindow}
+		}
+		c.down = down
 	}
 	if policy.Up == UpFSM {
-		c.up = newUpFSM(policy.UpThreshold, policy.UpWindow)
+		if up == nil {
+			up = newUpFSM(policy.UpThreshold, policy.UpWindow)
+		} else {
+			*up = upFSM{threshold: policy.UpThreshold, window: policy.UpWindow}
+		}
+		c.up = up
 	}
 	if policy.Adaptive.Enabled {
-		c.adaptive = newAdaptiveState(policy.Adaptive)
+		if adaptive == nil {
+			adaptive = newAdaptiveState(policy.Adaptive)
+		} else {
+			*adaptive = adaptiveState{cfg: policy.Adaptive, enteredLow: -1}
+		}
+		c.adaptive = adaptive
 	}
-	return c
 }
 
 // Policy returns the controller's policy.

@@ -114,6 +114,8 @@ func PolicyLastR() Policy {
 }
 
 // Validate reports a policy error, if any.
+//
+//vsv:coldpath
 func (p Policy) Validate() error {
 	if p.UseDownFSM {
 		if p.DownThreshold < 0 {
@@ -233,6 +235,8 @@ func (t Timing) rampTicksFor(from, to float64) int {
 }
 
 // Validate reports a timing error, if any.
+//
+//vsv:coldpath
 func (t Timing) Validate() error {
 	switch {
 	case t.VDDH <= 0 || t.VDDL <= 0 || t.VDDL >= t.VDDH:

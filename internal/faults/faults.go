@@ -89,6 +89,8 @@ type Spec struct {
 }
 
 // Validate reports a configuration error, if any.
+//
+//vsv:coldpath
 func (s Spec) Validate() error {
 	if s.Kind >= numKinds {
 		return fmt.Errorf("faults: unknown kind %d", s.Kind)
@@ -125,6 +127,8 @@ type Plan struct {
 }
 
 // Validate reports a configuration error, if any.
+//
+//vsv:coldpath
 func (p *Plan) Validate() error {
 	if len(p.Specs) == 0 {
 		return fmt.Errorf("faults: plan has no specs")
@@ -202,24 +206,47 @@ type Injector struct {
 
 // NewInjector builds an injector for the plan, validating it first.
 func NewInjector(p *Plan) (*Injector, error) {
-	if err := p.Validate(); err != nil {
+	inj := &Injector{}
+	if err := inj.Reset(p); err != nil {
 		return nil, err
+	}
+	return inj, nil
+}
+
+// Reset reinitializes the injector in place to the state of NewInjector(p),
+// replaying the exact seeding sequence (parent RNG, per-stream Split order)
+// so a reset injector draws the same schedule as a fresh one. Stream and
+// log backing arrays are reused where sizes allow.
+func (inj *Injector) Reset(p *Plan) error {
+	if err := p.Validate(); err != nil {
+		return err
 	}
 	limit := p.LogLimit
 	if limit == 0 {
 		limit = 256
 	}
-	inj := &Injector{
-		streams:  make([]stream, len(p.Specs)),
-		lastMode: core.ModeHigh,
-		logLimit: limit,
+	if len(inj.streams) != len(p.Specs) {
+		inj.streams = make([]stream, len(p.Specs))
 	}
+	inj.freeze, inj.spuriousArm = false, false
+	inj.lastMode = core.ModeHigh
+	inj.hasBoundary = false
+	inj.pendingBoundary = false
+	inj.log = inj.log[:0]
+	inj.logStart = 0
+	inj.logLimit = limit
+	inj.injections = 0
 	parent := rng.New(p.Seed)
 	for i, spec := range p.Specs {
 		st := &inj.streams[i]
-		st.spec = spec
-		st.rng = parent.Split()
-		st.nextFire = noFire
+		src := st.rng
+		if src == nil {
+			src = rng.New(0)
+		}
+		// Split() is New(parent.Uint64()); reseeding the recycled source
+		// from the same draw reproduces it state-for-state.
+		src.Seed(parent.Uint64())
+		*st = stream{spec: spec, rng: src, nextFire: noFire}
 		if tickScheduled(spec.Kind) {
 			st.nextFire = st.clampFire(spec.Start + st.gap())
 		}
@@ -227,7 +254,7 @@ func NewInjector(p *Plan) (*Injector, error) {
 			inj.hasBoundary = true
 		}
 	}
-	return inj, nil
+	return nil
 }
 
 // gap draws the next inter-firing gap, uniform in [1, 2·Period].

@@ -198,10 +198,12 @@ func TestRepoClean(t *testing.T) {
 	for _, needle := range []string{
 		"Machine).tick",
 		"Machine).fastForward",
+		"Machine).Reset",
 		"Memory).Tick",
 		"Bus).Tick",
 		"TimeKeeping).Tick",
 		"Pipeline).Step",
+		"Job).runOnce",
 	} {
 		found := false
 		for _, s := range seeds {

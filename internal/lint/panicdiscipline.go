@@ -10,8 +10,11 @@ import (
 // a run that cannot continue must raise a *sim.CheckError (whose
 // snapshot makes the crash actionable), not a bare panic. The only
 // sanctioned bare panics are init-time configuration validation inside
-// constructors (New*/Must*/Validate*/init), where an invalid static
-// value is a programming error surfaced before any simulation runs.
+// constructors (New*/Must*/Validate*/init) and the in-place reinit path
+// (Reset*/Reinit*) constructors delegate to — every subsystem's New
+// builds a zero value and calls Reset, so Reset is where constructor-time
+// validation lives. In both shapes an invalid static value is a
+// programming error surfaced before any simulation runs.
 type panicdiscipline struct{}
 
 func (panicdiscipline) Name() string { return "panicdiscipline" }
@@ -22,7 +25,7 @@ func (panicdiscipline) Doc() string {
 
 // constructorPrefixes name the function shapes whose panics are
 // init-time validation by convention.
-var constructorPrefixes = []string{"New", "Must", "Validate"}
+var constructorPrefixes = []string{"New", "Must", "Validate", "Reset", "Reinit"}
 
 func constructorLike(name string) bool {
 	if name == "init" || name == "validate" {

@@ -48,10 +48,28 @@ type Memory struct {
 
 // New builds a memory controller, panicking on non-positive latency.
 func New(cfg Config) *Memory {
+	m := &Memory{}
+	m.Reset(cfg)
+	return m
+}
+
+// Reset reinitializes the controller in place to the state of New(cfg),
+// keeping the in-flight and scratch backing arrays for reuse across runs.
+func (m *Memory) Reset(cfg Config) {
 	if cfg.LatencyTicks < 1 {
+		//vsvlint:ignore hotpath constructor-time validation failure; formats only when the config is statically invalid
 		panic(fmt.Sprintf("mem: latency %d < 1", cfg.LatencyTicks))
 	}
-	return &Memory{cfg: cfg}
+	m.cfg = cfg
+	for i := range m.inflight {
+		m.inflight[i] = access{}
+	}
+	m.inflight = m.inflight[:0]
+	for i := range m.done {
+		m.done[i] = access{}
+	}
+	m.done = m.done[:0]
+	m.stats = Stats{}
 }
 
 // Config returns the memory configuration.

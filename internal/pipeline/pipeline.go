@@ -66,6 +66,8 @@ func DefaultConfig() Config {
 }
 
 // Validate reports a configuration error, if any.
+//
+//vsv:coldpath
 func (c Config) Validate() error {
 	pos := func(vs ...int) bool {
 		for _, v := range vs {
@@ -282,29 +284,87 @@ type fqEntry struct {
 
 // New builds a pipeline, panicking on invalid configuration.
 func New(cfg Config, src InstSource, pred *branch.Predictor, port MemPort) *Pipeline {
+	p := &Pipeline{}
+	p.Reset(cfg, src, pred, port)
+	return p
+}
+
+// Reset reinitializes the pipeline in place to the state of
+// New(cfg, src, pred, port), reusing the RUU, fetch-queue, store-queue,
+// FU-pool and issue-list backing arrays when the geometry is unchanged.
+// Per-entry dependent lists keep their backing across runs.
+func (p *Pipeline) Reset(cfg Config, src InstSource, pred *branch.Predictor, port MemPort) {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	p := &Pipeline{
-		cfg:         cfg,
-		src:         src,
-		pred:        pred,
-		port:        port,
-		ruu:         make([]ruuEntry, cfg.RUUSize),
-		fq:          make([]fqEntry, 0, cfg.FetchQueueSize),
-		loadWaiting: make([]bool, cfg.RUUSize),
-		storeQ:      make([]storeRef, 0, cfg.LSQSize),
-		unissued:    make([]int32, 0, cfg.RUUSize),
-		execList:    make([]int32, 0, cfg.RUUSize),
+	p.cfg = cfg
+	p.src = src
+	p.pred = pred
+	p.port = port
+	p.step = 0
+	if len(p.ruu) != cfg.RUUSize {
+		p.ruu = make([]ruuEntry, cfg.RUUSize)
+		p.loadWaiting = make([]bool, cfg.RUUSize)
+	} else {
+		for i := range p.ruu {
+			clearRUUEntry(&p.ruu[i])
+			p.loadWaiting[i] = false
+		}
 	}
+	p.head, p.tail, p.count = 0, 0, 0
+	p.lsqCount = 0
 	for i := range p.lastWriter {
 		p.lastWriter[i] = -1
 	}
-	p.fuFreeAt[isa.FUIntALU] = make([]int64, cfg.IntALU)
-	p.fuFreeAt[isa.FUIntMulDiv] = make([]int64, cfg.IntMulDiv)
-	p.fuFreeAt[isa.FUFPAdd] = make([]int64, cfg.FPAdd)
-	p.fuFreeAt[isa.FUFPMulDiv] = make([]int64, cfg.FPMulDiv)
-	return p
+	if cap(p.fq) < cfg.FetchQueueSize {
+		p.fq = make([]fqEntry, 0, cfg.FetchQueueSize)
+	} else {
+		p.fq = p.fq[:0]
+	}
+	p.pending = isa.Inst{}
+	p.havePending = false
+	p.waitingIFetch = false
+	p.mispredictSeq = 0
+	p.haveMispredict = false
+	p.fetchResumeStep = 0
+	p.fuFreeAt[isa.FUIntALU] = resetI64(p.fuFreeAt[isa.FUIntALU], cfg.IntALU)
+	p.fuFreeAt[isa.FUIntMulDiv] = resetI64(p.fuFreeAt[isa.FUIntMulDiv], cfg.IntMulDiv)
+	p.fuFreeAt[isa.FUFPAdd] = resetI64(p.fuFreeAt[isa.FUFPAdd], cfg.FPAdd)
+	p.fuFreeAt[isa.FUFPMulDiv] = resetI64(p.fuFreeAt[isa.FUFPMulDiv], cfg.FPMulDiv)
+	p.nextSeq = 0
+	if cap(p.storeQ) < cfg.LSQSize {
+		p.storeQ = make([]storeRef, 0, cfg.LSQSize)
+	} else {
+		p.storeQ = p.storeQ[:0]
+	}
+	p.storeQHead = 0
+	if cap(p.unissued) < cfg.RUUSize {
+		p.unissued = make([]int32, 0, cfg.RUUSize)
+		p.execList = make([]int32, 0, cfg.RUUSize)
+	} else {
+		p.unissued = p.unissued[:0]
+		p.execList = p.execList[:0]
+	}
+	p.stats = Stats{}
+}
+
+// clearRUUEntry zeroes an RUU entry in place, keeping the dependents
+// backing array so steady-state reuse allocates nothing.
+func clearRUUEntry(e *ruuEntry) {
+	deps := e.dependents[:0]
+	*e = ruuEntry{dependents: deps}
+}
+
+// resetI64 returns a zeroed slice of exactly n entries, reusing s's
+// backing when its length already matches.
+func resetI64(s []int64, n int) []int64 {
+	if len(s) != n {
+		return make([]int64, n)
+	}
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // Config returns the pipeline configuration.

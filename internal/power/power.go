@@ -88,6 +88,8 @@ var structNames = [NumStructures]string{
 }
 
 // String names the structure.
+//
+//vsv:coldpath
 func (s Structure) String() string {
 	if int(s) < len(structNames) {
 		return structNames[s]
@@ -277,13 +279,23 @@ type Model struct {
 
 // NewModel builds a power model for a machine of the given issue width.
 func NewModel(cfg Config, width int) *Model {
+	m := &Model{}
+	m.Reinit(cfg, width)
+	return m
+}
+
+// Reinit reinitializes the model in place to the state of
+// NewModel(cfg, width). The model holds no heap arrays, so this is pure
+// field reassignment; it is distinct from Reset, which only zeroes the
+// accumulators at the end of warm-up.
+func (m *Model) Reinit(cfg Config, width int) {
 	if cfg.VDDH <= 0 {
 		panic("power: VDDH must be positive")
 	}
 	if width < 1 {
 		panic("power: width must be >= 1")
 	}
-	m := &Model{cfg: cfg, width: width}
+	*m = Model{cfg: cfg, width: width}
 	p := &m.cfg.Params
 	idle := p.IdleFraction
 	w := float64(width)
@@ -296,7 +308,6 @@ func NewModel(cfg Config, width int) *Model {
 	m.idleIL1 = idle / 2 * p.IL1PerAccess
 	m.idleDL1 = idle / 2 * p.DL1PerAccess
 	m.recalcVDD(cfg.VDDH)
-	return m
 }
 
 // recalcVDD refreshes the cached voltage-dependent factors.
@@ -441,6 +452,8 @@ func (m *Model) AveragePower() float64 {
 func (m *Model) Ticks() int64 { return m.ticks }
 
 // Breakdown returns each structure's share of total energy.
+//
+//vsv:coldpath
 func (m *Model) Breakdown() map[string]float64 {
 	total := m.TotalEnergy()
 	out := make(map[string]float64, NumStructures)

@@ -22,14 +22,26 @@ type BufferStats struct {
 // NewBuffer builds a buffer with the given capacity and access latency
 // (in pipeline cycles).
 func NewBuffer(capacity, latency int) *Buffer {
+	b := &Buffer{}
+	b.Reset(capacity, latency)
+	return b
+}
+
+// Reset reinitializes the buffer in place to the state of
+// NewBuffer(capacity, latency), keeping the FIFO and index backing.
+func (b *Buffer) Reset(capacity, latency int) {
 	if capacity < 1 || latency < 1 {
 		panic("prefetch: buffer capacity and latency must be positive")
 	}
-	return &Buffer{
-		capacity: capacity,
-		latency:  latency,
-		index:    make(map[uint64]bool, capacity),
+	b.capacity = capacity
+	b.latency = latency
+	b.fifo = b.fifo[:0]
+	if b.index == nil {
+		b.index = make(map[uint64]bool, capacity)
+	} else {
+		clear(b.index)
 	}
+	b.stats = BufferStats{}
 }
 
 // Latency returns the buffer access time in pipeline cycles.

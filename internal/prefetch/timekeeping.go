@@ -78,6 +78,8 @@ func DefaultConfig() Config {
 }
 
 // Validate reports a configuration error, if any.
+//
+//vsv:coldpath
 func (c Config) Validate() error {
 	pow2 := func(v int) bool { return v > 0 && v&(v-1) == 0 }
 	switch {
@@ -178,15 +180,51 @@ type TimeKeeping struct {
 
 // New builds a Time-Keeping prefetcher, panicking on invalid configuration.
 func New(cfg Config) *TimeKeeping {
+	tk := &TimeKeeping{}
+	tk.Reset(cfg)
+	return tk
+}
+
+// Reset reinitializes the prefetcher in place to the state of New(cfg):
+// resident block states return to the free pool, the timing-wheel ring and
+// per-set tables are cleared keeping their backing, and the predictor
+// tables are reused when PredictorEntries is unchanged.
+func (tk *TimeKeeping) Reset(cfg Config) {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &TimeKeeping{
-		cfg:       cfg,
-		resident:  make(map[uint64]*blockState),
-		predictor: make([]uint64, cfg.PredictorEntries),
-		predValid: make([]bool, cfg.PredictorEntries),
+	tk.cfg = cfg
+	if tk.resident == nil {
+		tk.resident = make(map[uint64]*blockState)
+	} else {
+		for block, s := range tk.resident {
+			tk.free = append(tk.free, s)
+			delete(tk.resident, block)
+		}
 	}
+	for i := range tk.liveHistory {
+		tk.liveHistory[i] = 0
+	}
+	for slot := range tk.wheel {
+		tk.wheel[slot] = tk.wheel[slot][:0]
+	}
+	tk.matured = tk.matured[:0]
+	if len(tk.predictor) != cfg.PredictorEntries {
+		tk.predictor = make([]uint64, cfg.PredictorEntries)
+		tk.predValid = make([]bool, cfg.PredictorEntries)
+	} else {
+		for i := range tk.predictor {
+			tk.predictor[i] = 0
+			tk.predValid[i] = false
+		}
+	}
+	for i := range tk.pendingSig {
+		tk.pendingSig[i] = 0
+		tk.hasPending[i] = false
+	}
+	tk.scheduled = 0
+	tk.nextBucket = 0
+	tk.stats = Stats{}
 }
 
 // growSets ensures the per-set tables cover set.

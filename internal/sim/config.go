@@ -147,6 +147,8 @@ func (c Config) WithTimeKeeping() Config {
 }
 
 // Validate reports a configuration error, if any.
+//
+//vsv:coldpath
 func (c Config) Validate() error {
 	if err := c.Pipeline.Validate(); err != nil {
 		return err

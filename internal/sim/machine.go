@@ -119,24 +119,66 @@ func NewMachine(cfg Config, src pipeline.InstSource) *Machine {
 }
 
 // build composes and validates the machine; every constructor funnels here.
+// Construction is Reset on a zero machine, so fresh and arena-reused
+// machines share one initialization path and are bit-identical by
+// construction (DESIGN.md §11).
 func build(cfg Config, src pipeline.InstSource) (*Machine, error) {
-	if err := cfg.Validate(); err != nil {
+	m := &Machine{}
+	if err := m.Reset(cfg, src); err != nil {
 		return nil, err
 	}
-	m := &Machine{
-		cfg:     cfg,
-		pred:    branch.New(cfg.Branch),
-		il1:     cache.New(cfg.IL1),
-		dl1:     cache.New(cfg.DL1),
-		l2:      cache.New(cfg.L2),
-		il1MSHR: cache.NewMSHRFile("IL1", cfg.IL1.MSHREntries),
-		dl1MSHR: cache.NewMSHRFile("DL1", cfg.DL1.MSHREntries),
-		l2MSHR:  cache.NewMSHRFile("L2", cfg.L2.MSHREntries),
-		bus:     bus.New(cfg.Bus),
-		mem:     mem.New(cfg.Mem),
-		pow:     power.NewModel(cfg.Power, cfg.Pipeline.IssueWidth),
+	return m, nil
+}
+
+// Reset reinitializes the machine in place to run src under cfg, exactly
+// as if freshly constructed, while reusing every backing array the previous
+// run left behind: cache line arrays, MSHR entry pools, the pipeline's RUU
+// and queue backings, the Time-Keeping block-state pool and timing-wheel
+// ring, recorder sample buffers, and the pooled bus transactions. Optional
+// subsystems (VSV controller, Time-Keeping, recorder, fault injector) are
+// attached, recycled or detached to match cfg. On error the machine must
+// not be reused without a further successful Reset.
+//
+// The campaign sweep engine calls this between memo-missed runs so a
+// worker's arena is recycled instead of reallocated; see internal/sweep.
+//
+//vsv:hotpath
+func (m *Machine) Reset(cfg Config, src pipeline.InstSource) error {
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
-	m.pipe = pipeline.New(cfg.Pipeline, src, m.pred, m)
+	m.cfg = cfg
+	if m.pred == nil {
+		m.pred = branch.New(cfg.Branch)
+	} else {
+		m.pred.Reset(cfg.Branch)
+	}
+	m.il1 = resetCache(m.il1, cfg.IL1)
+	m.dl1 = resetCache(m.dl1, cfg.DL1)
+	m.l2 = resetCache(m.l2, cfg.L2)
+	m.il1MSHR = resetMSHR(m.il1MSHR, "IL1", cfg.IL1.MSHREntries)
+	m.dl1MSHR = resetMSHR(m.dl1MSHR, "DL1", cfg.DL1.MSHREntries)
+	m.l2MSHR = resetMSHR(m.l2MSHR, "L2", cfg.L2.MSHREntries)
+	if m.bus == nil {
+		m.bus = bus.New(cfg.Bus)
+	} else {
+		m.bus.Reset(cfg.Bus)
+	}
+	if m.mem == nil {
+		m.mem = mem.New(cfg.Mem)
+	} else {
+		m.mem.Reset(cfg.Mem)
+	}
+	if m.pow == nil {
+		m.pow = power.NewModel(cfg.Power, cfg.Pipeline.IssueWidth)
+	} else {
+		m.pow.Reinit(cfg.Power, cfg.Pipeline.IssueWidth)
+	}
+	if m.pipe == nil {
+		m.pipe = pipeline.New(cfg.Pipeline, src, m.pred, m)
+	} else {
+		m.pipe.Reset(cfg.Pipeline, src, m.pred, m)
+	}
 	for _, pr := range cfg.Prewarm {
 		bb := uint64(cfg.L2.BlockBytes)
 		for a := pr.Base; a < pr.Base+pr.Bytes; a += bb {
@@ -147,27 +189,96 @@ func build(cfg Config, src pipeline.InstSource) (*Machine, error) {
 		}
 	}
 	if cfg.VSV != nil {
-		m.ctl = core.New(cfg.VSV.Policy, cfg.VSV.Timing)
+		if m.ctl == nil {
+			m.ctl = core.New(cfg.VSV.Policy, cfg.VSV.Timing)
+		} else {
+			m.ctl.Reset(cfg.VSV.Policy, cfg.VSV.Timing)
+		}
+	} else {
+		m.ctl = nil
 	}
 	if cfg.TimeKeeping != nil {
-		m.tk = prefetch.New(*cfg.TimeKeeping)
-		m.tkBuf = prefetch.NewBuffer(cfg.TimeKeeping.BufferEntries, cfg.TimeKeeping.BufferLatency)
+		if m.tk == nil {
+			m.tk = prefetch.New(*cfg.TimeKeeping)
+		} else {
+			m.tk.Reset(*cfg.TimeKeeping)
+		}
+		if m.tkBuf == nil {
+			m.tkBuf = prefetch.NewBuffer(cfg.TimeKeeping.BufferEntries, cfg.TimeKeeping.BufferLatency)
+		} else {
+			m.tkBuf.Reset(cfg.TimeKeeping.BufferEntries, cfg.TimeKeeping.BufferLatency)
+		}
+	} else {
+		m.tk = nil
+		m.tkBuf = nil
 	}
 	if cfg.TraceInterval > 0 {
 		maxS := cfg.TraceSamples
 		if maxS <= 0 {
 			maxS = 4096
 		}
-		m.rec = trace.NewRecorder(cfg.TraceInterval, maxS)
+		if m.rec == nil {
+			m.rec = trace.NewRecorder(cfg.TraceInterval, maxS)
+		} else {
+			m.rec.Reinit(cfg.TraceInterval, maxS)
+		}
+	} else {
+		m.rec = nil
 	}
 	if cfg.Faults != nil {
-		inj, err := faults.NewInjector(cfg.Faults)
-		if err != nil {
-			return nil, err
+		if m.inj == nil {
+			inj, err := faults.NewInjector(cfg.Faults)
+			if err != nil {
+				return err
+			}
+			m.inj = inj
+		} else if err := m.inj.Reset(cfg.Faults); err != nil {
+			return err
 		}
-		m.inj = inj
+	} else {
+		m.inj = nil
 	}
-	return m, nil
+
+	// Machine-level per-run state. The transaction pool survives: its
+	// entries' Done completer points at this machine, which is stable, and
+	// getTxn overwrites Block/Kind on reuse.
+	m.now = 0
+	m.l2Events = m.l2Events[:0]
+	m.l2Ready = m.l2Ready[:0]
+	m.nextL2Ready = 0
+	m.missDetected = false
+	m.missReturned = false
+	m.tkFillPending = m.tkFillPending[:0]
+	m.stalled = m.stalled[:0]
+	m.nextStalledRelease = 0
+	m.wallDeadline = time.Time{}
+	m.stop = nil
+	m.stats = MachineStats{}
+	m.rampsBaseline = 0
+	m.missesAtTickStart = 0
+	m.energyAtTickStart = 0
+	m.commitsAtTickStart = 0
+	m.lastEnergySeen = 0
+	m.lastCommitTick = 0
+	return nil
+}
+
+// resetCache recycles c for cfg, constructing on first use.
+func resetCache(c *cache.Cache, cfg cache.Config) *cache.Cache {
+	if c == nil {
+		return cache.New(cfg)
+	}
+	c.Reset(cfg)
+	return c
+}
+
+// resetMSHR recycles f, constructing on first use.
+func resetMSHR(f *cache.MSHRFile, name string, max int) *cache.MSHRFile {
+	if f == nil {
+		return cache.NewMSHRFile(name, max)
+	}
+	f.Reset(name, max)
+	return f
 }
 
 // Recorder returns the time-series recorder (nil unless TraceInterval was

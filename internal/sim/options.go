@@ -76,6 +76,27 @@ func NewBench(bench string, opts ...Option) (*Machine, error) {
 	return m, nil
 }
 
+// ResetBench reinitializes an existing machine in place to run the named
+// synthetic benchmark, exactly as NewBench would construct it, reusing the
+// machine's backing arrays (see Machine.Reset). The campaign sweep engine
+// uses it to recycle a worker's arena between memo-missed runs. On error
+// the machine must not be reused without a further successful reset.
+func (m *Machine) ResetBench(bench string, opts ...Option) error {
+	p, err := workload.ByName(bench)
+	if err != nil {
+		return err
+	}
+	s := settings{cfg: BenchConfig()}
+	for _, o := range opts {
+		o(&s)
+	}
+	if err := m.Reset(s.cfg, workload.NewGeneratorSeed(p, s.seed)); err != nil {
+		return err
+	}
+	s.apply(m)
+	return nil
+}
+
 // BenchConfig returns DefaultConfig with the synthetic benchmarks' resident
 // working sets installed into the caches before the run — standing in for
 // the paper's 2-billion-instruction warm-cache fast-forward (§5).
@@ -90,6 +111,8 @@ func BenchConfig() Config {
 
 // WithConfig replaces the entire configuration with cfg. Use it to run a
 // fully pre-built Config (e.g. a sweep point) through the options path.
+//
+//vsv:coldpath
 func WithConfig(cfg Config) Option {
 	return func(s *settings) { s.cfg = cfg }
 }
@@ -185,6 +208,8 @@ func WithMemoryLatency(ticks int) Option {
 // WithSeed selects the workload's pseudo-random streams for NewBench
 // (0 is the canonical stream). New ignores it: explicit sources carry their
 // own seeding.
+//
+//vsv:coldpath
 func WithSeed(seed uint64) Option {
 	return func(s *settings) { s.seed = seed }
 }
@@ -203,6 +228,8 @@ func WithFaultPlan(p faults.Plan) Option {
 // runaway simulations without taxing the hot path. The zero time disables
 // it. The deadline is run control, not machine configuration: it does not
 // participate in sweep fingerprints.
+//
+//vsv:coldpath
 func WithWallDeadline(deadline time.Time) Option {
 	return func(s *settings) { s.deadline = deadline }
 }
@@ -212,6 +239,8 @@ func WithWallDeadline(deadline time.Time) Option {
 // wall-clock deadline it is polled cooperatively and stays out of
 // fingerprints; campaign runners use it to cancel in-flight simulations
 // promptly.
+//
+//vsv:coldpath
 func WithStop(stop <-chan struct{}) Option {
 	return func(s *settings) { s.stop = stop }
 }

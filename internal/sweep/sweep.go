@@ -7,8 +7,11 @@
 // of scheduling, so campaign output is byte-identical for any worker count.
 //
 // Work is scoped in two layers. The Engine owns the shared, contended
-// resources — the worker pool, the fingerprint-keyed memo cache and the
-// optional checkpoint — and survives across campaigns. A Job (NewJob) is
+// resources — the worker pool, its reusable machine arenas, the
+// fingerprint-keyed memo cache and the optional checkpoint — and survives
+// across campaigns. Each worker holds a persistent machine slot, so
+// consecutive memo-missed runs recycle one arena in place (Machine.Reset)
+// instead of reallocating tens of megabytes of simulator state per point. A Job (NewJob) is
 // one campaign's view of the engine: it carries its own progress callback
 // and its own Stats, so two jobs running concurrently on one engine share
 // the cache without interleaving each other's counters. RunAll is the
@@ -57,11 +60,38 @@ type Stats struct {
 	// Failed counts points that genuinely failed (cancellations are not
 	// failures); Retried counts extra attempts spent on transient failures.
 	Failed, Retried int
+	// ArenaReuses counts executed simulations that recycled a worker's
+	// machine arena in place (Machine.ResetBench); FreshBuilds counts the
+	// ones that had to construct a machine. ArenaReuses + FreshBuilds is the
+	// number of run attempts (Ran plus retries).
+	ArenaReuses, FreshBuilds int
+	// Evicted counts memo-cache entries dropped by the CacheBound policy.
+	Evicted int
 	// SimTime is the summed wall time of executed simulations; WorstRun is
 	// the longest single simulation and WorstKey its point key.
 	SimTime  time.Duration
 	WorstRun time.Duration
 	WorstKey string
+}
+
+// RunsPerSec returns executed simulations per second of simulation wall
+// time — the engine's throughput over the work it actually did, independent
+// of idle periods between campaigns. Zero until something has run.
+func (s Stats) RunsPerSec() float64 {
+	if s.SimTime <= 0 {
+		return 0
+	}
+	return float64(s.Ran) / s.SimTime.Seconds()
+}
+
+// ReuseRate returns the fraction of run attempts that recycled a worker
+// arena instead of constructing a machine (0 when nothing has run).
+func (s Stats) ReuseRate() float64 {
+	attempts := s.ArenaReuses + s.FreshBuilds
+	if attempts == 0 {
+		return 0
+	}
+	return float64(s.ArenaReuses) / float64(attempts)
 }
 
 // Progress is a point-in-time snapshot delivered to the progress callback
@@ -140,11 +170,100 @@ func WithCheckpoint(cp *Checkpoint) Option {
 	return func(e *Engine) { e.cp = cp }
 }
 
+// CacheBound bounds the memo cache to at most n entries. When an insertion
+// would exceed the bound, the oldest-inserted completed entries are evicted
+// first — deterministic FIFO, so a campaign replayed against a bounded
+// engine hits and misses identically every time. In-flight entries are
+// never evicted (waiters hold their done channels), so the cache may
+// transiently exceed n while more than n runs are in flight. Zero or
+// negative n (the default) leaves the cache unbounded.
+func CacheBound(n int) Option {
+	if n < 0 {
+		n = 0
+	}
+	return func(e *Engine) { e.cacheBound = n }
+}
+
 // entry is one memoized (or in-flight) simulation.
 type entry struct {
 	res  sim.Results
 	err  error
 	done chan struct{} // closed once res/err are valid
+}
+
+// resolved reports whether the entry's run has finished (done closed). It
+// is safe to call from any goroutine.
+func (en *entry) resolved() bool {
+	select {
+	case <-en.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// cacheRecord is one memo-cache insertion, in order, for FIFO eviction.
+// The entry pointer distinguishes a fingerprint's current cache entry from
+// a stale record left behind when a failed run uncached and a later
+// campaign re-inserted the same fingerprint.
+type cacheRecord struct {
+	fp string
+	en *entry
+}
+
+// arena is a worker's persistent machine slot: one reusable simulation
+// arena (caches, MSHRs, pipeline, recorder buffers, pooled transactions)
+// that consecutive memo-missed runs reset in place instead of
+// reallocating. An arena belongs to exactly one worker goroutine at a
+// time; between campaigns it parks in the process-wide pool.
+type arena struct {
+	m *sim.Machine
+}
+
+// arenaPool recycles machine arenas across engines, not just campaigns:
+// Machine.Reset is geometry-aware and bit-identical to fresh construction
+// under any configuration, so an arena is config-agnostic and a short-lived
+// engine (one figure, one CLI invocation, one test) can inherit the
+// machines a previous engine built. A plain bounded free list rather than
+// sync.Pool: pooled machines must survive GC cycles (a cleared pool would
+// silently reintroduce full construction cost mid-campaign), and the cap
+// bounds pinned simulation memory to one arena per plausible worker.
+var arenaPool = newArenaFreeList()
+
+type arenaFreeList struct {
+	mu   sync.Mutex
+	free []*arena
+	cap  int
+}
+
+func newArenaFreeList() *arenaFreeList {
+	c := runtime.GOMAXPROCS(0)
+	// Engines may run more workers than cores (the oversubscribed regime
+	// still overlaps memory stalls), so keep a sensible floor.
+	if c < 16 {
+		c = 16
+	}
+	return &arenaFreeList{cap: c}
+}
+
+func (p *arenaFreeList) get() *arena {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		a := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return a
+	}
+	return &arena{}
+}
+
+func (p *arenaFreeList) put(a *arena) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) < p.cap {
+		p.free = append(p.free, a)
+	}
 }
 
 // Engine executes sweep points with bounded parallelism and a memoization
@@ -155,6 +274,7 @@ type Engine struct {
 	workers    int
 	progress   func(Progress)
 	noCache    bool
+	cacheBound int
 	runTimeout time.Duration
 	retries    int
 	backoff    time.Duration
@@ -163,6 +283,7 @@ type Engine struct {
 
 	mu    sync.Mutex
 	cache map[string]*entry
+	order []cacheRecord // insertion order, for CacheBound eviction
 	stats Stats
 }
 
@@ -193,6 +314,62 @@ func (e *Engine) CacheLen() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return len(e.cache)
+}
+
+// cacheAdd inserts an entry under the bound policy. Caller holds e.mu.
+func (e *Engine) cacheAdd(fp string, en *entry) {
+	e.cache[fp] = en
+	if e.cacheBound > 0 {
+		e.order = append(e.order, cacheRecord{fp: fp, en: en})
+		e.evictLocked()
+	}
+}
+
+// evictLocked enforces the CacheBound: while the cache is over its bound it
+// drops the oldest-inserted resolved entries, skipping (and preserving the
+// relative order of) in-flight ones. Stale records — fingerprints already
+// uncached by a failure, or re-inserted under a newer entry — are compacted
+// away as they are encountered. Caller holds e.mu.
+func (e *Engine) evictLocked() {
+	if e.cacheBound <= 0 || len(e.cache) <= e.cacheBound {
+		return
+	}
+	kept := e.order[:0]
+	for i, rec := range e.order {
+		if len(e.cache) <= e.cacheBound {
+			kept = append(kept, e.order[i:]...)
+			break
+		}
+		if cur, ok := e.cache[rec.fp]; !ok || cur != rec.en {
+			continue // stale record; nothing to evict
+		}
+		if !rec.en.resolved() {
+			kept = append(kept, rec) // never evict an in-flight run
+			continue
+		}
+		delete(e.cache, rec.fp)
+		e.stats.Evicted++
+	}
+	e.order = kept
+}
+
+// acquireArena hands a worker its machine slot, recycling a parked arena
+// when one is available. Each worker holds exactly one arena for the span
+// of a campaign, so an engine never pins more than one arena's simulation
+// memory per configured worker.
+func (e *Engine) acquireArena() *arena {
+	return arenaPool.get()
+}
+
+// releaseArena parks a worker's arena in the process-wide pool for the
+// next campaign — on this engine or any other. Arenas whose machine was
+// dropped (unstructured panic, failed reset) are not parked; the next
+// acquirer builds fresh.
+func (e *Engine) releaseArena(a *arena) {
+	if a.m == nil {
+		return
+	}
+	arenaPool.put(a)
 }
 
 // Job is one campaign's scoped view of an engine: it shares the engine's
@@ -383,7 +560,7 @@ func (j *Job) execute(ctx context.Context, points []Point) ([]*entry, error) {
 				en := &entry{res: res, done: make(chan struct{})}
 				close(en.done)
 				if !e.noCache {
-					e.cache[fp] = en
+					e.cacheAdd(fp, en)
 				}
 				e.stats.CheckpointHits++
 				j.stats.CheckpointHits++
@@ -394,7 +571,7 @@ func (j *Job) execute(ctx context.Context, points []Point) ([]*entry, error) {
 		}
 		en := &entry{done: make(chan struct{})}
 		if !e.noCache {
-			e.cache[fp] = en
+			e.cacheAdd(fp, en)
 		}
 		waiters[i] = en
 		toRun = append(toRun, runItem{fp: fp, p: p, en: en})
@@ -418,6 +595,9 @@ func (j *Job) execute(ctx context.Context, points []Point) ([]*entry, error) {
 	var progMu sync.Mutex
 	note := func(it runItem, dur time.Duration) {
 		e.mu.Lock()
+		// The entry just resolved; entries inserted in-flight become
+		// evictable only now, so re-enforce the cache bound here.
+		e.evictLocked()
 		e.stats.Ran++
 		e.stats.SimTime += dur
 		if dur > e.stats.WorstRun {
@@ -456,13 +636,19 @@ func (j *Job) execute(ctx context.Context, points []Point) ([]*entry, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker holds one persistent machine slot for its
+			// lifetime: consecutive memo-missed runs reset the same arena
+			// in place. Between campaigns the arena parks in the engine
+			// pool, so reuse carries across RunAll calls too.
+			a := e.acquireArena()
+			defer e.releaseArena(a)
 			for it := range jobs {
 				if runCtx.Err() != nil {
 					j.fail(it, runCtx.Err(), false)
 					continue
 				}
 				t0 := time.Now()
-				res, err := j.runPoint(runCtx, it)
+				res, err := j.runPoint(runCtx, it, a)
 				if err != nil {
 					genuine := !isCancel(err)
 					j.fail(it, err, genuine)
@@ -498,13 +684,13 @@ func (j *Job) execute(ctx context.Context, points []Point) ([]*entry, error) {
 }
 
 // runPoint executes one point with panic isolation, the per-run deadline,
-// and bounded retry of transient failures.
-func (j *Job) runPoint(ctx context.Context, it runItem) (sim.Results, error) {
+// and bounded retry of transient failures, on the worker's arena.
+func (j *Job) runPoint(ctx context.Context, it runItem, a *arena) (sim.Results, error) {
 	e := j.e
 	attempt := 0
 	for {
 		attempt++
-		res, err := e.runOnce(ctx, it.p)
+		res, err := j.runOnce(ctx, it.p, a)
 		if err == nil {
 			return res, nil
 		}
@@ -541,9 +727,18 @@ func (j *Job) runPoint(ctx context.Context, it runItem) (sim.Results, error) {
 	}
 }
 
-// runOnce executes one attempt, converting panics — the simulator's
-// structured failures and anything else — into errors.
-func (e *Engine) runOnce(ctx context.Context, p Point) (res sim.Results, err error) {
+// runOnce executes one attempt on the worker's arena, converting panics —
+// the simulator's structured failures and anything else — into errors. The
+// arena's machine is reset in place when present (the steady-state path:
+// zero arena allocation) and constructed on first use. A structured
+// failure leaves the arena reusable — Machine.Reset restores a
+// bit-identical fresh machine from any mid-run state — but an unstructured
+// panic or a failed reset drops it, since its invariants are unknown.
+//
+//vsv:hotpath
+func (j *Job) runOnce(ctx context.Context, p Point, a *arena) (res sim.Results, err error) {
+	e := j.e
+	//vsvlint:ignore hotpath the panic-recovery boundary must be a deferred function literal; one closure per attempt, amortized against the whole run
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -553,6 +748,7 @@ func (e *Engine) runOnce(ctx context.Context, p Point) (res sim.Results, err err
 			err = ce
 			return
 		}
+		a.m = nil
 		err = &panicError{value: r, stack: debug.Stack()}
 	}()
 	opts := []sim.Option{
@@ -561,11 +757,29 @@ func (e *Engine) runOnce(ctx context.Context, p Point) (res sim.Results, err err
 	if e.runTimeout > 0 {
 		opts = append(opts, sim.WithWallDeadline(time.Now().Add(e.runTimeout)))
 	}
-	m, err := sim.NewBench(p.Benchmark, opts...)
-	if err != nil {
-		return sim.Results{}, err
+	reused := a.m != nil
+	if reused {
+		if err := a.m.ResetBench(p.Benchmark, opts...); err != nil {
+			a.m = nil
+			return sim.Results{}, err
+		}
+	} else {
+		m, err := sim.NewBench(p.Benchmark, opts...)
+		if err != nil {
+			return sim.Results{}, err
+		}
+		a.m = m
 	}
-	return m.Run(p.Benchmark), nil
+	e.mu.Lock()
+	if reused {
+		e.stats.ArenaReuses++
+		j.stats.ArenaReuses++
+	} else {
+		e.stats.FreshBuilds++
+		j.stats.FreshBuilds++
+	}
+	e.mu.Unlock()
+	return a.m.Run(p.Benchmark), nil
 }
 
 // fail marks an entry as errored and removes it from the cache so a later

@@ -49,10 +49,22 @@ type Recorder struct {
 // NewRecorder builds a recorder sampling every interval ticks, keeping at
 // most maxSamples samples. It panics on non-positive arguments.
 func NewRecorder(interval int64, maxSamples int) *Recorder {
+	r := &Recorder{}
+	r.Reinit(interval, maxSamples)
+	return r
+}
+
+// Reinit reinitializes the recorder in place to the state of
+// NewRecorder(interval, maxSamples), keeping the sample backing array. It
+// is distinct from Reset, which keeps the configured interval (end of
+// warm-up).
+func (r *Recorder) Reinit(interval int64, maxSamples int) {
 	if interval < 1 || maxSamples < 1 {
 		panic("trace: interval and maxSamples must be positive")
 	}
-	return &Recorder{interval: interval, maxSamples: maxSamples}
+	r.interval = interval
+	r.maxSamples = maxSamples
+	r.Reset()
 }
 
 // Interval returns the sampling interval in ticks.

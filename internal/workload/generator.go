@@ -38,6 +38,8 @@ func NewGenerator(p Profile) *Generator {
 // the experiments; other seeds give statistically-equivalent instruction
 // streams for robustness studies (different phase interleavings and
 // address walks, same calibrated mixture).
+//
+//vsv:coldpath
 func NewGeneratorSeed(p Profile, seed uint64) *Generator {
 	if err := p.Validate(); err != nil {
 		panic(err)

@@ -50,6 +50,8 @@ type Profile struct {
 }
 
 // Validate reports a profile error, if any.
+//
+//vsv:coldpath
 func (p Profile) Validate() error {
 	if p.Name == "" {
 		return fmt.Errorf("workload: empty profile name")
@@ -294,6 +296,8 @@ func Profiles() []Profile {
 }
 
 // ByName returns the profile with the given benchmark name.
+//
+//vsv:coldpath
 func ByName(name string) (Profile, error) {
 	for _, p := range profiles {
 		if p.Name == name {
