@@ -481,13 +481,22 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	})
 	b.Run("engine", func(b *testing.B) {
 		eng := sweep.New(sweep.Workers(benchOpts().Parallelism), sweep.WithoutCache())
+		// One untimed campaign warms the workers' arenas (construction plus
+		// the first touch of the enlarged cache backings), so the timed
+		// region measures the engine's steady-state dispatch throughput —
+		// cold construction cost is the "fresh" sub-benchmark's subject.
+		if _, err := eng.Run(context.Background(), pts); err != nil {
+			b.Fatal(err)
+		}
+		warm := eng.Stats().Ran
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := eng.Run(context.Background(), pts); err != nil {
 				b.Fatal(err)
 			}
 		}
 		st := eng.Stats()
-		runsPerSec(b, st.Ran)
+		runsPerSec(b, st.Ran-warm)
 		b.ReportMetric(st.ReuseRate(), "reuse-rate")
 	})
 }

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildOnce compiles the real vsvcampaign and experiments binaries once per
+// test run — the byte-identity contract is about whole processes (fork,
+// environment tagging, ledger files), not in-process shortcuts.
+var buildOnce struct {
+	sync.Once
+	dir string
+	err error
+}
+
+func binaries(t *testing.T) (campaign, experiments string) {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "vsvcampaign-test")
+		if err != nil {
+			buildOnce.err = err
+			return
+		}
+		buildOnce.dir = dir
+		for _, pkg := range []string{"vsvcampaign", "experiments"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, pkg), "repro/cmd/"+pkg)
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildOnce.err = err
+				t.Logf("go build %s: %s", pkg, out)
+				return
+			}
+		}
+	})
+	if buildOnce.err != nil {
+		t.Fatalf("building test binaries: %v", buildOnce.err)
+	}
+	return filepath.Join(buildOnce.dir, "vsvcampaign"), filepath.Join(buildOnce.dir, "experiments")
+}
+
+// tinyArgs keeps the campaign quick while still fanning out a real grid.
+var tinyArgs = []string{"-exp", "table2", "-instructions", "40000", "-warmup", "8000"}
+
+func runBin(t *testing.T, bin string, args ...string) (stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %s: %v\nstderr:\n%s", filepath.Base(bin), strings.Join(args, " "), err, errb.String())
+	}
+	return out.String(), errb.String()
+}
+
+// TestMultiProcessByteIdentity is the tentpole invariant at the binary
+// level: a 4-process vsvcampaign's stdout is byte-identical to the
+// sequential cmd/experiments output for the same campaign.
+func TestMultiProcessByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and forks real binaries")
+	}
+	campaignBin, experimentsBin := binaries(t)
+
+	want, _ := runBin(t, experimentsBin, tinyArgs...)
+	ledger := filepath.Join(t.TempDir(), "ledger.jsonl")
+	got, stderr := runBin(t, campaignBin, append([]string{"-procs", "4", "-ledger", ledger}, tinyArgs...)...)
+	if got != want {
+		t.Errorf("4-process output differs from sequential (got %d bytes, want %d)", len(got), len(want))
+	}
+	if !strings.Contains(stderr, "4 procs") {
+		t.Errorf("parent summary missing from stderr:\n%s", stderr)
+	}
+	if _, err := os.Stat(ledger); !os.IsNotExist(err) {
+		t.Errorf("ledger %s not removed after a successful campaign (err=%v)", ledger, err)
+	}
+}
+
+// TestChaosKillByteIdentity is the crash-recovery half of the invariant: a
+// worker killed mid-campaign (claims left dangling) must not change a
+// single output byte — the survivors reap its expired claims and re-run
+// its points.
+func TestChaosKillByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and forks real binaries")
+	}
+	campaignBin, experimentsBin := binaries(t)
+
+	want, _ := runBin(t, experimentsBin, tinyArgs...)
+	got, stderr := runBin(t, campaignBin, append([]string{
+		"-procs", "3",
+		"-chaos-kill-worker", "1", "-chaos-kill-after", "3",
+		"-claim-ttl", "2s",
+	}, tinyArgs...)...)
+	if !strings.Contains(stderr, "chaos kill") {
+		t.Fatalf("chaos worker did not report its kill:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "exit status 7") {
+		t.Errorf("parent did not report the dead worker:\n%s", stderr)
+	}
+	if got != want {
+		t.Errorf("post-crash output differs from sequential (got %d bytes, want %d)", len(got), len(want))
+	}
+}

@@ -77,6 +77,10 @@ func main() {
 		engineOpts = append(engineOpts, sweep.WithCheckpoint(cp))
 	}
 
+	peers, err := serveFlags.PeerList()
+	if err != nil {
+		fail(err)
+	}
 	svc := campaign.New(campaign.Config{
 		Engine: sweep.New(engineOpts...),
 		Options: experiments.Options{
@@ -87,8 +91,15 @@ func main() {
 		MaxQueue:        serveFlags.MaxQueue,
 		MaxConcurrent:   serveFlags.MaxJobs,
 		MaxPointsPerJob: serveFlags.MaxPoints,
+		MaxDoneJobs:     serveFlags.MaxDoneJobs,
+		Peers:           peers,
+		PeerIndex:       serveFlags.PeerIndex,
 	})
 	defer svc.Close()
+	if len(peers) > 1 {
+		fmt.Fprintf(os.Stderr, "vsvserve: peer %d of %d in a fingerprint-sharded deployment\n",
+			serveFlags.PeerIndex, len(peers))
+	}
 
 	ln, err := net.Listen("tcp", serveFlags.Addr)
 	if err != nil {

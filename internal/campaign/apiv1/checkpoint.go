@@ -43,13 +43,19 @@ type legacyRecord struct {
 // under the legacy v0 schema so existing checkpoint files keep resuming.
 func DecodeCheckpointRecord(line []byte) (fp, key string, res sim.Results, err error) {
 	var probe struct {
-		V   int             `json:"v"`
-		FP  string          `json:"fp"`
-		Key string          `json:"key"`
-		Res json.RawMessage `json:"res"`
+		V    int             `json:"v"`
+		Kind string          `json:"kind"`
+		FP   string          `json:"fp"`
+		Key  string          `json:"key"`
+		Res  json.RawMessage `json:"res"`
 	}
 	if err = json.Unmarshal(line, &probe); err != nil {
 		return "", "", sim.Results{}, err
+	}
+	if probe.Kind != "" && probe.Kind != LedgerKindComplete {
+		// A ledger claim (or future non-result kind) carries no results; in
+		// a checkpoint file it is corruption, not a resumable record.
+		return "", "", sim.Results{}, fmt.Errorf("apiv1: record kind %q is not a checkpoint result", probe.Kind)
 	}
 	switch probe.V {
 	case Version:

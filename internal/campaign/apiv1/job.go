@@ -182,10 +182,19 @@ type EngineStats struct {
 	SimTimeNS      int64  `json:"sim_time_ns"`
 	WorstRunNS     int64  `json:"worst_run_ns"`
 	WorstKey       string `json:"worst_key,omitempty"`
+	// LedgerHits counts points served from the work-stealing ledger and
+	// Steals counts expired foreign claims taken over (both zero unless a
+	// ledger is attached).
+	LedgerHits int `json:"ledger_hits,omitempty"`
+	Steals     int `json:"steals,omitempty"`
 	// CacheEntries is the memo cache's current population; CacheEvicted
 	// counts entries dropped by the engine's cache bound.
 	CacheEntries int `json:"cache_entries"`
 	CacheEvicted int `json:"cache_evicted"`
+	// CacheShards is the memo cache's lock-stripe count; ShardEntries is
+	// each shard's current population, in shard order.
+	CacheShards  int   `json:"cache_shards,omitempty"`
+	ShardEntries []int `json:"shard_entries,omitempty"`
 	// ArenaReuses and FreshBuilds split executed run attempts by whether
 	// they recycled a worker's machine arena in place or constructed one;
 	// ReuseRate is ArenaReuses over their sum.
@@ -215,6 +224,11 @@ type StatsSnapshot struct {
 	// QueueCap and MaxConcurrent echo the admission-control limits.
 	QueueCap      int `json:"queue_cap"`
 	MaxConcurrent int `json:"max_concurrent"`
+	// Peers and PeerIndex describe this process's place in a sharded
+	// deployment (zero when peering is off). Peer routers read Jobs.Queued
+	// against QueueCap from this snapshot to load-shed.
+	Peers     int `json:"peers,omitempty"`
+	PeerIndex int `json:"peer_index,omitempty"`
 }
 
 // Health is the GET /v1/healthz response.

@@ -1,0 +1,104 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/campaign/apiv1"
+	"repro/internal/sweep"
+)
+
+// Peer routing: a sharded deployment runs one vsvserve process per peer,
+// every process configured with the same Peers list and its own PeerIndex.
+// Each submitted job has a deterministic owner — the peer that the job's
+// fingerprint maps to — so resubmissions and overlapping campaigns land on
+// the process whose memo cache already holds their points. A job arriving
+// at the wrong peer is answered with 307 (method- and body-preserving)
+// toward its owner, marked ?routed=1 so the hop happens at most once.
+//
+// The redirect is advisory, load-shed by live stats: before bouncing a
+// client, the wrong peer asks the owner's /v1/stats (bounded by a short
+// timeout) and keeps the job itself when the owner is unreachable or its
+// admission queue is saturated — a degraded cache hit-rate beats a 429 or
+// a dead end.
+
+// routedParam marks a request that already took its one routing hop.
+const routedParam = "routed"
+
+// peerProbeTimeout bounds the owner-health probe; routing must never
+// stall a submission behind a dead peer.
+const peerProbeTimeout = 500 * time.Millisecond
+
+// ownerIndex maps a job to the peer that owns it in the fingerprint
+// space. Jobs with raw points are keyed by their first point's sweep
+// fingerprint — the same hash that keys the memo cache, so a job's points
+// and its routing agree. Artefact-only jobs are keyed by a hash of the
+// canonical request encoding.
+func (s *Server) ownerIndex(req apiv1.JobRequest, pts []sweep.Point) int {
+	var fp string
+	if len(pts) > 0 {
+		if f, err := pts[0].Fingerprint(); err == nil {
+			fp = f
+		}
+	}
+	if fp == "" {
+		b, err := json.Marshal(req)
+		if err != nil {
+			return s.cfg.PeerIndex
+		}
+		sum := sha256.Sum256(b)
+		fp = hex.EncodeToString(sum[:])
+	}
+	return sweep.ShardOwner(fp, len(s.cfg.Peers))
+}
+
+// routeFor decides whether a submission should bounce to another peer,
+// returning the redirect target when so. It keeps the job local when
+// peering is off, the request already routed, this peer owns the job, or
+// the owner fails the load-shedding probe.
+func (s *Server) routeFor(r *http.Request, req apiv1.JobRequest, pts []sweep.Point) (string, bool) {
+	if len(s.cfg.Peers) < 2 || s.cfg.PeerIndex < 0 || s.cfg.PeerIndex >= len(s.cfg.Peers) {
+		return "", false
+	}
+	if r.URL.Query().Get(routedParam) == "1" {
+		return "", false
+	}
+	owner := s.ownerIndex(req, pts)
+	if owner == s.cfg.PeerIndex {
+		return "", false
+	}
+	if !s.peerAccepting(owner) {
+		return "", false // shed to self: run it here rather than bounce into a wall
+	}
+	return strings.TrimRight(s.cfg.Peers[owner], "/") + "/v1/jobs?" + routedParam + "=1", true
+}
+
+// peerAccepting probes the owner's live stats and reports whether it can
+// plausibly admit a job right now. Any probe failure (down, slow,
+// unparsable) is "no": the caller degrades to local execution.
+func (s *Server) peerAccepting(owner int) bool {
+	base := strings.TrimRight(s.cfg.Peers[owner], "/")
+	client := &http.Client{Timeout: peerProbeTimeout}
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	var snap apiv1.StatsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return false
+	}
+	// Saturated admission queue: a redirect would just trade this peer's
+	// spare capacity for the owner's 429.
+	if snap.QueueCap > 0 && snap.Jobs.Queued >= snap.QueueCap {
+		return false
+	}
+	return true
+}

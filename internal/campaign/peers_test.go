@@ -1,0 +1,185 @@
+package campaign_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/campaign/apiv1"
+	"repro/internal/sweep"
+)
+
+// pointOwnedBy searches workload seeds for a raw point whose sweep
+// fingerprint the given peer owns — the same mapping handleSubmit uses, so
+// the test controls exactly where a submission should route.
+func pointOwnedBy(t *testing.T, owner, peers int) apiv1.Point {
+	t.Helper()
+	for seed := uint64(0); seed < 64; seed++ {
+		p := sweep.Point{Benchmark: "mcf", Seed: seed, Config: tinyCfg()}
+		fp, err := p.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sweep.ShardOwner(fp, peers) == owner {
+			return apiv1.Point{Key: "routed", Benchmark: "mcf", Seed: seed, Config: tinyCfg()}
+		}
+	}
+	t.Fatalf("no seed in [0,64) maps to owner %d of %d", owner, peers)
+	return apiv1.Point{}
+}
+
+// TestPeerRouting pins the sharded-deployment front door: a submission
+// whose fingerprint another live peer owns is answered 307 toward that
+// peer with the routed marker; the marker suppresses a second hop; a
+// self-owned job never bounces; and a stock client following the redirect
+// lands the job on the owner.
+func TestPeerRouting(t *testing.T) {
+	// The owner peer (index 1) comes up first: the wrong peer probes its
+	// /v1/stats before bouncing anything at it.
+	_, tsOwner := start(t, campaign.Config{Engine: sweep.New(sweep.Workers(1))})
+
+	// The wrong peer (index 0). Its own entry in Peers is never dialled —
+	// routing only targets foreign owners — so a placeholder suffices.
+	_, tsWrong := start(t, campaign.Config{
+		Engine:    sweep.New(sweep.Workers(1)),
+		Peers:     []string{"http://self.invalid", tsOwner.URL},
+		PeerIndex: 0,
+	})
+
+	foreign := apiv1.JobRequest{Points: []apiv1.Point{pointOwnedBy(t, 1, 2)}}
+	body, err := json.Marshal(foreign)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Redirect visible with a non-following client.
+	noFollow := &http.Client{
+		CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+	}
+	resp, err := noFollow.Post(tsWrong.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("foreign-owned submission: HTTP %d, want 307", resp.StatusCode)
+	}
+	loc := resp.Header.Get("Location")
+	if !strings.HasPrefix(loc, tsOwner.URL) || !strings.Contains(loc, "routed=1") {
+		t.Fatalf("Location %q does not target the owner with the routed marker", loc)
+	}
+
+	// The routed marker ends the hop chain: the same job at the same wrong
+	// peer, marked, runs locally.
+	resp, err = noFollow.Post(tsWrong.URL+"/v1/jobs?routed=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created apiv1.JobCreated
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || created.ID == "" {
+		t.Fatalf("routed submission not handled locally: HTTP %d %+v", resp.StatusCode, created)
+	}
+
+	// A self-owned job never bounces.
+	local := apiv1.JobRequest{Points: []apiv1.Point{pointOwnedBy(t, 0, 2)}}
+	if created, code := tryPostJob(t, tsWrong, local); code != http.StatusAccepted || created.ID == "" {
+		t.Fatalf("self-owned submission: HTTP %d, want 202", code)
+	}
+
+	// End to end: a stock client (follows 307 with body) lands the job on
+	// the owner, where its status is served.
+	followed := postJob(t, tsWrong, foreign)
+	if st := waitState(t, tsOwner, followed.ID, apiv1.StateDone); st.ID != followed.ID {
+		t.Fatalf("followed job %s not found on the owner peer", followed.ID)
+	}
+}
+
+// TestPeerRoutingLoadShed pins the degradation path: when the owner peer
+// is unreachable, the wrong peer sheds to itself — the job is admitted and
+// runs locally instead of bouncing the client into a dead end.
+func TestPeerRoutingLoadShed(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // the owner's address answers nothing
+
+	_, ts := start(t, campaign.Config{
+		Engine:    sweep.New(sweep.Workers(1)),
+		Peers:     []string{"http://self.invalid", dead.URL},
+		PeerIndex: 0,
+	})
+
+	req := apiv1.JobRequest{Points: []apiv1.Point{pointOwnedBy(t, 1, 2)}}
+	created, code := tryPostJob(t, ts, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("submission with a dead owner: HTTP %d, want 202 (local shed)", code)
+	}
+	if st := waitState(t, ts, created.ID, apiv1.StateDone); st.Progress.Ran == 0 {
+		t.Fatal("shed job did not run locally")
+	}
+}
+
+// TestDoneJobEviction pins the retention bound: with MaxDoneJobs set, the
+// oldest terminal job's whole record is dropped once the bound is crossed,
+// its id answering the typed not_found error, while newer terminal jobs
+// stay fully retrievable.
+func TestDoneJobEviction(t *testing.T) {
+	_, ts := start(t, campaign.Config{
+		Engine:        sweep.New(sweep.Workers(2)),
+		MaxConcurrent: 1,
+		MaxDoneJobs:   2,
+	})
+
+	var ids []string
+	for seed := uint64(0); seed < 3; seed++ {
+		req := apiv1.JobRequest{Points: []apiv1.Point{
+			{Key: "p", Benchmark: "mcf", Seed: seed, Config: tinyCfg()},
+		}}
+		created := postJob(t, ts, req)
+		waitState(t, ts, created.ID, apiv1.StateDone)
+		ids = append(ids, created.ID)
+	}
+
+	// Eviction runs just after the worker parks the finished job; give the
+	// enforcement a moment before asserting the oldest id is gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var e struct {
+			Error *apiv1.Error `json:"error"`
+		}
+		code := getJSON(t, ts.URL+"/v1/jobs/"+ids[0], &e)
+		if code == http.StatusNotFound {
+			if e.Error == nil || e.Error.Type != apiv1.ErrNotFound {
+				t.Fatalf("evicted id not typed not_found: %+v", e.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("oldest job %s still served (HTTP %d) past MaxDoneJobs", ids[0], code)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The two newest jobs survive, results intact.
+	for _, id := range ids[1:] {
+		var ar apiv1.ArtefactsResponse
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+id+"/artefacts", &ar); code != http.StatusOK {
+			t.Fatalf("retained job %s artefacts: HTTP %d", id, code)
+		}
+		if len(ar.Points) != 1 || ar.Points[0].Res == nil {
+			t.Fatalf("retained job %s lost its results: %+v", id, ar.Points)
+		}
+	}
+	var list apiv1.JobList
+	getJSON(t, ts.URL+"/v1/jobs", &list)
+	if len(list.Jobs) != 2 {
+		t.Fatalf("job list has %d entries after eviction, want 2", len(list.Jobs))
+	}
+}

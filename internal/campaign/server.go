@@ -58,6 +58,19 @@ type Config struct {
 	// MaxPointsPerJob caps each job's engine submissions (0 = unlimited).
 	// Requests may tighten it per job (RunBudget) but never exceed it.
 	MaxPointsPerJob int
+	// MaxDoneJobs bounds how many terminal (done, failed, cancelled) job
+	// records — rendered artefacts, point results, event logs — the server
+	// retains (0 = unlimited). Oldest-submitted terminal jobs are evicted
+	// first; an evicted id answers with the typed not_found error.
+	MaxDoneJobs int
+	// Peers lists the base URLs of every process in a fingerprint-sharded
+	// deployment (including this one), and PeerIndex says which entry this
+	// process is. With two or more peers, submissions whose fingerprint
+	// another peer owns are answered 307 toward that peer — unless its
+	// live stats say it cannot admit work, in which case the job runs here
+	// (load shedding). Empty disables routing. See peers.go.
+	Peers     []string
+	PeerIndex int
 }
 
 // Server is the campaign service. Create with New, serve with any
@@ -164,8 +177,43 @@ func (s *Server) worker() {
 			return
 		case j := <-s.queue:
 			s.run(j)
+			// The job just reached a terminal state; enforce the done-job
+			// retention bound.
+			s.mu.Lock()
+			s.evictDoneLocked()
+			s.mu.Unlock()
 		}
 	}
+}
+
+// evictDoneLocked enforces Config.MaxDoneJobs: while more than the bound
+// of terminal jobs are retained, the oldest-submitted terminal jobs are
+// dropped — records, rendered outputs and event logs together. Queued and
+// running jobs are never evicted. Caller holds s.mu.
+func (s *Server) evictDoneLocked() {
+	bound := s.cfg.MaxDoneJobs
+	if bound <= 0 {
+		return
+	}
+	terminal := 0
+	for _, j := range s.order {
+		if j.State().Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= bound {
+		return
+	}
+	kept := make([]*job, 0, len(s.order))
+	for _, j := range s.order {
+		if terminal > bound && j.State().Terminal() {
+			delete(s.jobs, j.id)
+			terminal--
+			continue
+		}
+		kept = append(kept, j)
+	}
+	s.order = kept
 }
 
 // run executes one job to a terminal state.
@@ -337,6 +385,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Sharded deployment: bounce the job toward the peer that owns its
+	// fingerprint (307 preserves method and body), unless that peer cannot
+	// admit work right now — then keep it here. One hop at most.
+	if dest, ok := s.routeFor(r, req, pts); ok {
+		http.Redirect(w, r, dest, http.StatusTemporaryRedirect)
+		return
+	}
+
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -388,7 +444,8 @@ func (s *Server) find(w http.ResponseWriter, r *http.Request) *job {
 	s.mu.Unlock()
 	if j == nil {
 		writeError(w, http.StatusNotFound,
-			&apiv1.Error{Type: apiv1.ErrNotFound, Message: "no such job: " + id})
+			&apiv1.Error{Type: apiv1.ErrNotFound,
+				Message: "no such job: " + id + " (unknown id, or evicted by the done-job retention bound)"})
 	}
 	return j
 }
@@ -426,7 +483,11 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	// terminal state already decided so it cannot re-label the abort.
 	j.setState(apiv1.StateCancelled, nil)
 	j.cancel()
-	writeJSON(w, http.StatusOK, j.status())
+	st := j.status()
+	s.mu.Lock()
+	s.evictDoneLocked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
 }
 
 // handleEvents streams the job's event log as chunked JSON lines: full
@@ -579,8 +640,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			SimTimeNS:      st.SimTime.Nanoseconds(),
 			WorstRunNS:     st.WorstRun.Nanoseconds(),
 			WorstKey:       st.WorstKey,
+			LedgerHits:     st.LedgerHits,
+			Steals:         st.Steals,
 			CacheEntries:   s.engine.CacheLen(),
 			CacheEvicted:   st.Evicted,
+			CacheShards:    s.engine.CacheShards(),
+			ShardEntries:   s.engine.ShardLens(),
 			ArenaReuses:    st.ArenaReuses,
 			FreshBuilds:    st.FreshBuilds,
 			ReuseRate:      st.ReuseRate(),
@@ -589,6 +654,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Jobs:          counts,
 		QueueCap:      s.cfg.MaxQueue,
 		MaxConcurrent: s.cfg.MaxConcurrent,
+		Peers:         len(s.cfg.Peers),
+		PeerIndex:     s.cfg.PeerIndex,
 	})
 }
 

@@ -121,6 +121,14 @@ type ServeFlags struct {
 	// CacheEntries bounds the engine's memo cache (entries; 0 = unbounded),
 	// with deterministic oldest-first eviction.
 	CacheEntries int
+	// MaxDoneJobs bounds retained terminal job records (0 = unlimited),
+	// oldest evicted first.
+	MaxDoneJobs int
+	// Peers is the comma-separated base-URL list of a fingerprint-sharded
+	// deployment (including this process); PeerIndex is this process's
+	// position in it. Empty disables peer routing.
+	Peers     string
+	PeerIndex int
 }
 
 // RegisterServe registers the campaign-service flags.
@@ -130,6 +138,29 @@ func (f *ServeFlags) RegisterServe(fs *flag.FlagSet) {
 	fs.IntVar(&f.MaxJobs, "max-jobs", 2, "jobs simulating concurrently (each fans out over -parallel workers)")
 	fs.IntVar(&f.MaxPoints, "max-points", 0, "per-job run budget in engine submissions (0 = unlimited)")
 	fs.IntVar(&f.CacheEntries, "cache-entries", 0, "memo-cache bound in entries, oldest evicted first (0 = unbounded)")
+	fs.IntVar(&f.MaxDoneJobs, "max-done-jobs", 0, "finished job records retained before oldest are evicted (0 = unlimited)")
+	fs.StringVar(&f.Peers, "peers", "", "comma-separated peer base URLs for a fingerprint-sharded deployment (includes this process; empty = no routing)")
+	fs.IntVar(&f.PeerIndex, "peer-index", 0, "this process's index in -peers")
+}
+
+// PeerList resolves the -peers flag into its URL list (nil when unset).
+func (f *ServeFlags) PeerList() ([]string, error) {
+	if strings.TrimSpace(f.Peers) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(f.Peers, ",")
+	peers := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("-peers has an empty entry")
+		}
+		peers = append(peers, p)
+	}
+	if f.PeerIndex < 0 || f.PeerIndex >= len(peers) {
+		return nil, fmt.Errorf("-peer-index %d out of range for %d peers", f.PeerIndex, len(peers))
+	}
+	return peers, nil
 }
 
 // RegisterParallel registers the worker-count flag, defaulting to all

@@ -9,9 +9,12 @@ import (
 // resetArenaPool empties the process pool so tests that pin exact
 // fresh/reuse counts are insulated from arenas parked by earlier tests.
 func resetArenaPool() {
-	arenaPool.mu.Lock()
-	arenaPool.free = nil
-	arenaPool.mu.Unlock()
+	for i := range arenaPool.stripes {
+		s := &arenaPool.stripes[i]
+		s.mu.Lock()
+		s.free = nil
+		s.mu.Unlock()
+	}
 }
 
 // seedPoints returns n distinct points (same benchmark/config shape,

@@ -1,0 +1,267 @@
+package sweep
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/campaign/apiv1"
+	"repro/internal/sim"
+)
+
+func ledgerPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "ledger.jsonl")
+}
+
+// TestLedgerRoundTrip pins the basic protocol: a completion written by one
+// ledger handle is visible to a fresh handle on the same file, and a
+// completed point is never claimable.
+func TestLedgerRoundTrip(t *testing.T) {
+	path := ledgerPath(t)
+	a, err := OpenLedger(path, LedgerWorker("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPoints()[0]
+	fp, err := p.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(Workers(1)).Run(context.Background(), []Point{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Complete(fp, p.Key, res[0]); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+
+	b, err := OpenLedger(path, LedgerWorker("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	got, ok := b.Lookup(fp)
+	if !ok {
+		t.Fatal("completion not visible to a fresh ledger handle")
+	}
+	if !reflect.DeepEqual(got, res[0]) {
+		t.Error("results changed across the ledger round trip")
+	}
+	if won, _, err := b.TryClaim(fp, p.Key); err != nil || won {
+		t.Errorf("TryClaim on a completed point: won=%v err=%v, want false/nil", won, err)
+	}
+}
+
+// TestLedgerClaimLifecycle pins the claim state machine: an unclaimed
+// point is claimable; a live foreign claim is not; an expired foreign
+// claim is stolen; a completion ends the cycle.
+func TestLedgerClaimLifecycle(t *testing.T) {
+	path := ledgerPath(t)
+	a, err := OpenLedger(path, LedgerWorker("a"), LedgerClaimTTL(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := OpenLedger(path, LedgerWorker("b"), LedgerClaimTTL(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if won, stole, err := a.TryClaim("fp1", "k"); err != nil || !won || stole {
+		t.Fatalf("first claim: won=%v stole=%v err=%v, want true/false/nil", won, stole, err)
+	}
+	if won, _, err := b.TryClaim("fp1", "k"); err != nil || won {
+		t.Fatalf("claim against a live foreign claim: won=%v err=%v, want false/nil", won, err)
+	}
+	time.Sleep(80 * time.Millisecond)
+	if won, stole, err := b.TryClaim("fp1", "k"); err != nil || !won || !stole {
+		t.Fatalf("claim against an expired foreign claim: won=%v stole=%v err=%v, want true/true/nil", won, stole, err)
+	}
+	// A re-claim by the current owner refreshes its own deadline, no steal.
+	if won, stole, err := b.TryClaim("fp1", "k"); err != nil || !won || stole {
+		t.Fatalf("re-claim by owner: won=%v stole=%v err=%v, want true/false/nil", won, stole, err)
+	}
+}
+
+// TestLedgerSkipsCorruptLines pins multi-writer tolerance: a ledger with
+// an undecodable complete line (and a torn unterminated tail) still serves
+// every valid record — skipping, never truncating, because another
+// process may own valid bytes after the bad line.
+func TestLedgerSkipsCorruptLines(t *testing.T) {
+	path := ledgerPath(t)
+	a, err := OpenLedger(path, LedgerWorker("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPoints()[0]
+	fp, _ := p.Fingerprint()
+	res, err := New(Workers(1)).Run(context.Background(), []Point{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Complete(fp, p.Key, res[0]); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A complete-but-corrupt line, then a valid claim, then a torn tail.
+	if _, err := f.WriteString("{broken json\n"); err != nil {
+		t.Fatal(err)
+	}
+	line, err := apiv1.EncodeClaimRecord("fp2", "k", "ghost", time.Now().Add(time.Hour).UnixMilli())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"v":1,"fp":"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	b, err := OpenLedger(path, LedgerWorker("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, ok := b.Lookup(fp); !ok {
+		t.Error("valid completion lost after corrupt line")
+	}
+	if got := b.Skipped(); got != 1 {
+		t.Errorf("Skipped=%d, want 1", got)
+	}
+	if won, _, err := b.TryClaim("fp2", "k"); err != nil || won {
+		t.Errorf("claim behind the corrupt line not honoured: won=%v err=%v", won, err)
+	}
+}
+
+// TestLedgerCrashRecovery is the crash-recovery satellite at the library
+// level: a worker claims points and dies without completing them (its
+// handle abandoned, claims dangling — exactly the state a killed process
+// leaves). A second worker with a short claim TTL must reap the stale
+// claims, re-steal the points, and produce results identical to a
+// ledger-free run.
+func TestLedgerCrashRecovery(t *testing.T) {
+	path := ledgerPath(t)
+	pts := testPoints()
+
+	// Reference: the same campaign with no ledger at all.
+	want, err := New(Workers(2)).Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The doomed worker: completes the first point, claims the next two,
+	// then "dies" — no completions, no close of its claims.
+	doomed, err := OpenLedger(path, LedgerWorker("doomed"), LedgerClaimTTL(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp0, _ := pts[0].Fingerprint()
+	if err := doomed.Complete(fp0, pts[0].Key, want[0]); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts[1:3] {
+		fp, _ := p.Fingerprint()
+		if won, _, err := doomed.TryClaim(fp, p.Key); err != nil || !won {
+			t.Fatalf("doomed worker could not claim %s: won=%v err=%v", p.Key, won, err)
+		}
+	}
+	doomed.Close() // the file handle dies; the dangling claims stay on disk
+
+	// The survivor: must hit the completed point, wait out and steal the
+	// dangling claims, and run everything else.
+	led, err := OpenLedger(path,
+		LedgerWorker("survivor"),
+		LedgerClaimTTL(100*time.Millisecond),
+		LedgerPoll(10*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer led.Close()
+	e := New(Workers(2), WithLedger(led))
+	got, err := e.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("post-crash results differ from the uninterrupted run")
+	}
+	st := e.Stats()
+	if st.LedgerHits != 1 {
+		t.Errorf("LedgerHits=%d, want 1 (the point the doomed worker completed)", st.LedgerHits)
+	}
+	if st.Steals != 2 {
+		t.Errorf("Steals=%d, want 2 (the doomed worker's dangling claims)", st.Steals)
+	}
+	if st.Ran != len(pts)-1 {
+		t.Errorf("Ran=%d, want %d", st.Ran, len(pts)-1)
+	}
+}
+
+// TestLedgerTwoEnginesShareWork runs the same campaign concurrently on two
+// engines sharing one ledger (two in-process stand-ins for two worker
+// processes): both must return the full, identical result set while each
+// point executes roughly once — the work-stealing split.
+func TestLedgerTwoEnginesShareWork(t *testing.T) {
+	path := ledgerPath(t)
+	pts := append(testPoints(), seedPoints(4, 11)...)
+	want, err := New(Workers(2)).Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mk := func(name string) (*Ledger, *Engine) {
+		led, err := OpenLedger(path, LedgerWorker(name), LedgerPoll(5*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return led, New(Workers(2), WithLedger(led))
+	}
+	ledA, ea := mk("a")
+	defer ledA.Close()
+	ledB, eb := mk("b")
+	defer ledB.Close()
+
+	var wg sync.WaitGroup
+	results := make([][]sim.Results, 2)
+	errs := make([]error, 2)
+	for i, e := range []*Engine{ea, eb} {
+		wg.Add(1)
+		go func(i int, e *Engine) {
+			defer wg.Done()
+			results[i], errs[i] = e.Run(context.Background(), pts)
+		}(i, e)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("engine %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(results[i], want) {
+			t.Errorf("engine %d results differ from the solo run", i)
+		}
+	}
+	ran := ea.Stats().Ran + eb.Stats().Ran
+	if ran < len(pts) {
+		t.Errorf("total Ran=%d < %d points", ran, len(pts))
+	}
+	// The advisory-claim race allows the odd duplicate, but the protocol
+	// must not degenerate into everyone running everything.
+	if ran > len(pts)+2 {
+		t.Errorf("total Ran=%d, want close to %d (work not shared)", ran, len(pts))
+	}
+}

@@ -8,15 +8,26 @@
 //
 // Work is scoped in two layers. The Engine owns the shared, contended
 // resources — the worker pool, its reusable machine arenas, the
-// fingerprint-keyed memo cache and the optional checkpoint — and survives
-// across campaigns. Each worker holds a persistent machine slot, so
-// consecutive memo-missed runs recycle one arena in place (Machine.Reset)
-// instead of reallocating tens of megabytes of simulator state per point. A Job (NewJob) is
-// one campaign's view of the engine: it carries its own progress callback
-// and its own Stats, so two jobs running concurrently on one engine share
-// the cache without interleaving each other's counters. RunAll is the
-// primitive (every point's individual outcome, in submission order); Run
-// and RunMap are thin wrappers over it.
+// fingerprint-keyed memo cache and the optional checkpoint or ledger — and
+// survives across campaigns. Each worker holds a persistent machine slot,
+// so consecutive memo-missed runs recycle one arena in place
+// (Machine.Reset) instead of reallocating tens of megabytes of simulator
+// state per point. A Job (NewJob) is one campaign's view of the engine: it
+// carries its own progress callback and its own Stats, so two jobs running
+// concurrently on one engine share the cache without interleaving each
+// other's counters. RunAll is the primitive (every point's individual
+// outcome, in submission order); Run and RunMap are thin wrappers over it.
+//
+// The shared state is engineered to scale with worker count. The memo
+// cache is lock-striped into power-of-two shards keyed by the run
+// fingerprint, so concurrent campaigns contend per shard, not on one
+// global mutex; eviction under CacheBound stays deterministic FIFO within
+// each shard. The per-run hot counters (runs, simulation time, arena
+// reuse) live in padded per-worker slots that are only summed when Stats
+// is called, so workers never bounce a shared cache line, and run items
+// are claimed from an atomic cursor instead of a channel, so one worker
+// can burn through a contiguous span of points with its arena hot in
+// cache.
 package sweep
 
 import (
@@ -26,6 +37,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sim"
@@ -52,11 +64,15 @@ type Stats struct {
 	// Points counts every submitted point; Ran counts the simulations that
 	// actually executed; CacheHits counts points satisfied by a memoized
 	// (or in-flight duplicate) run. For all-success campaigns,
-	// Points == Ran + CacheHits + CheckpointHits.
+	// Points == Ran + CacheHits + CheckpointHits + LedgerHits.
 	Points, Ran, CacheHits int
 	// CheckpointHits counts points satisfied from the attached checkpoint
 	// file (completed in an earlier process lifetime).
 	CheckpointHits int
+	// LedgerHits counts points satisfied from the attached work-stealing
+	// ledger (completed by another worker process); Steals counts expired
+	// foreign claims this engine took over.
+	LedgerHits, Steals int
 	// Failed counts points that genuinely failed (cancellations are not
 	// failures); Retried counts extra attempts spent on transient failures.
 	Failed, Retried int
@@ -65,7 +81,8 @@ type Stats struct {
 	// ones that had to construct a machine. ArenaReuses + FreshBuilds is the
 	// number of run attempts (Ran plus retries).
 	ArenaReuses, FreshBuilds int
-	// Evicted counts memo-cache entries dropped by the CacheBound policy.
+	// Evicted counts memo-cache entries dropped by the CacheBound policy
+	// (summed across shards).
 	Evicted int
 	// SimTime is the summed wall time of executed simulations; WorstRun is
 	// the longest single simulation and WorstKey its point key.
@@ -170,13 +187,25 @@ func WithCheckpoint(cp *Checkpoint) Option {
 	return func(e *Engine) { e.cp = cp }
 }
 
+// WithLedger attaches a multi-writer work-stealing ledger: completed
+// points are served from it, unclaimed points are claimed before they run
+// (and completed into it afterwards), and points claimed by another live
+// worker process are waited for — or stolen once the claim's deadline
+// expires. The caller owns the ledger's lifetime. See Ledger.
+func WithLedger(l *Ledger) Option {
+	return func(e *Engine) { e.led = l }
+}
+
 // CacheBound bounds the memo cache to at most n entries. When an insertion
-// would exceed the bound, the oldest-inserted completed entries are evicted
-// first — deterministic FIFO, so a campaign replayed against a bounded
-// engine hits and misses identically every time. In-flight entries are
-// never evicted (waiters hold their done channels), so the cache may
-// transiently exceed n while more than n runs are in flight. Zero or
-// negative n (the default) leaves the cache unbounded.
+// would exceed a shard's share of the bound, that shard's oldest-inserted
+// completed entries are evicted first — deterministic FIFO per shard, so a
+// campaign replayed against a bounded engine hits and misses identically
+// every time. In-flight entries are never evicted (waiters hold their done
+// channels), so the cache may transiently exceed n while more than n runs
+// are in flight. Zero or negative n (the default) leaves the cache
+// unbounded. Small bounds use a single shard, so the historical global
+// FIFO order is preserved exactly; sharding begins once every shard can
+// hold at least a few entries.
 func CacheBound(n int) Option {
 	if n < 0 {
 		n = 0
@@ -211,6 +240,164 @@ type cacheRecord struct {
 	en *entry
 }
 
+// maxCacheShards bounds the lock striping of the memo cache. Shard count
+// is always a power of two so the fingerprint maps to a shard with a mask.
+const maxCacheShards = 16
+
+// cacheShard is one lock stripe of the memo cache: its own map, its own
+// FIFO insertion order and its own slice of the engine's CacheBound.
+// Everything under sh.mu.
+type cacheShard struct {
+	mu      sync.Mutex
+	cache   map[string]*entry
+	order   []cacheRecord // insertion order, for bound eviction
+	bound   int           // this shard's share of the engine bound (0 = unbounded)
+	evicted int
+	// pad keeps neighbouring shards off one cache line so shard locks do
+	// not false-share.
+	_ [64]byte
+}
+
+// addLocked inserts an entry under the shard's bound policy. Caller holds
+// sh.mu.
+func (sh *cacheShard) addLocked(fp string, en *entry) {
+	sh.cache[fp] = en
+	if sh.bound > 0 {
+		sh.order = append(sh.order, cacheRecord{fp: fp, en: en})
+		sh.evictLocked()
+	}
+}
+
+// evictLocked enforces the shard's bound: while the shard is over it, the
+// oldest-inserted resolved entries are dropped, skipping (and preserving
+// the relative order of) in-flight ones. Stale records — fingerprints
+// already uncached by a failure, or re-inserted under a newer entry — are
+// compacted away as they are encountered. Caller holds sh.mu.
+func (sh *cacheShard) evictLocked() {
+	if sh.bound <= 0 || len(sh.cache) <= sh.bound {
+		return
+	}
+	kept := sh.order[:0]
+	for i, rec := range sh.order {
+		if len(sh.cache) <= sh.bound {
+			kept = append(kept, sh.order[i:]...)
+			break
+		}
+		if cur, ok := sh.cache[rec.fp]; !ok || cur != rec.en {
+			continue // stale record; nothing to evict
+		}
+		if !rec.en.resolved() {
+			kept = append(kept, rec) // never evict an in-flight run
+			continue
+		}
+		delete(sh.cache, rec.fp)
+		sh.evicted++
+	}
+	sh.order = kept
+}
+
+// shardCount picks the cache's stripe width. Unbounded caches stripe to
+// the maximum. Bounded caches stripe only as far as keeps at least four
+// entries per shard — and a small bound therefore collapses to one shard,
+// preserving the exact historical global-FIFO eviction order that the
+// bound semantics were specified (and tested) under.
+func shardCount(bound int) int {
+	if bound <= 0 {
+		return maxCacheShards
+	}
+	n := 1
+	for n*2 <= bound/4 && n*2 <= maxCacheShards {
+		n *= 2
+	}
+	return n
+}
+
+// shardIndex maps a fingerprint (lowercase hex, as produced by
+// Point.Fingerprint) to its shard: the first fingerprint byte masked by
+// the power-of-two shard count. SHA-256 output is uniform, so shards load
+// evenly; the mapping is pure, so every process sharding the same
+// fingerprint space agrees on shard ownership.
+func shardIndex(fp string, n int) int {
+	if n <= 1 || len(fp) < 2 {
+		return 0
+	}
+	return int(hexVal(fp[0])<<4|hexVal(fp[1])) & (n - 1)
+}
+
+// ShardOwner partitions the fingerprint space across n cooperating
+// processes (not necessarily a power of two): the peer index that owns the
+// fingerprint. Every process given the same n computes the same owner, so
+// a sharded deployment routes a point to one home deterministically. The
+// cache's internal shardIndex and ShardOwner both key off the fingerprint's
+// leading byte, so a peer's local cache shards stay evenly loaded under
+// peer-sliced traffic.
+func ShardOwner(fp string, n int) int {
+	if n <= 1 || len(fp) < 2 {
+		return 0
+	}
+	return int(hexVal(fp[0])<<4|hexVal(fp[1])) % n
+}
+
+func hexVal(c byte) uint {
+	switch {
+	case c >= '0' && c <= '9':
+		return uint(c - '0')
+	case c >= 'a' && c <= 'f':
+		return uint(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return uint(c-'A') + 10
+	}
+	return 0
+}
+
+// hotSlot is one worker's private share of the engine's hot counters,
+// padded so neighbouring workers' slots never share a cache line. Workers
+// add to their own slot with uncontended atomics; Stats sums the slots.
+// Two campaigns running concurrently on one job may share a slot index,
+// so the adds stay atomic rather than plain stores.
+type hotSlot struct {
+	ran         atomic.Int64
+	simTimeNS   atomic.Int64
+	arenaReuses atomic.Int64
+	freshBuilds atomic.Int64
+	_           [96]byte
+}
+
+// addInto folds the slot into a Stats aggregate.
+func (h *hotSlot) addInto(s *Stats) {
+	s.Ran += int(h.ran.Load())
+	s.SimTime += time.Duration(h.simTimeNS.Load())
+	s.ArenaReuses += int(h.arenaReuses.Load())
+	s.FreshBuilds += int(h.freshBuilds.Load())
+}
+
+// worstTracker tracks the slowest run and its key. The fast path is one
+// atomic load (almost always "not a new worst"); the mutex is taken only
+// to install a new maximum.
+type worstTracker struct {
+	ns  atomic.Int64
+	mu  sync.Mutex
+	key string
+}
+
+func (w *worstTracker) note(d time.Duration, key string) {
+	if d.Nanoseconds() <= w.ns.Load() {
+		return
+	}
+	w.mu.Lock()
+	if d.Nanoseconds() > w.ns.Load() {
+		w.ns.Store(d.Nanoseconds())
+		w.key = key
+	}
+	w.mu.Unlock()
+}
+
+func (w *worstTracker) get() (time.Duration, string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return time.Duration(w.ns.Load()), w.key
+}
+
 // arena is a worker's persistent machine slot: one reusable simulation
 // arena (caches, MSHRs, pipeline, recorder buffers, pooled transactions)
 // that consecutive memo-missed runs reset in place instead of
@@ -227,13 +414,25 @@ type arena struct {
 // machines a previous engine built. A plain bounded free list rather than
 // sync.Pool: pooled machines must survive GC cycles (a cleared pool would
 // silently reintroduce full construction cost mid-campaign), and the cap
-// bounds pinned simulation memory to one arena per plausible worker.
+// bounds pinned simulation memory to one arena per plausible worker. The
+// list is striped by worker index so concurrent campaign starts and ends
+// do not serialize on one mutex; a worker prefers its own stripe (the
+// arena it parked last time, still warm) and steals from neighbours only
+// when its stripe is empty.
 var arenaPool = newArenaFreeList()
 
-type arenaFreeList struct {
+// arenaStripes is the free list's stripe count (power of two).
+const arenaStripes = 8
+
+type arenaStripe struct {
 	mu   sync.Mutex
 	free []*arena
-	cap  int
+	_    [64]byte
+}
+
+type arenaFreeList struct {
+	stripes [arenaStripes]arenaStripe
+	perCap  int // bound per stripe, so total pinned memory stays bounded
 }
 
 func newArenaFreeList() *arenaFreeList {
@@ -243,27 +442,39 @@ func newArenaFreeList() *arenaFreeList {
 	if c < 16 {
 		c = 16
 	}
-	return &arenaFreeList{cap: c}
+	return &arenaFreeList{perCap: (c + arenaStripes - 1) / arenaStripes}
 }
 
-func (p *arenaFreeList) get() *arena {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if n := len(p.free); n > 0 {
-		a := p.free[n-1]
-		p.free[n-1] = nil
-		p.free = p.free[:n-1]
-		return a
+func (p *arenaFreeList) get(w int) *arena {
+	idx := w & (arenaStripes - 1)
+	for i := 0; i < arenaStripes; i++ {
+		s := &p.stripes[(idx+i)&(arenaStripes-1)]
+		s.mu.Lock()
+		if n := len(s.free); n > 0 {
+			a := s.free[n-1]
+			s.free[n-1] = nil
+			s.free = s.free[:n-1]
+			s.mu.Unlock()
+			return a
+		}
+		s.mu.Unlock()
 	}
 	return &arena{}
 }
 
-func (p *arenaFreeList) put(a *arena) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if len(p.free) < p.cap {
-		p.free = append(p.free, a)
+func (p *arenaFreeList) put(w int, a *arena) {
+	idx := w & (arenaStripes - 1)
+	for i := 0; i < arenaStripes; i++ {
+		s := &p.stripes[(idx+i)&(arenaStripes-1)]
+		s.mu.Lock()
+		if len(s.free) < p.perCap {
+			s.free = append(s.free, a)
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
 	}
+	// Every stripe is at capacity: drop the arena; the GC reclaims it.
 }
 
 // Engine executes sweep points with bounded parallelism and a memoization
@@ -280,10 +491,18 @@ type Engine struct {
 	backoff    time.Duration
 	keepGoing  bool
 	cp         *Checkpoint
+	led        *Ledger
 
+	// shards is the lock-striped memo cache (power-of-two length).
+	shards []cacheShard
+	// hot is the per-worker counter block; worker w owns hot[w].
+	hot   []hotSlot
+	worst worstTracker
+
+	// mu guards the cold counters in stats (planning-path hits, failures,
+	// retries) and every job's cold counters; the hot per-run counters
+	// live in the padded slots above.
 	mu    sync.Mutex
-	cache map[string]*entry
-	order []cacheRecord // insertion order, for CacheBound eviction
 	stats Stats
 }
 
@@ -292,84 +511,96 @@ func New(opts ...Option) *Engine {
 	e := &Engine{
 		workers: runtime.GOMAXPROCS(0),
 		backoff: 50 * time.Millisecond,
-		cache:   make(map[string]*entry),
 	}
 	for _, o := range opts {
 		o(e)
 	}
+	n := shardCount(e.cacheBound)
+	e.shards = make([]cacheShard, n)
+	for i := range e.shards {
+		e.shards[i].cache = make(map[string]*entry)
+		if e.cacheBound > 0 {
+			// Split the bound evenly; the first bound%n shards absorb the
+			// remainder so the shard bounds sum exactly to the engine bound.
+			e.shards[i].bound = e.cacheBound / n
+			if i < e.cacheBound%n {
+				e.shards[i].bound++
+			}
+		}
+	}
+	e.hot = make([]hotSlot, e.workers)
 	return e
+}
+
+// shard returns the cache shard owning the fingerprint.
+func (e *Engine) shard(fp string) *cacheShard {
+	return &e.shards[shardIndex(fp, len(e.shards))]
 }
 
 // Stats returns a snapshot of the engine's lifetime counters (every job's
 // counters summed).
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	s := e.stats
+	e.mu.Unlock()
+	for i := range e.hot {
+		e.hot[i].addInto(&s)
+	}
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		s.Evicted += sh.evicted
+		sh.mu.Unlock()
+	}
+	s.WorstRun, s.WorstKey = e.worst.get()
+	return s
 }
 
 // CacheLen returns how many fingerprints the memo cache currently holds
-// (completed or in flight).
+// (completed or in flight), summed across shards.
 func (e *Engine) CacheLen() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.cache)
+	n := 0
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		n += len(sh.cache)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
-// cacheAdd inserts an entry under the bound policy. Caller holds e.mu.
-func (e *Engine) cacheAdd(fp string, en *entry) {
-	e.cache[fp] = en
-	if e.cacheBound > 0 {
-		e.order = append(e.order, cacheRecord{fp: fp, en: en})
-		e.evictLocked()
-	}
-}
+// CacheShards returns the memo cache's shard count.
+func (e *Engine) CacheShards() int { return len(e.shards) }
 
-// evictLocked enforces the CacheBound: while the cache is over its bound it
-// drops the oldest-inserted resolved entries, skipping (and preserving the
-// relative order of) in-flight ones. Stale records — fingerprints already
-// uncached by a failure, or re-inserted under a newer entry — are compacted
-// away as they are encountered. Caller holds e.mu.
-func (e *Engine) evictLocked() {
-	if e.cacheBound <= 0 || len(e.cache) <= e.cacheBound {
-		return
+// ShardLens returns each shard's current entry count, in shard order.
+func (e *Engine) ShardLens() []int {
+	out := make([]int, len(e.shards))
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		out[i] = len(sh.cache)
+		sh.mu.Unlock()
 	}
-	kept := e.order[:0]
-	for i, rec := range e.order {
-		if len(e.cache) <= e.cacheBound {
-			kept = append(kept, e.order[i:]...)
-			break
-		}
-		if cur, ok := e.cache[rec.fp]; !ok || cur != rec.en {
-			continue // stale record; nothing to evict
-		}
-		if !rec.en.resolved() {
-			kept = append(kept, rec) // never evict an in-flight run
-			continue
-		}
-		delete(e.cache, rec.fp)
-		e.stats.Evicted++
-	}
-	e.order = kept
+	return out
 }
 
 // acquireArena hands a worker its machine slot, recycling a parked arena
 // when one is available. Each worker holds exactly one arena for the span
 // of a campaign, so an engine never pins more than one arena's simulation
 // memory per configured worker.
-func (e *Engine) acquireArena() *arena {
-	return arenaPool.get()
+func (e *Engine) acquireArena(w int) *arena {
+	return arenaPool.get(w)
 }
 
 // releaseArena parks a worker's arena in the process-wide pool for the
 // next campaign — on this engine or any other. Arenas whose machine was
 // dropped (unstructured panic, failed reset) are not parked; the next
 // acquirer builds fresh.
-func (e *Engine) releaseArena(a *arena) {
+func (e *Engine) releaseArena(w int, a *arena) {
 	if a.m == nil {
 		return
 	}
-	arenaPool.put(a)
+	arenaPool.put(w, a)
 }
 
 // Job is one campaign's scoped view of an engine: it shares the engine's
@@ -383,9 +614,12 @@ type Job struct {
 	progress  func(Progress)
 	maxPoints int
 
-	// stats is guarded by e.mu (job counters are updated on the same
-	// paths, under the same critical sections, as the engine's).
+	// stats holds the job's cold counters, guarded by e.mu (updated on the
+	// same paths, under the same critical sections, as the engine's); the
+	// hot per-run counters live in the job's own per-worker slots.
 	stats Stats
+	hot   []hotSlot
+	worst worstTracker
 }
 
 // JobOption configures a Job.
@@ -411,7 +645,7 @@ func MaxPoints(n int) JobOption {
 // NewJob returns a job-scoped handle on the engine. Jobs inherit the
 // engine's default progress callback unless JobProgress overrides it.
 func (e *Engine) NewJob(opts ...JobOption) *Job {
-	j := &Job{e: e, progress: e.progress}
+	j := &Job{e: e, progress: e.progress, hot: make([]hotSlot, e.workers)}
 	for _, o := range opts {
 		o(j)
 	}
@@ -421,8 +655,13 @@ func (e *Engine) NewJob(opts ...JobOption) *Job {
 // Stats returns a snapshot of the job's counters.
 func (j *Job) Stats() Stats {
 	j.e.mu.Lock()
-	defer j.e.mu.Unlock()
-	return j.stats
+	s := j.stats
+	j.e.mu.Unlock()
+	for i := range j.hot {
+		j.hot[i].addInto(&s)
+	}
+	s.WorstRun, s.WorstKey = j.worst.get()
+	return s
 }
 
 // runItem is one simulation scheduled by a RunAll call.
@@ -522,16 +761,103 @@ func (e *Engine) RunMap(ctx context.Context, points []Point) (map[string]sim.Res
 	return e.NewJob().RunMap(ctx, points)
 }
 
+// plan maps each point to its cache entry, creating entries for the runs
+// this call owns. It walks the points in submission order, so hit
+// accounting and per-shard insertion order are deterministic for any
+// worker count (concurrent planners walking the same point sequence
+// insert each fingerprint exactly once, in sequence position order).
+func (j *Job) plan(points []Point, waiters []*entry) (toRun []runItem, hits int, err error) {
+	e := j.e
+	// The fingerprint is only needed when something is keyed by it; a
+	// memoization-disabled engine with no checkpoint and no ledger skips
+	// the hash entirely (it is pure per-point overhead there).
+	needFP := !e.noCache || e.cp != nil || e.led != nil
+	var cacheHits, cpHits, ledHits int
+	defer func() {
+		if cacheHits == 0 && cpHits == 0 && ledHits == 0 {
+			return
+		}
+		e.mu.Lock()
+		e.stats.CacheHits += cacheHits
+		j.stats.CacheHits += cacheHits
+		e.stats.CheckpointHits += cpHits
+		j.stats.CheckpointHits += cpHits
+		e.stats.LedgerHits += ledHits
+		j.stats.LedgerHits += ledHits
+		e.mu.Unlock()
+	}()
+	for i, p := range points {
+		var fp string
+		if needFP {
+			if fp, err = p.Fingerprint(); err != nil {
+				return nil, hits, fmt.Errorf("sweep: point %q: %w", p.Key, err)
+			}
+		}
+		// warm resolves a point that something fingerprint-keyed already
+		// completed (checkpoint file or ledger).
+		warm := func() (*entry, bool) {
+			if e.cp != nil {
+				if res, ok := e.cp.Lookup(fp); ok {
+					cpHits++
+					return resolvedEntry(res), true
+				}
+			}
+			if e.led != nil {
+				if res, ok := e.led.Lookup(fp); ok {
+					ledHits++
+					return resolvedEntry(res), true
+				}
+			}
+			return nil, false
+		}
+		if e.noCache {
+			if needFP {
+				if en, ok := warm(); ok {
+					hits++
+					waiters[i] = en
+					continue
+				}
+			}
+			en := &entry{done: make(chan struct{})}
+			waiters[i] = en
+			toRun = append(toRun, runItem{fp: fp, p: p, en: en})
+			continue
+		}
+		sh := e.shard(fp)
+		sh.mu.Lock()
+		if en, ok := sh.cache[fp]; ok {
+			sh.mu.Unlock()
+			cacheHits++
+			hits++
+			waiters[i] = en
+			continue
+		}
+		if en, ok := warm(); ok {
+			sh.addLocked(fp, en)
+			sh.mu.Unlock()
+			hits++
+			waiters[i] = en
+			continue
+		}
+		en := &entry{done: make(chan struct{})}
+		sh.addLocked(fp, en)
+		sh.mu.Unlock()
+		waiters[i] = en
+		toRun = append(toRun, runItem{fp: fp, p: p, en: en})
+	}
+	return toRun, hits, nil
+}
+
+func resolvedEntry(res sim.Results) *entry {
+	en := &entry{res: res, done: make(chan struct{})}
+	close(en.done)
+	return en
+}
+
 // execute plans the campaign and fans it out over the worker pool,
 // returning each point's entry (resolved or in flight).
 func (j *Job) execute(ctx context.Context, points []Point) ([]*entry, error) {
 	e := j.e
-	// Plan sequentially: map each point to its cache entry, creating
-	// entries for the runs this call owns. Hit accounting happens here, in
-	// submission order, so it is deterministic for any worker count.
-	waiters := make([]*entry, len(points))
-	var toRun []runItem
-	hits := 0
 	e.mu.Lock()
 	if j.maxPoints > 0 && j.stats.Points+len(points) > j.maxPoints {
 		submitted := j.stats.Points
@@ -540,43 +866,25 @@ func (j *Job) execute(ctx context.Context, points []Point) ([]*entry, error) {
 	}
 	e.stats.Points += len(points)
 	j.stats.Points += len(points)
-	for i, p := range points {
-		fp, err := p.Fingerprint()
-		if err != nil {
-			e.mu.Unlock()
-			return nil, fmt.Errorf("sweep: point %q: %w", p.Key, err)
-		}
-		if !e.noCache {
-			if en, ok := e.cache[fp]; ok {
-				e.stats.CacheHits++
-				j.stats.CacheHits++
-				hits++
-				waiters[i] = en
-				continue
-			}
-		}
-		if e.cp != nil {
-			if res, ok := e.cp.Lookup(fp); ok {
-				en := &entry{res: res, done: make(chan struct{})}
-				close(en.done)
-				if !e.noCache {
-					e.cacheAdd(fp, en)
-				}
-				e.stats.CheckpointHits++
-				j.stats.CheckpointHits++
-				hits++
-				waiters[i] = en
-				continue
-			}
-		}
-		en := &entry{done: make(chan struct{})}
-		if !e.noCache {
-			e.cacheAdd(fp, en)
-		}
-		waiters[i] = en
-		toRun = append(toRun, runItem{fp: fp, p: p, en: en})
-	}
 	e.mu.Unlock()
+
+	if e.led != nil {
+		// One refresh per campaign absorbs everything other worker
+		// processes have completed so far; the run loop refreshes again as
+		// it claims and waits.
+		if err := e.led.Refresh(); err != nil {
+			return nil, fmt.Errorf("sweep: ledger refresh: %w", err)
+		}
+	}
+
+	waiters := make([]*entry, len(points))
+	toRun, hits, err := j.plan(points, waiters)
+	if err != nil {
+		return nil, err
+	}
+	if len(toRun) == 0 {
+		return waiters, nil
+	}
 
 	// runCtx is the campaign's cancellation scope: it follows the caller's
 	// context and, under fail-fast, is cancelled on the first genuine point
@@ -585,36 +893,30 @@ func (j *Job) execute(ctx context.Context, points []Point) ([]*entry, error) {
 	runCtx, cancelRun := context.WithCancel(ctx)
 	defer cancelRun()
 
-	// Fan the owned runs out over the worker pool. Workers drain the whole
-	// channel even after cancellation, failing (and uncaching) the items
-	// they skip, so every entry's done channel is guaranteed to close.
 	start := time.Now()
-	jobs := make(chan runItem)
-	var wg sync.WaitGroup
 	done := 0
 	var progMu sync.Mutex
-	note := func(it runItem, dur time.Duration) {
-		e.mu.Lock()
-		// The entry just resolved; entries inserted in-flight become
-		// evictable only now, so re-enforce the cache bound here.
-		e.evictLocked()
-		e.stats.Ran++
-		e.stats.SimTime += dur
-		if dur > e.stats.WorstRun {
-			e.stats.WorstRun = dur
-			e.stats.WorstKey = it.p.Key
+	note := func(it runItem, dur time.Duration, executed bool, ehs, jhs *hotSlot) {
+		if executed {
+			if e.cacheBound > 0 && !e.noCache {
+				// The entry just resolved; entries inserted in-flight become
+				// evictable only now, so re-enforce the owning shard's bound.
+				sh := e.shard(it.fp)
+				sh.mu.Lock()
+				sh.evictLocked()
+				sh.mu.Unlock()
+			}
+			ehs.ran.Add(1)
+			ehs.simTimeNS.Add(dur.Nanoseconds())
+			jhs.ran.Add(1)
+			jhs.simTimeNS.Add(dur.Nanoseconds())
+			e.worst.note(dur, it.p.Key)
+			j.worst.note(dur, it.p.Key)
 		}
-		j.stats.Ran++
-		j.stats.SimTime += dur
-		if dur > j.stats.WorstRun {
-			j.stats.WorstRun = dur
-			j.stats.WorstKey = it.p.Key
-		}
-		worst, worstKey := j.stats.WorstRun, j.stats.WorstKey
-		e.mu.Unlock()
 		if j.progress == nil {
 			return
 		}
+		worst, worstKey := j.worst.get()
 		progMu.Lock()
 		done++
 		p := Progress{
@@ -628,36 +930,80 @@ func (j *Job) execute(ctx context.Context, points []Point) ([]*entry, error) {
 		j.progress(p)
 		progMu.Unlock()
 	}
+
+	// Fan the owned runs out over the worker pool. Items are claimed from
+	// an atomic cursor rather than a channel: a worker that keeps getting
+	// scheduled burns through a contiguous span of points with its arena
+	// hot in cache, and nothing blocks on a rendezvous. Workers drain the
+	// whole range even after cancellation, failing (and uncaching) the
+	// items they skip, so every entry's done channel is guaranteed to
+	// close.
 	workers := e.workers
 	if workers > len(toRun) {
 		workers = len(toRun)
 	}
+	// deferred holds items another process's live ledger claim pushed past:
+	// a worker skips ahead to unclaimed work first and comes back to wait on
+	// (or steal) the stragglers only once the cursor is drained, so K
+	// processes stream through disjoint spans instead of convoying on each
+	// other's claims.
+	var defMu sync.Mutex
+	var deferred []runItem
+	var next atomic.Int64
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			ehs, jhs := &e.hot[w], &j.hot[w]
 			// Each worker holds one persistent machine slot for its
-			// lifetime: consecutive memo-missed runs reset the same arena
-			// in place. Between campaigns the arena parks in the engine
-			// pool, so reuse carries across RunAll calls too.
-			a := e.acquireArena()
-			defer e.releaseArena(a)
-			for it := range jobs {
+			// lifetime, acquired lazily on its first real run: consecutive
+			// memo-missed runs reset the same arena in place. Between
+			// campaigns the arena parks in the process pool, so reuse
+			// carries across RunAll calls too.
+			var a *arena
+			defer func() {
+				if a != nil {
+					e.releaseArena(w, a)
+				}
+			}()
+			// runItemFull resolves one item end to end. With block=false a
+			// live foreign ledger claim defers the item instead of waiting.
+			runItemFull := func(it runItem, block bool) {
 				if runCtx.Err() != nil {
 					j.fail(it, runCtx.Err(), false)
-					continue
+					return
 				}
-				t0 := time.Now()
-				res, err := j.runPoint(runCtx, it, a)
+				var res sim.Results
+				var dur time.Duration
+				var executed bool
+				var err error
+				if e.led != nil {
+					var wait bool
+					res, dur, executed, wait, err = j.runLedgerItem(runCtx, it, &a, w, ehs, jhs, block)
+					if wait {
+						defMu.Lock()
+						deferred = append(deferred, it)
+						defMu.Unlock()
+						return
+					}
+				} else {
+					if a == nil {
+						a = e.acquireArena(w)
+					}
+					t0 := time.Now()
+					res, err = j.runPoint(runCtx, it, a, ehs, jhs)
+					dur, executed = time.Since(t0), true
+				}
 				if err != nil {
 					genuine := !isCancel(err)
 					j.fail(it, err, genuine)
 					if genuine && !e.keepGoing {
 						cancelRun()
 					}
-					continue
+					return
 				}
-				if e.cp != nil {
+				if e.cp != nil && executed {
 					if cerr := e.cp.add(it.fp, it.p.Key, res); cerr != nil {
 						// A result that cannot be checkpointed breaks the
 						// resume guarantee; fail the point rather than
@@ -666,31 +1012,106 @@ func (j *Job) execute(ctx context.Context, points []Point) ([]*entry, error) {
 						if !e.keepGoing {
 							cancelRun()
 						}
-						continue
+						return
 					}
 				}
 				it.en.res = res
 				close(it.en.done)
-				note(it, time.Since(t0))
+				note(it, dur, executed, ehs, jhs)
 			}
-		}()
+			for {
+				n := next.Add(1) - 1
+				if n >= int64(len(toRun)) {
+					break
+				}
+				runItemFull(toRun[n], false)
+			}
+			// Cursor drained: pick up the items parked behind foreign
+			// claims, this time waiting them out (or stealing on expiry).
+			for {
+				defMu.Lock()
+				if len(deferred) == 0 {
+					defMu.Unlock()
+					return
+				}
+				it := deferred[len(deferred)-1]
+				deferred = deferred[:len(deferred)-1]
+				defMu.Unlock()
+				runItemFull(it, true)
+			}
+		}(w)
 	}
-	for _, it := range toRun {
-		jobs <- it
-	}
-	close(jobs)
 	wg.Wait()
 	return waiters, nil
 }
 
+// runLedgerItem resolves one item through the work-stealing ledger: a
+// point another process already completed is a ledger hit; an unclaimed
+// (or stale-claimed) point is claimed, executed locally and completed into
+// the ledger. A point under another live worker's claim is waited for —
+// polling until it completes or its claim expires and can be stolen — when
+// block is set; otherwise it is handed back (wait=true) so the caller can
+// defer it and move on to unclaimed work.
+func (j *Job) runLedgerItem(ctx context.Context, it runItem, ap **arena, w int, ehs, jhs *hotSlot, block bool) (res sim.Results, dur time.Duration, executed bool, wait bool, err error) {
+	e := j.e
+	led := e.led
+	for {
+		if r, ok := led.Lookup(it.fp); ok {
+			e.mu.Lock()
+			e.stats.LedgerHits++
+			j.stats.LedgerHits++
+			e.mu.Unlock()
+			return r, 0, false, false, nil
+		}
+		won, stole, cerr := led.TryClaim(it.fp, it.p.Key)
+		if cerr != nil {
+			return sim.Results{}, 0, false, false, fmt.Errorf("sweep: ledger claim: %w", cerr)
+		}
+		if won {
+			if stole {
+				e.mu.Lock()
+				e.stats.Steals++
+				j.stats.Steals++
+				e.mu.Unlock()
+			}
+			if *ap == nil {
+				*ap = e.acquireArena(w)
+			}
+			t0 := time.Now()
+			r, rerr := j.runPoint(ctx, it, *ap, ehs, jhs)
+			dur = time.Since(t0)
+			if rerr != nil {
+				// The claim is left to expire; another worker will steal
+				// and re-attempt the point (and, for deterministic
+				// failures, reach the same verdict independently).
+				return sim.Results{}, dur, true, false, rerr
+			}
+			if werr := led.Complete(it.fp, it.p.Key, r); werr != nil {
+				return sim.Results{}, dur, true, false, fmt.Errorf("sweep: ledger write: %w", werr)
+			}
+			return r, dur, true, false, nil
+		}
+		if !block {
+			return sim.Results{}, 0, false, true, nil
+		}
+		// Another live worker owns the claim: wait a poll interval, then
+		// re-check (TryClaim refreshes the ledger view each attempt).
+		select {
+		case <-ctx.Done():
+			return sim.Results{}, 0, false, false, ctx.Err()
+		case <-time.After(led.pollEvery()):
+		}
+	}
+}
+
 // runPoint executes one point with panic isolation, the per-run deadline,
 // and bounded retry of transient failures, on the worker's arena.
-func (j *Job) runPoint(ctx context.Context, it runItem, a *arena) (sim.Results, error) {
+func (j *Job) runPoint(ctx context.Context, it runItem, a *arena, ehs, jhs *hotSlot) (sim.Results, error) {
 	e := j.e
 	attempt := 0
 	for {
 		attempt++
-		res, err := j.runOnce(ctx, it.p, a)
+		res, err := j.runOnce(ctx, it.p, a, ehs, jhs)
 		if err == nil {
 			return res, nil
 		}
@@ -734,9 +1155,11 @@ func (j *Job) runPoint(ctx context.Context, it runItem, a *arena) (sim.Results, 
 // failure leaves the arena reusable — Machine.Reset restores a
 // bit-identical fresh machine from any mid-run state — but an unstructured
 // panic or a failed reset drops it, since its invariants are unknown.
+// The reuse accounting goes to this worker's padded counter slots, so the
+// hot path never takes the engine mutex.
 //
 //vsv:hotpath
-func (j *Job) runOnce(ctx context.Context, p Point, a *arena) (res sim.Results, err error) {
+func (j *Job) runOnce(ctx context.Context, p Point, a *arena, ehs, jhs *hotSlot) (res sim.Results, err error) {
 	e := j.e
 	//vsvlint:ignore hotpath the panic-recovery boundary must be a deferred function literal; one closure per attempt, amortized against the whole run
 	defer func() {
@@ -770,15 +1193,13 @@ func (j *Job) runOnce(ctx context.Context, p Point, a *arena) (res sim.Results, 
 		}
 		a.m = m
 	}
-	e.mu.Lock()
 	if reused {
-		e.stats.ArenaReuses++
-		j.stats.ArenaReuses++
+		ehs.arenaReuses.Add(1)
+		jhs.arenaReuses.Add(1)
 	} else {
-		e.stats.FreshBuilds++
-		j.stats.FreshBuilds++
+		ehs.freshBuilds.Add(1)
+		jhs.freshBuilds.Add(1)
 	}
-	e.mu.Unlock()
 	return a.m.Run(p.Benchmark), nil
 }
 
@@ -787,13 +1208,20 @@ func (j *Job) runOnce(ctx context.Context, p Point, a *arena) (res sim.Results, 
 // counted.
 func (j *Job) fail(it runItem, err error, genuine bool) {
 	e := j.e
-	e.mu.Lock()
-	delete(e.cache, it.fp)
+	if !e.noCache && it.fp != "" {
+		sh := e.shard(it.fp)
+		sh.mu.Lock()
+		if cur, ok := sh.cache[it.fp]; ok && cur == it.en {
+			delete(sh.cache, it.fp)
+		}
+		sh.mu.Unlock()
+	}
 	if genuine {
+		e.mu.Lock()
 		e.stats.Failed++
 		j.stats.Failed++
+		e.mu.Unlock()
 	}
-	e.mu.Unlock()
 	it.en.err = err
 	close(it.en.done)
 }

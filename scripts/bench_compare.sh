@@ -2,7 +2,7 @@
 # bench_compare.sh — cross-PR benchmark regression gate.
 #
 # Diffs two committed benchmark documents (default: the previous PR's
-# BENCH_3.json against this PR's BENCH_4.json) on ns/op (lower is better)
+# BENCH_4.json against this PR's BENCH_5.json) on ns/op (lower is better)
 # and runs/sec (higher is better) and fails on any regression beyond the
 # threshold. Benchmarks new in the later document (no baseline) or retired
 # from it are reported but never fatal, and benchmarks under the benchjson
@@ -14,8 +14,8 @@ set -eu
 cd "$(dirname "$0")/.."
 
 GO=${GO:-go}
-OLD=${1:-BENCH_3.json}
-NEW=${2:-BENCH_4.json}
+OLD=${1:-BENCH_4.json}
+NEW=${2:-BENCH_5.json}
 PCT=${3:-10}
 
 exec $GO run ./cmd/benchjson -compare -max-regress-pct "$PCT" "$OLD" "$NEW"

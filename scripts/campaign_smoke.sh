@@ -1,0 +1,66 @@
+#!/bin/sh
+# campaign_smoke.sh — end-to-end smoke of the multi-process campaign driver
+# (cmd/vsvcampaign).
+#
+# Runs the same small campaign twice: once sequentially through
+# cmd/experiments, once through cmd/vsvcampaign forked across 4 worker
+# processes sharing a work-stealing ledger. The two stdout streams must be
+# byte-identical: process count is an execution detail, never a different
+# computation. A second pass kills one worker mid-campaign (the chaos
+# drill) and demands the same bytes again — a crashed worker's claimed
+# points must be re-stolen, not lost.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+PROCS=${PROCS:-4}
+WARMUP=8000
+INSTRUCTIONS=40000
+EXP=table2
+
+workdir=$(mktemp -d)
+cleanup() {
+	rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "campaign-smoke: building vsvcampaign and experiments"
+$GO build -o "$workdir/vsvcampaign" ./cmd/vsvcampaign
+$GO build -o "$workdir/experiments" ./cmd/experiments
+
+echo "campaign-smoke: sequential reference ($EXP)"
+"$workdir/experiments" -exp "$EXP" -warmup "$WARMUP" -instructions "$INSTRUCTIONS" \
+	>"$workdir/seq.txt" 2>/dev/null
+
+echo "campaign-smoke: $PROCS-process campaign"
+"$workdir/vsvcampaign" -exp "$EXP" -procs "$PROCS" \
+	-warmup "$WARMUP" -instructions "$INSTRUCTIONS" \
+	-ledger "$workdir/ledger.jsonl" \
+	>"$workdir/multi.txt" 2>"$workdir/multi.log"
+
+if ! cmp -s "$workdir/seq.txt" "$workdir/multi.txt"; then
+	echo "FAIL: $PROCS-process output differs from the sequential run" >&2
+	diff "$workdir/seq.txt" "$workdir/multi.txt" >&2 || true
+	exit 1
+fi
+
+echo "campaign-smoke: chaos drill (kill worker 1 mid-campaign)"
+"$workdir/vsvcampaign" -exp "$EXP" -procs "$PROCS" \
+	-warmup "$WARMUP" -instructions "$INSTRUCTIONS" \
+	-ledger "$workdir/chaos-ledger.jsonl" \
+	-chaos-kill-worker 1 -chaos-kill-after 3 -claim-ttl 2s \
+	>"$workdir/chaos.txt" 2>"$workdir/chaos.log"
+
+grep -q "chaos kill" "$workdir/chaos.log" || {
+	echo "FAIL: chaos worker never reported its kill" >&2
+	cat "$workdir/chaos.log" >&2
+	exit 1
+}
+if ! cmp -s "$workdir/seq.txt" "$workdir/chaos.txt"; then
+	echo "FAIL: post-crash output differs from the sequential run" >&2
+	diff "$workdir/seq.txt" "$workdir/chaos.txt" >&2 || true
+	exit 1
+fi
+
+echo "campaign-smoke: OK ($(wc -c <"$workdir/seq.txt") bytes byte-identical sequential, $PROCS-process, and post-crash)"
