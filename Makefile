@@ -57,6 +57,7 @@ stress:
 fuzz:
 	$(GO) test ./internal/sim/ -run FuzzConfigValidate -fuzz FuzzConfigValidate -fuzztime 30s
 	$(GO) test ./internal/tracefile/ -run FuzzReader -fuzz FuzzReader -fuzztime 30s
+	$(GO) test ./internal/campaign/apiv1/ -run FuzzDecodeLedgerRecord -fuzz FuzzDecodeLedgerRecord -fuzztime 30s
 
 # One testing.B per paper artefact + ablations, run $(BENCH_COUNT) times
 # each; benchjson folds the repeats to each benchmark's fastest run (noise

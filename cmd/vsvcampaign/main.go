@@ -57,6 +57,10 @@ type flags struct {
 	chaosWorker int
 	chaosAfter  int
 
+	restartBudget  int
+	restartBackoff time.Duration
+	poisonAfter    int
+
 	sim cliconfig.SimFlags
 }
 
@@ -74,8 +78,11 @@ func parseFlags() *flags {
 	flag.BoolVar(&f.keepLedger, "keep-ledger", false, "keep the ledger file after the campaign")
 	flag.DurationVar(&f.claimTTL, "claim-ttl", 10*time.Second, "how long a worker's claim shields a point before it may be stolen")
 	flag.DurationVar(&f.poll, "poll", 25*time.Millisecond, "how often a worker re-reads the ledger while waiting on a foreign claim")
-	flag.IntVar(&f.chaosWorker, "chaos-kill-worker", -1, "worker index that self-kills mid-campaign (crash-recovery drills; -1 disables)")
+	flag.IntVar(&f.chaosWorker, "chaos-kill-worker", -1, "worker index that self-kills mid-campaign (crash-recovery drills; -1 disables; fires only at generation 0, so supervision restarts past it)")
 	flag.IntVar(&f.chaosAfter, "chaos-kill-after", 3, "completed points after which the chaos worker self-kills")
+	flag.IntVar(&f.restartBudget, "restart-budget", 3, "crashes per worker slot before the supervisor abandons it")
+	flag.DurationVar(&f.restartBackoff, "restart-backoff", 250*time.Millisecond, "delay before the first restart of a crashed worker (doubles per consecutive crash, capped at 5s)")
+	flag.IntVar(&f.poisonAfter, "poison-after", 2, "worker crashes implicating the same claimed point before it is quarantined")
 	f.sim.RegisterWindows(flag.CommandLine)
 	flag.Parse()
 	return f
@@ -145,7 +152,11 @@ func runWorker(f *flags, wid int) int {
 		fmt.Fprintf(os.Stderr, "worker %d: no ledger path in environment\n", wid)
 		return 1
 	}
-	led := openLedger(f, path, fmt.Sprintf("w%d", wid))
+	// The generation is folded into the ledger identity so a restarted
+	// worker never inherits its dead predecessor's claims — the supervisor
+	// attributes those to the crash instead.
+	gen := multiproc.WorkerGen()
+	led := openLedger(f, path, multiproc.WorkerName(wid, gen))
 	defer led.Close()
 
 	engineOpts := []sweep.Option{
@@ -155,9 +166,11 @@ func runWorker(f *flags, wid int) int {
 		// rest of its share; the parent's render pass surfaces failures.
 		sweep.ContinueOnError(),
 	}
-	if f.chaosWorker == wid && f.chaosAfter > 0 {
+	if f.chaosWorker == wid && gen == 0 && f.chaosAfter > 0 {
 		// Crash-recovery drill: die abruptly (no ledger close, claims left
 		// dangling) after a few completed points, like a kill -9 mid-run.
+		// Generation 0 only: the supervised restart must run clean, proving
+		// recovery rather than re-crashing forever.
 		var runs atomic.Int64
 		limit := int64(f.chaosAfter)
 		engineOpts = append(engineOpts, sweep.OnProgress(func(sweep.Progress) {
@@ -203,21 +216,45 @@ func runParent(f *flags) int {
 		fh.Close()
 	}
 
+	// The parent's ledger handle doubles as the supervisor's evidence
+	// locker: when a worker dies, the claims it held name the suspect
+	// points, and a repeat offender is quarantined so the restarted fleet
+	// cannot crash-loop on it.
+	led := openLedger(f, path, "parent")
+	defer led.Close()
+
 	ctx := context.Background()
-	group, err := multiproc.ForkSelf(ctx, f.procs, path, os.Stderr)
+	sup, err := multiproc.Supervise(ctx, multiproc.SupervisorConfig{
+		Procs:  f.procs,
+		Ledger: path,
+		Stderr: os.Stderr,
+		Policy: multiproc.RestartPolicy{
+			MaxRestarts: f.restartBudget,
+			Backoff:     f.restartBackoff,
+			PoisonAfter: f.poisonAfter,
+		},
+		Suspects: func(worker string) []multiproc.Suspect {
+			if err := led.Refresh(); err != nil {
+				fmt.Fprintf(os.Stderr, "vsvcampaign: refreshing ledger after worker death: %v\n", err)
+				return nil
+			}
+			var ss []multiproc.Suspect
+			for _, c := range led.ClaimsBy(worker) {
+				ss = append(ss, multiproc.Suspect{FP: c.FP, Key: c.Key})
+			}
+			return ss
+		},
+		Poison: func(s multiproc.Suspect, reason string) error {
+			return led.Poison(s.FP, s.Key, reason)
+		},
+	})
 	if err != nil {
 		fail(err)
 	}
-	for _, werr := range group.Wait() {
-		if werr != nil {
-			// A dead worker is survivable: its claims expire and its points
-			// are re-stolen (by a sibling or by the render pass below).
-			fmt.Fprintf(os.Stderr, "vsvcampaign: %v (campaign continues; claimed points will be re-stolen)\n", werr)
-		}
+	if sup.Restarts > 0 || len(sup.Exhausted) > 0 {
+		fmt.Fprintf(os.Stderr, "vsvcampaign: supervisor: %d restarts, %d slots abandoned, %d points quarantined (campaign continues; surviving claims are re-stolen)\n",
+			sup.Restarts, len(sup.Exhausted), len(sup.Poisoned))
 	}
-
-	led := openLedger(f, path, "parent")
-	defer led.Close()
 	engineOpts := []sweep.Option{sweep.Workers(f.parallel), sweep.WithLedger(led)}
 	if f.progress {
 		engineOpts = append(engineOpts, sweep.OnProgress(func(p sweep.Progress) {

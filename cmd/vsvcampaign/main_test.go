@@ -83,8 +83,9 @@ func TestMultiProcessByteIdentity(t *testing.T) {
 
 // TestChaosKillByteIdentity is the crash-recovery half of the invariant: a
 // worker killed mid-campaign (claims left dangling) must not change a
-// single output byte — the survivors reap its expired claims and re-run
-// its points.
+// single output byte. Under supervision the killed slot is restarted under
+// a fresh generation (the chaos trigger fires only at generation 0), so
+// the fleet recovers its own capacity instead of limping on n-1 workers.
 func TestChaosKillByteIdentity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and forks real binaries")
@@ -95,15 +96,53 @@ func TestChaosKillByteIdentity(t *testing.T) {
 	got, stderr := runBin(t, campaignBin, append([]string{
 		"-procs", "3",
 		"-chaos-kill-worker", "1", "-chaos-kill-after", "3",
-		"-claim-ttl", "2s",
+		"-claim-ttl", "2s", "-restart-backoff", "100ms",
 	}, tinyArgs...)...)
 	if !strings.Contains(stderr, "chaos kill") {
 		t.Fatalf("chaos worker did not report its kill:\n%s", stderr)
 	}
 	if !strings.Contains(stderr, "exit status 7") {
-		t.Errorf("parent did not report the dead worker:\n%s", stderr)
+		t.Errorf("supervisor did not report the dead worker:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "restarting in") {
+		t.Errorf("supervisor did not restart the dead worker:\n%s", stderr)
 	}
 	if got != want {
 		t.Errorf("post-crash output differs from sequential (got %d bytes, want %d)", len(got), len(want))
+	}
+}
+
+// TestPoisonQuarantineDrill pins the crash-attribution rule end to end: a
+// failpoint (armed via the environment, inherited by every worker) crashes
+// any worker that claims the point base/mcf. After the point is implicated
+// in -poison-after crashes the supervisor quarantines it in the ledger;
+// the restarted fleet refuses it instead of crash-looping, and the
+// parent's render pass surfaces the typed quarantine failure.
+func TestPoisonQuarantineDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and forks real binaries")
+	}
+	campaignBin, _ := binaries(t)
+
+	args := append([]string{
+		"-procs", "2",
+		"-claim-ttl", "1s", "-restart-backoff", "100ms", "-poison-after", "2",
+		"-benchmarks", "mcf,eon",
+	}, tinyArgs...)
+	var out, errb bytes.Buffer
+	cmd := exec.Command(campaignBin, args...)
+	cmd.Env = append(os.Environ(), "VSV_FAILPOINTS=ledger.claimed=crash:key=base/mcf")
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	stderr := errb.String()
+	if err == nil {
+		t.Fatalf("campaign with a quarantined point succeeded; want typed failure\nstderr:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "quarantined point base/mcf") {
+		t.Errorf("supervisor did not announce the quarantine:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "is quarantined") {
+		t.Errorf("parent render did not surface the typed poison failure:\n%s", stderr)
 	}
 }

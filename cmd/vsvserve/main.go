@@ -10,6 +10,7 @@
 //	vsvserve -addr :8080
 //	vsvserve -addr 127.0.0.1:0 -parallel 8 -max-jobs 2 -max-points 5000
 //	vsvserve -checkpoint results.jsonl        # warm-start across restarts
+//	vsvserve -journal jobs.jsonl              # accepted jobs survive crashes: replayed and re-dispatched on boot
 //
 //	curl -s localhost:8080/v1/healthz
 //	curl -s -X POST localhost:8080/v1/jobs -d '{"v":1,"artefacts":["fig4"]}'
@@ -81,6 +82,24 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	var journal *campaign.Journal
+	if serveFlags.Journal != "" {
+		journal, err = campaign.OpenJournal(serveFlags.Journal)
+		if err != nil {
+			fail(err)
+		}
+		defer journal.Close()
+		if recs := journal.Recovered(); len(recs) > 0 {
+			resumed := 0
+			for _, rec := range recs {
+				if !rec.State.Terminal() {
+					resumed++
+				}
+			}
+			fmt.Fprintf(os.Stderr, "vsvserve: journal replay: %d jobs recovered from %s (%d re-dispatched)\n",
+				len(recs), serveFlags.Journal, resumed)
+		}
+	}
 	svc := campaign.New(campaign.Config{
 		Engine: sweep.New(engineOpts...),
 		Options: experiments.Options{
@@ -94,7 +113,10 @@ func main() {
 		MaxDoneJobs:     serveFlags.MaxDoneJobs,
 		Peers:           peers,
 		PeerIndex:       serveFlags.PeerIndex,
+		Journal:         journal,
 	})
+	// Close order matters: the server interrupts in-flight jobs and flushes
+	// their journal records, then the deferred journal Close fsyncs.
 	defer svc.Close()
 	if len(peers) > 1 {
 		fmt.Fprintf(os.Stderr, "vsvserve: peer %d of %d in a fingerprint-sharded deployment\n",

@@ -16,7 +16,7 @@ import (
 
 // run executes one small genuine simulation, so round-trip tests exercise
 // real float64 values rather than hand-picked ones.
-func run(t *testing.T) sim.Results {
+func run(t testing.TB) sim.Results {
 	t.Helper()
 	cfg := sim.BenchConfig()
 	cfg.WarmupInstructions = 2_000

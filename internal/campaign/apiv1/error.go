@@ -31,6 +31,15 @@ const (
 	// ErrQueueFull is an admission-control rejection: the server's bounded
 	// job queue is full; retry later.
 	ErrQueueFull = "queue_full"
+	// ErrInterrupted marks work cut short by a server stop (crash or
+	// graceful shutdown). Resumable: a journal-replaying restart
+	// re-dispatches interrupted jobs automatically.
+	ErrInterrupted = "interrupted"
+	// ErrPoisoned is a quarantined campaign point: the same fingerprint
+	// crashed enough workers that the supervisor wrote a poison record to
+	// the ledger, and workers now fail it typed instead of running it.
+	// Key and Fingerprint identify the point; Message carries the reason.
+	ErrPoisoned = "poisoned"
 	// ErrInternal is any other failure, described only by Message.
 	ErrInternal = "internal"
 )

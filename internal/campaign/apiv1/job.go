@@ -16,9 +16,15 @@ const (
 	StateFailed JobState = "failed"
 	// StateCancelled: cooperatively cancelled (DELETE, or server shutdown).
 	StateCancelled JobState = "cancelled"
+	// StateInterrupted: the serving process stopped (crash or graceful
+	// shutdown) while the job was queued or running. Not terminal: a
+	// restarted server replaying its journal re-dispatches interrupted
+	// jobs, and the deterministic engine makes the rerun byte-identical.
+	StateInterrupted JobState = "interrupted"
 )
 
-// Terminal reports whether the state is final.
+// Terminal reports whether the state is final. Interrupted is explicitly
+// not terminal — it is the resumable middle of a crash-recovery story.
 func (s JobState) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
@@ -108,6 +114,11 @@ type JobStatus struct {
 	// Error is set when State is failed (and sometimes cancelled, to say
 	// why).
 	Error *Error `json:"error,omitempty"`
+	// Recovered marks a job re-materialized from the server's journal
+	// after a restart. Terminal recovered jobs keep their state and error
+	// but not their rendered outputs (resubmit to regenerate); interrupted
+	// recovered jobs are re-dispatched automatically.
+	Recovered bool `json:"recovered,omitempty"`
 	// Points carries per-point outcomes for raw-point jobs once the job is
 	// done (results elided from status; fetch them from /artefacts).
 	Points []PointStatus `json:"points,omitempty"`
@@ -144,7 +155,8 @@ type Event struct {
 	V   int `json:"v"`
 	Seq int `json:"seq"`
 	// Type is "state" (lifecycle edge; State set), "progress" (Progress
-	// set) or "error" (Error set, terminal).
+	// set), "error" (Error set, terminal) or "resumed" (State set: a
+	// journal replay re-dispatched this job after a restart).
 	Type     string       `json:"type"`
 	State    JobState     `json:"state,omitempty"`
 	Progress *JobProgress `json:"progress,omitempty"`

@@ -19,6 +19,13 @@ const (
 	LedgerKindComplete = "complete"
 	// LedgerKindClaim marks an advisory work claim.
 	LedgerKindClaim = "claim"
+	// LedgerKindPoison marks a quarantined fingerprint: the supervisor
+	// observed the same point crash enough workers in a row that running
+	// it again would only crash-loop. Workers that see a poison record
+	// fail the point with a typed error instead of executing it. A later
+	// completion record for the same fingerprint supersedes the poison
+	// (someone proved the point runs after all).
+	LedgerKindPoison = "poison"
 )
 
 // ClaimRecord is one advisory work claim in a ledger file: worker Worker
@@ -50,13 +57,40 @@ func EncodeClaimRecord(fp, key, worker string, deadlineUnixMS int64) ([]byte, er
 	})
 }
 
-// LedgerRecord is one decoded ledger line: either a claim (Claim true,
-// Worker/Deadline valid) or a completion (Claim false, Res valid).
+// PoisonRecord is one quarantine line in a ledger file: the point with
+// fingerprint FP crashed enough workers that Worker (the supervisor)
+// withdrew it from circulation. Reason carries the human-readable
+// evidence (crash count, exit status).
+type PoisonRecord struct {
+	V    int    `json:"v"`
+	Kind string `json:"kind"`
+	FP   string `json:"fp"`
+	// Key is the poisoned campaign point's label (diagnostic only).
+	Key string `json:"key,omitempty"`
+	// Worker identifies the process that declared the quarantine.
+	Worker string `json:"worker"`
+	// Reason is the one-line evidence for the quarantine.
+	Reason string `json:"reason"`
+}
+
+// EncodePoisonRecord renders one v1 poison line (no trailing newline).
+func EncodePoisonRecord(fp, key, worker, reason string) ([]byte, error) {
+	return json.Marshal(PoisonRecord{
+		V: Version, Kind: LedgerKindPoison, FP: fp, Key: key,
+		Worker: worker, Reason: reason,
+	})
+}
+
+// LedgerRecord is one decoded ledger line: a claim (Claim true,
+// Worker/Deadline valid), a poison quarantine (Poison true, Reason
+// valid), or a completion (neither flag, Res valid).
 type LedgerRecord struct {
 	Claim    bool
+	Poison   bool
 	FP, Key  string
 	Worker   string
 	Deadline int64 // milliseconds since the Unix epoch; claims only
+	Reason   string
 	Res      sim.Results
 }
 
@@ -86,6 +120,18 @@ func DecodeLedgerRecord(line []byte) (LedgerRecord, error) {
 			return LedgerRecord{}, fmt.Errorf("apiv1: claim record missing fp or worker")
 		}
 		return LedgerRecord{Claim: true, FP: c.FP, Key: c.Key, Worker: c.Worker, Deadline: c.Deadline}, nil
+	case LedgerKindPoison:
+		if probe.V != Version {
+			return LedgerRecord{}, fmt.Errorf("apiv1: poison record version %d != %d", probe.V, Version)
+		}
+		var p PoisonRecord
+		if err := json.Unmarshal(line, &p); err != nil {
+			return LedgerRecord{}, err
+		}
+		if p.FP == "" {
+			return LedgerRecord{}, fmt.Errorf("apiv1: poison record missing fp")
+		}
+		return LedgerRecord{Poison: true, FP: p.FP, Key: p.Key, Worker: p.Worker, Reason: p.Reason}, nil
 	case "", LedgerKindComplete:
 		fp, key, res, err := DecodeCheckpointRecord(line)
 		if err != nil {

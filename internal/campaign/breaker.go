@@ -1,0 +1,151 @@
+package campaign
+
+import (
+	"sync"
+	"time"
+)
+
+// Peer circuit breaker: routeFor used to probe the owner's /v1/stats on
+// every foreign-owned submission, so a dead peer cost every such request a
+// full probe timeout and a flapping peer was hammered exactly when it was
+// least able to answer. The breaker caches the probe verdict per peer and
+// backs off a failing peer exponentially:
+//
+//   - closed: the last probe answered. Its verdict (admitting or
+//     saturated) is served from cache for breakerVerdictTTL, then the next
+//     caller re-probes.
+//   - open: the last probe failed (down, slow, unparsable). Callers are
+//     answered "not accepting" without any network traffic until the
+//     cool-down expires; consecutive failures double the cool-down up to
+//     breakerBackoffMax.
+//   - half-open: the cool-down expired. Exactly one caller carries the
+//     trial probe; everyone else keeps shedding until it reports back.
+//     Success closes the breaker and resets the backoff, failure reopens
+//     it with the next-longer cool-down.
+//
+// The clock and the probe are injected so tests drive both.
+
+const (
+	// breakerVerdictTTL bounds how stale a cached healthy-peer verdict may
+	// be. Short: admission queues drain in seconds, and a wrong "saturated"
+	// verdict only costs locality, never correctness.
+	breakerVerdictTTL = 2 * time.Second
+	// breakerBackoffBase is the first cool-down after a probe failure;
+	// consecutive failures double it up to breakerBackoffMax.
+	breakerBackoffBase = 1 * time.Second
+	breakerBackoffMax  = 30 * time.Second
+)
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// probeFunc asks a peer whether it can admit work right now. ok reports
+// whether the probe itself succeeded: ok=false is a breaker failure (peer
+// down, slow, unparsable); ok=true with accepting=false is a healthy peer
+// that is merely saturated — cached, but never tripping the breaker.
+type probeFunc func(base string) (accepting, ok bool)
+
+type breakerEntry struct {
+	state   breakerState
+	verdict bool // last successful probe's answer (closed state)
+	// expires is the verdict's cache deadline (closed) or the cool-down
+	// deadline (open).
+	expires  time.Time
+	failures int  // consecutive probe failures, drives the backoff
+	probing  bool // a trial probe is in flight; others shed meanwhile
+}
+
+// peerBreaker is the per-peer circuit breaker map. One instance per
+// Server; entries are keyed by peer base URL.
+type peerBreaker struct {
+	now   func() time.Time
+	probe probeFunc
+
+	ttl         time.Duration
+	backoffBase time.Duration
+	backoffMax  time.Duration
+
+	mu    sync.Mutex
+	peers map[string]*breakerEntry
+}
+
+func newPeerBreaker(probe probeFunc) *peerBreaker {
+	return &peerBreaker{
+		now:         time.Now,
+		probe:       probe,
+		ttl:         breakerVerdictTTL,
+		backoffBase: breakerBackoffBase,
+		backoffMax:  breakerBackoffMax,
+		peers:       make(map[string]*breakerEntry),
+	}
+}
+
+// accepting reports whether the peer at base can plausibly admit a job,
+// answering from cache whenever the breaker's state allows and probing at
+// most once per expiry across all callers.
+func (b *peerBreaker) accepting(base string) bool {
+	b.mu.Lock()
+	e := b.peers[base]
+	if e == nil {
+		e = &breakerEntry{}
+		b.peers[base] = e
+	}
+	now := b.now()
+	switch e.state {
+	case breakerClosed:
+		if now.Before(e.expires) {
+			v := e.verdict
+			b.mu.Unlock()
+			return v
+		}
+	case breakerOpen:
+		if now.Before(e.expires) {
+			b.mu.Unlock()
+			return false // cooling down: no traffic at the failing peer
+		}
+		e.state = breakerHalfOpen
+	}
+	// Stale verdict or half-open trial: this caller probes — unless one
+	// already is, in which case shed rather than stack probes.
+	if e.probing {
+		b.mu.Unlock()
+		return false
+	}
+	e.probing = true
+	b.mu.Unlock()
+
+	acc, ok := b.probe(base)
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e.probing = false
+	if !ok {
+		e.failures++
+		e.state = breakerOpen
+		e.expires = b.now().Add(b.cooldown(e.failures))
+		return false
+	}
+	e.failures = 0
+	e.state = breakerClosed
+	e.verdict = acc
+	e.expires = b.now().Add(b.ttl)
+	return acc
+}
+
+// cooldown is the open-state deadline after the n-th consecutive failure:
+// base doubled per failure, capped.
+func (b *peerBreaker) cooldown(failures int) time.Duration {
+	d := b.backoffBase
+	for i := 1; i < failures && d < b.backoffMax; i++ {
+		d *= 2
+	}
+	if d > b.backoffMax {
+		d = b.backoffMax
+	}
+	return d
+}

@@ -1,0 +1,197 @@
+package campaign
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeProbe is a scriptable probeFunc that counts invocations.
+type fakeProbe struct {
+	mu    sync.Mutex
+	calls int
+	acc   bool
+	ok    bool
+}
+
+func (p *fakeProbe) probe(string) (bool, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calls++
+	return p.acc, p.ok
+}
+
+func (p *fakeProbe) count() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.calls
+}
+
+func (p *fakeProbe) set(acc, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.acc, p.ok = acc, ok
+}
+
+// fakeClock is a settable time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testBreaker(p probeFunc) (*peerBreaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newPeerBreaker(p)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerCachesVerdict(t *testing.T) {
+	p := &fakeProbe{acc: true, ok: true}
+	b, clk := testBreaker(p.probe)
+
+	for i := 0; i < 5; i++ {
+		if !b.accepting("http://peer") {
+			t.Fatal("healthy peer reported not accepting")
+		}
+	}
+	if p.count() != 1 {
+		t.Fatalf("%d probes within the TTL, want 1", p.count())
+	}
+	clk.advance(b.ttl + time.Millisecond)
+	if !b.accepting("http://peer") {
+		t.Fatal("healthy peer reported not accepting after re-probe")
+	}
+	if p.count() != 2 {
+		t.Fatalf("%d probes after TTL expiry, want 2", p.count())
+	}
+}
+
+func TestBreakerCachesSaturatedWithoutTripping(t *testing.T) {
+	p := &fakeProbe{acc: false, ok: true} // healthy but queue-full
+	b, clk := testBreaker(p.probe)
+
+	for i := 0; i < 3; i++ {
+		if b.accepting("http://peer") {
+			t.Fatal("saturated peer reported accepting")
+		}
+	}
+	if p.count() != 1 {
+		t.Fatalf("%d probes within the TTL, want 1", p.count())
+	}
+	// Saturation is not failure: the peer drains, the next probe (one TTL
+	// later, not one backoff later) sees it healthy.
+	p.set(true, true)
+	clk.advance(b.ttl + time.Millisecond)
+	if !b.accepting("http://peer") {
+		t.Fatal("drained peer still reported not accepting")
+	}
+	if e := b.peers["http://peer"]; e.failures != 0 {
+		t.Fatalf("saturation counted as %d failures, want 0", e.failures)
+	}
+}
+
+func TestBreakerOpensAndBacksOff(t *testing.T) {
+	p := &fakeProbe{} // ok=false: probe failure
+	b, clk := testBreaker(p.probe)
+
+	if b.accepting("http://peer") {
+		t.Fatal("dead peer reported accepting")
+	}
+	// Open: shedding without traffic until the cool-down expires.
+	for i := 0; i < 5; i++ {
+		if b.accepting("http://peer") {
+			t.Fatal("open breaker reported accepting")
+		}
+	}
+	if p.count() != 1 {
+		t.Fatalf("%d probes while open, want 1", p.count())
+	}
+
+	// Half-open trial fails: the cool-down doubles.
+	clk.advance(b.backoffBase + time.Millisecond)
+	b.accepting("http://peer")
+	if p.count() != 2 {
+		t.Fatalf("%d probes after first cool-down, want 2", p.count())
+	}
+	clk.advance(b.backoffBase + time.Millisecond) // one base is no longer enough
+	b.accepting("http://peer")
+	if p.count() != 2 {
+		t.Fatalf("probe fired before the doubled cool-down elapsed")
+	}
+	clk.advance(b.backoffBase + time.Millisecond) // 2×base total since reopening
+	b.accepting("http://peer")
+	if p.count() != 3 {
+		t.Fatalf("%d probes after doubled cool-down, want 3", p.count())
+	}
+
+	// Recovery: a successful trial closes the breaker and resets backoff.
+	p.set(true, true)
+	clk.advance(4*b.backoffBase + time.Millisecond)
+	if !b.accepting("http://peer") {
+		t.Fatal("recovered peer reported not accepting")
+	}
+	e := b.peers["http://peer"]
+	if e.state != breakerClosed || e.failures != 0 {
+		t.Fatalf("after recovery: state=%d failures=%d, want closed/0", e.state, e.failures)
+	}
+}
+
+func TestBreakerCooldownCap(t *testing.T) {
+	b, _ := testBreaker(nil)
+	if d := b.cooldown(1); d != b.backoffBase {
+		t.Fatalf("cooldown(1) = %v, want %v", d, b.backoffBase)
+	}
+	if d := b.cooldown(3); d != 4*b.backoffBase {
+		t.Fatalf("cooldown(3) = %v, want %v", d, 4*b.backoffBase)
+	}
+	if d := b.cooldown(100); d != b.backoffMax {
+		t.Fatalf("cooldown(100) = %v, want cap %v", d, b.backoffMax)
+	}
+}
+
+func TestBreakerSingleProbeInFlight(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var calls int
+	var mu sync.Mutex
+	probe := func(string) (bool, bool) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		close(started)
+		<-gate
+		return true, true
+	}
+	b, _ := testBreaker(probe)
+
+	res := make(chan bool)
+	go func() { res <- b.accepting("http://peer") }()
+	<-started
+	// While the trial probe is blocked, other callers shed immediately
+	// instead of stacking probes behind it.
+	if b.accepting("http://peer") {
+		t.Fatal("caller behind an in-flight probe did not shed")
+	}
+	close(gate)
+	if !<-res {
+		t.Fatal("probing caller did not get the live verdict")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("%d concurrent probes, want 1", calls)
+	}
+}

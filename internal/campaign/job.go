@@ -39,6 +39,9 @@ type job struct {
 	started  time.Time
 	finished time.Time
 	err      *apiv1.Error
+	// recovered marks a job re-materialized from the journal after a
+	// restart (terminal history, or an interrupted job re-dispatched).
+	recovered bool
 	// sw is the job-scoped engine handle, set when the job starts running;
 	// its Stats are this job's progress, untouched by concurrent jobs.
 	sw *sweep.Job
@@ -68,6 +71,41 @@ func newJob(id string, req apiv1.JobRequest, base context.Context) *job {
 	return j
 }
 
+// newRecoveredJob materializes a journal-replayed job. A terminal state
+// comes back frozen as history (one event: the final state). An
+// interrupted job comes back resumable: its event log opens with the typed
+// interrupted→resumed history and the job re-enters the queue under its
+// original ID — the deterministic engine makes the rerun byte-identical to
+// what the dead process would have produced.
+func newRecoveredJob(id string, req apiv1.JobRequest, base context.Context, rec RecoveredJob) *job {
+	ctx, cancel := context.WithCancel(base)
+	j := &job{
+		id:        id,
+		req:       req,
+		ctx:       ctx,
+		cancel:    cancel,
+		created:   time.Now(), // original times did not survive the crash
+		recovered: true,
+		wake:      make(chan struct{}),
+	}
+	if rec.State.Terminal() {
+		j.state = rec.State
+		j.err = rec.Err
+		if rec.Err != nil {
+			j.appendLocked(apiv1.Event{Type: "error", State: rec.State, Error: rec.Err})
+		} else {
+			j.appendStateEventLocked()
+		}
+		return j
+	}
+	// Resumable: replay the interruption, then announce the re-dispatch.
+	j.state = apiv1.StateInterrupted
+	j.appendLocked(apiv1.Event{Type: "error", State: apiv1.StateInterrupted, Error: rec.Err})
+	j.state = apiv1.StateQueued
+	j.appendLocked(apiv1.Event{Type: "resumed", State: apiv1.StateQueued})
+	return j
+}
+
 // appendLocked appends ev (stamping V and Seq) and wakes subscribers.
 // Callers hold j.mu.
 func (j *job) appendLocked(ev apiv1.Event) {
@@ -93,12 +131,16 @@ func (j *job) appendStateEventLocked() {
 }
 
 // setState moves the job to a new lifecycle state and emits a state event
-// (plus an error event when the state carries one).
-func (j *job) setState(s apiv1.JobState, jerr *apiv1.Error) {
+// (plus an error event when the state carries one). It reports whether the
+// transition applied: terminal states are final, and interrupted freezes
+// the job too — once shutdown has marked a job resumable, the unwinding
+// run loop must not re-label it cancelled (the journal record is already
+// written, and replay trusts it).
+func (j *job) setState(s apiv1.JobState, jerr *apiv1.Error) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.state.Terminal() {
-		return // cancellation already won the race
+	if j.state.Terminal() || j.state == apiv1.StateInterrupted {
+		return false // cancellation or interruption already won the race
 	}
 	j.state = s
 	switch s {
@@ -110,9 +152,10 @@ func (j *job) setState(s apiv1.JobState, jerr *apiv1.Error) {
 	if jerr != nil {
 		j.err = jerr
 		j.appendLocked(apiv1.Event{Type: "error", State: s, Error: jerr})
-		return
+		return true
 	}
 	j.appendStateEventLocked()
+	return true
 }
 
 // noteProgress emits a progress event from the job-scoped engine counters.
@@ -167,6 +210,7 @@ func (j *job) status() apiv1.JobStatus {
 		CreatedAt: j.created,
 		Progress:  prog,
 		Error:     j.err,
+		Recovered: j.recovered,
 	}
 	for _, a := range j.arts {
 		st.Artefacts = append(st.Artefacts, a.Name)

@@ -1,0 +1,214 @@
+package campaign
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/campaign/apiv1"
+	"repro/internal/failpoint"
+)
+
+// Journal failpoint sites (no-ops unless armed; see internal/failpoint).
+const (
+	fpJournalAppend = "journal.append" // the single whole-line record write
+	fpJournalSync   = "journal.sync"   // the per-record fsync
+	fpJournalClose  = "journal.close"  // the final fsync at Close
+)
+
+// Journal is the campaign server's durable job log: a WAL-style JSONL file
+// (apiv1.JournalRecord lines) that makes accepted jobs survive the process.
+// A submit record is appended — and fsynced — before the server
+// acknowledges a job, and a state record at every durable lifecycle edge
+// (terminal states, interruption), so replaying the file on boot
+// reconstructs every job the server ever admitted: terminal jobs come back
+// as history, everything else comes back as interrupted work to
+// re-dispatch. Because the engine is deterministic, a re-dispatched job's
+// artefacts are byte-identical to what the dead process would have served.
+//
+// Durability discipline: the journal is single-writer and each record is
+// one whole-line append. Replay skips complete-but-undecodable lines (the
+// repaired fragment of an append that failed mid-file — see append) and
+// truncates only an unterminated trailing fragment, the torn tail of the
+// write a crash cut short. A torn tail is always an unacknowledged record:
+// the submit fsync completes before the 202, so nothing acknowledged is
+// ever dropped.
+type Journal struct {
+	mu        sync.Mutex
+	f         *os.File
+	path      string
+	recovered []RecoveredJob
+	maxSeq    int
+	tornTail  bool // last append failed; the file may end mid-line
+}
+
+// RecoveredJob is one job reconstructed by replay: its original ID and
+// request, plus where it stood — a terminal state (history), or
+// StateInterrupted (resumable; the server re-dispatches it).
+type RecoveredJob struct {
+	ID    string
+	Req   apiv1.JobRequest
+	State apiv1.JobState
+	Err   *apiv1.Error
+}
+
+// OpenJournal opens (creating if needed) the journal at path and replays
+// it: every admitted job is reconstructed under Recovered, in admission
+// order, and a torn trailing line is truncated away.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: journal: %w", err)
+	}
+	jr := &Journal{f: f, path: path}
+
+	// Replay, tracking the byte offset of the last complete line — anything
+	// after it is the unterminated torn tail of the write a crash cut short.
+	byID := make(map[string]int) // id → index into jr.recovered
+	var good int64
+	r := bufio.NewReader(f)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			break // EOF, possibly with an unterminated torn line: drop it
+		}
+		good += int64(len(line))
+		rec, err := apiv1.DecodeJournalRecord(line)
+		if err != nil {
+			// A complete but undecodable line: the capped fragment of a
+			// failed append (torn-tail repair terminates it so the records
+			// behind it stay reachable). Skip, never truncate — fsynced
+			// acknowledgements may follow it.
+			continue
+		}
+		switch rec.Kind {
+		case apiv1.JournalKindSubmit:
+			if _, dup := byID[rec.ID]; dup {
+				continue // duplicate submit: first wins
+			}
+			byID[rec.ID] = len(jr.recovered)
+			jr.recovered = append(jr.recovered, RecoveredJob{
+				ID: rec.ID, Req: *rec.Req, State: apiv1.StateInterrupted,
+			})
+			var seq int
+			if _, err := fmt.Sscanf(rec.ID, "j%d", &seq); err == nil && seq > jr.maxSeq {
+				jr.maxSeq = seq
+			}
+		case apiv1.JournalKindState:
+			i, ok := byID[rec.ID]
+			if !ok {
+				continue // state for an unknown id: stale noise, skip
+			}
+			jr.recovered[i].State = rec.State
+			jr.recovered[i].Err = rec.Error
+		}
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: journal: truncate: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: journal: %w", err)
+	}
+	// Replay leaves non-terminal last-known states (queued, running) as
+	// what they now are: interrupted.
+	for i := range jr.recovered {
+		if !jr.recovered[i].State.Terminal() {
+			jr.recovered[i].State = apiv1.StateInterrupted
+			if jr.recovered[i].Err == nil {
+				jr.recovered[i].Err = &apiv1.Error{
+					Type:    apiv1.ErrInterrupted,
+					Message: "server stopped while the job was in flight; re-dispatched on journal replay",
+				}
+			}
+		}
+	}
+	return jr, nil
+}
+
+// Recovered returns the jobs reconstructed by replay, in admission order.
+func (jr *Journal) Recovered() []RecoveredJob { return jr.recovered }
+
+// MaxSeq returns the highest numeric job id replayed ("j%06d" form), so a
+// recovering server continues the id sequence instead of reissuing ids.
+func (jr *Journal) MaxSeq() int { return jr.maxSeq }
+
+// Path returns the journal's file path.
+func (jr *Journal) Path() string { return jr.path }
+
+// Submit durably records an admitted job: the record is appended and
+// fsynced before return, so an acknowledged job can never be forgotten.
+func (jr *Journal) Submit(id string, req *apiv1.JobRequest) error {
+	line, err := apiv1.EncodeJournalSubmit(id, req)
+	if err != nil {
+		return fmt.Errorf("campaign: journal: %w", err)
+	}
+	return jr.append(line)
+}
+
+// Record durably records a lifecycle edge (terminal state or
+// interruption) for a previously submitted job.
+func (jr *Journal) Record(id string, state apiv1.JobState, jerr *apiv1.Error) error {
+	line, err := apiv1.EncodeJournalState(id, state, jerr)
+	if err != nil {
+		return fmt.Errorf("campaign: journal: %w", err)
+	}
+	return jr.append(line)
+}
+
+// append writes one whole line and fsyncs. After a failed append the file
+// may end mid-line; the next append leads with an extra terminator so the
+// fragment parses as one bad line, which replay truncates or skips.
+func (jr *Journal) append(line []byte) error {
+	jr.mu.Lock()
+	defer jr.mu.Unlock()
+	if jr.f == nil {
+		return fmt.Errorf("campaign: journal: closed")
+	}
+	buf := make([]byte, 0, len(line)+2)
+	if jr.tornTail {
+		buf = append(buf, '\n')
+	}
+	buf = append(append(buf, line...), '\n')
+	if _, err := failpoint.Write(fpJournalAppend, jr.f, buf); err != nil {
+		jr.tornTail = true
+		return fmt.Errorf("campaign: journal: append: %w", err)
+	}
+	jr.tornTail = false
+	if err := failpoint.Sync(fpJournalSync, jr.f); err != nil {
+		return fmt.Errorf("campaign: journal: sync: %w", err)
+	}
+	return nil
+}
+
+// Sync forces the journal to disk (graceful-shutdown flush).
+func (jr *Journal) Sync() error {
+	jr.mu.Lock()
+	defer jr.mu.Unlock()
+	if jr.f == nil {
+		return nil
+	}
+	if err := failpoint.Sync(fpJournalSync, jr.f); err != nil {
+		return fmt.Errorf("campaign: journal: sync: %w", err)
+	}
+	return nil
+}
+
+// Close fsyncs and closes the journal file.
+func (jr *Journal) Close() error {
+	jr.mu.Lock()
+	defer jr.mu.Unlock()
+	if jr.f == nil {
+		return nil
+	}
+	serr := failpoint.Do(fpJournalClose, jr.f.Sync)
+	cerr := jr.f.Close()
+	jr.f = nil
+	if serr != nil {
+		return fmt.Errorf("campaign: journal: close: %w", serr)
+	}
+	return cerr
+}

@@ -24,7 +24,10 @@ import (
 // client, the wrong peer asks the owner's /v1/stats (bounded by a short
 // timeout) and keeps the job itself when the owner is unreachable or its
 // admission queue is saturated — a degraded cache hit-rate beats a 429 or
-// a dead end.
+// a dead end. The probe runs behind a per-peer circuit breaker (see
+// breaker.go): verdicts are cached for a short TTL, and a failing peer is
+// left alone for an exponentially growing cool-down instead of eating a
+// probe timeout on every submission.
 
 // routedParam marks a request that already took its one routing hop.
 const routedParam = "routed"
@@ -77,28 +80,35 @@ func (s *Server) routeFor(r *http.Request, req apiv1.JobRequest, pts []sweep.Poi
 	return strings.TrimRight(s.cfg.Peers[owner], "/") + "/v1/jobs?" + routedParam + "=1", true
 }
 
-// peerAccepting probes the owner's live stats and reports whether it can
-// plausibly admit a job right now. Any probe failure (down, slow,
-// unparsable) is "no": the caller degrades to local execution.
+// peerAccepting reports whether the owner can plausibly admit a job right
+// now, answering from the circuit breaker's cache when it can. Any probe
+// failure (down, slow, unparsable) is "no": the caller degrades to local
+// execution.
 func (s *Server) peerAccepting(owner int) bool {
-	base := strings.TrimRight(s.cfg.Peers[owner], "/")
+	return s.breaker.accepting(strings.TrimRight(s.cfg.Peers[owner], "/"))
+}
+
+// probePeerStats is the breaker's probe: one live /v1/stats round trip.
+// ok=false means the peer did not answer usefully; accepting=false with
+// ok=true means it answered but its admission queue is saturated — a
+// redirect would just trade this peer's spare capacity for the owner's
+// 429.
+func probePeerStats(base string) (accepting, ok bool) {
 	client := &http.Client{Timeout: peerProbeTimeout}
 	resp, err := client.Get(base + "/v1/stats")
 	if err != nil {
-		return false
+		return false, false
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return false
+		return false, false
 	}
 	var snap apiv1.StatsSnapshot
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
-		return false
+		return false, false
 	}
-	// Saturated admission queue: a redirect would just trade this peer's
-	// spare capacity for the owner's 429.
 	if snap.QueueCap > 0 && snap.Jobs.Queued >= snap.QueueCap {
-		return false
+		return false, true
 	}
-	return true
+	return true, true
 }

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -123,6 +124,80 @@ func TestPeerRoutingLoadShed(t *testing.T) {
 	}
 	if st := waitState(t, ts, created.ID, apiv1.StateDone); st.Progress.Ran == 0 {
 		t.Fatal("shed job did not run locally")
+	}
+}
+
+// TestPeerProbeCached pins the breaker's cache: repeated foreign-owned
+// submissions within the verdict TTL cost the owner one stats probe, not
+// one probe per submission.
+func TestPeerProbeCached(t *testing.T) {
+	var hits int32
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/stats" {
+			atomic.AddInt32(&hits, 1)
+			json.NewEncoder(w).Encode(apiv1.StatsSnapshot{V: apiv1.Version, QueueCap: 16})
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer owner.Close()
+
+	_, tsWrong := start(t, campaign.Config{
+		Engine:    sweep.New(sweep.Workers(1)),
+		Peers:     []string{"http://self.invalid", owner.URL},
+		PeerIndex: 0,
+	})
+
+	foreign := apiv1.JobRequest{Points: []apiv1.Point{pointOwnedBy(t, 1, 2)}}
+	body, err := json.Marshal(foreign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noFollow := &http.Client{
+		CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+	}
+	for i := 0; i < 4; i++ {
+		resp, err := noFollow.Post(tsWrong.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTemporaryRedirect {
+			t.Fatalf("submission %d: HTTP %d, want 307", i, resp.StatusCode)
+		}
+	}
+	if n := atomic.LoadInt32(&hits); n != 1 {
+		t.Fatalf("owner probed %d times for 4 submissions inside the TTL, want 1", n)
+	}
+}
+
+// TestPeerBreakerShedsWithoutTraffic pins the breaker's open state: after
+// one failed probe, further foreign-owned submissions shed to local
+// execution without dialling the dead owner again until the cool-down.
+func TestPeerBreakerShedsWithoutTraffic(t *testing.T) {
+	var hits int32
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&hits, 1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer flaky.Close()
+
+	_, ts := start(t, campaign.Config{
+		Engine:    sweep.New(sweep.Workers(1)),
+		Peers:     []string{"http://self.invalid", flaky.URL},
+		PeerIndex: 0,
+	})
+
+	req := apiv1.JobRequest{Points: []apiv1.Point{pointOwnedBy(t, 1, 2)}}
+	for i := 0; i < 3; i++ {
+		created, code := tryPostJob(t, ts, req)
+		if code != http.StatusAccepted {
+			t.Fatalf("submission %d with failing owner: HTTP %d, want 202 (local shed)", i, code)
+		}
+		waitState(t, ts, created.ID, apiv1.StateDone)
+	}
+	if n := atomic.LoadInt32(&hits); n != 1 {
+		t.Fatalf("failing owner probed %d times while the breaker was open, want 1", n)
 	}
 }
 

@@ -71,6 +71,13 @@ type Config struct {
 	// (load shedding). Empty disables routing. See peers.go.
 	Peers     []string
 	PeerIndex int
+	// Journal, when set, makes admitted jobs durable: every submission is
+	// fsynced to it before the 202, terminal states and shutdown
+	// interruptions are recorded, and New replays it — terminal jobs come
+	// back as history (without their rendered outputs), interrupted ones
+	// re-enter the queue under their original IDs. The caller owns the
+	// journal's lifetime (Close it after the server).
+	Journal *Journal
 }
 
 // Server is the campaign service. Create with New, serve with any
@@ -88,11 +95,19 @@ type Server struct {
 	queue chan *job
 	wg    sync.WaitGroup
 
+	// breaker guards the peer-routing health probes (see breaker.go).
+	breaker *peerBreaker
+
 	mu     sync.Mutex
 	jobs   map[string]*job
 	order  []*job // submission order; ranged instead of the map for determinism
 	nextID int
 	closed bool
+	// journalErr is the first journal write failure after admission (a
+	// failed submit record rejects the submission instead); the server
+	// keeps running but reports "degraded" on /v1/healthz, because its
+	// replay story is no longer complete.
+	journalErr error
 }
 
 // New builds the service and starts its job slots.
@@ -109,13 +124,24 @@ func New(cfg Config) *Server {
 	}
 	base, stop := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:    cfg,
-		engine: eng,
-		mux:    http.NewServeMux(),
-		base:   base,
-		stop:   stop,
-		queue:  make(chan *job, cfg.MaxQueue),
-		jobs:   make(map[string]*job),
+		cfg:     cfg,
+		engine:  eng,
+		mux:     http.NewServeMux(),
+		base:    base,
+		stop:    stop,
+		jobs:    make(map[string]*job),
+		breaker: newPeerBreaker(probePeerStats),
+	}
+	// Journal replay happens before the queue is sized and the job slots
+	// start, so every interrupted job is guaranteed a queue slot: recovery
+	// must never be load-shed by its own backlog.
+	var resume []*job
+	if cfg.Journal != nil {
+		resume = s.recoverJobs()
+	}
+	s.queue = make(chan *job, cfg.MaxQueue+len(resume))
+	for _, j := range resume {
+		s.queue <- j
 	}
 	s.routes()
 	for i := 0; i < cfg.MaxConcurrent; i++ {
@@ -123,6 +149,35 @@ func New(cfg Config) *Server {
 		go s.worker()
 	}
 	return s
+}
+
+// recoverJobs materializes the journal's replayed jobs: terminal ones as
+// retained history, interrupted ones as queued work under their original
+// IDs. It returns the jobs to re-dispatch, in admission order, and leaves
+// s.nextID past every recovered ID. Runs before the server is reachable,
+// so no locking subtleties apply.
+func (s *Server) recoverJobs() []*job {
+	var resume []*job
+	for _, rec := range s.cfg.Journal.Recovered() {
+		j := newRecoveredJob(rec.ID, rec.Req, s.base, rec)
+		if !rec.State.Terminal() {
+			// Re-validate against today's vocabulary: a request that no
+			// longer parses (renamed artefact, dropped benchmark) fails
+			// typed instead of crashing the recovery loop.
+			spec, arts, pts, budget, aerr := s.prepare(rec.Req)
+			if aerr != nil {
+				s.setJobState(j, apiv1.StateFailed, aerr)
+			} else {
+				j.spec, j.arts, j.pts, j.budget = spec, arts, pts, budget
+				resume = append(resume, j)
+			}
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j)
+	}
+	s.nextID = s.cfg.Journal.MaxSeq()
+	s.evictDoneLocked() // recovered history obeys the retention bound too
+	return resume
 }
 
 func (s *Server) routes() {
@@ -145,8 +200,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Close cancels every queued and running job, waits for the job slots to
-// drain, and rejects subsequent submissions. Idempotent.
+// Close stops the server and rejects subsequent submissions. Idempotent.
+//
+// Without a journal, every queued and running job is cancelled — the
+// pre-durability behavior. With a journal, in-flight jobs are instead
+// marked interrupted (typed, resumable) and the records fsynced before the
+// engine is torn down, so a graceful shutdown leaves the same replayable
+// journal a crash would — minus the torn tail.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -156,12 +216,34 @@ func (s *Server) Close() {
 	s.closed = true
 	order := append([]*job(nil), s.order...)
 	s.mu.Unlock()
+	if s.cfg.Journal != nil {
+		// Interrupt first, then cancel: the frozen interrupted state stops
+		// the unwinding run loop from re-labelling the abort as cancelled,
+		// and the journal records land before any context dies.
+		for _, j := range order {
+			s.setJobState(j, apiv1.StateInterrupted, &apiv1.Error{
+				Type:    apiv1.ErrInterrupted,
+				Message: "server shut down; the job resumes when a server replays this journal",
+			})
+		}
+	}
 	s.stop()
 	for _, j := range order {
 		j.cancel()
-		j.setState(apiv1.StateCancelled, nil)
+		if s.cfg.Journal == nil {
+			j.setState(apiv1.StateCancelled, nil)
+		}
 	}
 	s.wg.Wait()
+	if s.cfg.Journal != nil {
+		if err := s.cfg.Journal.Sync(); err != nil {
+			s.mu.Lock()
+			if s.journalErr == nil {
+				s.journalErr = err
+			}
+			s.mu.Unlock()
+		}
+	}
 }
 
 // Engine exposes the shared engine (tests and embedding callers).
@@ -218,8 +300,8 @@ func (s *Server) evictDoneLocked() {
 
 // run executes one job to a terminal state.
 func (s *Server) run(j *job) {
-	if j.State().Terminal() {
-		return // cancelled while queued; the slot frees immediately
+	if st := j.State(); st.Terminal() || st == apiv1.StateInterrupted {
+		return // cancelled (or interrupted by shutdown) while queued
 	}
 
 	// The job-scoped engine handle: progress and stats stay this job's own
@@ -242,11 +324,13 @@ func (s *Server) run(j *job) {
 	fail := func(err error) {
 		if j.ctx.Err() != nil {
 			// The job was cancelled (DELETE or shutdown); whatever error the
-			// abort surfaced is a consequence, not a diagnosis.
-			j.setState(apiv1.StateCancelled, nil)
+			// abort surfaced is a consequence, not a diagnosis. (Under a
+			// journal-interrupting shutdown the frozen interrupted state
+			// makes this a no-op.)
+			s.setJobState(j, apiv1.StateCancelled, nil)
 			return
 		}
-		j.setState(apiv1.StateFailed, sweep.APIError(err))
+		s.setJobState(j, apiv1.StateFailed, sweep.APIError(err))
 	}
 
 	outs, err := experiments.RunArtefacts(nil, o, j.spec, j.arts, false)
@@ -286,10 +370,10 @@ func (s *Server) run(j *job) {
 
 	j.setOutputs(outs, points)
 	if j.ctx.Err() != nil {
-		j.setState(apiv1.StateCancelled, nil)
+		s.setJobState(j, apiv1.StateCancelled, nil)
 		return
 	}
-	j.setState(apiv1.StateDone, nil)
+	s.setJobState(j, apiv1.StateDone, nil)
 }
 
 // options merges the server's defaults with the request's overrides.
@@ -330,8 +414,74 @@ func (s *Server) budget(req apiv1.JobRequest) int {
 	return b
 }
 
+// prepare validates a request and resolves everything a job needs to run:
+// the experiment spec, the artefact set, the raw sweep points and the
+// effective budget. Shared by live admission (handleSubmit) and journal
+// replay (recoverJobs), so a recovered request faces exactly the checks a
+// fresh one would.
+func (s *Server) prepare(req apiv1.JobRequest) (experiments.Spec, []experiments.Artefact, []sweep.Point, int, *apiv1.Error) {
+	spec := experiments.Spec{
+		Benchmarks: req.Benchmarks,
+		Thresholds: req.Thresholds,
+		Seeds:      req.Seeds,
+		Latencies:  req.Latencies,
+	}
+	if len(req.Artefacts) == 0 && len(req.Points) == 0 {
+		return spec, nil, nil, 0, &apiv1.Error{Type: apiv1.ErrBadRequest,
+			Message: "empty job: name at least one artefact or submit at least one point"}
+	}
+	arts, err := experiments.Artefacts(req.Artefacts...)
+	if err != nil {
+		return spec, nil, nil, 0, &apiv1.Error{Type: apiv1.ErrBadRequest, Message: err.Error()}
+	}
+	for _, b := range req.Benchmarks {
+		if _, err := workload.ByName(b); err != nil {
+			return spec, nil, nil, 0, &apiv1.Error{Type: apiv1.ErrBadRequest, Message: err.Error()}
+		}
+	}
+	pts := make([]sweep.Point, len(req.Points))
+	for i, p := range req.Points {
+		if _, err := workload.ByName(p.Benchmark); err != nil {
+			return spec, nil, nil, 0, &apiv1.Error{Type: apiv1.ErrBadRequest,
+				Message: fmt.Sprintf("point %d: %v", i, err)}
+		}
+		key := p.Key
+		if key == "" {
+			key = fmt.Sprintf("p%d", i)
+		}
+		pts[i] = sweep.Point{Key: key, Benchmark: p.Benchmark, Seed: p.Seed, Config: p.Config}
+	}
+	budget := s.budget(req)
+	if budget > 0 && len(pts) > budget {
+		return spec, nil, nil, 0, &apiv1.Error{Type: apiv1.ErrBudget,
+			Message: fmt.Sprintf("job submits %d raw points, over its run budget of %d", len(pts), budget)}
+	}
+	return spec, arts, pts, budget, nil
+}
+
+// setJobState applies a lifecycle transition and, when it took effect and
+// the edge is durable (terminal or interrupted), journals it. A journal
+// write failure here cannot un-finish the job; the server degrades its
+// health instead (see handleHealthz).
+func (s *Server) setJobState(j *job, st apiv1.JobState, jerr *apiv1.Error) {
+	if !j.setState(st, jerr) {
+		return
+	}
+	if s.cfg.Journal == nil || (!st.Terminal() && st != apiv1.StateInterrupted) {
+		return
+	}
+	if err := s.cfg.Journal.Record(j.id, st, jerr); err != nil {
+		s.mu.Lock()
+		if s.journalErr == nil {
+			s.journalErr = err
+		}
+		s.mu.Unlock()
+	}
+}
+
 // handleSubmit admits a job: decode strictly, validate upfront, reject when
-// the queue is full, otherwise enqueue and answer 202 with the job's URL.
+// the queue is full, otherwise journal (when durable), enqueue and answer
+// 202 with the job's URL.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req apiv1.JobRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
@@ -346,42 +496,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			Message: fmt.Sprintf("unsupported wire-format version %d (this server speaks v%d)", req.V, apiv1.Version)})
 		return
 	}
-	if len(req.Artefacts) == 0 && len(req.Points) == 0 {
-		writeError(w, http.StatusBadRequest, &apiv1.Error{Type: apiv1.ErrBadRequest,
-			Message: "empty job: name at least one artefact or submit at least one point"})
-		return
-	}
-
-	arts, err := experiments.Artefacts(req.Artefacts...)
-	if err != nil {
-		writeError(w, http.StatusBadRequest,
-			&apiv1.Error{Type: apiv1.ErrBadRequest, Message: err.Error()})
-		return
-	}
-	for _, b := range req.Benchmarks {
-		if _, err := workload.ByName(b); err != nil {
-			writeError(w, http.StatusBadRequest,
-				&apiv1.Error{Type: apiv1.ErrBadRequest, Message: err.Error()})
-			return
-		}
-	}
-	pts := make([]sweep.Point, len(req.Points))
-	for i, p := range req.Points {
-		if _, err := workload.ByName(p.Benchmark); err != nil {
-			writeError(w, http.StatusBadRequest, &apiv1.Error{Type: apiv1.ErrBadRequest,
-				Message: fmt.Sprintf("point %d: %v", i, err)})
-			return
-		}
-		key := p.Key
-		if key == "" {
-			key = fmt.Sprintf("p%d", i)
-		}
-		pts[i] = sweep.Point{Key: key, Benchmark: p.Benchmark, Seed: p.Seed, Config: p.Config}
-	}
-	budget := s.budget(req)
-	if budget > 0 && len(pts) > budget {
-		writeError(w, http.StatusBadRequest, &apiv1.Error{Type: apiv1.ErrBudget,
-			Message: fmt.Sprintf("job submits %d raw points, over its run budget of %d", len(pts), budget)})
+	spec, arts, pts, budget, aerr := s.prepare(req)
+	if aerr != nil {
+		writeError(w, http.StatusBadRequest, aerr)
 		return
 	}
 
@@ -403,12 +520,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.nextID++
 	id := fmt.Sprintf("j%06d", s.nextID)
 	j := newJob(id, req, s.base)
-	j.spec = experiments.Spec{
-		Benchmarks: req.Benchmarks,
-		Thresholds: req.Thresholds,
-		Seeds:      req.Seeds,
-		Latencies:  req.Latencies,
-	}
+	j.spec = spec
 	j.arts = arts
 	j.pts = pts
 	j.budget = budget
@@ -416,16 +528,37 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.order = append(s.order, j)
 	s.mu.Unlock()
 
+	// Durability before acknowledgement: the submit record is fsynced
+	// before the 202, so an acknowledged job can never be forgotten by a
+	// crash. A journal that cannot record the job rejects the submission.
+	if s.cfg.Journal != nil {
+		if err := s.cfg.Journal.Submit(id, &req); err != nil {
+			s.withdraw(j)
+			// The record may have reached the file before the failure (a
+			// complete write whose fsync then failed), so supersede it:
+			// replay must not resurrect a job the client saw rejected.
+			_ = s.cfg.Journal.Record(id, apiv1.StateCancelled, &apiv1.Error{
+				Type: apiv1.ErrInternal, Message: "journal write failed at admission"})
+			writeError(w, http.StatusInternalServerError, &apiv1.Error{Type: apiv1.ErrInternal,
+				Message: "journal write failed; job not accepted: " + err.Error()})
+			return
+		}
+	}
+
 	select {
 	case s.queue <- j:
 	default:
 		// Queue full: withdraw the registration so the rejected job leaves
-		// no trace, and tell the client to back off.
-		s.mu.Lock()
-		delete(s.jobs, id)
-		s.order = s.order[:len(s.order)-1]
-		s.mu.Unlock()
-		j.cancel()
+		// no trace, and tell the client to back off. The journaled submit
+		// (if any) is superseded by a cancelled record so replay does not
+		// resurrect a job the client was told to retry.
+		s.withdraw(j)
+		if s.cfg.Journal != nil {
+			// Best-effort: an unrecordable cancellation means replay reruns
+			// a rejected job — wasted work, not lost work.
+			_ = s.cfg.Journal.Record(id, apiv1.StateCancelled,
+				&apiv1.Error{Type: apiv1.ErrQueueFull, Message: "rejected at admission: queue full"})
+		}
 		writeError(w, http.StatusTooManyRequests, &apiv1.Error{Type: apiv1.ErrQueueFull,
 			Message: fmt.Sprintf("job queue is full (%d queued)", s.cfg.MaxQueue)})
 		return
@@ -434,6 +567,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	loc := "/v1/jobs/" + id
 	w.Header().Set("Location", loc)
 	writeJSON(w, http.StatusAccepted, apiv1.JobCreated{V: apiv1.Version, ID: id, Location: loc})
+}
+
+// withdraw removes a just-registered job that was never admitted (queue
+// full, or the journal refused it).
+func (s *Server) withdraw(j *job) {
+	s.mu.Lock()
+	delete(s.jobs, j.id)
+	for i, o := range s.order {
+		if o == j {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	j.cancel()
 }
 
 // find resolves {id} or writes the typed 404.
@@ -481,7 +629,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	// State first, then cancel: the run loop's failure path must find the
 	// terminal state already decided so it cannot re-label the abort.
-	j.setState(apiv1.StateCancelled, nil)
+	s.setJobState(j, apiv1.StateCancelled, nil)
 	j.cancel()
 	st := j.status()
 	s.mu.Lock()
@@ -548,7 +696,17 @@ func (s *Server) handleArtefacts(w http.ResponseWriter, r *http.Request) {
 	j.mu.Lock()
 	outs := j.outputs
 	points := j.points
+	recovered := j.recovered
 	j.mu.Unlock()
+	if recovered && outs == nil && points == nil {
+		// Journal replay restores a terminal job's identity and state, not
+		// its rendered bytes. Resubmitting the same request regenerates
+		// them — the shared memo cache makes that nearly free when the
+		// engine is warm, and byte-identical always.
+		writeError(w, http.StatusGone, &apiv1.Error{Type: apiv1.ErrNotFound,
+			Message: fmt.Sprintf("job %s was recovered from the journal; rendered outputs do not survive a restart — resubmit the request to regenerate them", j.id)})
+		return
+	}
 
 	name := r.URL.Query().Get("name")
 	if name != "" {
@@ -605,6 +763,15 @@ func (s *Server) handleArtefacts(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jerr := s.journalErr
+	s.mu.Unlock()
+	if jerr != nil {
+		// Still serving, but the journal is no longer a faithful replay
+		// source; operators should drain and investigate.
+		writeJSON(w, http.StatusOK, apiv1.Health{V: apiv1.Version, Status: "degraded: " + jerr.Error()})
+		return
+	}
 	writeJSON(w, http.StatusOK, apiv1.Health{V: apiv1.Version, Status: "ok"})
 }
 

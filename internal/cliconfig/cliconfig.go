@@ -129,6 +129,10 @@ type ServeFlags struct {
 	// position in it. Empty disables peer routing.
 	Peers     string
 	PeerIndex int
+	// Journal is the durable job-journal path (empty disables): accepted
+	// jobs are fsynced to it before the 202 and replayed on restart, so a
+	// crashed or restarted server re-dispatches interrupted jobs.
+	Journal string
 }
 
 // RegisterServe registers the campaign-service flags.
@@ -141,6 +145,7 @@ func (f *ServeFlags) RegisterServe(fs *flag.FlagSet) {
 	fs.IntVar(&f.MaxDoneJobs, "max-done-jobs", 0, "finished job records retained before oldest are evicted (0 = unlimited)")
 	fs.StringVar(&f.Peers, "peers", "", "comma-separated peer base URLs for a fingerprint-sharded deployment (includes this process; empty = no routing)")
 	fs.IntVar(&f.PeerIndex, "peer-index", 0, "this process's index in -peers")
+	fs.StringVar(&f.Journal, "journal", "", "durable job journal (JSONL): accepted jobs survive crashes and are re-dispatched on restart (empty disables)")
 }
 
 // PeerList resolves the -peers flag into its URL list (nil when unset).

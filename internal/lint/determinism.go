@@ -33,12 +33,14 @@ func (determinism) Doc() string {
 // wallClockAllowed lists package-path prefixes permitted to read the
 // wall clock or OS entropy: the sweep engine (run timeouts, progress
 // rates), the campaign service (job timestamps and event streams — HTTP
-// lifecycle, never simulation results), and the command-line drivers.
-// Simulation and rendering packages stay banned: results must be a pure
-// function of (benchmark, seed, config).
+// lifecycle, never simulation results), the worker supervisor (restart
+// backoff timers), and the command-line drivers. Simulation and rendering
+// packages stay banned: results must be a pure function of (benchmark,
+// seed, config).
 var wallClockAllowed = []string{
 	"repro/internal/sweep",
 	"repro/internal/campaign",
+	"repro/internal/multiproc",
 	"repro/cmd/",
 }
 

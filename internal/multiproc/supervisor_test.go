@@ -1,0 +1,168 @@
+package multiproc
+
+import (
+	"context"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scriptEnv turns the re-executed test binary into a scriptable worker:
+// Supervise forks os.Executable(), so TestMain intercepts the child before
+// any tests run and exits per the script. Scripts are "crash-until:N"
+// (exit 13 while the generation is below N, clean otherwise) and "clean".
+const scriptEnv = "MULTIPROC_TEST_SCRIPT"
+
+func TestMain(m *testing.M) {
+	if script := os.Getenv(scriptEnv); script != "" {
+		os.Exit(runScript(script))
+	}
+	os.Exit(m.Run())
+}
+
+func runScript(script string) int {
+	if script == "clean" {
+		return 0
+	}
+	if n, ok := cutPrefixInt(script, "crash-until:"); ok {
+		if WorkerGen() < n {
+			return 13
+		}
+		return 0
+	}
+	return 0
+}
+
+func cutPrefixInt(s, prefix string) (int, bool) {
+	if len(s) <= len(prefix) || s[:len(prefix)] != prefix {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s[len(prefix):])
+	return n, err == nil
+}
+
+func fastPolicy() RestartPolicy {
+	return RestartPolicy{MaxRestarts: 3, Backoff: 5 * time.Millisecond, BackoffMax: 20 * time.Millisecond, PoisonAfter: 2}
+}
+
+func TestSuperviseCleanExit(t *testing.T) {
+	res, err := Supervise(context.Background(), SupervisorConfig{
+		Procs:    2,
+		Ledger:   "/dev/null",
+		ExtraEnv: []string{scriptEnv + "=clean"},
+		Stderr:   io.Discard,
+		Policy:   fastPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts != 0 || len(res.Exhausted) != 0 || len(res.Poisoned) != 0 {
+		t.Fatalf("clean fleet: %+v", res)
+	}
+}
+
+func TestSuperviseRestartsAfterCrash(t *testing.T) {
+	var mu sync.Mutex
+	var deaths []string
+	res, err := Supervise(context.Background(), SupervisorConfig{
+		Procs:    2,
+		Ledger:   "/dev/null",
+		ExtraEnv: []string{scriptEnv + "=crash-until:1"},
+		Stderr:   io.Discard,
+		Policy:   fastPolicy(),
+		Suspects: func(worker string) []Suspect {
+			mu.Lock()
+			deaths = append(deaths, worker)
+			mu.Unlock()
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts != 2 || len(res.Exhausted) != 0 {
+		t.Fatalf("one crash per slot: %+v", res)
+	}
+	sort.Strings(deaths)
+	if len(deaths) != 2 || deaths[0] != "w0" || deaths[1] != "w1" {
+		t.Fatalf("dead workers %v, want [w0 w1] (generation-0 names)", deaths)
+	}
+}
+
+func TestSuperviseBudgetExhausted(t *testing.T) {
+	pol := fastPolicy()
+	pol.MaxRestarts = 2
+	res, err := Supervise(context.Background(), SupervisorConfig{
+		Procs:    1,
+		Ledger:   "/dev/null",
+		ExtraEnv: []string{scriptEnv + "=crash-until:99"},
+		Stderr:   io.Discard,
+		Policy:   pol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts != 2 {
+		t.Fatalf("restarts = %d, want 2 (the budget)", res.Restarts)
+	}
+	if len(res.Exhausted) != 1 || res.Exhausted[0] != 0 {
+		t.Fatalf("exhausted slots %v, want [0]", res.Exhausted)
+	}
+}
+
+func TestSupervisePoisonsRepeatOffender(t *testing.T) {
+	pol := fastPolicy()
+	pol.MaxRestarts = 5
+	var mu sync.Mutex
+	var poisons []string
+	cursed := Suspect{FP: "fp-cursed", Key: "cursed"}
+	res, err := Supervise(context.Background(), SupervisorConfig{
+		Procs:    1,
+		Ledger:   "/dev/null",
+		ExtraEnv: []string{scriptEnv + "=crash-until:3"},
+		Stderr:   io.Discard,
+		Policy:   pol,
+		Suspects: func(worker string) []Suspect { return []Suspect{cursed} },
+		Poison: func(s Suspect, reason string) error {
+			mu.Lock()
+			poisons = append(poisons, s.FP+":"+reason)
+			mu.Unlock()
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three crashes implicate the point three times, but quarantine fires
+	// exactly once, at the PoisonAfter threshold.
+	if len(poisons) != 1 {
+		t.Fatalf("poison called %d times across 3 crashes, want 1: %v", len(poisons), poisons)
+	}
+	if len(res.Poisoned) != 1 || res.Poisoned[0] != cursed {
+		t.Fatalf("result poisons %+v, want [%+v]", res.Poisoned, cursed)
+	}
+	if res.Restarts != 3 {
+		t.Fatalf("restarts = %d, want 3", res.Restarts)
+	}
+}
+
+func TestWorkerNameAndGen(t *testing.T) {
+	if n := WorkerName(2, 0); n != "w2" {
+		t.Fatalf("WorkerName(2,0) = %q, want w2 (pre-supervision compatible)", n)
+	}
+	if n := WorkerName(2, 3); n != "w2g3" {
+		t.Fatalf("WorkerName(2,3) = %q, want w2g3", n)
+	}
+	t.Setenv(GenEnv, "4")
+	if g := WorkerGen(); g != 4 {
+		t.Fatalf("WorkerGen = %d, want 4", g)
+	}
+	t.Setenv(GenEnv, "bogus")
+	if g := WorkerGen(); g != 0 {
+		t.Fatalf("WorkerGen with bad env = %d, want 0", g)
+	}
+}

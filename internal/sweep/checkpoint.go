@@ -8,7 +8,17 @@ import (
 	"sync"
 
 	"repro/internal/campaign/apiv1"
+	"repro/internal/failpoint"
 	"repro/internal/sim"
+)
+
+// Checkpoint failpoint sites (no-ops unless armed; see internal/failpoint):
+// every durable write the resume guarantee depends on can be made to fail
+// or tear deterministically in tests.
+const (
+	fpCheckpointAppend = "checkpoint.append" // the record write into the buffer
+	fpCheckpointFlush  = "checkpoint.flush"  // the per-record flush to the OS
+	fpCheckpointClose  = "checkpoint.close"  // the final flush at Close
 )
 
 // Checkpoint persists completed sweep results across process lifetimes so an
@@ -104,11 +114,11 @@ func (c *Checkpoint) add(fp, key string, res sim.Results) error {
 		return err
 	}
 	line = append(line, '\n')
-	if _, err := c.w.Write(line); err != nil {
-		return err
+	if _, err := failpoint.Write(fpCheckpointAppend, c.w, line); err != nil {
+		return fmt.Errorf("sweep: checkpoint: append: %w", err)
 	}
-	if err := c.w.Flush(); err != nil {
-		return err
+	if err := failpoint.Do(fpCheckpointFlush, c.w.Flush); err != nil {
+		return fmt.Errorf("sweep: checkpoint: flush: %w", err)
 	}
 	c.entries[fp] = res
 	return nil
@@ -122,7 +132,7 @@ func (c *Checkpoint) Close() error {
 	if c.f == nil {
 		return nil
 	}
-	ferr := c.w.Flush()
+	ferr := failpoint.Do(fpCheckpointClose, c.w.Flush)
 	cerr := c.f.Close()
 	c.f = nil
 	if ferr != nil {

@@ -78,10 +78,37 @@ func (e *BudgetError) API() *apiv1.Error {
 	return &apiv1.Error{Type: apiv1.ErrBudget, Message: e.Error()}
 }
 
+// PoisonedError is the typed failure of a quarantined campaign point: its
+// fingerprint carries a ledger poison record (the same point crashed
+// enough workers that a supervisor withdrew it), so the engine fails it
+// without running it. Nothing was simulated.
+type PoisonedError struct {
+	// Key and Fingerprint identify the quarantined point.
+	Key         string
+	Fingerprint string
+	// Reason is the supervisor's one-line evidence for the quarantine.
+	Reason string
+}
+
+// Error renders the one-line diagnosis.
+func (e *PoisonedError) Error() string {
+	return fmt.Sprintf("sweep: point %q (fp %s) is quarantined: %s", e.Key, e.Fingerprint, e.Reason)
+}
+
+// API converts the failure to its typed wire form (apiv1.ErrPoisoned).
+func (e *PoisonedError) API() *apiv1.Error {
+	return &apiv1.Error{
+		Type:        apiv1.ErrPoisoned,
+		Message:     e.Error(),
+		Key:         e.Key,
+		Fingerprint: e.Fingerprint,
+	}
+}
+
 // APIError converts any campaign error chain to its typed wire form,
-// recognizing this package's failures (*RunError, *BudgetError) before
-// falling back to apiv1.FromError for simulator failures, cancellations
-// and everything else.
+// recognizing this package's failures (*RunError, *BudgetError,
+// *PoisonedError) before falling back to apiv1.FromError for simulator
+// failures, cancellations and everything else.
 func APIError(err error) *apiv1.Error {
 	if err == nil {
 		return nil
@@ -93,6 +120,10 @@ func APIError(err error) *apiv1.Error {
 	var be *BudgetError
 	if errors.As(err, &be) {
 		return be.API()
+	}
+	var pe *PoisonedError
+	if errors.As(err, &pe) {
+		return pe.API()
 	}
 	return apiv1.FromError(err)
 }

@@ -5,12 +5,26 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/campaign/apiv1"
+	"repro/internal/failpoint"
 	"repro/internal/sim"
+)
+
+// Ledger failpoint sites (no-ops unless armed; see internal/failpoint).
+const (
+	// fpLedgerAppend is the single O_APPEND write of one whole line —
+	// claim, completion and poison records all pass through it.
+	fpLedgerAppend = "ledger.append"
+	// FPLedgerClaimed fires between winning a claim and running the
+	// point. Armed with crash and a key, it models a poisoned input that
+	// kills any worker that picks it up — the supervisor's quarantine
+	// drill. Exported so drivers can name the site in chaos schedules.
+	FPLedgerClaimed = "ledger.claimed"
 )
 
 // Ledger turns the checkpoint's JSONL format into a multi-writer
@@ -47,14 +61,17 @@ type Ledger struct {
 	readOff int64  // bytes consumed from the file so far
 	pending []byte // trailing bytes not yet terminated by '\n'
 	buf     []byte // read buffer, reused across refreshes
-	done    map[string]sim.Results
-	claims  map[string]claimState
-	loaded  int // completion records absorbed over the ledger's lifetime
-	skipped int // undecodable complete lines skipped
+	done     map[string]sim.Results
+	claims   map[string]claimState
+	poisoned map[string]string // fingerprint → quarantine reason
+	loaded   int               // completion records absorbed over the ledger's lifetime
+	skipped  int               // undecodable complete lines skipped
+	tornTail bool              // last append failed; the file may end mid-line
 }
 
 type claimState struct {
 	worker   string
+	key      string
 	deadline time.Time
 }
 
@@ -106,8 +123,9 @@ func OpenLedger(path string, opts ...LedgerOption) (*Ledger, error) {
 		worker: "pid-" + strconv.Itoa(os.Getpid()),
 		ttl:    10 * time.Second,
 		poll:   25 * time.Millisecond,
-		done:   make(map[string]sim.Results),
-		claims: make(map[string]claimState),
+		done:     make(map[string]sim.Results),
+		claims:   make(map[string]claimState),
+		poisoned: make(map[string]string),
 	}
 	for _, o := range opts {
 		o(l)
@@ -185,8 +203,17 @@ func (l *Ledger) refreshLocked() error {
 			// steal re-claims with a fresh deadline).
 			l.claims[rec.FP] = claimState{
 				worker:   rec.Worker,
+				key:      rec.Key,
 				deadline: time.UnixMilli(rec.Deadline),
 			}
+			continue
+		}
+		if rec.Poison {
+			if _, ok := l.done[rec.FP]; ok {
+				continue // a completion already proved the point runs
+			}
+			l.poisoned[rec.FP] = rec.Reason
+			delete(l.claims, rec.FP)
 			continue
 		}
 		if _, ok := l.done[rec.FP]; !ok {
@@ -197,6 +224,8 @@ func (l *Ledger) refreshLocked() error {
 			l.loaded++
 		}
 		delete(l.claims, rec.FP)
+		// A completion supersedes any quarantine: the point ran somewhere.
+		delete(l.poisoned, rec.FP)
 	}
 	return nil
 }
@@ -225,6 +254,11 @@ func (l *Ledger) TryClaim(fp, key string) (won, stole bool, err error) {
 	if _, ok := l.done[fp]; ok {
 		return false, false, nil
 	}
+	if _, ok := l.poisoned[fp]; ok {
+		// Quarantined: never claim it. The caller's poison check (after
+		// the next Lookup miss) turns this into a typed failure.
+		return false, false, nil
+	}
 	now := time.Now()
 	if c, ok := l.claims[fp]; ok && c.worker != l.worker {
 		if now.Before(c.deadline) {
@@ -240,7 +274,7 @@ func (l *Ledger) TryClaim(fp, key string) (won, stole bool, err error) {
 	if err := l.appendLocked(line); err != nil {
 		return false, false, err
 	}
-	l.claims[fp] = claimState{worker: l.worker, deadline: deadline}
+	l.claims[fp] = claimState{worker: l.worker, key: key, deadline: deadline}
 	return true, stole, nil
 }
 
@@ -262,8 +296,64 @@ func (l *Ledger) Complete(fp, key string, res sim.Results) error {
 	}
 	l.done[fp] = res
 	delete(l.claims, fp)
+	delete(l.poisoned, fp)
 	l.loaded++
 	return nil
+}
+
+// Poison quarantines a fingerprint: a poison record is appended and every
+// ledger (this one on return, others at their next refresh) fails the
+// point typed instead of running it. Supervisors call this when the same
+// point has crashed enough workers that retrying is just a crash loop. A
+// completed point cannot be poisoned (the completion already proves it
+// runs).
+func (l *Ledger) Poison(fp, key, reason string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.done[fp]; ok {
+		return nil
+	}
+	line, err := apiv1.EncodePoisonRecord(fp, key, l.worker, reason)
+	if err != nil {
+		return fmt.Errorf("sweep: ledger: encode poison: %w", err)
+	}
+	if err := l.appendLocked(line); err != nil {
+		return err
+	}
+	l.poisoned[fp] = reason
+	delete(l.claims, fp)
+	return nil
+}
+
+// PoisonReason returns the quarantine reason for a fingerprint, from the
+// in-memory view (call Refresh to absorb other processes' appends).
+func (l *Ledger) PoisonReason(fp string) (string, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	reason, ok := l.poisoned[fp]
+	return reason, ok
+}
+
+// ClaimInfo identifies one live claim for supervision diagnostics.
+type ClaimInfo struct {
+	FP, Key string
+}
+
+// ClaimsBy returns the fingerprints currently claimed by the named worker,
+// from the in-memory view (call Refresh first for a current one). A
+// supervisor uses it to find what a crashed worker was holding: those
+// fingerprints are the quarantine suspects.
+func (l *Ledger) ClaimsBy(worker string) []ClaimInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []ClaimInfo
+	for fp, c := range l.claims {
+		if c.worker == worker {
+			out = append(out, ClaimInfo{FP: fp, Key: c.key})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FP < out[j].FP })
+	return out
 }
 
 // appendLocked writes one whole line (record + terminator) in a single
@@ -271,13 +361,27 @@ func (l *Ledger) Complete(fp, key string, res sim.Results) error {
 // processes, and a single write of a short line is not interleaved with
 // other writers' lines on POSIX local filesystems — the property the
 // whole multi-writer format rests on.
+//
+// A failed append (ENOSPC, short write) may have torn a partial line into
+// the file; the writer cannot know how much got out. The next append
+// therefore leads with an extra terminator, which caps any fragment into
+// one complete-but-undecodable line that every reader skips — the repaired
+// record after it decodes normally. An unnecessary extra newline is free
+// (blank lines are skipped on read).
 func (l *Ledger) appendLocked(line []byte) error {
 	if l.f == nil {
 		return fmt.Errorf("sweep: ledger: closed")
 	}
-	if _, err := l.f.Write(append(line, '\n')); err != nil {
+	buf := make([]byte, 0, len(line)+2)
+	if l.tornTail {
+		buf = append(buf, '\n')
+	}
+	buf = append(append(buf, line...), '\n')
+	if _, err := failpoint.Write(fpLedgerAppend, l.f, buf); err != nil {
+		l.tornTail = true
 		return fmt.Errorf("sweep: ledger: append: %w", err)
 	}
+	l.tornTail = false
 	return nil
 }
 

@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/failpoint"
 	"repro/internal/sim"
 )
 
@@ -1063,6 +1064,12 @@ func (j *Job) runLedgerItem(ctx context.Context, it runItem, ap **arena, w int, 
 			e.mu.Unlock()
 			return r, 0, false, false, nil
 		}
+		if reason, ok := led.PoisonReason(it.fp); ok {
+			// Quarantined by a supervisor: the same point crashed enough
+			// workers that running it again would only crash this one too.
+			return sim.Results{}, 0, false, false,
+				&PoisonedError{Key: it.p.Key, Fingerprint: it.fp, Reason: reason}
+		}
 		won, stole, cerr := led.TryClaim(it.fp, it.p.Key)
 		if cerr != nil {
 			return sim.Results{}, 0, false, false, fmt.Errorf("sweep: ledger claim: %w", cerr)
@@ -1074,6 +1081,10 @@ func (j *Job) runLedgerItem(ctx context.Context, it runItem, ap **arena, w int, 
 				j.stats.Steals++
 				e.mu.Unlock()
 			}
+			// Chaos hook: a crash schedule keyed to this point kills the
+			// process here — after the claim, before the run — modeling a
+			// poisoned input. No-op (one atomic load) unless armed.
+			failpoint.CrashIf(FPLedgerClaimed, it.p.Key)
 			if *ap == nil {
 				*ap = e.acquireArena(w)
 			}
