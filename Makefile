@@ -15,9 +15,13 @@ vet:
 test:
 	$(GO) test ./...
 
-# vsvlint enforces the simulator's cross-cutting invariants (determinism,
-# zero-alloc hot path, panic discipline, float ordering, the fast-forward
-# event-horizon contract) — see DESIGN.md §9.
+# vsvlint enforces the repo's cross-cutting invariants: the simulator's
+# (determinism, zero-alloc hot path, panic discipline, float ordering,
+# the fast-forward event-horizon contract — DESIGN.md §9) and the
+# scale-out engine's (atomic access discipline, lock ordering, durable
+# error handling, failpoint coverage — DESIGN.md §14). CI runs the same
+# suite with -json -baseline .vsvlint-baseline.json and archives the
+# report.
 lint:
 	$(GO) run ./cmd/vsvlint ./...
 

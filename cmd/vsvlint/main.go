@@ -1,15 +1,22 @@
-// Command vsvlint runs the repository's static-analysis suite: five
+// Command vsvlint runs the repository's static-analysis suite: nine
 // stdlib-only analyzers enforcing the simulator's determinism, hot-path,
 // error-discipline, float-ordering and fast-forward-horizon invariants
-// (see DESIGN.md §9).
+// plus the scale-out engine's atomic-access, lock-order, durability and
+// failpoint-coverage contracts (see DESIGN.md §9 and §14). The suite is
+// defined once, in the internal/lint registry: -list, the runner, the
+// JSON report and the README analyzer table all render from it.
 //
 // Usage:
 //
-//	go run ./cmd/vsvlint [-root dir] [-v] [-list] [patterns...]
+//	go run ./cmd/vsvlint [-root dir] [-v] [-list] [-doc] [-json]
+//	                     [-baseline file] [-write-baseline file] [patterns...]
 //
 // Patterns default to ./... . Exit status is 1 when any diagnostic
 // survives pragma suppression (including pragma-hygiene findings:
-// malformed or unused //vsvlint:ignore comments).
+// malformed or unused //vsvlint:ignore comments); with -baseline, only
+// findings absent from the committed baseline fail the run, so CI
+// ratchets on new findings. -json writes the machine-readable report to
+// stdout for archiving.
 package main
 
 import (
@@ -29,13 +36,21 @@ func run() int {
 	root := flag.String("root", "", "module root (default: nearest go.mod above the working directory)")
 	verbose := flag.Bool("v", false, "list applied suppressions and hot-path seeds")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	doc := flag.Bool("doc", false, "print the README analyzer table (markdown) and exit")
+	jsonOut := flag.Bool("json", false, "write the machine-readable report to stdout")
+	baselinePath := flag.String("baseline", "", "baseline file: fail only on findings not present in it")
+	writeBaseline := flag.String("write-baseline", "", "write the current findings as a baseline file and exit")
 	flag.Parse()
 
 	analyzers := lint.Analyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-16s %s\n", a.Name(), a.Doc())
+			fmt.Printf("%-18s %s\n", a.Name(), a.Doc())
 		}
+		return 0
+	}
+	if *doc {
+		fmt.Print(lint.MarkdownTable())
 		return 0
 	}
 
@@ -58,26 +73,72 @@ func run() int {
 		return 2
 	}
 	res := lint.Run(prog, analyzers)
+	report := lint.NewReport(*root, prog, res, analyzers)
+
+	if *writeBaseline != "" {
+		data := report.Baseline()
+		if err := lint.WriteBaseline(*writeBaseline, data); err != nil {
+			fmt.Fprintln(os.Stderr, "vsvlint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "vsvlint: wrote %d baseline entries to %s\n", len(data.Findings), *writeBaseline)
+		return 0
+	}
+
+	failing := res.Diagnostics
+	if *baselinePath != "" {
+		b, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vsvlint:", err)
+			return 2
+		}
+		newFindings := report.ApplyBaseline(b)
+		failing = failing[:0:0]
+		for _, d := range res.Diagnostics {
+			for _, nf := range newFindings {
+				if nf.Line == d.Pos.Line && nf.Analyzer == d.Analyzer && nf.Message == d.Message {
+					failing = append(failing, d)
+					break
+				}
+			}
+		}
+	}
+
+	if *jsonOut {
+		if err := report.Encode(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "vsvlint:", err)
+			return 2
+		}
+	}
 
 	if *verbose {
 		seeds := lint.HotpathSeeds(prog)
-		fmt.Printf("vsvlint: %d packages, %d analyzers, %d hot-path seeds\n",
-			len(prog.Pkgs), len(analyzers), len(seeds))
+		hotLocks := lint.HotLocks(prog)
+		fmt.Fprintf(os.Stderr, "vsvlint: %d packages, %d analyzers, %d hot-path seeds, %d hot locks\n",
+			len(prog.Pkgs), len(analyzers), len(seeds), len(hotLocks))
 		for _, s := range res.Suppressed {
-			fmt.Printf("suppressed %s:%d [%s]: %s (reason: %s)\n",
+			fmt.Fprintf(os.Stderr, "suppressed %s:%d [%s]: %s (reason: %s)\n",
 				s.Diagnostic.Pos.Filename, s.Diagnostic.Pos.Line,
 				s.Diagnostic.Analyzer, s.Diagnostic.Message, s.Pragma.Reason)
 		}
 	}
-	for _, d := range res.Diagnostics {
-		fmt.Println(d)
+	if !*jsonOut {
+		for _, d := range failing {
+			fmt.Println(d)
+		}
 	}
-	if n := len(res.Diagnostics); n > 0 {
-		fmt.Fprintf(os.Stderr, "vsvlint: %d diagnostics (%d suppressed by pragma)\n", n, len(res.Suppressed))
+	if n := len(failing); n > 0 {
+		if *baselinePath != "" {
+			fmt.Fprintf(os.Stderr, "vsvlint: %d new findings not in baseline %s (%d total, %d suppressed)\n",
+				n, *baselinePath, len(res.Diagnostics), len(res.Suppressed))
+		} else {
+			fmt.Fprintf(os.Stderr, "vsvlint: %d diagnostics (%d suppressed by pragma)\n", n, len(res.Suppressed))
+		}
 		return 1
 	}
 	if *verbose {
-		fmt.Printf("vsvlint: clean (%d findings suppressed by pragma)\n", len(res.Suppressed))
+		fmt.Fprintf(os.Stderr, "vsvlint: clean (%d findings suppressed by pragma, %d baselined)\n",
+			len(res.Suppressed), len(res.Diagnostics)-len(failing))
 	}
 	return 0
 }

@@ -70,6 +70,8 @@ type peerBreaker struct {
 	backoffBase time.Duration
 	backoffMax  time.Duration
 
+	// mu guards the per-peer state table; probes run outside it.
+	// //vsv:hotlock
 	mu    sync.Mutex
 	peers map[string]*breakerEntry
 }

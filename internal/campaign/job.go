@@ -33,6 +33,8 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// mu guards the state words below; the run itself happens outside it.
+	// //vsv:hotlock
 	mu       sync.Mutex
 	state    apiv1.JobState
 	created  time.Time

@@ -13,9 +13,10 @@ import (
 
 // Journal failpoint sites (no-ops unless armed; see internal/failpoint).
 const (
-	fpJournalAppend = "journal.append" // the single whole-line record write
-	fpJournalSync   = "journal.sync"   // the per-record fsync
-	fpJournalClose  = "journal.close"  // the final fsync at Close
+	fpJournalAppend   = "journal.append"   // the single whole-line record write
+	fpJournalSync     = "journal.sync"     // the per-record fsync
+	fpJournalClose    = "journal.close"    // the final fsync at Close
+	fpJournalTruncate = "journal.truncate" // replay's torn-tail chop
 )
 
 // Journal is the campaign server's durable job log: a WAL-style JSONL file
@@ -105,12 +106,12 @@ func OpenJournal(path string) (*Journal, error) {
 			jr.recovered[i].Err = rec.Error
 		}
 	}
-	if err := f.Truncate(good); err != nil {
-		f.Close()
+	if err := failpoint.Do(fpJournalTruncate, func() error { return f.Truncate(good) }); err != nil {
+		_ = f.Close()
 		return nil, fmt.Errorf("campaign: journal: truncate: %w", err)
 	}
 	if _, err := f.Seek(good, io.SeekStart); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("campaign: journal: %w", err)
 	}
 	// Replay leaves non-terminal last-known states (queued, running) as

@@ -1,6 +1,7 @@
 package campaign_test
 
 import (
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -474,5 +475,38 @@ func TestJournalInvalidRequestFailsTyped(t *testing.T) {
 	st := jobStatus(t, ts, "j000001")
 	if st.State != apiv1.StateFailed || st.Error == nil || st.Error.Type != apiv1.ErrBadRequest {
 		t.Fatalf("invalid recovered request: %+v", st)
+	}
+}
+
+// TestJournalFailpointTruncateError pins the replay truncate site: a
+// failed torn-tail chop on reopen is a typed open error — the journal
+// refuses to run with a tail it could not repair.
+func TestJournalFailpointTruncateError(t *testing.T) {
+	defer failpoint.Disarm()
+	path := journalPath(t)
+	jr := openJournal(t, path)
+	req := tinyReq()
+	if err := jr.Submit("j1", &req); err != nil {
+		t.Fatal(err)
+	}
+	if err := jr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := failpoint.Arm("journal.truncate=err"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := campaign.OpenJournal(path)
+	var fe *failpoint.Error
+	if !errors.As(err, &fe) || fe.Site != "journal.truncate" {
+		t.Fatalf("reopen with failing truncate = %v, want typed journal.truncate error", err)
+	}
+	failpoint.Disarm()
+
+	// The failure was transient: the next open replays the record.
+	jr2 := openJournal(t, path)
+	defer jr2.Close()
+	if got := len(jr2.Recovered()); got != 1 {
+		t.Fatalf("reopen recovered %d jobs, want 1", got)
 	}
 }

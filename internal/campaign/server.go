@@ -98,6 +98,8 @@ type Server struct {
 	// breaker guards the peer-routing health probes (see breaker.go).
 	breaker *peerBreaker
 
+	// mu guards the registry maps; journal writes happen outside it.
+	// //vsv:hotlock
 	mu     sync.Mutex
 	jobs   map[string]*job
 	order  []*job // submission order; ranged instead of the map for determinism
@@ -537,6 +539,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			// The record may have reached the file before the failure (a
 			// complete write whose fsync then failed), so supersede it:
 			// replay must not resurrect a job the client saw rejected.
+			//vsvlint:ignore durability the journal just failed; a failed supersede leaves a rerun on replay, and the client already holds the real error
 			_ = s.cfg.Journal.Record(id, apiv1.StateCancelled, &apiv1.Error{
 				Type: apiv1.ErrInternal, Message: "journal write failed at admission"})
 			writeError(w, http.StatusInternalServerError, &apiv1.Error{Type: apiv1.ErrInternal,
@@ -556,6 +559,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if s.cfg.Journal != nil {
 			// Best-effort: an unrecordable cancellation means replay reruns
 			// a rejected job — wasted work, not lost work.
+			//vsvlint:ignore durability best-effort supersede on the back-off path; a miss reruns the job on replay, it cannot lose an acknowledged one
 			_ = s.cfg.Journal.Record(id, apiv1.StateCancelled,
 				&apiv1.Error{Type: apiv1.ErrQueueFull, Message: "rejected at admission: queue full"})
 		}

@@ -112,6 +112,13 @@ type callGraph struct {
 	nodes   map[*types.Func]*funcNode
 	ordered []*funcNode
 	edges   map[*types.Func][]*types.Func
+	// direct holds only the statically resolved edges — no interface
+	// dispatch. The hot-path closure wants the conservative over-
+	// approximation (edges); the lock-order closure wants this under-
+	// approximation, because "every implementer of Sync() error" would
+	// make the failpoint helpers look like they re-acquire the locks of
+	// whatever durable writer is calling them.
+	direct map[*types.Func][]*types.Func
 }
 
 // buildCallGraph indexes every declared function and the static call
@@ -121,8 +128,9 @@ type callGraph struct {
 // the value may be invoked downstream.
 func buildCallGraph(prog *Program) *callGraph {
 	g := &callGraph{
-		nodes: map[*types.Func]*funcNode{},
-		edges: map[*types.Func][]*types.Func{},
+		nodes:  map[*types.Func]*funcNode{},
+		edges:  map[*types.Func][]*types.Func{},
+		direct: map[*types.Func][]*types.Func{},
 	}
 	for _, pkg := range prog.Pkgs {
 		p := pkg
@@ -142,6 +150,10 @@ func buildCallGraph(prog *Program) *callGraph {
 	}
 
 	edges := g.edges
+	addEdge := func(caller, callee *types.Func) {
+		edges[caller] = append(edges[caller], callee)
+		g.direct[caller] = append(g.direct[caller], callee)
+	}
 	sites := map[*types.Func][]dispatchSite{}
 	for _, node := range g.ordered {
 		caller := node.obj
@@ -152,7 +164,7 @@ func buildCallGraph(prog *Program) *callGraph {
 				switch fun := n.Fun.(type) {
 				case *ast.Ident:
 					if fn, ok := info.Uses[fun].(*types.Func); ok {
-						edges[caller] = append(edges[caller], fn)
+						addEdge(caller, fn)
 					}
 				case *ast.SelectorExpr:
 					if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
@@ -160,11 +172,11 @@ func buildCallGraph(prog *Program) *callGraph {
 						if iface, ok := sel.Recv().Underlying().(*types.Interface); ok {
 							sites[caller] = append(sites[caller], dispatchSite{iface, fn.Name()})
 						} else {
-							edges[caller] = append(edges[caller], fn)
+							addEdge(caller, fn)
 						}
 					} else if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
 						// Package-qualified call (pkg.Fn).
-						edges[caller] = append(edges[caller], fn)
+						addEdge(caller, fn)
 					}
 				}
 			case *ast.Ident:
@@ -172,7 +184,7 @@ func buildCallGraph(prog *Program) *callGraph {
 				// it may be called from the hot context.
 				if fn, ok := info.Uses[n].(*types.Func); ok {
 					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
-						edges[caller] = append(edges[caller], fn)
+						addEdge(caller, fn)
 					}
 				}
 			}

@@ -29,17 +29,6 @@ type Analyzer interface {
 	Run(prog *Program) []Diagnostic
 }
 
-// Analyzers returns the full suite in reporting order.
-func Analyzers() []Analyzer {
-	return []Analyzer{
-		determinism{},
-		hotpath{},
-		panicdiscipline{},
-		floatorder{},
-		eventhorizon{},
-	}
-}
-
 // PragmaAnalyzer is the pseudo-analyzer name under which pragma-hygiene
 // findings (malformed or unused //vsvlint:ignore comments) are reported.
 // It cannot itself be suppressed.

@@ -148,11 +148,36 @@ func TestPragmaFixture(t *testing.T) {
 	}
 }
 
+func TestAtomicDisciplineFixture(t *testing.T) {
+	t.Parallel()
+	runFixture(t, "atomicdiscipline", []Analyzer{atomicdiscipline{}})
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	t.Parallel()
+	runFixture(t, "lockorder", []Analyzer{lockorder{}})
+}
+
+func TestDurabilityFixture(t *testing.T) {
+	t.Parallel()
+	runFixture(t, "durability", []Analyzer{durability{}})
+}
+
+func TestFailpointCoverageFixture(t *testing.T) {
+	t.Parallel()
+	runFixture(t, "failpointcoverage", []Analyzer{failpointcoverage{}})
+}
+
 func TestAnalyzerSuite(t *testing.T) {
 	t.Parallel()
 	as := Analyzers()
-	if len(as) < 5 {
-		t.Fatalf("suite has %d analyzers, want >= 5", len(as))
+	want := []string{
+		"determinism", "hotpath", "panicdiscipline", "floatorder",
+		"eventhorizon", "atomicdiscipline", "lockorder", "durability",
+		"failpointcoverage",
+	}
+	if len(as) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(as), len(want))
 	}
 	seen := map[string]bool{}
 	for _, a := range as {
@@ -166,6 +191,44 @@ func TestAnalyzerSuite(t *testing.T) {
 		if a.Name() == PragmaAnalyzer {
 			t.Errorf("analyzer name %q collides with the pragma pseudo-analyzer", a.Name())
 		}
+	}
+	for _, name := range want {
+		if !seen[name] {
+			t.Errorf("suite is missing analyzer %q", name)
+		}
+	}
+}
+
+// TestRegistry pins that the registry is the single source of truth: every
+// registration carries a Since tag, and the rendered markdown table names
+// every analyzer (it is what README.md embeds and `vsvlint -doc` prints).
+func TestRegistry(t *testing.T) {
+	t.Parallel()
+	regs := Registry()
+	if len(regs) != len(Analyzers()) {
+		t.Fatalf("registry has %d rows, Analyzers() has %d", len(regs), len(Analyzers()))
+	}
+	table := MarkdownTable()
+	for _, r := range regs {
+		if r.Since == "" {
+			t.Errorf("registration %q has no Since tag", r.Analyzer.Name())
+		}
+		if !strings.Contains(table, "`"+r.Analyzer.Name()+"`") {
+			t.Errorf("markdown table is missing analyzer %q", r.Analyzer.Name())
+		}
+	}
+}
+
+// TestReadmeTableInSync keeps the README's analyzer table literally equal
+// to the registry rendering, so docs cannot drift from the suite.
+func TestReadmeTableInSync(t *testing.T) {
+	t.Parallel()
+	readme, err := os.ReadFile(filepath.Join(repoRoot(t), "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(readme), MarkdownTable()) {
+		t.Errorf("README.md does not embed the registry's analyzer table; regenerate it with `go run ./cmd/vsvlint -doc`")
 	}
 }
 
@@ -194,6 +257,29 @@ func TestRepoClean(t *testing.T) {
 	seeds := HotpathSeeds(prog)
 	if len(seeds) < 15 {
 		t.Errorf("hot-path marker sweep has %d seeds, want >= 15: %v", len(seeds), seeds)
+	}
+	hotLocks := HotLocks(prog)
+	if len(hotLocks) < 7 {
+		t.Errorf("hot-lock marker sweep has %d locks, want >= 7: %v", len(hotLocks), hotLocks)
+	}
+	for _, needle := range []string{
+		"cacheShard.mu",
+		"Engine.mu",
+		"arenaStripe.mu",
+		"Server.mu",
+		"job.mu",
+		"peerBreaker.mu",
+	} {
+		found := false
+		for _, l := range hotLocks {
+			if strings.HasSuffix(l, needle) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("expected a //vsv:hotlock marker matching %q; locks: %v", needle, hotLocks)
+		}
 	}
 	for _, needle := range []string{
 		"Machine).tick",

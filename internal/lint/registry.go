@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Registration couples one analyzer with the metadata the docs render.
+// The registry is the single source of truth for the suite: the runner,
+// `vsvlint -list`, the JSON report header and the README analyzer table
+// are all generated from it (the README copy is pinned by a test), so
+// none of them can drift by hand.
+type Registration struct {
+	Analyzer Analyzer
+	// Since names the PR that introduced the invariant (docs only).
+	Since string
+}
+
+// Registry returns the full suite with its metadata, in reporting order.
+func Registry() []Registration {
+	return []Registration{
+		{determinism{}, "PR 5"},
+		{hotpath{}, "PR 5"},
+		{panicdiscipline{}, "PR 5"},
+		{floatorder{}, "PR 5"},
+		{eventhorizon{}, "PR 5"},
+		{atomicdiscipline{}, "PR 10"},
+		{lockorder{}, "PR 10"},
+		{durability{}, "PR 10"},
+		{failpointcoverage{}, "PR 10"},
+	}
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []Analyzer {
+	regs := Registry()
+	out := make([]Analyzer, len(regs))
+	for i, r := range regs {
+		out[i] = r.Analyzer
+	}
+	return out
+}
+
+// MarkdownTable renders the registry as the analyzer table embedded in
+// the README's Lint section. `vsvlint -doc` prints it so the README can
+// be regenerated, and a test pins the committed copy to this output.
+func MarkdownTable() string {
+	var b strings.Builder
+	b.WriteString("| analyzer | since | enforces |\n")
+	b.WriteString("| --- | --- | --- |\n")
+	for _, r := range Registry() {
+		fmt.Fprintf(&b, "| `%s` | %s | %s |\n", r.Analyzer.Name(), r.Since, r.Analyzer.Doc())
+	}
+	return b.String()
+}

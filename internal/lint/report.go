@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ReportVersion tags the machine-readable report and baseline formats.
+const ReportVersion = 1
+
+// ReportFinding is one diagnostic in the machine-readable report. File is
+// slash-separated and relative to the module root, so reports and
+// baselines are stable across checkouts.
+type ReportFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// ReportSuppression is one pragma-silenced finding with its written
+// reason.
+type ReportSuppression struct {
+	ReportFinding
+	Reason string `json:"reason"`
+}
+
+// AnalyzerInfo is one registry row in the report header.
+type AnalyzerInfo struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc"`
+}
+
+// Report is the `vsvlint -json` document.
+type Report struct {
+	Version    int                 `json:"v"`
+	Packages   int                 `json:"packages"`
+	Analyzers  []AnalyzerInfo      `json:"analyzers"`
+	Findings   []ReportFinding     `json:"findings"`
+	Suppressed []ReportSuppression `json:"suppressed"`
+	// New is populated when a baseline is applied: the findings not
+	// present in it. CI fails on New, not on Findings, so a committed
+	// baseline can ratchet an imperfect tree without letting it regress.
+	New []ReportFinding `json:"new,omitempty"`
+}
+
+// NewReport renders a lint result as the machine-readable document.
+func NewReport(root string, prog *Program, res *Result, analyzers []Analyzer) *Report {
+	r := &Report{
+		Version:    ReportVersion,
+		Packages:   len(prog.Pkgs),
+		Analyzers:  []AnalyzerInfo{},
+		Findings:   []ReportFinding{},
+		Suppressed: []ReportSuppression{},
+	}
+	for _, a := range analyzers {
+		r.Analyzers = append(r.Analyzers, AnalyzerInfo{Name: a.Name(), Doc: a.Doc()})
+	}
+	for _, d := range res.Diagnostics {
+		r.Findings = append(r.Findings, reportFinding(root, d))
+	}
+	for _, s := range res.Suppressed {
+		r.Suppressed = append(r.Suppressed, ReportSuppression{
+			ReportFinding: reportFinding(root, s.Diagnostic),
+			Reason:        s.Pragma.Reason,
+		})
+	}
+	return r
+}
+
+func reportFinding(root string, d Diagnostic) ReportFinding {
+	return ReportFinding{
+		Analyzer: d.Analyzer,
+		File:     relPath(root, d.Pos.Filename),
+		Line:     d.Pos.Line,
+		Col:      d.Pos.Column,
+		Message:  d.Message,
+	}
+}
+
+// relPath renders file relative to root with forward slashes, falling
+// back to the absolute path when file is outside root.
+func relPath(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}
+
+// Baseline is the committed inventory of tolerated findings. Entries
+// match on analyzer, file and message — not line, so unrelated edits
+// shifting a finding do not count as new.
+type Baseline struct {
+	Version  int             `json:"v"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry identifies one tolerated finding.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+// LoadBaseline reads and validates a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	if b.Version != ReportVersion {
+		return nil, fmt.Errorf("lint: baseline %s: version %d, want %d", path, b.Version, ReportVersion)
+	}
+	return &b, nil
+}
+
+// ApplyBaseline fills r.New with the findings not covered by the
+// baseline and returns it. A baseline entry covers any number of
+// findings with its analyzer/file/message triple.
+func (r *Report) ApplyBaseline(b *Baseline) []ReportFinding {
+	known := map[BaselineEntry]bool{}
+	for _, e := range b.Findings {
+		known[e] = true
+	}
+	r.New = []ReportFinding{}
+	for _, f := range r.Findings {
+		if !known[BaselineEntry{Analyzer: f.Analyzer, File: f.File, Message: f.Message}] {
+			r.New = append(r.New, f)
+		}
+	}
+	return r.New
+}
+
+// Baseline snapshots the report's findings as a baseline document (the
+// -write-baseline output).
+func (r *Report) Baseline() *Baseline {
+	b := &Baseline{Version: ReportVersion, Findings: []BaselineEntry{}}
+	seen := map[BaselineEntry]bool{}
+	for _, f := range r.Findings {
+		e := BaselineEntry{Analyzer: f.Analyzer, File: f.File, Message: f.Message}
+		if !seen[e] {
+			seen[e] = true
+			b.Findings = append(b.Findings, e)
+		}
+	}
+	return b
+}
+
+// WriteBaseline writes a baseline file as indented JSON.
+func WriteBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("lint: baseline: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("lint: baseline: %w", err)
+	}
+	return nil
+}
+
+// Encode writes the report as indented JSON.
+func (r *Report) Encode(w interface{ Write([]byte) (int, error) }) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+// TestReportFromFixture renders the durability fixture's findings as a
+// machine-readable report and checks the shape CI depends on: version
+// tag, slash-relative paths, one entry per diagnostic, suppressions with
+// reasons carried through.
+func TestReportFromFixture(t *testing.T) {
+	t.Parallel()
+	root := repoRoot(t)
+	prog, err := Load(root, "internal/lint/testdata/src/durability")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(prog, []Analyzer{durability{}})
+	if len(res.Diagnostics) == 0 {
+		t.Fatal("fixture produced no diagnostics; report test needs findings")
+	}
+	r := NewReport(root, prog, res, []Analyzer{durability{}})
+	if r.Version != ReportVersion {
+		t.Errorf("report version = %d, want %d", r.Version, ReportVersion)
+	}
+	if len(r.Findings) != len(res.Diagnostics) {
+		t.Errorf("report has %d findings, result has %d diagnostics", len(r.Findings), len(res.Diagnostics))
+	}
+	for _, f := range r.Findings {
+		if filepath.IsAbs(f.File) {
+			t.Errorf("finding path %q is absolute; baselines need root-relative paths", f.File)
+		}
+		if f.Analyzer != "durability" {
+			t.Errorf("finding analyzer = %q, want durability", f.Analyzer)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := r.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Report
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("report does not round-trip through JSON: %v", err)
+	}
+	if len(decoded.Findings) != len(r.Findings) {
+		t.Errorf("decoded %d findings, want %d", len(decoded.Findings), len(r.Findings))
+	}
+}
+
+// TestBaselineRoundTrip pins the ratchet semantics: a baseline written
+// from the current findings silences all of them, a baseline missing one
+// entry reports exactly that finding as new, and matching ignores line
+// numbers so unrelated edits cannot resurrect a baselined finding.
+func TestBaselineRoundTrip(t *testing.T) {
+	t.Parallel()
+	root := repoRoot(t)
+	prog, err := Load(root, "internal/lint/testdata/src/durability")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(prog, []Analyzer{durability{}})
+	r := NewReport(root, prog, res, []Analyzer{durability{}})
+
+	full := r.Baseline()
+	if n := len(r.ApplyBaseline(full)); n != 0 {
+		t.Errorf("full baseline left %d new findings, want 0: %v", n, r.New)
+	}
+
+	// Shift every line: matching is line-insensitive by design.
+	shifted := *r
+	shifted.Findings = append([]ReportFinding(nil), r.Findings...)
+	for i := range shifted.Findings {
+		shifted.Findings[i].Line += 100
+	}
+	if n := len(shifted.ApplyBaseline(full)); n != 0 {
+		t.Errorf("line shift produced %d new findings, want 0", n)
+	}
+
+	partial := &Baseline{Version: ReportVersion, Findings: full.Findings[1:]}
+	newFindings := r.ApplyBaseline(partial)
+	if len(newFindings) == 0 {
+		t.Fatal("partial baseline reported no new findings")
+	}
+	for _, f := range newFindings {
+		e := BaselineEntry{Analyzer: f.Analyzer, File: f.File, Message: f.Message}
+		if e != full.Findings[0] {
+			t.Errorf("new finding %+v does not match the dropped baseline entry %+v", e, full.Findings[0])
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, full); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Findings) != len(full.Findings) {
+		t.Errorf("loaded %d baseline entries, want %d", len(loaded.Findings), len(full.Findings))
+	}
+	if n := len(r.ApplyBaseline(loaded)); n != 0 {
+		t.Errorf("written-and-reloaded baseline left %d new findings, want 0", n)
+	}
+
+	// An empty baseline (the committed default) passes everything through.
+	empty := &Baseline{Version: ReportVersion}
+	if n := len(r.ApplyBaseline(empty)); n != len(r.Findings) {
+		t.Errorf("empty baseline reported %d new findings, want all %d", n, len(r.Findings))
+	}
+}
+
+// TestLoadBaselineRejectsVersionSkew guards the wire-format contract.
+func TestLoadBaselineRejectsVersionSkew(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, &Baseline{Version: ReportVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Error("LoadBaseline accepted a baseline with a future version")
+	}
+}

@@ -1,0 +1,139 @@
+// Package lockorder is a vsvlint fixture: each construct below is
+// annotated with the diagnostic the lockorder analyzer must (or must
+// not) produce. See internal/lint/lint_test.go for the harness.
+package lockorder
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+// a and b form the classic two-lock inversion.
+type a struct{ mu sync.Mutex }
+type b struct{ mu sync.Mutex }
+
+// abOrder acquires a then b.
+func abOrder(x *a, y *b) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock() // want `lock lockorder\.b\.mu acquired while holding lockorder\.a\.mu, but the opposite order`
+	y.mu.Unlock()
+}
+
+// baOrder acquires b then a: the inversion.
+func baOrder(x *a, y *b) {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	x.mu.Lock() // want `lock lockorder\.a\.mu acquired while holding lockorder\.b\.mu, but the opposite order`
+	x.mu.Unlock()
+}
+
+// lockB hides the second acquisition behind a call; the closure still
+// sees the a→b edge at the call site.
+func lockB(y *b) {
+	y.mu.Lock()
+	y.mu.Unlock()
+}
+
+func abIndirect(x *a, y *b) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	lockB(y) // want `lock lockorder\.b\.mu acquired \(via lockB\) while holding lockorder\.a\.mu`
+}
+
+// sequential acquisition (release before the next Lock) is silent.
+func abSequential(x *a, y *b) {
+	x.mu.Lock()
+	x.mu.Unlock()
+	y.mu.Lock()
+	y.mu.Unlock()
+}
+
+// stripe double-acquire: two locks of one class at once.
+type stripe struct{ mu sync.Mutex }
+
+func rebalance(s1, s2 *stripe) {
+	s1.mu.Lock()
+	defer s1.mu.Unlock()
+	s2.mu.Lock() // want `lock lockorder\.stripe\.mu acquired while another lockorder\.stripe\.mu is already held`
+	s2.mu.Unlock()
+}
+
+// hot guards hot-path state: no blocking operations while held.
+type hot struct {
+	// mu guards the counters below. //vsv:hotlock
+	mu sync.Mutex
+	n  int
+	ch chan int
+	f  *os.File
+}
+
+func (h *hot) bad() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.n++
+	if err := h.f.Sync(); err != nil { // want `blocking call \(\*os\.File\)\.Sync while holding hot lock lockorder\.hot\.mu`
+		return
+	}
+	time.Sleep(time.Millisecond) // want `blocking call time\.Sleep while holding hot lock`
+	h.ch <- h.n                  // want `channel send while holding hot lock`
+}
+
+// good releases before the sync: silent.
+func (h *hot) good() error {
+	h.mu.Lock()
+	h.n++
+	h.mu.Unlock()
+	return h.f.Sync()
+}
+
+// flush hides the sync behind a helper; the taint closure finds it.
+func flush(f *os.File) error {
+	return f.Sync()
+}
+
+func (h *hot) indirect() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := flush(h.f); err != nil { // want `call to flush may block \(it reaches I/O or a channel send\) while holding hot lock`
+		return
+	}
+}
+
+// trySend is a non-blocking send under a select with default: silent.
+func (h *hot) trySend() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select {
+	case h.ch <- h.n:
+	default:
+	}
+}
+
+// cold carries no marker: it is a coarse I/O lock by design (like the
+// ledger's), so I/O under it is silent; it still participates in
+// ordering.
+type cold struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func (c *cold) sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.f.Sync()
+}
+
+var (
+	_ = abOrder
+	_ = baOrder
+	_ = abIndirect
+	_ = abSequential
+	_ = rebalance
+	_ = (&hot{}).bad
+	_ = (&hot{}).good
+	_ = (&hot{}).indirect
+	_ = (&hot{}).trySend
+	_ = (&cold{}).sync
+)

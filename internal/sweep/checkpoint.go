@@ -16,9 +16,10 @@ import (
 // every durable write the resume guarantee depends on can be made to fail
 // or tear deterministically in tests.
 const (
-	fpCheckpointAppend = "checkpoint.append" // the record write into the buffer
-	fpCheckpointFlush  = "checkpoint.flush"  // the per-record flush to the OS
-	fpCheckpointClose  = "checkpoint.close"  // the final flush at Close
+	fpCheckpointAppend   = "checkpoint.append"   // the record write into the buffer
+	fpCheckpointFlush    = "checkpoint.flush"    // the per-record flush to the OS
+	fpCheckpointClose    = "checkpoint.close"    // the final flush at Close
+	fpCheckpointTruncate = "checkpoint.truncate" // replay's torn-tail chop
 )
 
 // Checkpoint persists completed sweep results across process lifetimes so an
@@ -71,12 +72,12 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 		c.entries[fp] = res
 		c.loaded++
 	}
-	if err := f.Truncate(good); err != nil {
-		f.Close()
+	if err := failpoint.Do(fpCheckpointTruncate, func() error { return f.Truncate(good) }); err != nil {
+		_ = f.Close()
 		return nil, fmt.Errorf("sweep: checkpoint: truncate: %w", err)
 	}
 	if _, err := f.Seek(good, io.SeekStart); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("sweep: checkpoint: %w", err)
 	}
 	c.w = bufio.NewWriter(f)

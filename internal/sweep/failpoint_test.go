@@ -350,3 +350,47 @@ func TestLedgerClaimsBy(t *testing.T) {
 		t.Fatalf("ClaimsBy(nobody) = %v, want none", got)
 	}
 }
+
+// TestCheckpointFailpointTruncateError pins the replay truncate site: a
+// failed torn-tail chop on reopen is a typed open error, never a
+// checkpoint that silently keeps the corrupt tail.
+func TestCheckpointFailpointTruncateError(t *testing.T) {
+	defer failpoint.Disarm()
+	path := t.TempDir() + "/cp.jsonl"
+	cp, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := testPoints()
+	want, err := New(Workers(1)).Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, _ := pts[0].Fingerprint()
+	if err := cp.add(fp, pts[0].Key, want[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := failpoint.Arm("checkpoint.truncate=err"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenCheckpoint(path)
+	var fe *failpoint.Error
+	if !errors.As(err, &fe) || fe.Site != "checkpoint.truncate" {
+		t.Fatalf("reopen with failing truncate = %v, want typed checkpoint.truncate error", err)
+	}
+	failpoint.Disarm()
+
+	// The failure was transient: the next open replays the record.
+	re, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Loaded() != 1 {
+		t.Fatalf("reopen loaded %d records, want 1", re.Loaded())
+	}
+}

@@ -134,7 +134,7 @@ func OpenLedger(path string, opts ...LedgerOption) (*Ledger, error) {
 	err = l.refreshLocked()
 	l.mu.Unlock()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	return l, nil

@@ -249,14 +249,16 @@ const maxCacheShards = 16
 // FIFO insertion order and its own slice of the engine's CacheBound.
 // Everything under sh.mu.
 type cacheShard struct {
+	// mu is held for map/slice bookkeeping only — never across I/O or a
+	// channel. //vsv:hotlock
 	mu      sync.Mutex
 	cache   map[string]*entry
 	order   []cacheRecord // insertion order, for bound eviction
 	bound   int           // this shard's share of the engine bound (0 = unbounded)
 	evicted int
 	// pad keeps neighbouring shards off one cache line so shard locks do
-	// not false-share.
-	_ [64]byte
+	// not false-share (fields above are 56 bytes; 56+72 = 128).
+	_ [72]byte
 }
 
 // addLocked inserts an entry under the shard's bound policy. Caller holds
@@ -376,7 +378,8 @@ func (h *hotSlot) addInto(s *Stats) {
 // atomic load (almost always "not a new worst"); the mutex is taken only
 // to install a new maximum.
 type worstTracker struct {
-	ns  atomic.Int64
+	ns atomic.Int64
+	// mu is taken only to install a new maximum. //vsv:hotlock
 	mu  sync.Mutex
 	key string
 }
@@ -426,9 +429,11 @@ var arenaPool = newArenaFreeList()
 const arenaStripes = 8
 
 type arenaStripe struct {
+	// mu guards the free list only. //vsv:hotlock
 	mu   sync.Mutex
 	free []*arena
-	_    [64]byte
+	// fields above are 32 bytes; 32+32 = 64 keeps stripes one line apart.
+	_ [32]byte
 }
 
 type arenaFreeList struct {
@@ -502,7 +507,7 @@ type Engine struct {
 
 	// mu guards the cold counters in stats (planning-path hits, failures,
 	// retries) and every job's cold counters; the hot per-run counters
-	// live in the padded slots above.
+	// live in the padded slots above. //vsv:hotlock
 	mu    sync.Mutex
 	stats Stats
 }
